@@ -1,0 +1,54 @@
+//! The EVA baseline: conservative forward static scale analysis
+//! (Dathathri et al., PLDI'20, as summarized in the paper's §3.1).
+
+use std::time::Instant;
+
+use fhe_ir::{passes, CompileParams, CostModel, Program};
+
+use crate::forward::{legalize, ForwardPlan, LegalizeError};
+use crate::{BaselineCompiled, BaselineStats};
+
+/// Compiles with EVA's waterline-driven forward analysis.
+///
+/// # Errors
+///
+/// Fails when the program's accumulated scale requires more levels than
+/// `params.max_level`.
+pub fn compile(program: &Program, params: &CompileParams) -> Result<BaselineCompiled, LegalizeError> {
+    let t_total = Instant::now();
+    let cleaned = passes::cleanup(program);
+    let t_sm = Instant::now();
+    let scheduled = legalize(&cleaned, params, &ForwardPlan::empty(cleaned.num_ops()))?;
+    let scale_management_time = t_sm.elapsed();
+    let map = scheduled.validate().expect("EVA schedules are legal by construction");
+    let estimated_latency_us = CostModel::paper_table3().program_cost(&scheduled.program, &map);
+    Ok(BaselineCompiled {
+        scheduled,
+        stats: BaselineStats {
+            scale_management_time,
+            total_time: t_total.elapsed(),
+            iterations: 1,
+            estimated_latency_us,
+            max_level: map.max_level(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::Builder;
+
+    #[test]
+    fn eva_compiles_and_validates() {
+        let b = Builder::new("t", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        let p = b.finish(vec![q]);
+        let out = compile(&p, &CompileParams::new(20)).unwrap();
+        assert_eq!(out.stats.max_level, 2);
+        assert!(out.stats.estimated_latency_us > 0.0);
+        assert_eq!(out.stats.iterations, 1);
+    }
+}

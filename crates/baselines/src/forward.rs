@@ -1,0 +1,421 @@
+//! Shared forward scale-management legalizer.
+//!
+//! Implements EVA-style forward waterline analysis (§3.1): inputs enter at
+//! the waterline scale; multiplications rescale while the result stays above
+//! the waterline; `modswitch`/`upscale` are inserted to align levels and
+//! scales at binary ops. A [`ForwardPlan`] additionally forces *downscales*
+//! (upscale-to-boundary + eager rescales) at chosen program points — the
+//! knob Hecate's exploration turns; EVA is the empty plan.
+
+use std::collections::HashMap;
+
+use fhe_ir::{
+    CompileParams, Frac, InputSpec, Op, Program, ProgramEditor, ScheduledProgram, ValueId,
+};
+
+/// Forced extra scale management on use edges. For each (op, operand slot)
+/// edge, a choice `c` means: upscale the operand by `c · W/2` bits, then
+/// rescale while the scale stays above the waterline. `c = 0` (everywhere)
+/// is exactly EVA. This is the knob Hecate's exploration turns: upscaling
+/// an operand lets the following multiplication land on a modulus boundary
+/// so the EVA rescaling rule fires earlier, trading upscales for lower
+/// levels downstream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ForwardPlan {
+    /// Per (op index, slot) edge — index `2·op + slot` — the upscale choice.
+    pub edge: Vec<u8>,
+}
+
+impl ForwardPlan {
+    /// The maximum meaningful per-edge choice (`4W` bits of upscale).
+    pub const MAX_CHOICE: u8 = 8;
+
+    /// The empty plan (pure EVA behaviour) for a program of `n` values.
+    pub fn empty(n: usize) -> Self {
+        ForwardPlan { edge: vec![0; 2 * n] }
+    }
+
+    /// Sets the choice for the edge feeding `op`'s operand `slot`.
+    pub fn set(&mut self, op: ValueId, slot: usize, choice: u8) {
+        self.edge[2 * op.index() + slot] = choice;
+    }
+
+    fn get(&self, op: ValueId, slot: usize) -> u8 {
+        self.edge.get(2 * op.index() + slot).copied().unwrap_or(0)
+    }
+}
+
+/// Legalization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegalizeError {
+    /// The program needs more modulus than `params.max_level` provides.
+    ExceedsMaxLevel {
+        /// The level the inputs would need.
+        required: u32,
+    },
+}
+
+impl std::fmt::Display for LegalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegalizeError::ExceedsMaxLevel { required } => {
+                write!(f, "program requires input level {required} beyond max_level")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LegalizeError {}
+
+/// Ciphertext state in the forward walk: scale plus accumulated level drops
+/// (level itself is only known once the input level is fixed at the end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FwdState {
+    scale_bits: Frac,
+    drops: u32,
+}
+
+struct Legalizer<'p> {
+    params: CompileParams,
+    ed: ProgramEditor<'p>,
+    state: HashMap<ValueId, FwdState>,
+    modswitched: HashMap<(ValueId, u32), ValueId>,
+    upscaled: HashMap<(ValueId, Frac), ValueId>,
+    edge_adapted: HashMap<(ValueId, u8), ValueId>,
+}
+
+/// Runs the forward legalizer under a plan, producing a scheduled program.
+///
+/// # Errors
+///
+/// Fails only when the required input level exceeds `params.max_level`.
+pub fn legalize(
+    program: &Program,
+    params: &CompileParams,
+    plan: &ForwardPlan,
+) -> Result<ScheduledProgram, LegalizeError> {
+    let mut lg = Legalizer {
+        params: *params,
+        ed: ProgramEditor::new(program),
+        state: HashMap::new(),
+        modswitched: HashMap::new(),
+        upscaled: HashMap::new(),
+        edge_adapted: HashMap::new(),
+    };
+    let waterline = params.waterline();
+    let rescale = params.rescale();
+
+    for id in program.ids() {
+        if program.is_plain(id) {
+            lg.ed.emit(id);
+            continue;
+        }
+        let (new, st) = match program.op(id).clone() {
+            Op::Input { .. } => (lg.ed.emit(id), FwdState { scale_bits: waterline, drops: 0 }),
+            Op::Add(a, b) | Op::Sub(a, b) => {
+                let pa = program.is_cipher(a);
+                let pb = program.is_cipher(b);
+                match (pa, pb) {
+                    (true, true) => {
+                        let ea = lg.edge(id, 0, a, plan);
+                        let eb = lg.edge(id, 1, b, plan);
+                        let (na, nb, st) = lg.align(ea, eb);
+                        (lg.ed.emit_with(id, &[na, nb]), st)
+                    }
+                    (true, false) => {
+                        let na = lg.edge(id, 0, a, plan);
+                        let nb = lg.ed.map_operand(b);
+                        let st = lg.state[&na];
+                        (lg.ed.emit_with(id, &[na, nb]), st)
+                    }
+                    (false, true) => {
+                        let na = lg.ed.map_operand(a);
+                        let nb = lg.edge(id, 1, b, plan);
+                        let st = lg.state[&nb];
+                        (lg.ed.emit_with(id, &[na, nb]), st)
+                    }
+                    (false, false) => unreachable!("plain handled above"),
+                }
+            }
+            Op::Mul(a, b) => {
+                let pa = program.is_cipher(a);
+                let pb = program.is_cipher(b);
+                let (new, st) = match (pa, pb) {
+                    (true, true) => {
+                        let ea = lg.edge(id, 0, a, plan);
+                        let eb = lg.edge(id, 1, b, plan);
+                        let (na, nb, _) = lg.align_levels(ea, eb);
+                        let sa = lg.state[&na].scale_bits;
+                        let sb = lg.state[&nb].scale_bits;
+                        let drops = lg.state[&na].drops;
+                        (
+                            lg.ed.emit_with(id, &[na, nb]),
+                            FwdState { scale_bits: sa + sb, drops },
+                        )
+                    }
+                    (true, false) | (false, true) => {
+                        let (cipher, slot) = if pa { (a, 0) } else { (b, 1) };
+                        let nc = lg.edge(id, slot, cipher, plan);
+                        let st = lg.state[&nc];
+                        let mapped = if pa {
+                            [nc, lg.ed.map_operand(b)]
+                        } else {
+                            [lg.ed.map_operand(a), nc]
+                        };
+                        (
+                            lg.ed.emit_with(id, &mapped),
+                            FwdState { scale_bits: st.scale_bits + waterline, drops: st.drops },
+                        )
+                    }
+                    (false, false) => unreachable!("plain handled above"),
+                };
+                // EVA's rule: rescale while the result stays ≥ waterline.
+                let mut new = new;
+                let mut st = st;
+                while st.scale_bits - rescale >= waterline {
+                    new = lg.ed.push(Op::Rescale(new));
+                    st = FwdState { scale_bits: st.scale_bits - rescale, drops: st.drops + 1 };
+                    lg.state.insert(new, st);
+                    lg.ed.set_mapping(id, new);
+                }
+                (new, st)
+            }
+            Op::Neg(a) | Op::Rotate(a, _) => {
+                let na = lg.edge(id, 0, a, plan);
+                let st = lg.state[&na];
+                (lg.ed.emit_with(id, &[na]), st)
+            }
+            Op::Rescale(_) | Op::ModSwitch(_) | Op::Upscale(..) => {
+                panic!("forward legalizer expects a program without scale management ops")
+            }
+            Op::Const { .. } => unreachable!("consts are plain"),
+        };
+        lg.state.insert(new, st);
+    }
+
+    // The input level must cover scale + drops at every point.
+    let required = lg
+        .state
+        .values()
+        .map(|st| st.drops as i128 + (st.scale_bits / rescale).ceil())
+        .max()
+        .unwrap_or(1)
+        .max(1) as u32;
+    if required > params.max_level {
+        return Err(LegalizeError::ExceedsMaxLevel { required });
+    }
+    let program_out = lg.ed.finish();
+    let n_inputs = program_out.inputs().len();
+    Ok(ScheduledProgram {
+        program: program_out,
+        params: *params,
+        inputs: vec![InputSpec { scale_bits: waterline, level: required }; n_inputs],
+    })
+}
+
+impl<'p> Legalizer<'p> {
+    /// Applies the plan's edge choice to the operand `src` of op `id`:
+    /// upscale by `c·W/2` bits, then rescale while above the waterline.
+    /// Returns the (possibly adapted) destination id. Chains are shared per
+    /// (operand, choice).
+    fn edge(&mut self, id: ValueId, slot: usize, src: ValueId, plan: &ForwardPlan) -> ValueId {
+        let cur = self.ed.map_operand(src);
+        let choice = plan.get(id, slot);
+        if choice == 0 {
+            return cur;
+        }
+        if let Some(&done) = self.edge_adapted.get(&(cur, choice)) {
+            return done;
+        }
+        let waterline = self.params.waterline();
+        let rescale = self.params.rescale();
+        let delta = Frac::from(choice as i32) * waterline / Frac::from(2);
+        let mut st = self.state[&cur];
+        let mut out = self.ed.push(Op::Upscale(cur, delta));
+        st = FwdState { scale_bits: st.scale_bits + delta, drops: st.drops };
+        self.state.insert(out, st);
+        while st.scale_bits - rescale >= waterline {
+            out = self.ed.push(Op::Rescale(out));
+            st = FwdState { scale_bits: st.scale_bits - rescale, drops: st.drops + 1 };
+            self.state.insert(out, st);
+        }
+        self.edge_adapted.insert((cur, choice), out);
+        out
+    }
+
+    /// Aligns levels (drops) of two cipher operands via `modswitch`.
+    /// Operands are destination ids (already edge-adapted).
+    fn align_levels(&mut self, na: ValueId, nb: ValueId) -> (ValueId, ValueId, u32) {
+        let da = self.state[&na].drops;
+        let db = self.state[&nb].drops;
+        let target = da.max(db);
+        let na = self.modswitch_to(na, target);
+        let nb = self.modswitch_to(nb, target);
+        (na, nb, target)
+    }
+
+    /// Aligns both levels and scales (for additions): `modswitch` then
+    /// `upscale` the smaller-scale side. Operands are destination ids.
+    fn align(&mut self, na: ValueId, nb: ValueId) -> (ValueId, ValueId, FwdState) {
+        let (mut na, mut nb, _) = self.align_levels(na, nb);
+        let sa = self.state[&na].scale_bits;
+        let sb = self.state[&nb].scale_bits;
+        if sa < sb {
+            na = self.upscale_to(na, sb);
+        } else if sb < sa {
+            nb = self.upscale_to(nb, sa);
+        }
+        let st = self.state[&na];
+        (na, nb, st)
+    }
+
+    fn modswitch_to(&mut self, start: ValueId, target: u32) -> ValueId {
+        let mut st = self.state[&start];
+        if st.drops == target {
+            return start;
+        }
+        if let Some(&done) = self.modswitched.get(&(start, target)) {
+            return done;
+        }
+        let mut cur = start;
+        while st.drops < target {
+            cur = self.ed.push(Op::ModSwitch(cur));
+            st = FwdState { scale_bits: st.scale_bits, drops: st.drops + 1 };
+            self.state.insert(cur, st);
+        }
+        self.modswitched.insert((start, target), cur);
+        cur
+    }
+
+    fn upscale_to(&mut self, cur: ValueId, target_scale: Frac) -> ValueId {
+        let st = self.state[&cur];
+        debug_assert!(st.scale_bits < target_scale);
+        if let Some(&done) = self.upscaled.get(&(cur, target_scale)) {
+            return done;
+        }
+        let up = self.ed.push(Op::Upscale(cur, target_scale - st.scale_bits));
+        self.state.insert(up, FwdState { scale_bits: target_scale, drops: st.drops });
+        self.upscaled.insert((cur, target_scale), up);
+        up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::{Builder, CostModel};
+
+    fn fig2a() -> Program {
+        let b = Builder::new("fig2a", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        b.finish(vec![q])
+    }
+
+    #[test]
+    fn empty_plan_reproduces_eva_fig2b() {
+        let p = fig2a();
+        let params = CompileParams::new(20);
+        let s = legalize(&p, &params, &ForwardPlan::empty(p.num_ops())).unwrap();
+        let map = s.validate().expect("EVA schedule must be legal");
+        // Fig. 2b: inputs at level 2, one rescale (after q), one upscale
+        // (on y before the add), no modswitches.
+        assert_eq!(map.max_level(), 2);
+        assert_eq!(s.scale_management_counts(), (1, 0, 1));
+        // Total cost ≈ 390 hundreds of µs.
+        let cost = CostModel::paper_table3().program_cost(&s.program, &map) / 100.0;
+        assert!((380.0..400.0).contains(&cost), "EVA cost {cost} should be ≈390");
+    }
+
+    #[test]
+    fn edge_plan_reproduces_fig2c_improvement() {
+        // The paper's Fig. 2c plan: upscale x,y by W before squaring (so the
+        // squares rescale early), and rescale x,y down a level before the
+        // level-1 multiplications. Cost ≈ 353 (hundreds of µs).
+        let p = fig2a();
+        let params = CompileParams::new(20);
+        let mut plan = ForwardPlan::empty(p.num_ops());
+        let x2 = fhe_ir::ValueId(2);
+        let x3 = fhe_ir::ValueId(3);
+        let y2 = fhe_ir::ValueId(4);
+        let s_add = fhe_ir::ValueId(5);
+        plan.set(x2, 0, 2); // x·(+W)
+        plan.set(x2, 1, 2);
+        plan.set(y2, 0, 2);
+        plan.set(y2, 1, 2);
+        plan.set(x3, 1, 6); // x +3W then rescale → level 1 (slot 1: x²·x)
+        plan.set(s_add, 1, 6); // y likewise for the addition
+        let s = legalize(&p, &params, &plan).unwrap();
+        let map = s.validate().unwrap();
+        assert_eq!(map.max_level(), 2);
+        let cost = CostModel::paper_table3().program_cost(&s.program, &map) / 100.0;
+        assert!(
+            (330.0..380.0).contains(&cost),
+            "fig2c-style plan cost {cost} should be ≈353 and beat EVA's 390"
+        );
+    }
+
+    #[test]
+    fn deep_chain_needs_levels() {
+        let b = Builder::new("deep", 4);
+        let x = b.input("x");
+        let mut acc = x;
+        for _ in 0..3 {
+            acc = acc.clone() * acc;
+        }
+        let p = b.finish(vec![acc]);
+        let params = CompileParams::new(40);
+        let s = legalize(&p, &params, &ForwardPlan::empty(p.num_ops())).unwrap();
+        let map = s.validate().unwrap();
+        assert!(map.max_level() >= 3);
+    }
+
+    #[test]
+    fn max_level_exceeded_reported() {
+        let b = Builder::new("deep", 4);
+        let x = b.input("x");
+        let mut acc = x;
+        for _ in 0..8 {
+            acc = acc.clone() * acc;
+        }
+        let p = b.finish(vec![acc]);
+        let mut params = CompileParams::new(50);
+        params.max_level = 4;
+        match legalize(&p, &params, &ForwardPlan::empty(p.num_ops())) {
+            Err(LegalizeError::ExceedsMaxLevel { required }) => assert!(required > 4),
+            other => panic!("expected level error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_plain_programs_legalize() {
+        let b = Builder::new("mix", 16);
+        let x = b.input("x");
+        let k = b.constant(vec![0.5; 16]);
+        let e = (x.clone() * k + x.clone().rotate(2)) * x.clone() - x;
+        let p = b.finish(vec![e]);
+        for wl in [15, 20, 30, 40, 50] {
+            let params = CompileParams::new(wl);
+            let s = legalize(&p, &params, &ForwardPlan::empty(p.num_ops())).unwrap();
+            s.validate().unwrap_or_else(|e| panic!("W={wl}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn modswitch_alignment_for_unbalanced_depths() {
+        let b = Builder::new("unbal", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        // x⁴·x⁴ forces rescales; adding y afterwards needs modswitch+upscale.
+        let x2 = x.clone() * x.clone();
+        let x4 = x2.clone() * x2.clone();
+        let out = x4 + y;
+        let p = b.finish(vec![out]);
+        let params = CompileParams::new(40);
+        let s = legalize(&p, &params, &ForwardPlan::empty(p.num_ops())).unwrap();
+        s.validate().unwrap();
+        let (_, ms, _) = s.scale_management_counts();
+        assert!(ms >= 1, "expected modswitch to align y");
+    }
+}

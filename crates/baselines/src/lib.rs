@@ -1,0 +1,61 @@
+//! # fhe-baselines — the EVA and Hecate scale-management baselines
+//!
+//! Re-implementations of the two compilers the Reserve paper evaluates
+//! against:
+//!
+//! - [`eva`]: conservative forward waterline scale analysis (PLDI'20);
+//! - [`hecate`]: exploration-based scale management with hill climbing
+//!   (CGO'22).
+//!
+//! Both share the [`forward`] legalizer and emit [`fhe_ir::ScheduledProgram`]s
+//! checked by the same validator as the reserve compiler, so latency, error
+//! and compile-time comparisons are apples-to-apples.
+//!
+//! # Example
+//!
+//! ```
+//! use fhe_ir::{Builder, CompileParams};
+//! let b = Builder::new("t", 64);
+//! let x = b.input("x");
+//! let p = b.finish(vec![x.clone() * x]);
+//! let eva = fhe_baselines::eva::compile(&p, &CompileParams::new(20))?;
+//! assert!(eva.scheduled.validate().is_ok());
+//! # Ok::<(), fhe_baselines::LegalizeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod eva;
+pub mod forward;
+pub mod hecate;
+
+use std::time::Duration;
+
+pub use forward::{legalize, ForwardPlan, LegalizeError};
+pub use hecate::HecateOptions;
+
+/// Output of a baseline compiler.
+#[derive(Debug, Clone)]
+pub struct BaselineCompiled {
+    /// The scheduled program (validates by construction).
+    pub scheduled: fhe_ir::ScheduledProgram,
+    /// Compilation statistics.
+    pub stats: BaselineStats,
+}
+
+/// Timing statistics for a baseline compilation (Table 4's columns).
+#[derive(Debug, Clone)]
+pub struct BaselineStats {
+    /// Time spent in scale management proper.
+    pub scale_management_time: Duration,
+    /// End-to-end compile time (cleanup + scale management + validation).
+    pub total_time: Duration,
+    /// Candidate plans evaluated (1 for EVA; Table 4's `# Iters` for
+    /// Hecate).
+    pub iterations: usize,
+    /// Statically estimated latency of the result (µs).
+    pub estimated_latency_us: f64,
+    /// Modulus level required of fresh encryptions.
+    pub max_level: u32,
+}

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the `fhe-ckks` homomorphic operations —
+//! the statistical counterpart of the `table3` harness (reduced degree so
+//! the suite finishes quickly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhe_ckks::{encrypt_symmetric, CkksContext, CkksParams, Evaluator, KeyGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ops(c: &mut Criterion) {
+    let levels = 3usize;
+    let ctx = CkksContext::new(CkksParams {
+        poly_degree: 1 << 11,
+        max_level: levels + 1,
+        modulus_bits: 45,
+        special_bits: 46,
+        error_std: 3.2,
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let sk = kg.secret_key();
+    let relin = kg.relin_key(&mut rng);
+    let galois = kg.galois_keys([1i64], &mut rng);
+    let ev = Evaluator::new(&ctx, Some(relin), galois);
+    let values: Vec<f64> = (0..ctx.slots()).map(|i| (i as f64 * 0.01).sin()).collect();
+
+    let mut group = c.benchmark_group("ckks_ops");
+    group.sample_size(10);
+    for level in 1..=levels {
+        let pt = ev.encoder().encode(&values, 2f64.powi(40), level);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let ct2 = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let pt_up = ev.encoder().encode(&values, 2f64.powi(40), level + 1);
+        let ct_up = encrypt_symmetric(&ctx, &sk, &pt_up, &mut rng);
+        group.bench_with_input(BenchmarkId::new("add", level), &level, |b, _| {
+            b.iter(|| ev.add(&ct, &ct2))
+        });
+        group.bench_with_input(BenchmarkId::new("mul_cipher", level), &level, |b, _| {
+            b.iter(|| ev.mul(&ct, &ct2))
+        });
+        group.bench_with_input(BenchmarkId::new("rotate", level), &level, |b, _| {
+            b.iter(|| ev.rotate(&ct, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("rescale", level), &level, |b, _| {
+            b.iter(|| ev.rescale(&ct_up))
+        });
+        group.bench_with_input(BenchmarkId::new("modswitch", level), &level, |b, _| {
+            b.iter(|| ev.mod_switch(&ct_up))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the three compilers' scale-management passes on
+//! the small benchmarks — the statistical counterpart of `table4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhe_baselines::{ForwardPlan, HecateOptions};
+use fhe_ir::CompileParams;
+use fhe_workloads::{suite, Size};
+
+fn bench_compilers(c: &mut Criterion) {
+    let workloads = suite(Size::Test);
+    let params = CompileParams::new(30);
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    for w in workloads.iter().filter(|w| ["SF", "HCD", "LR", "MLP"].contains(&w.name)) {
+        group.bench_with_input(BenchmarkId::new("eva", w.name), &w.program, |b, p| {
+            b.iter(|| fhe_baselines::eva::compile(p, &params).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reserve", w.name), &w.program, |b, p| {
+            b.iter(|| reserve_core::compile(p, &reserve_core::Options::new(30)).unwrap())
+        });
+        let hopts = HecateOptions {
+            max_iterations: 50,
+            patience: 50,
+            seed: 1,
+            max_choice: ForwardPlan::MAX_CHOICE,
+        };
+        group.bench_with_input(BenchmarkId::new("hecate50", w.name), &w.program, |b, p| {
+            b.iter(|| fhe_baselines::hecate::compile(p, &params, &hopts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compilers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 2: the worked example `x³ · (y² + y)` at waterline 2^20 — EVA's
+//! conservative plan vs the reserve analysis (step 1) vs reserve analysis +
+//! rescale hoisting (step 2). Costs in hundreds of µs, as in the figure.
+
+use fhe_bench::{print_table, run_eva, run_hecate, run_reserve};
+use fhe_ir::Builder;
+use reserve_core::Mode;
+
+fn main() {
+    let b = Builder::new("fig2a", 8);
+    let x = b.input("x");
+    let y = b.input("y");
+    let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+    let program = b.finish(vec![q]);
+
+    println!("Fig. 2: scale management plans for x^3 * (y^2 + y), W = 2^20, R = 2^60.\n");
+    let eva = run_eva(&program, 20);
+    let ra = run_reserve(&program, 20, Mode::Ra);
+    let full = run_reserve(&program, 20, Mode::Full);
+    let hec = run_hecate(&program, 20, 2000);
+
+    let headers = ["Plan", "Cost (x100us)", "Paper", "Rescales", "Upscales", "Modswitches"];
+    let rows: Vec<Vec<String>> = [
+        ("EVA (Fig. 2b)", &eva, "390"),
+        ("Reserve analysis (Fig. 2c)", &ra, "353"),
+        ("+ rescale hoisting (Fig. 2d)", &full, "335"),
+        ("Hecate (exploration)", &hec, "-"),
+    ]
+    .iter()
+    .map(|(name, rec, paper)| {
+        let (rs, ms, us) = rec.scheduled.scale_management_counts();
+        vec![
+            name.to_string(),
+            format!("{:.1}", rec.latency_us / 100.0),
+            paper.to_string(),
+            rs.to_string(),
+            us.to_string(),
+            ms.to_string(),
+        ]
+    })
+    .collect();
+    print_table(&headers, &rows);
+
+    println!("\nThe reserve plan (this work):");
+    println!("{}", fhe_ir::text::print(&full.scheduled.program));
+    assert!(full.latency_us < ra.latency_us && ra.latency_us < eva.latency_us);
+}

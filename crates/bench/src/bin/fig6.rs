@@ -1,0 +1,67 @@
+//! Fig. 6: estimated program latency of EVA, Hecate and this work for
+//! waterline parameters 15–50, per benchmark (seconds, Table 3 cost model).
+//!
+//! `--fast` uses reduced benchmarks and exploration budgets.
+
+use fhe_bench::{hecate_budget, print_table, run_eva, run_hecate, run_reserve, CliArgs};
+use reserve_core::Mode;
+
+fn main() {
+    let args = CliArgs::parse();
+    let waterlines: Vec<u32> = (15..=50).step_by(5).collect();
+    let suite = fhe_bench::selected_suite(&args);
+
+    println!("Fig. 6: Latency (s) of EVA, Hecate, and this work for waterlines 15-50.\n");
+    let mut improvement_over_eva = Vec::new();
+    let mut vs_hecate = Vec::new();
+    for w in &suite {
+        eprintln!("sweeping {} ...", w.name);
+        let headers = ["W", "EVA (s)", "Hecate (s)", "This work (s)", "vs EVA"];
+        // The eight waterline points are independent; sweep them on scoped
+        // threads (latency here is *estimated*, so parallelism cannot skew
+        // the results the way it would for wall-clock measurements).
+        let points: Vec<(f64, f64, f64)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = waterlines
+                .iter()
+                .map(|&wl| {
+                    let program = &w.program;
+                    let args = &args;
+                    scope.spawn(move |_| {
+                        let eva = run_eva(program, wl);
+                        // Sweeps multiply Hecate's cost by the point count;
+                        // cap the budget to keep the harness to minutes.
+                        let budget = hecate_budget(args, program.num_ops()).min(2000);
+                        let hec = run_hecate(program, wl, budget);
+                        let ours = run_reserve(program, wl, Mode::Full);
+                        (eva.latency_us, hec.latency_us, ours.latency_us)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+        })
+        .expect("crossbeam scope");
+        let mut rows = Vec::new();
+        for (&wl, &(eva, hec, ours)) in waterlines.iter().zip(&points) {
+            improvement_over_eva.push(ours / eva);
+            vs_hecate.push(ours / hec);
+            rows.push(vec![
+                wl.to_string(),
+                format!("{:.3}", eva / 1e6),
+                format!("{:.3}", hec / 1e6),
+                format!("{:.3}", ours / 1e6),
+                format!("{:+.1}%", (ours / eva - 1.0) * 100.0),
+            ]);
+        }
+        println!("({})", w.name);
+        print_table(&headers, &rows);
+        println!();
+    }
+    let geo = fhe_bench::geomean(&improvement_over_eva);
+    let geo_h = fhe_bench::geomean(&vs_hecate);
+    println!(
+        "geomean latency vs EVA: {:.3} ({:.1}% faster; paper reports 41.8% improvement)",
+        geo,
+        (1.0 - geo) * 100.0
+    );
+    println!("geomean latency vs Hecate: {geo_h:.3} (paper: similar performance)");
+}

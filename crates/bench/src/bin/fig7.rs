@@ -1,0 +1,46 @@
+//! Fig. 7: output error (log₂ of the max absolute error) of EVA, Hecate and
+//! this work at waterlines 2^20 and 2^40, measured with the noise-injection
+//! simulator on each benchmark's synthetic inputs.
+//!
+//! Expected shape (paper §8.2): errors at W=2^40 are far below W=2^20, and
+//! this work's errors are at or below the baselines' because the reserve
+//! analysis does not unnecessarily minimize scales.
+
+use fhe_bench::{hecate_budget, print_table, run_eva, run_hecate, run_reserve, CliArgs};
+use fhe_runtime::{simulate, NoiseModel};
+use reserve_core::Mode;
+
+fn main() {
+    let args = CliArgs::parse();
+    let suite = fhe_bench::selected_suite(&args);
+    let model = NoiseModel::default();
+
+    for waterline in [20u32, 40] {
+        println!("Fig. 7{}: error (log2) at waterline 2^{waterline}.\n",
+            if waterline == 20 { "a" } else { "b" });
+        let headers = ["Benchmark", "EVA", "Hecate", "This work"];
+        let mut rows = Vec::new();
+        for w in &suite {
+            eprintln!("simulating {} at W=2^{waterline} ...", w.name);
+            // Sweeps multiply Hecate's cost by the number of points; cap the
+            // exploration budget to keep the harness under a few minutes.
+            let budget = hecate_budget(&args, w.program.num_ops()).min(2000);
+            let recs = [
+                run_eva(&w.program, waterline),
+                run_hecate(&w.program, waterline, budget),
+                run_reserve(&w.program, waterline, Mode::Full),
+            ];
+            let mut row = vec![w.name.to_string()];
+            for rec in &recs {
+                let run = simulate(&rec.scheduled, &w.inputs, &model)
+                    .expect("schedules validate");
+                row.push(format!("{:.1}", run.log2_error()));
+            }
+            rows.push(row);
+        }
+        print_table(&headers, &rows);
+        println!();
+    }
+    println!("(lower is better; paper Fig. 7 reports this work at or below the baselines,");
+    println!(" with every error dropping by ~20 log2 units from W=2^20 to W=2^40)");
+}

@@ -1,0 +1,52 @@
+//! Fig. 8: performance breakdown of the proposed algorithms — BA (backward
+//! analysis only), RA (+ reserve redistribution), and this work (+ rescale
+//! hoisting) — normalized by BA, at waterlines 2^20 and 2^40.
+//!
+//! Expected shape (paper §8.3): redistribution (RA) helps benchmarks with
+//! ciphertext×ciphertext products of *distinct* values (it cannot help
+//! squarings, the bulk of the DL benchmarks); hoisting helps benchmarks
+//! with external summations (image kernels, NNs) and not the rotation-heavy
+//! internal summations of the regressions.
+
+use fhe_bench::{geomean, print_table, run_reserve, CliArgs};
+use reserve_core::Mode;
+
+fn main() {
+    let args = CliArgs::parse();
+    let suite = fhe_bench::selected_suite(&args);
+
+    for waterline in [20u32, 40] {
+        println!("Fig. 8{}: latency normalized by BA, waterline 2^{waterline}.\n",
+            if waterline == 20 { "a" } else { "b" });
+        let headers = ["Benchmark", "BA", "RA", "This work"];
+        let mut rows = Vec::new();
+        let mut ra_ratios = Vec::new();
+        let mut full_ratios = Vec::new();
+        for w in &suite {
+            eprintln!("ablating {} at W=2^{waterline} ...", w.name);
+            let ba = run_reserve(&w.program, waterline, Mode::Ba);
+            let ra = run_reserve(&w.program, waterline, Mode::Ra);
+            let full = run_reserve(&w.program, waterline, Mode::Full);
+            let r_ra = ra.latency_us / ba.latency_us;
+            let r_full = full.latency_us / ba.latency_us;
+            ra_ratios.push(r_ra);
+            full_ratios.push(r_full);
+            rows.push(vec![
+                w.name.to_string(),
+                "1.000".to_string(),
+                format!("{r_ra:.3}"),
+                format!("{r_full:.3}"),
+            ]);
+        }
+        rows.push(vec![
+            "GMean".to_string(),
+            "1.000".to_string(),
+            format!("{:.3}", geomean(&ra_ratios)),
+            format!("{:.3}", geomean(&full_ratios)),
+        ]);
+        print_table(&headers, &rows);
+        println!();
+    }
+    println!("(paper: RA and this work achieve 9.1%/11.6% speedup over BA at W=2^20");
+    println!(" and 7.4%/19.6% at W=2^40)");
+}

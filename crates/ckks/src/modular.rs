@@ -1,0 +1,265 @@
+//! 64-bit modular arithmetic for NTT-friendly primes.
+
+/// A word-sized prime modulus with the arithmetic the scheme needs.
+///
+/// Products are computed through `u128`; this is slower than Shoup/Barrett
+/// multiplication but keeps the code obviously correct, and the *relative*
+/// op latencies (what the paper's Table 3 cares about) are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    q: u64,
+}
+
+impl Modulus {
+    /// Wraps a modulus value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2` or `q >= 2^62` (headroom for lazy additions).
+    pub fn new(q: u64) -> Self {
+        assert!(q >= 2, "modulus must be at least 2");
+        assert!(q < 1 << 62, "modulus must leave headroom below 2^62");
+        Modulus { q }
+    }
+
+    /// The modulus value.
+    pub fn value(self) -> u64 {
+        self.q
+    }
+
+    /// `(a + b) mod q` for operands already `< q`.
+    #[inline]
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        let s = a + b;
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// `(a - b) mod q` for operands already `< q`.
+    #[inline]
+    pub fn sub(self, a: u64, b: u64) -> u64 {
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// `-a mod q` for `a < q`.
+    #[inline]
+    pub fn neg(self, a: u64) -> u64 {
+        if a == 0 {
+            0
+        } else {
+            self.q - a
+        }
+    }
+
+    /// `(a · b) mod q` for operands already `< q`.
+    #[inline]
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        ((a as u128 * b as u128) % self.q as u128) as u64
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)`.
+    #[inline]
+    pub fn reduce(self, a: u64) -> u64 {
+        a % self.q
+    }
+
+    /// Reduces an arbitrary `u128` into `[0, q)`.
+    #[inline]
+    pub fn reduce_u128(self, a: u128) -> u64 {
+        (a % self.q as u128) as u64
+    }
+
+    /// Reduces a signed value into `[0, q)`.
+    #[inline]
+    pub fn reduce_i64(self, a: i64) -> u64 {
+        let r = a.rem_euclid(self.q as i64);
+        r as u64
+    }
+
+    /// `a^e mod q` by square-and-multiply.
+    pub fn pow(self, mut a: u64, mut e: u64) -> u64 {
+        a %= self.q;
+        let mut acc = 1u64;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, a);
+            }
+            a = self.mul(a, a);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse of `a` (requires `q` prime and `a ≠ 0 mod q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a ≡ 0 (mod q)`.
+    pub fn inv(self, a: u64) -> u64 {
+        let a = a % self.q;
+        assert!(a != 0, "no inverse of 0");
+        // Fermat: a^(q-2) mod q.
+        self.pow(a, self.q - 2)
+    }
+
+    /// Lifts a residue to the centered representative in `(-q/2, q/2]`.
+    #[inline]
+    pub fn center(self, a: u64) -> i64 {
+        if a > self.q / 2 {
+            a as i64 - self.q as i64
+        } else {
+            a as i64
+        }
+    }
+
+    /// Reduces an `f64` (|x| possibly ≫ 2^64, e.g. a coefficient scaled by
+    /// 2^80) into `[0, q)`, exactly for the 53-bit mantissa and with exact
+    /// modular handling of the binary exponent.
+    pub fn reduce_f64(self, x: f64) -> u64 {
+        assert!(x.is_finite(), "cannot reduce non-finite value");
+        if x == 0.0 {
+            return 0;
+        }
+        // x = mant · 2^exp with mant an integer |mant| < 2^53.
+        let bits = x.abs();
+        let exp = bits.log2().floor() as i32 - 52;
+        let mant = (bits / 2f64.powi(exp)).round() as u64;
+        // Guard against rounding at the boundary.
+        debug_assert!((mant as f64 * 2f64.powi(exp) - bits).abs() <= 2f64.powi(exp));
+        let mant_mod = self.reduce(mant);
+        let two_exp = if exp >= 0 {
+            self.pow(2, exp as u64)
+        } else {
+            self.inv(self.pow(2, (-exp) as u64))
+        };
+        let mag = self.mul(mant_mod, two_exp);
+        if x < 0.0 {
+            self.neg(mag)
+        } else {
+            mag
+        }
+    }
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let m = Modulus::new(n);
+    let mut d = n - 1;
+    let mut r = 0;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    // This witness set is deterministic for all 64-bit integers.
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = m.pow(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = m.mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = (1 << 61) - 1; // not NTT-friendly, fine for arithmetic
+
+    #[test]
+    fn add_sub_neg() {
+        let m = Modulus::new(17);
+        assert_eq!(m.add(9, 12), 4);
+        assert_eq!(m.sub(3, 5), 15);
+        assert_eq!(m.neg(0), 0);
+        assert_eq!(m.neg(5), 12);
+    }
+
+    #[test]
+    fn mul_pow_inv() {
+        let m = Modulus::new(Q);
+        let a = 123456789012345678u64 % Q;
+        assert_eq!(m.mul(a, 1), a);
+        assert_eq!(m.pow(a, 0), 1);
+        assert_eq!(m.pow(a, 3), m.mul(m.mul(a, a), a));
+        let inv = m.inv(a);
+        assert_eq!(m.mul(a, inv), 1);
+    }
+
+    #[test]
+    fn center_lifts_symmetrically() {
+        let m = Modulus::new(101);
+        assert_eq!(m.center(0), 0);
+        assert_eq!(m.center(50), 50);
+        assert_eq!(m.center(51), -50);
+        assert_eq!(m.center(100), -1);
+    }
+
+    #[test]
+    fn reduce_i64_handles_negatives() {
+        let m = Modulus::new(101);
+        assert_eq!(m.reduce_i64(-1), 100);
+        assert_eq!(m.reduce_i64(-101), 0);
+        assert_eq!(m.reduce_i64(205), 3);
+    }
+
+    #[test]
+    fn reduce_f64_matches_integer_reduction() {
+        let m = Modulus::new(Q);
+        for &x in &[0.0, 1.0, -1.0, 123456789.0, -987654321.0, 2f64.powi(80), -2f64.powi(75)] {
+            let r = m.reduce_f64(x);
+            if x.abs() < 2f64.powi(53) {
+                assert_eq!(r, m.reduce_i64(x as i64), "x = {x}");
+            }
+            assert!(r < Q);
+        }
+        // 2^80 mod q computed independently.
+        let expect = m.pow(2, 80);
+        assert_eq!(m.reduce_f64(2f64.powi(80)), expect);
+        assert_eq!(m.reduce_f64(-(2f64.powi(80))), m.neg(expect));
+    }
+
+    #[test]
+    fn reduce_f64_fractional_scale() {
+        // 1.5 · 2^61 is representable; check against exact integer math.
+        let m = Modulus::new(Q);
+        let x = 3.0 * 2f64.powi(60);
+        let expect = m.mul(3, m.pow(2, 60));
+        assert_eq!(m.reduce_f64(x), expect);
+    }
+
+    #[test]
+    fn primality() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(!is_prime(1));
+        assert!(!is_prime(561)); // Carmichael
+        assert!(is_prime((1 << 61) - 1)); // Mersenne prime
+        assert!(!is_prime((1u64 << 60) + 1));
+    }
+}

@@ -1,0 +1,233 @@
+//! Negacyclic number-theoretic transform over `Z_q[X]/(X^N + 1)`.
+//!
+//! Standard iterative Cooley–Tukey (forward, bit-reversed output) and
+//! Gentleman–Sande (inverse) butterflies with the 2N-th root-of-unity twist
+//! folded into the twiddle factors, so polynomial multiplication modulo
+//! `X^N + 1` is pointwise in the transform domain.
+
+use crate::modular::Modulus;
+
+/// Precomputed NTT tables for one prime and one power-of-two degree.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    modulus: Modulus,
+    n: usize,
+    /// ψ^bitrev(i) for the forward transform (ψ a primitive 2N-th root).
+    fwd_twiddles: Vec<u64>,
+    /// ψ^{-bitrev(i)} for the inverse transform.
+    inv_twiddles: Vec<u64>,
+    /// N^{-1} mod q.
+    n_inv: u64,
+}
+
+fn bit_reverse(i: usize, log_n: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - log_n)
+}
+
+/// Finds a primitive `order`-th root of unity modulo `q`
+/// (requires `order | q − 1`).
+fn primitive_root(m: Modulus, order: u64) -> u64 {
+    let q = m.value();
+    assert_eq!((q - 1) % order, 0, "order must divide q-1");
+    let cofactor = (q - 1) / order;
+    // Try small candidates; g^cofactor is an order-th root, primitive iff
+    // its (order/2)-th power is not 1.
+    for g in 2..q {
+        let root = m.pow(g, cofactor);
+        if m.pow(root, order / 2) != 1 {
+            return root;
+        }
+    }
+    unreachable!("no primitive root found (q not prime?)");
+}
+
+impl NttTable {
+    /// Builds tables for degree `n` (a power of two ≥ 2) and prime `q ≡ 1
+    /// (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q` is not NTT-friendly.
+    pub fn new(modulus: Modulus, n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "degree must be a power of two >= 2");
+        let log_n = n.trailing_zeros();
+        let q = modulus.value();
+        assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2N");
+        let psi = primitive_root(modulus, 2 * n as u64);
+        let psi_inv = modulus.inv(psi);
+        let mut fwd = vec![0u64; n];
+        let mut inv = vec![0u64; n];
+        let mut pow_f = 1u64;
+        let mut pow_i = 1u64;
+        let mut powers_f = vec![0u64; n];
+        let mut powers_i = vec![0u64; n];
+        for i in 0..n {
+            powers_f[i] = pow_f;
+            powers_i[i] = pow_i;
+            pow_f = modulus.mul(pow_f, psi);
+            pow_i = modulus.mul(pow_i, psi_inv);
+        }
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            fwd[i] = powers_f[r];
+            inv[i] = powers_i[r];
+        }
+        let n_inv = modulus.inv(n as u64);
+        NttTable { modulus, n, fwd_twiddles: fwd, inv_twiddles: inv, n_inv }
+    }
+
+    /// The polynomial degree `N`.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The prime modulus.
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (natural input order → transform
+    /// domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = self.modulus;
+        let mut t = self.n;
+        let mut stage = 1usize;
+        while stage < self.n {
+            t >>= 1;
+            for i in 0..stage {
+                let w = self.fwd_twiddles[stage + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    let u = a[j];
+                    let v = m.mul(a[j + t], w);
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.sub(u, v);
+                }
+            }
+            stage <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (transform domain → natural order),
+    /// including the `1/N` normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = self.modulus;
+        let mut t = 1usize;
+        let mut stage = self.n >> 1;
+        while stage >= 1 {
+            let mut base = 0usize;
+            for i in 0..stage {
+                let w = self.inv_twiddles[stage + i];
+                for j in base..base + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.mul(m.sub(u, v), w);
+                }
+                base += 2 * t;
+            }
+            t <<= 1;
+            stage >>= 1;
+        }
+        for x in a.iter_mut() {
+            *x = m.mul(*x, self.n_inv);
+        }
+    }
+}
+
+/// Schoolbook negacyclic multiplication, used as the test oracle.
+#[cfg(test)]
+pub fn negacyclic_mul_naive(m: Modulus, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            let prod = m.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                out[k] = m.add(out[k], prod);
+            } else {
+                out[k - n] = m.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> NttTable {
+        let q = crate::primes::ntt_primes(55, n, 1)[0];
+        NttTable::new(Modulus::new(q), n)
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let t = table(64);
+        let m = t.modulus();
+        let mut a: Vec<u64> = (0..64u64).map(|i| m.reduce(i * i + 7)).collect();
+        let orig = a.clone();
+        t.forward(&mut a);
+        assert_ne!(a, orig, "transform must change the data");
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn pointwise_matches_naive_negacyclic() {
+        let t = table(32);
+        let m = t.modulus();
+        let a: Vec<u64> = (0..32u64).map(|i| m.reduce(i + 1)).collect();
+        let b: Vec<u64> = (0..32u64).map(|i| m.reduce(3 * i + 2)).collect();
+        let expect = negacyclic_mul_naive(m, &a, &b);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| m.mul(x, y)).collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, expect);
+    }
+
+    #[test]
+    fn x_times_x_pow_n_minus_1_wraps_negatively() {
+        // X · X^(N−1) = X^N ≡ −1 (mod X^N + 1).
+        let n = 16;
+        let t = table(n);
+        let m = t.modulus();
+        let mut a = vec![0u64; n];
+        a[1] = 1; // X
+        let mut b = vec![0u64; n];
+        b[n - 1] = 1; // X^(N−1)
+        t.forward(&mut a);
+        t.forward(&mut b);
+        let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.mul(x, y)).collect();
+        t.inverse(&mut c);
+        let mut expect = vec![0u64; n];
+        expect[0] = m.neg(1);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn large_degree_roundtrip() {
+        let t = table(1 << 12);
+        let m = t.modulus();
+        let mut a: Vec<u64> = (0..(1u64 << 12)).map(|i| m.reduce(i.wrapping_mul(0x9E3779B97F4A7C15))).collect();
+        let orig = a.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+}

@@ -1,0 +1,522 @@
+//! RNS polynomials: elements of `Z_Q[X]/(X^N+1)` in residue representation.
+
+use rand::Rng;
+
+use crate::context::CkksContext;
+use crate::modular::Modulus;
+use crate::ntt::NttTable;
+
+/// A polynomial in RNS form: one residue vector (length `N`) per active
+/// modulus. The active basis is the first `level` chain primes, optionally
+/// extended by the special prime `P` (used only inside key switching).
+///
+/// `ntt` records whether limbs are in the transform (evaluation) domain.
+/// Ciphertext polys are kept in NTT domain, like SEAL, so additions and
+/// multiplications are pointwise and `rescale` pays domain-conversion
+/// costs — reproducing Table 3's latency shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPoly {
+    level: usize,
+    special: bool,
+    ntt: bool,
+    limbs: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// The all-zero polynomial over the given basis and domain.
+    pub fn zero(ctx: &CkksContext, level: usize, special: bool, ntt: bool) -> Self {
+        assert!(level >= 1 && level <= ctx.max_level(), "level out of range");
+        let n = ctx.degree();
+        let count = level + usize::from(special);
+        RnsPoly { level, special, ntt, limbs: vec![vec![0u64; n]; count] }
+    }
+
+    /// Number of active chain limbs.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Whether the special prime limb is attached.
+    pub fn has_special(&self) -> bool {
+        self.special
+    }
+
+    /// Whether the limbs are in NTT domain.
+    pub fn is_ntt(&self) -> bool {
+        self.ntt
+    }
+
+    /// The residues for chain limb `i`.
+    pub fn limb(&self, i: usize) -> &[u64] {
+        &self.limbs[i]
+    }
+
+    /// Mutable access to the residues for chain limb `i`.
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.limbs[i]
+    }
+
+    /// The special-prime limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the poly has no special limb.
+    pub fn special_limb(&self) -> &[u64] {
+        assert!(self.special);
+        self.limbs.last().expect("special limb present")
+    }
+
+    /// Mutable access to the special-prime limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the poly has no special limb.
+    pub fn special_limb_mut(&mut self) -> &mut [u64] {
+        assert!(self.special);
+        self.limbs.last_mut().expect("special limb present")
+    }
+
+    fn modulus_of(&self, ctx: &CkksContext, idx: usize) -> Modulus {
+        if self.special && idx == self.limbs.len() - 1 {
+            ctx.special()
+        } else {
+            ctx.moduli()[idx]
+        }
+    }
+
+    fn table_of<'c>(&self, ctx: &'c CkksContext, idx: usize) -> &'c NttTable {
+        if self.special && idx == self.limbs.len() - 1 {
+            ctx.special_table()
+        } else {
+            ctx.table(idx)
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients (applied to every active
+    /// modulus), in coefficient domain.
+    pub fn from_signed_coeffs(
+        ctx: &CkksContext,
+        level: usize,
+        special: bool,
+        coeffs: &[i64],
+    ) -> Self {
+        assert_eq!(coeffs.len(), ctx.degree());
+        let mut p = RnsPoly::zero(ctx, level, special, false);
+        for idx in 0..p.limbs.len() {
+            let m = p.modulus_of(ctx, idx);
+            for (slot, &c) in p.limbs[idx].iter_mut().zip(coeffs) {
+                *slot = m.reduce_i64(c);
+            }
+        }
+        p
+    }
+
+    /// Builds a polynomial from real coefficients (rounded; magnitudes may
+    /// exceed `2^63`), in coefficient domain.
+    pub fn from_real_coeffs(
+        ctx: &CkksContext,
+        level: usize,
+        special: bool,
+        coeffs: &[f64],
+    ) -> Self {
+        assert_eq!(coeffs.len(), ctx.degree());
+        let mut p = RnsPoly::zero(ctx, level, special, false);
+        for idx in 0..p.limbs.len() {
+            let m = p.modulus_of(ctx, idx);
+            for (slot, &c) in p.limbs[idx].iter_mut().zip(coeffs) {
+                *slot = m.reduce_f64(c.round());
+            }
+        }
+        p
+    }
+
+    /// Uniformly random polynomial over the basis (NTT domain — uniform in
+    /// either domain).
+    pub fn uniform(ctx: &CkksContext, level: usize, special: bool, rng: &mut impl Rng) -> Self {
+        let mut p = RnsPoly::zero(ctx, level, special, true);
+        for idx in 0..p.limbs.len() {
+            let m = p.modulus_of(ctx, idx);
+            for slot in p.limbs[idx].iter_mut() {
+                *slot = rng.gen_range(0..m.value());
+            }
+        }
+        p
+    }
+
+    /// Random ternary polynomial (coefficients in {−1, 0, 1}), coefficient
+    /// domain. Used for secret keys and encryption randomness.
+    pub fn ternary(ctx: &CkksContext, level: usize, special: bool, rng: &mut impl Rng) -> Self {
+        let coeffs: Vec<i64> = (0..ctx.degree()).map(|_| rng.gen_range(-1..=1)).collect();
+        Self::from_signed_coeffs(ctx, level, special, &coeffs)
+    }
+
+    /// Random error polynomial with centered Gaussian coefficients of the
+    /// context's standard deviation, coefficient domain.
+    pub fn gaussian(ctx: &CkksContext, level: usize, special: bool, rng: &mut impl Rng) -> Self {
+        let std = ctx.params().error_std;
+        let coeffs: Vec<i64> = (0..ctx.degree())
+            .map(|_| {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                ((-2.0 * u1.ln()).sqrt() * u2.cos() * std).round() as i64
+            })
+            .collect();
+        Self::from_signed_coeffs(ctx, level, special, &coeffs)
+    }
+
+    /// Converts to NTT domain (no-op if already there).
+    pub fn to_ntt(&mut self, ctx: &CkksContext) {
+        if self.ntt {
+            return;
+        }
+        for idx in 0..self.limbs.len() {
+            let table = self.table_of(ctx, idx);
+            table.forward(&mut self.limbs[idx]);
+        }
+        self.ntt = true;
+    }
+
+    /// Converts to coefficient domain (no-op if already there).
+    pub fn to_coeff(&mut self, ctx: &CkksContext) {
+        if !self.ntt {
+            return;
+        }
+        for idx in 0..self.limbs.len() {
+            let table = self.table_of(ctx, idx);
+            table.inverse(&mut self.limbs[idx]);
+        }
+        self.ntt = false;
+    }
+
+    fn check_compatible(&self, other: &RnsPoly) {
+        assert_eq!(self.level, other.level, "level mismatch");
+        assert_eq!(self.special, other.special, "basis mismatch");
+        assert_eq!(self.ntt, other.ntt, "domain mismatch");
+    }
+
+    /// `self += other` (same basis and domain).
+    pub fn add_assign(&mut self, ctx: &CkksContext, other: &RnsPoly) {
+        self.check_compatible(other);
+        for idx in 0..self.limbs.len() {
+            let m = self.modulus_of(ctx, idx);
+            for (a, &b) in self.limbs[idx].iter_mut().zip(&other.limbs[idx]) {
+                *a = m.add(*a, b);
+            }
+        }
+    }
+
+    /// `self -= other` (same basis and domain).
+    pub fn sub_assign(&mut self, ctx: &CkksContext, other: &RnsPoly) {
+        self.check_compatible(other);
+        for idx in 0..self.limbs.len() {
+            let m = self.modulus_of(ctx, idx);
+            for (a, &b) in self.limbs[idx].iter_mut().zip(&other.limbs[idx]) {
+                *a = m.sub(*a, b);
+            }
+        }
+    }
+
+    /// `self = −self`.
+    pub fn neg_assign(&mut self, ctx: &CkksContext) {
+        for idx in 0..self.limbs.len() {
+            let m = self.modulus_of(ctx, idx);
+            for a in self.limbs[idx].iter_mut() {
+                *a = m.neg(*a);
+            }
+        }
+    }
+
+    /// Pointwise product (both operands in NTT domain, same basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in coefficient domain.
+    pub fn mul(&self, ctx: &CkksContext, other: &RnsPoly) -> RnsPoly {
+        self.check_compatible(other);
+        assert!(self.ntt, "polynomial product requires NTT domain");
+        let mut out = self.clone();
+        for idx in 0..out.limbs.len() {
+            let m = out.modulus_of(ctx, idx);
+            for (a, &b) in out.limbs[idx].iter_mut().zip(&other.limbs[idx]) {
+                *a = m.mul(*a, b);
+            }
+        }
+        out
+    }
+
+    /// `self · other` accumulated into `acc` (`acc += self ∘ other`).
+    pub fn mul_acc(&self, ctx: &CkksContext, other: &RnsPoly, acc: &mut RnsPoly) {
+        let prod = self.mul(ctx, other);
+        acc.add_assign(ctx, &prod);
+    }
+
+    /// Drops the basis down to `new_level` chain limbs (and drops the
+    /// special limb if present) **without** scaling — this is `modswitch`'s
+    /// core, and is also used to align key limbs with a ciphertext's basis.
+    pub fn drop_to_level(&mut self, new_level: usize) {
+        assert!(new_level >= 1 && new_level <= self.level);
+        self.limbs.truncate(new_level);
+        self.level = new_level;
+        self.special = false;
+    }
+
+    /// Restricts a full-basis key polynomial to the first `level` chain
+    /// limbs plus the special limb (key polys always carry `P`).
+    pub fn restrict_for_keyswitch(&self, level: usize) -> RnsPoly {
+        assert!(self.special, "key polynomials carry the special limb");
+        assert!(level <= self.level);
+        let mut limbs: Vec<Vec<u64>> = self.limbs[..level].to_vec();
+        limbs.push(self.limbs.last().expect("special limb").clone());
+        RnsPoly { level, special: true, ntt: self.ntt, limbs }
+    }
+
+    /// Exact RNS rescale: divides by the last chain prime `q_{l-1}` with
+    /// rounding, dropping one level. Input and output in NTT domain.
+    ///
+    /// Computes `(x − [x]_{q_last}) · q_last^{-1} mod q_i` per remaining limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the poly is at level 1, carries the special limb, or is in
+    /// coefficient domain.
+    pub fn rescale_last(&mut self, ctx: &CkksContext) {
+        assert!(self.level >= 2, "cannot rescale below level 1");
+        assert!(!self.special, "rescale before dropping the special limb");
+        assert!(self.ntt, "ciphertext polys live in NTT domain");
+        let j = self.level - 1;
+        // Bring the dropped limb to coefficient domain to read residues.
+        let mut last = self.limbs.pop().expect("limb");
+        ctx.table(j).inverse(&mut last);
+        let qj = ctx.moduli()[j];
+        let half = qj.value() / 2;
+        for i in 0..j {
+            let mi = ctx.moduli()[i];
+            // Centered lift of [x]_{q_j} reduced mod q_i, then NTT under q_i.
+            let mut corr: Vec<u64> = last
+                .iter()
+                .map(|&v| {
+                    // center to (−q_j/2, q_j/2] to keep the subtraction small
+                    if v > half {
+                        mi.sub(0, mi.reduce(qj.value() - v))
+                    } else {
+                        mi.reduce(v)
+                    }
+                })
+                .collect();
+            ctx.table(i).forward(&mut corr);
+            let inv = ctx.rescale_inv(j, i);
+            for (a, &c) in self.limbs[i].iter_mut().zip(&corr) {
+                *a = mi.mul(mi.sub(*a, c), inv);
+            }
+        }
+        self.level = j;
+    }
+
+    /// Divides by the special prime `P` with rounding, dropping the special
+    /// limb (the final step of key switching). Input NTT, output NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the poly lacks the special limb or is in coefficient domain.
+    pub fn rescale_special(&mut self, ctx: &CkksContext) {
+        assert!(self.special, "no special limb to drop");
+        assert!(self.ntt, "ciphertext polys live in NTT domain");
+        let mut last = self.limbs.pop().expect("limb");
+        ctx.special_table().inverse(&mut last);
+        let p = ctx.special();
+        let half = p.value() / 2;
+        for i in 0..self.level {
+            let mi = ctx.moduli()[i];
+            let mut corr: Vec<u64> = last
+                .iter()
+                .map(|&v| {
+                    if v > half {
+                        mi.sub(0, mi.reduce(p.value() - v))
+                    } else {
+                        mi.reduce(v)
+                    }
+                })
+                .collect();
+            ctx.table(i).forward(&mut corr);
+            let inv = ctx.special_inv(i);
+            for (a, &c) in self.limbs[i].iter_mut().zip(&corr) {
+                *a = mi.mul(mi.sub(*a, c), inv);
+            }
+        }
+        self.special = false;
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` (odd `g`), in coefficient
+    /// domain internally; preserves the input domain.
+    pub fn automorphism(&mut self, ctx: &CkksContext, g: usize) {
+        let n = ctx.degree();
+        assert!(g % 2 == 1, "Galois element must be odd");
+        let was_ntt = self.ntt;
+        self.to_coeff(ctx);
+        for idx in 0..self.limbs.len() {
+            let m = self.modulus_of(ctx, idx);
+            let src = &self.limbs[idx];
+            let mut dst = vec![0u64; n];
+            for (i, &coeff) in src.iter().enumerate() {
+                let target = (i * g) % (2 * n);
+                if target < n {
+                    dst[target] = coeff;
+                } else {
+                    dst[target - n] = m.neg(coeff);
+                }
+            }
+            self.limbs[idx] = dst;
+        }
+        if was_ntt {
+            self.to_ntt(ctx);
+        }
+    }
+
+    /// The exact residues of coefficient `k` across the chain limbs
+    /// (coefficient domain required).
+    pub fn coeff_residues(&self, k: usize) -> Vec<u64> {
+        assert!(!self.ntt, "need coefficient domain");
+        self.limbs[..self.level].iter().map(|l| l[k]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{CkksContext, CkksParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_ctx() -> CkksContext {
+        CkksContext::new(CkksParams {
+            poly_degree: 64,
+            max_level: 3,
+            modulus_bits: 40,
+            special_bits: 41,
+            error_std: 3.2,
+        })
+    }
+
+    #[test]
+    fn ntt_roundtrip_preserves_poly() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = RnsPoly::uniform(&ctx, 2, false, &mut rng);
+        let orig = p.clone();
+        p.to_coeff(&ctx);
+        p.to_ntt(&ctx);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn add_neg_cancels() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = RnsPoly::uniform(&ctx, 3, true, &mut rng);
+        let mut q = p.clone();
+        q.neg_assign(&ctx);
+        q.add_assign(&ctx, &p);
+        assert_eq!(q, RnsPoly::zero(&ctx, 3, true, true));
+    }
+
+    #[test]
+    fn mul_matches_coefficient_convolution() {
+        let ctx = tiny_ctx();
+        // (1 + X) · (1 − X) = 1 − X².
+        let mut a = vec![0i64; 64];
+        a[0] = 1;
+        a[1] = 1;
+        let mut b = vec![0i64; 64];
+        b[0] = 1;
+        b[1] = -1;
+        let mut pa = RnsPoly::from_signed_coeffs(&ctx, 1, false, &a);
+        let mut pb = RnsPoly::from_signed_coeffs(&ctx, 1, false, &b);
+        pa.to_ntt(&ctx);
+        pb.to_ntt(&ctx);
+        let mut prod = pa.mul(&ctx, &pb);
+        prod.to_coeff(&ctx);
+        let m = ctx.moduli()[0];
+        assert_eq!(prod.limb(0)[0], 1);
+        assert_eq!(prod.limb(0)[1], 0);
+        assert_eq!(prod.limb(0)[2], m.neg(1));
+    }
+
+    #[test]
+    fn rescale_divides_by_dropped_prime() {
+        let ctx = tiny_ctx();
+        // Constant polynomial with value q_1 · 12345 rescales to ≈ 12345.
+        let q1 = ctx.moduli()[1].value();
+        let v = q1 as f64 * 12345.0;
+        let coeffs: Vec<f64> = std::iter::once(v).chain(std::iter::repeat(0.0)).take(64).collect();
+        let mut p = RnsPoly::from_real_coeffs(&ctx, 2, false, &coeffs);
+        p.to_ntt(&ctx);
+        p.rescale_last(&ctx);
+        p.to_coeff(&ctx);
+        assert_eq!(p.level(), 1);
+        let got = ctx.moduli()[0].center(p.limb(0)[0]);
+        assert!((got - 12345).abs() <= 1, "rescale rounding off by {got}");
+    }
+
+    #[test]
+    fn automorphism_identity_and_inverse() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = RnsPoly::uniform(&ctx, 2, false, &mut rng);
+        let mut q = p.clone();
+        q.automorphism(&ctx, 1);
+        assert_eq!(q, p);
+        // g · g⁻¹ ≡ 1 (mod 2N): applying both returns the original.
+        let n2 = 2 * ctx.degree();
+        let g = 5usize;
+        // Find inverse of 5 mod 128.
+        let g_inv = (1..n2).step_by(2).find(|&h| (g * h) % n2 == 1).unwrap();
+        let mut r = p.clone();
+        r.automorphism(&ctx, g);
+        r.automorphism(&ctx, g_inv);
+        assert_eq!(r, p);
+    }
+
+    #[test]
+    fn automorphism_cubes_monomial_with_sign() {
+        let ctx = tiny_ctx();
+        let n = ctx.degree();
+        // p = X^(N−1); X ↦ X^3 gives X^(3N−3) = X^(2N) · X^(N−3) = X^(N−3)
+        // (X^N ≡ −1 twice cancels) — check sign bookkeeping.
+        let mut coeffs = vec![0i64; n];
+        coeffs[n - 1] = 1;
+        let mut p = RnsPoly::from_signed_coeffs(&ctx, 1, false, &coeffs);
+        p.automorphism(&ctx, 3);
+        let m = ctx.moduli()[0];
+        for (i, &c) in p.limb(0).iter().enumerate() {
+            if i == n - 3 {
+                assert_eq!(c, 1, "X^(N−3) coefficient");
+            } else {
+                assert_eq!(m.center(c), 0, "coefficient {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_keeps_special_limb() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = RnsPoly::uniform(&ctx, 3, true, &mut rng);
+        let r = p.restrict_for_keyswitch(2);
+        assert_eq!(r.level(), 2);
+        assert!(r.has_special());
+        assert_eq!(r.special_limb(), p.special_limb());
+        assert_eq!(r.limb(1), p.limb(1));
+    }
+
+    #[test]
+    fn gaussian_coeffs_are_small() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = RnsPoly::gaussian(&ctx, 1, false, &mut rng);
+        let m = ctx.moduli()[0];
+        for &c in p.limb(0) {
+            assert!(m.center(c).abs() < 40, "gaussian sample too large");
+        }
+    }
+}

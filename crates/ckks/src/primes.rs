@@ -1,0 +1,75 @@
+//! Generation of NTT-friendly prime moduli chains.
+
+use crate::modular::is_prime;
+
+/// Finds `count` distinct primes `p ≡ 1 (mod 2n)` as close as possible to
+/// `2^bits`, alternating below/above so the chain's geometric mean stays
+/// near `2^bits` (keeps the actual rescaling factor within a few parts in
+/// 2^40 of the nominal `R`).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, `bits` is not in `20..=61`, or not
+/// enough primes exist in the search window (practically impossible for the
+/// sizes used here).
+pub fn ntt_primes(bits: u32, n: usize, count: usize) -> Vec<u64> {
+    assert!(n.is_power_of_two(), "degree must be a power of two");
+    assert!((20..=61).contains(&bits), "prime size must be in 20..=61 bits");
+    let step = 2 * n as u64;
+    let target = 1u64 << bits;
+    // First candidate ≡ 1 mod 2n at or below target.
+    let base = target - (target - 1) % step;
+    let mut found = Vec::with_capacity(count);
+    let mut lo = base;
+    let mut hi = base + step;
+    let mut below = true;
+    while found.len() < count {
+        let candidate = if below {
+            let c = lo;
+            lo = lo.checked_sub(step).expect("prime search underflow");
+            c
+        } else {
+            let c = hi;
+            hi = hi.checked_add(step).expect("prime search overflow");
+            c
+        };
+        below = !below;
+        if candidate > 1 && is_prime(candidate) {
+            found.push(candidate);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes_are_friendly_and_near_target() {
+        let n = 1 << 13;
+        let ps = ntt_primes(50, n, 4);
+        assert_eq!(ps.len(), 4);
+        for &p in &ps {
+            assert!(is_prime(p));
+            assert_eq!((p - 1) % (2 * n as u64), 0);
+            let rel = (p as f64 / 2f64.powi(50) - 1.0).abs();
+            assert!(rel < 1e-3, "prime {p} strays {rel} from 2^50");
+        }
+        // Distinct.
+        let mut sorted = ps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn sixty_bit_primes_for_large_degree() {
+        let ps = ntt_primes(60, 1 << 15, 2);
+        for &p in &ps {
+            assert!(is_prime(p));
+            assert_eq!((p - 1) % (1 << 16), 0);
+            assert!(p.ilog2() == 59 || p.ilog2() == 60);
+        }
+    }
+}

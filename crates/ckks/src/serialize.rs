@@ -1,0 +1,275 @@
+//! Binary (de)serialization of ciphertexts and plaintexts.
+//!
+//! In a deployed privacy-preserving service the client encrypts inputs and
+//! ships them to the evaluation server; this module provides the wire
+//! format (little-endian, versioned, length-checked).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::cipher::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoding::Plaintext;
+use crate::poly::RnsPoly;
+
+const MAGIC: u32 = 0x52_4E_53_43; // "RNSC"
+const VERSION: u8 = 1;
+
+/// A malformed or incompatible serialized blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, DecodeError> {
+    Err(DecodeError(msg.into()))
+}
+
+fn put_poly(buf: &mut BytesMut, poly: &RnsPoly, n: usize) {
+    buf.put_u32_le(poly.level() as u32);
+    buf.put_u8(u8::from(poly.has_special()));
+    buf.put_u8(u8::from(poly.is_ntt()));
+    for i in 0..poly.level() {
+        for &v in poly.limb(i) {
+            buf.put_u64_le(v);
+        }
+    }
+    if poly.has_special() {
+        for &v in poly.special_limb() {
+            buf.put_u64_le(v);
+        }
+    }
+    debug_assert_eq!(poly.limb(0).len(), n);
+}
+
+fn get_poly(buf: &mut Bytes, ctx: &CkksContext) -> Result<RnsPoly, DecodeError> {
+    if buf.remaining() < 6 {
+        return err("truncated polynomial header");
+    }
+    let level = buf.get_u32_le() as usize;
+    let special = buf.get_u8() != 0;
+    let ntt = buf.get_u8() != 0;
+    if level == 0 || level > ctx.max_level() {
+        return err(format!("level {level} out of range"));
+    }
+    let n = ctx.degree();
+    let limbs = level + usize::from(special);
+    if buf.remaining() < limbs * n * 8 {
+        return err("truncated polynomial body");
+    }
+    let mut poly = RnsPoly::zero(ctx, level, special, ntt);
+    for i in 0..level {
+        let modulus = ctx.moduli()[i].value();
+        for v in poly.limb_mut(i) {
+            let raw = buf.get_u64_le();
+            if raw >= modulus {
+                return err(format!("residue {raw} not reduced mod {modulus}"));
+            }
+            *v = raw;
+        }
+    }
+    if special {
+        let modulus = ctx.special().value();
+        for v in poly.special_limb_mut() {
+            let raw = buf.get_u64_le();
+            if raw >= modulus {
+                return err(format!("special residue {raw} not reduced mod {modulus}"));
+            }
+            *v = raw;
+        }
+    }
+    Ok(poly)
+}
+
+/// Serializes a ciphertext.
+pub fn ciphertext_to_bytes(ctx: &CkksContext, ct: &Ciphertext) -> Bytes {
+    let n = ctx.degree();
+    let mut buf = BytesMut::with_capacity(16 + 2 * (ct.level + 1) * n * 8);
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(0); // kind: ciphertext
+    buf.put_u32_le(n as u32);
+    buf.put_f64_le(ct.scale);
+    put_poly(&mut buf, &ct.c0, n);
+    put_poly(&mut buf, &ct.c1, n);
+    buf.freeze()
+}
+
+/// Deserializes a ciphertext.
+///
+/// # Errors
+///
+/// Fails on wrong magic/version, degree mismatch, truncation, or
+/// unreduced residues.
+pub fn ciphertext_from_bytes(ctx: &CkksContext, data: &[u8]) -> Result<Ciphertext, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 18 {
+        return err("truncated header");
+    }
+    if buf.get_u32_le() != MAGIC {
+        return err("bad magic");
+    }
+    if buf.get_u8() != VERSION {
+        return err("unsupported version");
+    }
+    if buf.get_u8() != 0 {
+        return err("not a ciphertext blob");
+    }
+    if buf.get_u32_le() as usize != ctx.degree() {
+        return err("polynomial degree mismatch");
+    }
+    let scale = buf.get_f64_le();
+    if !(scale.is_finite() && scale > 0.0) {
+        return err("invalid scale");
+    }
+    let c0 = get_poly(&mut buf, ctx)?;
+    let c1 = get_poly(&mut buf, ctx)?;
+    if c0.level() != c1.level() || c0.has_special() || c1.has_special() {
+        return err("inconsistent ciphertext components");
+    }
+    let level = c0.level();
+    Ok(Ciphertext { c0, c1, level, scale })
+}
+
+/// Serializes a plaintext.
+pub fn plaintext_to_bytes(ctx: &CkksContext, pt: &Plaintext) -> Bytes {
+    let n = ctx.degree();
+    let mut buf = BytesMut::with_capacity(16 + (pt.level + 1) * n * 8);
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(1); // kind: plaintext
+    buf.put_u32_le(n as u32);
+    buf.put_f64_le(pt.scale);
+    put_poly(&mut buf, &pt.poly, n);
+    buf.freeze()
+}
+
+/// Deserializes a plaintext.
+///
+/// # Errors
+///
+/// Fails on wrong magic/version, degree mismatch, truncation, or
+/// unreduced residues.
+pub fn plaintext_from_bytes(ctx: &CkksContext, data: &[u8]) -> Result<Plaintext, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 18 {
+        return err("truncated header");
+    }
+    if buf.get_u32_le() != MAGIC {
+        return err("bad magic");
+    }
+    if buf.get_u8() != VERSION {
+        return err("unsupported version");
+    }
+    if buf.get_u8() != 1 {
+        return err("not a plaintext blob");
+    }
+    if buf.get_u32_le() as usize != ctx.degree() {
+        return err("polynomial degree mismatch");
+    }
+    let scale = buf.get_f64_le();
+    if !(scale.is_finite() && scale > 0.0) {
+        return err("invalid scale");
+    }
+    let poly = get_poly(&mut buf, ctx)?;
+    let level = poly.level();
+    Ok(Plaintext { poly, scale, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::{decrypt, encrypt_symmetric};
+    use crate::context::CkksParams;
+    use crate::encoding::Encoder;
+    use crate::keys::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(CkksParams {
+            poly_degree: 128,
+            max_level: 2,
+            modulus_bits: 45,
+            special_bits: 46,
+            error_std: 3.2,
+        })
+    }
+
+    #[test]
+    fn ciphertext_roundtrips_and_still_decrypts() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let enc = Encoder::new(&ctx);
+        let values = vec![1.25, -0.5, 3.0];
+        let pt = enc.encode(&values, 2f64.powi(30), 2);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let blob = ciphertext_to_bytes(&ctx, &ct);
+        let back = ciphertext_from_bytes(&ctx, &blob).expect("roundtrip");
+        assert_eq!(back.level, ct.level);
+        assert_eq!(back.scale, ct.scale);
+        let decoded = enc.decode(&decrypt(&ctx, &sk, &back));
+        assert!((decoded[0] - 1.25).abs() < 1e-4);
+        assert!((decoded[2] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn plaintext_roundtrips() {
+        let ctx = ctx();
+        let enc = Encoder::new(&ctx);
+        let pt = enc.encode(&[0.75; 10], 2f64.powi(25), 1);
+        let blob = plaintext_to_bytes(&ctx, &pt);
+        let back = plaintext_from_bytes(&ctx, &blob).expect("roundtrip");
+        let decoded = enc.decode(&back);
+        assert!((decoded[9] - 0.75).abs() < 1e-5);
+        assert!(decoded[10].abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let enc = Encoder::new(&ctx);
+        let pt = enc.encode(&[1.0], 2f64.powi(30), 1);
+        let ct = encrypt_symmetric(&ctx, &kg.secret_key(), &pt, &mut rng);
+        let blob = ciphertext_to_bytes(&ctx, &ct).to_vec();
+        // Wrong magic.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(ciphertext_from_bytes(&ctx, &bad).is_err());
+        // Truncated.
+        assert!(ciphertext_from_bytes(&ctx, &blob[..blob.len() - 9]).is_err());
+        // Unreduced residue: set one limb word to u64::MAX.
+        let mut bad = blob.clone();
+        let off = blob.len() - 8;
+        bad[off..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(ciphertext_from_bytes(&ctx, &bad).is_err());
+        // Plaintext blob fed to ciphertext decoder.
+        let pblob = plaintext_to_bytes(&ctx, &pt);
+        assert!(ciphertext_from_bytes(&ctx, &pblob).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_context() {
+        let ctx_a = ctx();
+        let ctx_b = CkksContext::new(CkksParams {
+            poly_degree: 256,
+            max_level: 2,
+            modulus_bits: 45,
+            special_bits: 46,
+            error_std: 3.2,
+        });
+        let enc = Encoder::new(&ctx_a);
+        let pt = enc.encode(&[1.0], 2f64.powi(30), 1);
+        let blob = plaintext_to_bytes(&ctx_a, &pt);
+        assert!(plaintext_from_bytes(&ctx_b, &blob).is_err());
+    }
+}

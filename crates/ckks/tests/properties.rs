@@ -1,0 +1,131 @@
+//! Property-based tests of the RNS-CKKS scheme: homomorphism laws over
+//! random data, round-trips, and noise growth sanity.
+
+use proptest::prelude::*;
+
+use fhe_ckks::{
+    decrypt, encrypt_public, encrypt_symmetric, CkksContext, CkksParams, Encoder, Evaluator,
+    GaloisKeys, KeyGenerator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> CkksContext {
+    CkksContext::new(CkksParams {
+        poly_degree: 128,
+        max_level: 3,
+        modulus_bits: 45,
+        special_bits: 46,
+        error_std: 3.2,
+    })
+}
+
+fn values_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-4.0f64..4.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn encode_decode_roundtrip(values in values_strategy(64), level in 1usize..3) {
+        let ctx = ctx();
+        let enc = Encoder::new(&ctx);
+        let pt = enc.encode(&values, 2f64.powi(30), level);
+        let back = enc.decode(&pt);
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_add_mul(xs in values_strategy(64), ys in values_strategy(64), seed in 0u64..1000) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let ev = Evaluator::new(&ctx, Some(relin), GaloisKeys::default());
+        let scale = 2f64.powi(40);
+        let ca = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&xs, scale, 2), &mut rng);
+        let cb = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&ys, scale, 2), &mut rng);
+
+        let sum = ev.encoder().decode(&decrypt(&ctx, &sk, &ev.add(&ca, &cb)));
+        let prod = ev.encoder().decode(&decrypt(&ctx, &sk, &ev.rescale(&ev.mul(&ca, &cb))));
+        for i in 0..64 {
+            prop_assert!((sum[i] - (xs[i] + ys[i])).abs() < 1e-3, "add slot {i}");
+            prop_assert!((prod[i] - xs[i] * ys[i]).abs() < 1e-2, "mul slot {i}: {} vs {}", prod[i], xs[i]*ys[i]);
+        }
+    }
+
+    #[test]
+    fn rotation_composes(xs in values_strategy(64), k1 in 0i64..8, k2 in 0i64..8, seed in 0u64..100) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let gk = kg.galois_keys([k1, k2, k1 + k2], &mut rng);
+        let ev = Evaluator::new(&ctx, None, gk);
+        let ca = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&xs, 2f64.powi(35), 1), &mut rng);
+        // rotate(rotate(x, k1), k2) == rotate(x, k1 + k2)
+        let double = ev.rotate(&ev.rotate(&ca, k1), k2);
+        let single = ev.rotate(&ca, k1 + k2);
+        let d = ev.encoder().decode(&decrypt(&ctx, &sk, &double));
+        let s = ev.encoder().decode(&decrypt(&ctx, &sk, &single));
+        for i in 0..16 {
+            prop_assert!((d[i] - s[i]).abs() < 1e-1, "slot {i}: {} vs {}", d[i], s[i]);
+        }
+    }
+
+    #[test]
+    fn public_and_symmetric_agree(xs in values_strategy(32), seed in 0u64..100) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&mut rng);
+        let enc = Encoder::new(&ctx);
+        let pt = enc.encode(&xs, 2f64.powi(35), 1);
+        let c_sym = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let c_pub = encrypt_public(&ctx, &pk, &pt, &mut rng);
+        let d_sym = enc.decode(&decrypt(&ctx, &sk, &c_sym));
+        let d_pub = enc.decode(&decrypt(&ctx, &sk, &c_pub));
+        for i in 0..32 {
+            prop_assert!((d_sym[i] - xs[i]).abs() < 1e-3);
+            prop_assert!((d_pub[i] - xs[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip_random(xs in values_strategy(48), seed in 0u64..100) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let enc = Encoder::new(&ctx);
+        let pt = enc.encode(&xs, 2f64.powi(33), 2);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let blob = fhe_ckks::serialize::ciphertext_to_bytes(&ctx, &ct);
+        let back = fhe_ckks::serialize::ciphertext_from_bytes(&ctx, &blob).unwrap();
+        let d = enc.decode(&decrypt(&ctx, &sk, &back));
+        for i in 0..48 {
+            prop_assert!((d[i] - xs[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn modswitch_preserves_values(xs in values_strategy(32), seed in 0u64..100) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let ev = Evaluator::new(&ctx, None, GaloisKeys::default());
+        let ca = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&xs, 2f64.powi(35), 3), &mut rng);
+        let dropped = ev.mod_switch(&ev.mod_switch(&ca));
+        prop_assert_eq!(dropped.level, 1);
+        let d = ev.encoder().decode(&decrypt(&ctx, &sk, &dropped));
+        for i in 0..32 {
+            prop_assert!((d[i] - xs[i]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Rescale hoisting (§7, step 2): move rescales past additions when the
+//! saved rescale outweighs running the addition one level higher.
+//!
+//! Placement puts rescales at the earliest legal point (right after
+//! level-mismatched multiplications). When both operands of an addition are
+//! single-use rescale results, the two rescales can be *hoisted* into one
+//! rescale after the addition:
+//!
+//! ```text
+//!   add(rescale(a), rescale(b))   →   rescale(add(a, b))
+//! ```
+//!
+//! benefit = cost(rs_a) + cost(rs_b) + cost(add@l) − cost(add@l+1) − cost(rs).
+//! The pass runs to a fixpoint, so hoisted rescales cascade up addition
+//! trees (the paper's "destination rescale stays a candidate").
+
+use fhe_ir::{CostModel, Op, OpClass, ProgramEditor, ScheduledProgram, ValueId};
+
+/// Applies beneficial rescale hoists until none remain. Returns the number
+/// of hoists applied.
+pub fn hoist(scheduled: &mut ScheduledProgram, cost: &CostModel) -> usize {
+    let mut total = 0;
+    loop {
+        let applied = hoist_once(scheduled, cost);
+        if applied == 0 {
+            return total;
+        }
+        total += applied;
+    }
+}
+
+/// One bottom-up pass: applies all beneficial hoists, including *groups* of
+/// additions that share rescaled operands (the per-unit behaviour the
+/// paper's scale-management-unit grouping produces — e.g. the twelve
+/// rescaled terms of a convolution collapse towards one rescale after the
+/// summation tree).
+fn hoist_once(scheduled: &mut ScheduledProgram, cost: &CostModel) -> usize {
+    let program = &scheduled.program;
+    let map = match scheduled.validate() {
+        Ok(m) => m,
+        Err(e) => panic!("hoisting requires a valid schedule: {e:?}"),
+    };
+    let users = program.users();
+    let is_output: std::collections::HashSet<ValueId> =
+        program.outputs().iter().copied().collect();
+
+    // Step 1: candidate adds — both operands are distinct rescales with
+    // matching pre-rescale states, and hoisting is locally beneficial.
+    let mut candidates: std::collections::HashMap<ValueId, (ValueId, ValueId)> =
+        std::collections::HashMap::new();
+    for id in program.ids() {
+        let (a, b) = match program.op(id) {
+            Op::Add(a, b) | Op::Sub(a, b) => (*a, *b),
+            _ => continue,
+        };
+        if a == b || is_output.contains(&a) || is_output.contains(&b) {
+            continue;
+        }
+        let (ra, rb) = match (program.op(a), program.op(b)) {
+            (Op::Rescale(ra), Op::Rescale(rb)) => (*ra, *rb),
+            _ => continue,
+        };
+        if map.scale_bits(ra) != map.scale_bits(rb) || map.level(ra) != map.level(rb) {
+            continue;
+        }
+        candidates.insert(id, (ra, rb));
+    }
+
+    // Step 2: a rescale may only be consumed if *every* use is a candidate
+    // add; shrink the candidate set to a fixpoint.
+    loop {
+        let bad: Vec<ValueId> = candidates
+            .keys()
+            .copied()
+            .filter(|&add| {
+                program.op(add).operands().any(|rs| {
+                    users[rs.index()].iter().any(|u| !candidates.contains_key(u))
+                })
+            })
+            .collect();
+        if bad.is_empty() {
+            break;
+        }
+        for add in bad {
+            candidates.remove(&add);
+        }
+    }
+    if candidates.is_empty() {
+        return 0;
+    }
+
+    // Step 3: group adds into components connected by shared rescales
+    // (union-find — an add bridging two groups must merge them, otherwise a
+    // shared rescale could be consumed by one applied component while an
+    // unapplied one still references it) and keep only components whose
+    // total benefit is positive.
+    let mut add_list: Vec<ValueId> = candidates.keys().copied().collect();
+    add_list.sort_unstable();
+    let mut parent: Vec<usize> = (0..add_list.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut owner_of: std::collections::HashMap<ValueId, usize> =
+        std::collections::HashMap::new(); // rescale-op -> add index owning it
+    for (idx, &add) in add_list.iter().enumerate() {
+        for o in program.op(add).operands() {
+            match owner_of.get(&o) {
+                Some(&other) => {
+                    let (a, b) = (find(&mut parent, idx), find(&mut parent, other));
+                    parent[a] = b;
+                }
+                None => {
+                    owner_of.insert(o, idx);
+                }
+            }
+        }
+    }
+    let mut components: std::collections::HashMap<usize, Vec<ValueId>> =
+        std::collections::HashMap::new();
+    for (idx, &add) in add_list.iter().enumerate() {
+        let root = find(&mut parent, idx);
+        components.entry(root).or_default().push(add);
+    }
+    let components: Vec<Vec<ValueId>> = components.into_values().collect();
+
+    let mut consumed = vec![false; program.num_ops()];
+    let mut applied: std::collections::HashMap<ValueId, (ValueId, ValueId)> =
+        std::collections::HashMap::new();
+    for adds in &components {
+        let mut sources: std::collections::HashSet<ValueId> = std::collections::HashSet::new();
+        let mut benefit = 0.0;
+        for &add in adds {
+            let l_low = map.level(add);
+            let l_high = l_low + 1;
+            let add_class = CostModel::classify(program, add).expect("cipher add");
+            benefit += cost.at_level(add_class, l_low) - cost.at_level(add_class, l_high)
+                - cost.at_level(OpClass::Rescale, l_low);
+            for o in program.op(add).operands() {
+                sources.insert(o);
+            }
+        }
+        for &s in &sources {
+            benefit += cost.at_level(OpClass::Rescale, map.level(s));
+        }
+        if benefit <= 0.0 {
+            continue;
+        }
+        for &s in &sources {
+            consumed[s.index()] = true;
+        }
+        for &add in adds {
+            applied.insert(add, candidates[&add]);
+        }
+    }
+    if applied.is_empty() {
+        return 0;
+    }
+
+    // Step 4: rebuild, skipping consumed rescales and re-rescaling after
+    // each hoisted add.
+    let mut ed = ProgramEditor::new(program);
+    for id in program.ids() {
+        if consumed[id.index()] {
+            continue; // dropped rescale
+        }
+        if let Some(&(ra, rb)) = applied.get(&id) {
+            let na = ed.map_operand(ra);
+            let nb = ed.map_operand(rb);
+            let add = ed.emit_with(id, &[na, nb]);
+            let rs = ed.push(Op::Rescale(add));
+            ed.set_mapping(id, rs);
+        } else {
+            ed.emit(id);
+        }
+    }
+    scheduled.program = ed.finish();
+    applied.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::allocate;
+    use crate::ordering::allocation_order;
+    use crate::placement::place;
+    use fhe_ir::{Builder, CompileParams, Program};
+
+    fn schedule(program: &Program, waterline: u32) -> ScheduledProgram {
+        let params = CompileParams::new(waterline);
+        let order = allocation_order(program, &params, &CostModel::paper_table3());
+        let sol = allocate(program, &params, &order, true);
+        place(program, &params, &sol)
+    }
+
+    fn fig2a() -> Program {
+        let b = Builder::new("fig2a", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        b.finish(vec![q])
+    }
+
+    #[test]
+    fn fig2a_hoist_merges_the_two_rescales() {
+        // Fig. 3f→3g: the rescales feeding s = y² + y merge into one after
+        // the addition, with benefit ≈ 18 (hundreds of µs).
+        let mut s = schedule(&fig2a(), 20);
+        let before = s.validate().unwrap();
+        let cm = CostModel::paper_table3();
+        let cost_before = cm.program_cost(&s.program, &before);
+        let rescales_before = s.program.count_ops(|o| matches!(o, Op::Rescale(_)));
+        let n = hoist(&mut s, &cm);
+        assert_eq!(n, 1, "exactly the s-addition hoist applies");
+        let after = s.validate().expect("hoisted schedule stays valid");
+        let cost_after = cm.program_cost(&s.program, &after);
+        let rescales_after = s.program.count_ops(|o| matches!(o, Op::Rescale(_)));
+        assert_eq!(rescales_after, rescales_before - 1);
+        let benefit = cost_before - cost_after;
+        assert!(
+            (1000.0..3000.0).contains(&benefit),
+            "benefit {benefit}µs should be ≈ 1800µs (paper: 18×100µs)"
+        );
+    }
+
+    #[test]
+    fn hoists_cascade_up_addition_trees() {
+        // Four squares summed pairwise: first-level hoists enable a
+        // second-level hoist.
+        let b = Builder::new("tree", 8);
+        let xs: Vec<_> = (0..4).map(|i| b.input(format!("x{i}"))).collect();
+        let sq: Vec<_> = xs.iter().map(|x| x.clone() * x.clone()).collect();
+        let s01 = sq[0].clone() + sq[1].clone();
+        let s23 = sq[2].clone() + sq[3].clone();
+        let total = s01 + s23;
+        let out = total.clone() * total;
+        let p = b.finish(vec![out]);
+        let mut s = schedule(&p, 20);
+        let cm = CostModel::paper_table3();
+        let n = hoist(&mut s, &cm);
+        assert!(n >= 2, "expected cascading hoists, got {n}");
+        s.validate().expect("cascaded schedule valid");
+    }
+
+    #[test]
+    fn no_hoist_when_no_rescale_pairs() {
+        let b = Builder::new("plainadd", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let out = x + y;
+        let p = b.finish(vec![out]);
+        let mut s = schedule(&p, 20);
+        let cm = CostModel::paper_table3();
+        assert_eq!(hoist(&mut s, &cm), 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn multi_use_rescales_are_not_hoisted() {
+        let b = Builder::new("multiuse", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let sx = x.clone() * x.clone();
+        let sy = y.clone() * y.clone();
+        // sx feeds both the add and another mul: its rescale has 2 uses.
+        let s = sx.clone() + sy;
+        let t = sx.clone() * s;
+        let p = b.finish(vec![t]);
+        let mut sched = schedule(&p, 20);
+        let valid_before = sched.validate().is_ok();
+        let cm = CostModel::paper_table3();
+        let _ = hoist(&mut sched, &cm);
+        assert!(valid_before);
+        sched.validate().expect("still valid after (possibly zero) hoists");
+    }
+}

@@ -1,0 +1,299 @@
+//! The reserve type system (Fig. 5): a checker that certifies a
+//! [`ReserveSolution`] against the typing rules.
+//!
+//! The reserve analysis *constructs* solutions; this module independently
+//! *verifies* them — the paper's "type system ensures the correctness of the
+//! analysis result". Every compiler test routes its solutions through this
+//! checker (and the scheduled output through `fhe_ir`'s validator).
+
+use std::fmt;
+
+use fhe_ir::{CompileParams, Frac, Op, Program, ValueId};
+
+use crate::alloc::ReserveSolution;
+
+/// A typing-rule violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// A ciphertext value has no reserve assigned.
+    MissingReserve {
+        /// The value.
+        value: ValueId,
+    },
+    /// A reserve or operand requirement is negative.
+    NegativeReserve {
+        /// The value.
+        value: ValueId,
+    },
+    /// Subtyping violated: an operand demand exceeds the operand's reserve.
+    SubtypeViolation {
+        /// The consuming op.
+        user: ValueId,
+        /// The operand value.
+        operand: ValueId,
+        /// Demanded relative reserve.
+        demanded: Frac,
+        /// Available relative reserve.
+        available: Frac,
+    },
+    /// The `Mul` rule's level side-condition `⌈ρ₁+ω⌉ = ⌈ρ₂+ω⌉` fails.
+    MulLevelCondition {
+        /// The multiplication.
+        op: ValueId,
+    },
+    /// The `Mul` rule's reserve equation `ρ₁ + ρ₂ = ρ + l` fails.
+    MulReserveEquation {
+        /// The multiplication.
+        op: ValueId,
+    },
+    /// A pass-through op's operand demand differs from its result reserve.
+    PassThroughMismatch {
+        /// The op.
+        op: ValueId,
+    },
+    /// The `PMul` rule's demand `ρ + ω` fails.
+    PlainMulDemand {
+        /// The multiplication.
+        op: ValueId,
+    },
+    /// An output's reserve is below the configured output reserve.
+    OutputReserve {
+        /// The output value.
+        value: ValueId,
+    },
+    /// A value's principal level exceeds `max_level`.
+    ExceedsMaxLevel {
+        /// The value.
+        value: ValueId,
+        /// Its principal level.
+        level: u32,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::MissingReserve { value } => write!(f, "{value} has no reserve"),
+            TypeError::NegativeReserve { value } => write!(f, "{value} has a negative reserve"),
+            TypeError::SubtypeViolation { user, operand, demanded, available } => write!(
+                f,
+                "{user} demands reserve {demanded} of {operand}, which only has {available}"
+            ),
+            TypeError::MulLevelCondition { op } => {
+                write!(f, "mul {op} violates ⌈ρ1+ω⌉ = ⌈ρ2+ω⌉")
+            }
+            TypeError::MulReserveEquation { op } => {
+                write!(f, "mul {op} violates ρ1 + ρ2 = ρ + l")
+            }
+            TypeError::PassThroughMismatch { op } => {
+                write!(f, "{op} demands a reserve different from its result's")
+            }
+            TypeError::PlainMulDemand { op } => {
+                write!(f, "plain mul {op} does not demand ρ + ω")
+            }
+            TypeError::OutputReserve { value } => {
+                write!(f, "output {value} has less than the output reserve")
+            }
+            TypeError::ExceedsMaxLevel { value, level } => {
+                write!(f, "{value} needs principal level {level} beyond max_level")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Checks a reserve solution against the Fig. 5 typing rules. Returns all
+/// violations (empty ⇒ well-typed).
+pub fn check(
+    program: &Program,
+    params: &CompileParams,
+    sol: &ReserveSolution,
+) -> Vec<TypeError> {
+    let mut errors = Vec::new();
+    let live = fhe_ir::analysis::live(program);
+    let w = params.omega();
+
+    let rho = |v: ValueId| -> Option<Frac> { sol.reserve[v.index()] };
+
+    for id in program.ids() {
+        if !live[id.index()] || program.is_plain(id) {
+            continue;
+        }
+        let Some(r) = rho(id) else {
+            errors.push(TypeError::MissingReserve { value: id });
+            continue;
+        };
+        if r < Frac::ZERO {
+            errors.push(TypeError::NegativeReserve { value: id });
+        }
+        let level = params.principal_level(r);
+        if level > params.max_level {
+            errors.push(TypeError::ExceedsMaxLevel { value: id, level });
+        }
+
+        // Per-op rules on the operand demands.
+        let reqs = sol.operand_req[id.index()];
+        let ops: Vec<ValueId> = program.op(id).operands().collect();
+        // Subtyping on every cipher edge.
+        for (slot, &o) in ops.iter().enumerate() {
+            if program.is_cipher(o) {
+                if let (Some(demand), Some(avail)) = (reqs[slot], rho(o)) {
+                    if demand > avail {
+                        errors.push(TypeError::SubtypeViolation {
+                            user: id,
+                            operand: o,
+                            demanded: demand,
+                            available: avail,
+                        });
+                    }
+                    if demand < Frac::ZERO {
+                        errors.push(TypeError::NegativeReserve { value: id });
+                    }
+                } else {
+                    errors.push(TypeError::MissingReserve { value: id });
+                }
+            }
+        }
+        match program.op(id) {
+            Op::Add(a, b) | Op::Sub(a, b) => {
+                for (slot, o) in [(0usize, *a), (1, *b)] {
+                    if program.is_cipher(o) && reqs[slot] != Some(r) {
+                        errors.push(TypeError::PassThroughMismatch { op: id });
+                    }
+                }
+            }
+            Op::Neg(a) | Op::Rotate(a, _) => {
+                if program.is_cipher(*a) && reqs[0] != Some(r) {
+                    errors.push(TypeError::PassThroughMismatch { op: id });
+                }
+            }
+            Op::Mul(a, b) => match (program.is_cipher(*a), program.is_cipher(*b)) {
+                (true, true) => {
+                    if let (Some(r1), Some(r2)) = (reqs[0], reqs[1]) {
+                        let l1 = (r1 + w).ceil().max(1);
+                        let l2 = (r2 + w).ceil().max(1);
+                        if l1 != l2 {
+                            errors.push(TypeError::MulLevelCondition { op: id });
+                        }
+                        if r1 + r2 != r + Frac::from(l1) {
+                            errors.push(TypeError::MulReserveEquation { op: id });
+                        }
+                    }
+                }
+                (true, false) => {
+                    if reqs[0] != Some(r + w) {
+                        errors.push(TypeError::PlainMulDemand { op: id });
+                    }
+                }
+                (false, true) => {
+                    if reqs[1] != Some(r + w) {
+                        errors.push(TypeError::PlainMulDemand { op: id });
+                    }
+                }
+                (false, false) => unreachable!("plain mul results are plain"),
+            },
+            Op::Input { .. } | Op::Const { .. } => {}
+            Op::Rescale(_) | Op::ModSwitch(_) | Op::Upscale(..) => {}
+        }
+    }
+
+    // Output reserves.
+    let out_reserve = params.to_relative(Frac::from(params.output_reserve_bits));
+    for &o in program.outputs() {
+        if program.is_cipher(o) {
+            match rho(o) {
+                Some(r) if r >= out_reserve => {}
+                _ => errors.push(TypeError::OutputReserve { value: o }),
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::allocate;
+    use crate::ordering::allocation_order;
+    use fhe_ir::{Builder, CostModel};
+
+    fn well_typed(program: &Program, waterline: u32, redistribute: bool) {
+        let params = CompileParams::new(waterline);
+        let order = allocation_order(program, &params, &CostModel::paper_table3());
+        let sol = allocate(program, &params, &order, redistribute);
+        let errors = check(program, &params, &sol);
+        assert!(errors.is_empty(), "type errors: {errors:?}");
+    }
+
+    #[test]
+    fn fig2a_solutions_are_well_typed() {
+        let b = Builder::new("fig2a", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        let p = b.finish(vec![q]);
+        for redistribute in [false, true] {
+            for wl in [15, 20, 30, 40, 45] {
+                well_typed(&p, wl, redistribute);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_plain_cipher_is_well_typed() {
+        let b = Builder::new("mix", 8);
+        let x = b.input("x");
+        let k = b.constant(0.5);
+        let r = (x.clone() * k + x.clone().rotate(1)) * x.clone() - x;
+        let p = b.finish(vec![r]);
+        well_typed(&p, 20, true);
+        well_typed(&p, 33, true);
+    }
+
+    #[test]
+    fn corrupted_solution_is_rejected() {
+        let b = Builder::new("c", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = x * y;
+        let p = b.finish(vec![m]);
+        let params = CompileParams::new(20);
+        let order = allocation_order(&p, &params, &CostModel::paper_table3());
+        let mut sol = allocate(&p, &params, &order, true);
+        // Tamper: shrink x's reserve below the mul's demand.
+        sol.reserve[0] = Some(Frac::ZERO);
+        let errors = check(&p, &params, &sol);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, TypeError::SubtypeViolation { .. })));
+        // Tamper: break the mul equation.
+        let mut sol2 = allocate(&p, &params, &order, true);
+        sol2.operand_req[2][0] = Some(Frac::from(2));
+        let errors2 = check(&p, &params, &sol2);
+        assert!(errors2
+            .iter()
+            .any(|e| matches!(e, TypeError::MulReserveEquation { .. })
+                || matches!(e, TypeError::MulLevelCondition { .. })
+                || matches!(e, TypeError::SubtypeViolation { .. })));
+    }
+
+    #[test]
+    fn max_level_violation_detected() {
+        let b = Builder::new("deep", 4);
+        let x = b.input("x");
+        let mut acc = x.clone();
+        for _ in 0..6 {
+            acc = acc.clone() * acc;
+        }
+        let p = b.finish(vec![acc]);
+        let mut params = CompileParams::new(40);
+        params.max_level = 2;
+        let order = allocation_order(&p, &params, &CostModel::paper_table3());
+        let sol = allocate(&p, &params, &order, true);
+        let errors = check(&p, &params, &sol);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, TypeError::ExceedsMaxLevel { .. })));
+    }
+}

@@ -1,0 +1,157 @@
+//! Dataflow analyses over IR programs: multiplicative depth, liveness, and
+//! level estimation used by the allocation-ordering heuristic (§6.1).
+
+use crate::op::Op;
+use crate::program::Program;
+use crate::{CompileParams, Frac};
+
+/// Multiplicative depth of every value: the maximum number of scale-consuming
+/// multiplications on any path from the value to a program output,
+/// **starting from 1, not 0** (§6.1).
+///
+/// For the paper's running example `x³·(y²+y)` this yields
+/// `x:4 y:3 x²:3 x³:2 y²:2 s:2 q:1` (Fig. 3a).
+///
+/// Values that cannot reach an output get depth 1.
+pub fn mult_depth(program: &Program) -> Vec<u32> {
+    let mut depth = vec![1u32; program.num_ops()];
+    // Backward walk: depth(v) = max over users u of depth(u) + [u is a
+    // scale-consuming mul]; outputs (or dead values) keep the base of 1.
+    for id in program.ids().rev() {
+        let d = depth[id.index()];
+        let consumes = matches!(program.op(id), Op::Mul(..)) && program.is_cipher(id);
+        let operand_depth = d + u32::from(consumes);
+        for operand in program.op(id).operands() {
+            let slot = &mut depth[operand.index()];
+            *slot = (*slot).max(operand_depth);
+        }
+    }
+    depth
+}
+
+/// Which values can reach a program output (everything else is dead code).
+pub fn live(program: &Program) -> Vec<bool> {
+    let mut live = vec![false; program.num_ops()];
+    for &o in program.outputs() {
+        live[o.index()] = true;
+    }
+    for id in program.ids().rev() {
+        if live[id.index()] {
+            for operand in program.op(id).operands() {
+                live[operand.index()] = true;
+            }
+        }
+    }
+    live
+}
+
+/// The §6.1 pre-allocation level estimate `1 + depth · ω` for every value —
+/// a lower bound assuming the minimal level increase `ω` per multiplication.
+///
+/// The estimate is fractional (e.g. `x³` in Fig. 3a estimates level
+/// `1 + 2·(20/60) = 1.67`); the cost model interpolates latencies at
+/// fractional levels.
+pub fn estimated_levels(program: &Program, params: &CompileParams) -> Vec<Frac> {
+    let depth = mult_depth(program);
+    depth.iter().map(|&d| Frac::ONE + Frac::from(d) * params.omega()).collect()
+}
+
+/// Maximum number of scale-consuming multiplications on any live path — the
+/// circuit depth a scheme's modulus chain must support. (This is
+/// `max(mult_depth) − 1` because [`mult_depth`] starts at 1.)
+pub fn circuit_depth(program: &Program) -> u32 {
+    let depth = mult_depth(program);
+    let live = live(program);
+    program
+        .ids()
+        .filter(|id| live[id.index()])
+        .map(|id| depth[id.index()])
+        .max()
+        .unwrap_or(1)
+        .saturating_sub(1)
+}
+
+/// Per-value use counts (an op using a value twice counts it twice; program
+/// outputs add one use each).
+pub fn use_counts(program: &Program) -> Vec<u32> {
+    let mut counts = vec![0u32; program.num_ops()];
+    for id in program.ids() {
+        for operand in program.op(id).operands() {
+            counts[operand.index()] += 1;
+        }
+    }
+    for &o in program.outputs() {
+        counts[o.index()] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::op::ValueId;
+
+    fn fig2a() -> (Program, [ValueId; 7]) {
+        let b = Builder::new("fig2a", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let x2 = x.clone() * x.clone();
+        let x3 = x.clone() * x2.clone();
+        let y2 = y.clone() * y.clone();
+        let s = y2.clone() + y.clone();
+        let q = x3.clone() * s.clone();
+        let ids = [x.id(), y.id(), x2.id(), x3.id(), y2.id(), s.id(), q.id()];
+        (b.finish(vec![q]), ids)
+    }
+
+    #[test]
+    fn mult_depth_matches_fig3a() {
+        let (p, [x, y, x2, x3, y2, s, q]) = fig2a();
+        let d = mult_depth(&p);
+        assert_eq!(d[x.index()], 4);
+        assert_eq!(d[y.index()], 3);
+        assert_eq!(d[x2.index()], 3);
+        assert_eq!(d[x3.index()], 2);
+        assert_eq!(d[y2.index()], 2);
+        assert_eq!(d[s.index()], 2);
+        assert_eq!(d[q.index()], 1);
+        assert_eq!(circuit_depth(&p), 3, "three muls on the deepest path");
+    }
+
+    #[test]
+    fn estimated_levels_match_fig3a() {
+        let (p, [x, y, _, x3, _, _, q]) = fig2a();
+        let params = CompileParams::new(20);
+        let lv = estimated_levels(&p, &params);
+        // Fig. 3a "Level" row: x 2.3, y 2, x3 1.6, q 1.3.
+        assert_eq!(lv[x.index()], Frac::ratio(7, 3));
+        assert_eq!(lv[y.index()], Frac::from(2));
+        assert_eq!(lv[x3.index()], Frac::ratio(5, 3));
+        assert_eq!(lv[q.index()], Frac::ratio(4, 3));
+    }
+
+    #[test]
+    fn live_marks_only_reachable() {
+        let b = Builder::new("dead", 4);
+        let x = b.input("x");
+        let used = x.clone() * x.clone();
+        let dead = x.clone().rotate(1);
+        let dead_id = dead.id();
+        drop(dead);
+        let p = b.finish(vec![used]);
+        let l = live(&p);
+        assert!(l[0] && l[1]);
+        assert!(!l[dead_id.index()]);
+    }
+
+    #[test]
+    fn use_counts_include_outputs_and_duplicates() {
+        let (p, [x, ..]) = fig2a();
+        let c = use_counts(&p);
+        // x used by x2 (twice) and x3 (once).
+        assert_eq!(c[x.index()], 3);
+        // q is only an output.
+        assert_eq!(c[p.outputs()[0].index()], 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Ergonomic front-end for constructing IR programs with operator syntax.
+
+use std::cell::RefCell;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::rc::Rc;
+
+use crate::op::{ConstValue, Op, ValueId};
+use crate::program::Program;
+
+/// Builds a [`Program`] with natural `+`, `-`, `*` expression syntax.
+///
+/// This plays the role of the Python DSL front-end in the paper's toolchain.
+///
+/// # Examples
+///
+/// The running example of the paper, `x³ · (y² + y)` (Fig. 2a):
+///
+/// ```
+/// use fhe_ir::Builder;
+/// let b = Builder::new("example", 16);
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+/// let program = b.finish(vec![q]);
+/// assert_eq!(program.num_ops(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Builder {
+    inner: Rc<RefCell<Program>>,
+}
+
+/// A handle to a value under construction. Cloning is cheap; arithmetic
+/// operators append ops to the owning [`Builder`].
+#[derive(Debug, Clone)]
+pub struct Expr {
+    inner: Rc<RefCell<Program>>,
+    id: ValueId,
+}
+
+impl Builder {
+    /// Starts building a program with the given name and slot count.
+    pub fn new(name: impl Into<String>, slots: usize) -> Self {
+        Builder { inner: Rc::new(RefCell::new(Program::new(name, slots))) }
+    }
+
+    fn expr(&self, id: ValueId) -> Expr {
+        Expr { inner: Rc::clone(&self.inner), id }
+    }
+
+    /// Declares a fresh ciphertext input.
+    pub fn input(&self, name: impl Into<String>) -> Expr {
+        let id = self.inner.borrow_mut().push(Op::Input { name: name.into() });
+        self.expr(id)
+    }
+
+    /// Introduces a plaintext constant (scalar or vector).
+    pub fn constant(&self, value: impl Into<ConstValue>) -> Expr {
+        let id = self.inner.borrow_mut().push(Op::Const { value: value.into() });
+        self.expr(id)
+    }
+
+    /// Sums an iterator of expressions as a balanced-ish left fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty.
+    pub fn sum(&self, exprs: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = exprs.into_iter();
+        let first = it.next().expect("Builder::sum of an empty iterator");
+        it.fold(first, |acc, e| acc + e)
+    }
+
+    /// Finalizes the program with the given outputs. Any still-live `Expr`
+    /// clones are detached (appending through them afterwards is lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output expression belongs to a different builder.
+    pub fn finish(self, outputs: Vec<Expr>) -> Program {
+        let ids: Vec<ValueId> = outputs
+            .into_iter()
+            .map(|e| {
+                assert!(
+                    Rc::ptr_eq(&e.inner, &self.inner),
+                    "output expression belongs to a different Builder"
+                );
+                e.id
+            })
+            .collect();
+        let mut prog = self.inner.borrow_mut();
+        prog.set_outputs(ids);
+        std::mem::replace(&mut *prog, Program::new("detached", 1))
+    }
+}
+
+impl Expr {
+    /// The SSA id of this expression in the program under construction.
+    pub fn id(&self) -> ValueId {
+        self.id
+    }
+
+    fn push(&self, op: Op) -> Expr {
+        let id = self.inner.borrow_mut().push(op);
+        Expr { inner: Rc::clone(&self.inner), id }
+    }
+
+    fn same_builder(&self, other: &Expr) {
+        assert!(
+            Rc::ptr_eq(&self.inner, &other.inner),
+            "cannot combine expressions from different Builders"
+        );
+    }
+
+    /// Cyclically rotates the slots by `k` (positive rotates towards slot 0).
+    pub fn rotate(&self, k: i64) -> Expr {
+        self.push(Op::Rotate(self.id, k))
+    }
+
+    /// The square of this expression (a ciphertext×ciphertext multiply).
+    pub fn square(&self) -> Expr {
+        self.push(Op::Mul(self.id, self.id))
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        self.same_builder(&rhs);
+        self.push(Op::Add(self.id, rhs.id))
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        self.same_builder(&rhs);
+        self.push(Op::Sub(self.id, rhs.id))
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        self.same_builder(&rhs);
+        self.push(Op::Mul(self.id, rhs.id))
+    }
+}
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        self.push(Op::Neg(self.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_paper_example() {
+        // x2 := x*x; x3 := x*x2; y2 := y*y; s := y2+y; q := x3*s
+        let b = Builder::new("fig2a", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let x2 = x.clone() * x.clone();
+        let x3 = x * x2;
+        let y2 = y.clone() * y.clone();
+        let s = y2 + y;
+        let q = x3 * s;
+        let p = b.finish(vec![q]);
+        assert_eq!(p.num_ops(), 7);
+        assert_eq!(p.inputs().len(), 2);
+        assert_eq!(p.outputs().len(), 1);
+        assert_eq!(p.count_ops(|o| matches!(o, Op::Mul(..))), 4);
+    }
+
+    #[test]
+    fn constants_and_unary() {
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let c = b.constant(vec![1.0, 2.0, 3.0, 4.0]);
+        let e = -(x.rotate(1) * c);
+        let p = b.finish(vec![e]);
+        assert_eq!(p.count_ops(|o| matches!(o, Op::Rotate(..))), 1);
+        assert_eq!(p.count_ops(|o| matches!(o, Op::Neg(_))), 1);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let b = Builder::new("t", 4);
+        let xs: Vec<Expr> = (0..4).map(|i| b.input(format!("x{i}"))).collect();
+        let s = b.sum(xs);
+        let p = b.finish(vec![s]);
+        assert_eq!(p.count_ops(|o| matches!(o, Op::Add(..))), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different Builder")]
+    fn cross_builder_panics() {
+        let b1 = Builder::new("a", 4);
+        let b2 = Builder::new("b", 4);
+        let x = b1.input("x");
+        let y = b2.input("y");
+        let _ = x + y;
+    }
+}

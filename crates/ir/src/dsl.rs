@@ -1,0 +1,134 @@
+//! A declarative macro front-end: write FHE programs as expression blocks.
+//!
+//! The paper's toolchain exposes a Python DSL over its MLIR dialect; the
+//! Rust equivalent here is [`fhe_program!`](crate::fhe_program), which
+//! expands to [`Builder`]
+//! calls:
+//!
+//! ```
+//! use fhe_ir::fhe_program;
+//! let program = fhe_program! {
+//!     program poly(slots = 64) {
+//!         input x;
+//!         input y;
+//!         let x2 = x.clone() * x.clone();
+//!         let x3 = x2 * x;
+//!         let s = y.clone() * y.clone() + y;
+//!         return x3 * s;
+//!     }
+//! };
+//! assert_eq!(program.name(), "poly");
+//! assert_eq!(program.inputs().len(), 2);
+//! ```
+//!
+//! Bindings are ordinary Rust `let`s over [`Expr`] handles, so the full
+//! operator set (`+`, `-`, `*`, unary `-`), method calls (`.rotate(k)`,
+//! `.square()`) and Rust control flow (loops building sums) all work inside
+//! the block.
+//!
+//! [`Builder`]: crate::Builder
+//! [`Expr`]: crate::Expr
+
+/// Builds a [`Program`](crate::Program) from a declarative block. See the
+/// [module docs](crate::dsl) for the accepted grammar:
+///
+/// ```text
+/// program <name>(slots = <n>) {
+///     input <ident>;            // one per ciphertext input
+///     const <ident> = <expr>;   // plaintext constant (f64 or Vec<f64>)
+///     let <ident> = <expr>;     // any Rust expression over Expr handles
+///     return <expr> [, <expr>]* ;
+/// }
+/// ```
+#[macro_export]
+macro_rules! fhe_program {
+    (
+        program $name:ident (slots = $slots:expr) {
+            $($body:tt)*
+        }
+    ) => {{
+        let __builder = $crate::Builder::new(stringify!($name), $slots);
+        $crate::__fhe_program_body!(__builder; $($body)*)
+    }};
+}
+
+/// Implementation detail of [`fhe_program!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __fhe_program_body {
+    // input x;
+    ($b:ident; input $name:ident; $($rest:tt)*) => {{
+        let $name = $b.input(stringify!($name));
+        $crate::__fhe_program_body!($b; $($rest)*)
+    }};
+    // const k = expr;
+    ($b:ident; const $name:ident = $value:expr; $($rest:tt)*) => {{
+        let $name = $b.constant($value);
+        $crate::__fhe_program_body!($b; $($rest)*)
+    }};
+    // let v = expr;
+    ($b:ident; let $name:ident = $value:expr; $($rest:tt)*) => {{
+        let $name = $value;
+        $crate::__fhe_program_body!($b; $($rest)*)
+    }};
+    // return e1, e2, ...;
+    ($b:ident; return $($out:expr),+ ;) => {{
+        $b.finish(vec![$($out),+])
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis;
+
+    #[test]
+    fn builds_the_worked_example() {
+        let program = fhe_program! {
+            program fig2a(slots = 8) {
+                input x;
+                input y;
+                let x2 = x.clone() * x.clone();
+                let x3 = x2 * x;
+                let s = y.clone() * y.clone() + y;
+                return x3 * s;
+            }
+        };
+        assert_eq!(program.name(), "fig2a");
+        assert_eq!(program.num_ops(), 7);
+        assert_eq!(analysis::circuit_depth(&program), 3);
+    }
+
+    #[test]
+    fn consts_and_multiple_outputs() {
+        let program = fhe_program! {
+            program weighted(slots = 4) {
+                input x;
+                const w = vec![0.5, 0.25, 0.125, 0.0625];
+                const half = 0.5;
+                let a = x.clone() * w;
+                let b = x * half;
+                return a, b;
+            }
+        };
+        assert_eq!(program.outputs().len(), 2);
+        assert_eq!(program.count_ops(|o| matches!(o, crate::Op::Const { .. })), 2);
+    }
+
+    #[test]
+    fn rust_control_flow_inside_the_block() {
+        let program = fhe_program! {
+            program rotsum(slots = 16) {
+                input x;
+                let sum = {
+                    let mut acc = x.clone();
+                    for step in [1i64, 2, 4, 8] {
+                        acc = acc.clone() + acc.rotate(step);
+                    }
+                    acc
+                };
+                return sum;
+            }
+        };
+        assert_eq!(program.count_ops(|o| matches!(o, crate::Op::Rotate(..))), 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! # fhe-ir — an SSA IR for RNS-CKKS programs
+//!
+//! This crate is the substrate shared by every scale-management compiler in
+//! the workspace (the reserve compiler of the paper, and the EVA / Hecate
+//! baselines). It provides:
+//!
+//! - a tiny SSA [`Program`] DAG over encrypted vectors with the arithmetic
+//!   ops of the paper's Fig. 4 plus the three scale-management ops of
+//!   Table 2 ([`Op`]);
+//! - an ergonomic [`Builder`] front-end with `+`, `-`, `*` operators;
+//! - dataflow [`analysis`] (multiplicative depth, liveness, §6.1 level
+//!   estimates);
+//! - cleanup [`passes`] (CSE, DCE) and [`fold`] (constant folding,
+//!   algebraic canonicalization);
+//! - a textual format ([`text`]) for printing and parsing programs;
+//! - the RNS-CKKS legality validator ([`ScheduledProgram::validate`]), the
+//!   shared correctness oracle for compiled programs; and
+//! - the latency [`CostModel`] seeded with the paper's Table 3.
+//!
+//! # Example
+//!
+//! Build the paper's running example `x³ · (y² + y)` and inspect it:
+//!
+//! ```
+//! use fhe_ir::{Builder, analysis};
+//! let b = Builder::new("example", 4096);
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+//! let program = b.finish(vec![q]);
+//! assert_eq!(analysis::circuit_depth(&program), 3);
+//! println!("{}", fhe_ir::text::print(&program));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod builder;
+pub mod dsl;
+pub mod cost;
+pub mod fold;
+mod frac;
+mod op;
+mod params;
+pub mod passes;
+mod program;
+mod schedule;
+pub mod text;
+
+pub use builder::{Builder, Expr};
+pub use cost::{CostModel, OpClass};
+pub use frac::Frac;
+pub use op::{ConstValue, Op, OperandIter, ValueId};
+pub use params::CompileParams;
+pub use program::{Program, ProgramEditor};
+pub use schedule::{InputSpec, ScaleMap, ScheduleError, ScheduledProgram};

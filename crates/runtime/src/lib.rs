@@ -1,0 +1,32 @@
+//! # fhe-runtime — executors and estimators for scheduled programs
+//!
+//! Four ways to run or cost a compiled ([`fhe_ir::ScheduledProgram`])
+//! RNS-CKKS program:
+//!
+//! - [`plain`]: exact plaintext reference execution (the semantics oracle);
+//! - [`noise_sim`]: plaintext execution with the scheme's scale-dependent
+//!   noise injected per op — drives the paper's error comparison (Fig. 7)
+//!   at a tiny fraction of encrypted cost;
+//! - [`ckks_exec`]: real encrypted execution on the `fhe-ckks` backend with
+//!   wall-clock timing;
+//! - [`estimate()`](estimate::estimate): static latency estimation under the Table 3 cost model
+//!   (drives Fig. 6 and Fig. 8);
+//! - [`error_est`]: closed-form worst-case error bounds (an ELASM-style
+//!   extension beyond the paper);
+//!
+//! plus [`microbench`], which measures this repo's own Table 3.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ckks_exec;
+pub mod error_est;
+pub mod estimate;
+pub mod microbench;
+pub mod noise_sim;
+pub mod plain;
+
+pub use ckks_exec::{execute as execute_encrypted, ExecOptions, ExecReport};
+pub use error_est::{estimate_error, select_waterline, ErrorEstimateOptions};
+pub use estimate::{estimate, LatencyBreakdown};
+pub use noise_sim::{simulate, NoiseModel, NoisyRun};

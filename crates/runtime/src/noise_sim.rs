@@ -1,0 +1,233 @@
+//! Noise-injection simulator: executes a scheduled program on clear vectors
+//! while injecting the RNS-CKKS noise each operation would add.
+//!
+//! RNS-CKKS noise is (to first order) *scale-independent* in the integer
+//! domain: fresh encryption, relinearization (after cipher×cipher), Galois
+//! key switching (rotation) and rescaling each add noise of roughly fixed
+//! magnitude `B`, so the induced message error is `B / m` for a ciphertext
+//! at scale `m` (§8.2 — the reason minimizing scales, as Hecate does,
+//! *increases* error). The simulator reads each value's exact scale from
+//! the validator and perturbs slots accordingly, which reproduces Fig. 7's
+//! error comparison at a tiny fraction of a real encrypted execution's cost.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fhe_ir::{Op, ScheduleError, ScheduledProgram, ValueId};
+
+use crate::plain;
+
+/// Noise model configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// log₂ of the integer-domain noise magnitude added by fresh
+    /// encryption, relinearization, key switching and rescaling. With
+    /// `N = 2^15` and σ = 3.2 this is ≈ 16–18 bits.
+    pub noise_bits: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { noise_bits: 16.0, seed: 0x5EED }
+    }
+}
+
+/// Result of a noisy execution.
+#[derive(Debug, Clone)]
+pub struct NoisyRun {
+    /// Noisy program outputs.
+    pub outputs: Vec<Vec<f64>>,
+    /// Noise-free reference outputs.
+    pub reference: Vec<Vec<f64>>,
+}
+
+impl NoisyRun {
+    /// Maximum absolute slot error across all outputs.
+    pub fn max_abs_error(&self) -> f64 {
+        self.outputs
+            .iter()
+            .zip(&self.reference)
+            .flat_map(|(o, r)| o.iter().zip(r).map(|(a, b)| (a - b).abs()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Root-mean-square slot error across all outputs.
+    pub fn rms_error(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (o, r) in self.outputs.iter().zip(&self.reference) {
+            for (a, b) in o.iter().zip(r) {
+                sum += (a - b) * (a - b);
+                n += 1;
+            }
+        }
+        (sum / n.max(1) as f64).sqrt()
+    }
+
+    /// log₂ of the maximum absolute error (Fig. 7's "Error(Log)" axis).
+    pub fn log2_error(&self) -> f64 {
+        self.max_abs_error().max(f64::MIN_POSITIVE).log2()
+    }
+}
+
+/// Executes a scheduled program with injected noise.
+///
+/// # Errors
+///
+/// Returns the schedule's validation errors if it is not legal.
+pub fn simulate(
+    scheduled: &ScheduledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    model: &NoiseModel,
+) -> Result<NoisyRun, Vec<ScheduleError>> {
+    let map = scheduled.validate()?;
+    let program = &scheduled.program;
+    let slots = program.slots();
+    let mut rng = StdRng::seed_from_u64(model.seed);
+    let live = fhe_ir::analysis::live(program);
+    let noise_mag = 2f64.powf(model.noise_bits);
+
+    let mut values: Vec<Option<Vec<f64>>> = vec![None; program.num_ops()];
+    let fetch = |values: &Vec<Option<Vec<f64>>>, id: ValueId| -> Vec<f64> {
+        values[id.index()].clone().expect("operand evaluated")
+    };
+
+    for id in program.ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        let (mut result, noisy) = match program.op(id) {
+            Op::Input { name } => {
+                let data = inputs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("missing input binding `{name}`"));
+                let v: Vec<f64> =
+                    (0..slots).map(|i| data.get(i).copied().unwrap_or(0.0)).collect();
+                (v, true) // fresh encryption noise
+            }
+            Op::Const { value } => (value.to_vec(slots), false),
+            Op::Add(a, b) => (
+                fetch(&values, *a)
+                    .iter()
+                    .zip(&fetch(&values, *b))
+                    .map(|(x, y)| x + y)
+                    .collect(),
+                false,
+            ),
+            Op::Sub(a, b) => (
+                fetch(&values, *a)
+                    .iter()
+                    .zip(&fetch(&values, *b))
+                    .map(|(x, y)| x - y)
+                    .collect(),
+                false,
+            ),
+            Op::Mul(a, b) => {
+                let prod: Vec<f64> = fetch(&values, *a)
+                    .iter()
+                    .zip(&fetch(&values, *b))
+                    .map(|(x, y)| x * y)
+                    .collect();
+                // Relinearization noise only for cipher×cipher.
+                let relin = program.is_cipher(*a) && program.is_cipher(*b);
+                (prod, relin)
+            }
+            Op::Neg(a) => (fetch(&values, *a).iter().map(|x| -x).collect(), false),
+            Op::Rotate(a, k) => (plain::rotate(&fetch(&values, *a), *k), true),
+            Op::Rescale(a) => (fetch(&values, *a), true),
+            Op::ModSwitch(a) | Op::Upscale(a, _) => (fetch(&values, *a), false),
+        };
+        if noisy && program.is_cipher(id) {
+            let scale = 2f64.powf(map.scale_bits(id).to_f64());
+            let err = noise_mag / scale;
+            for v in result.iter_mut() {
+                *v += rng.gen_range(-1.0..1.0) * err;
+            }
+        }
+        values[id.index()] = Some(result);
+    }
+
+    let outputs = program
+        .outputs()
+        .iter()
+        .map(|&o| values[o.index()].clone().expect("output evaluated"))
+        .collect();
+    let reference = plain::execute(program, inputs);
+    Ok(NoisyRun { outputs, reference })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::Builder;
+    use reserve_core::Options;
+
+    fn inputs(pairs: &[(&str, Vec<f64>)]) -> HashMap<String, Vec<f64>> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn fig2a_scheduled(waterline: u32) -> ScheduledProgram {
+        let b = Builder::new("fig2a", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        let p = b.finish(vec![q]);
+        reserve_core::compile(&p, &Options::new(waterline)).unwrap().scheduled
+    }
+
+    #[test]
+    fn noisy_outputs_stay_close_to_reference() {
+        let s = fig2a_scheduled(30);
+        let run = simulate(
+            &s,
+            &inputs(&[("x", vec![0.5; 8]), ("y", vec![0.25; 8])]),
+            &NoiseModel::default(),
+        )
+        .unwrap();
+        assert!(run.max_abs_error() < 1e-2, "error {}", run.max_abs_error());
+        assert!(run.max_abs_error() > 0.0, "noise must actually be injected");
+    }
+
+    #[test]
+    fn larger_waterline_means_smaller_error() {
+        let binds = inputs(&[("x", vec![0.5; 8]), ("y", vec![0.25; 8])]);
+        let e20 = simulate(&fig2a_scheduled(20), &binds, &NoiseModel::default())
+            .unwrap()
+            .log2_error();
+        let e40 = simulate(&fig2a_scheduled(40), &binds, &NoiseModel::default())
+            .unwrap()
+            .log2_error();
+        assert!(
+            e40 < e20 - 10.0,
+            "W=2^40 (err 2^{e40:.1}) must be far more accurate than W=2^20 (err 2^{e20:.1})"
+        );
+    }
+
+    #[test]
+    fn zero_noise_model_reproduces_reference() {
+        let s = fig2a_scheduled(25);
+        let run = simulate(
+            &s,
+            &inputs(&[("x", vec![1.5; 8]), ("y", vec![-0.5; 8])]),
+            &NoiseModel { noise_bits: f64::NEG_INFINITY, seed: 1 },
+        )
+        .unwrap();
+        assert_eq!(run.max_abs_error(), 0.0);
+    }
+
+    #[test]
+    fn rms_bounded_by_max() {
+        let s = fig2a_scheduled(20);
+        let run = simulate(
+            &s,
+            &inputs(&[("x", vec![0.9; 8]), ("y", vec![0.8; 8])]),
+            &NoiseModel::default(),
+        )
+        .unwrap();
+        assert!(run.rms_error() <= run.max_abs_error());
+    }
+}

@@ -1,0 +1,83 @@
+//! Deterministic synthetic input generation.
+//!
+//! The paper's evaluation uses 64×64 images, 16384-sample regressions and
+//! MNIST/CIFAR images; input *values* only affect error magnitudes, so this
+//! reproduction uses seeded uniform data with matched shapes and ranges
+//! (documented substitution in DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` values uniform in `[lo, hi)`, deterministic in `seed`.
+pub fn uniform(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A synthetic grayscale image in `[0, 0.5)` (kept small so squared
+/// gradients stay below 1).
+pub fn image(pixels: usize, seed: u64) -> Vec<f64> {
+    uniform(pixels, 0.0, 0.5, seed)
+}
+
+/// Regression samples: `x ∈ [−1, 1)` and `y = f(x) + ε` with small noise.
+pub fn regression_xy(n: usize, f: impl Fn(f64) -> f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let x = uniform(n, -1.0, 1.0, seed);
+    let noise = uniform(n, -0.05, 0.05, seed ^ 0xABCD);
+    let y = x.iter().zip(&noise).map(|(&xi, &e)| f(xi) + e).collect();
+    (x, y)
+}
+
+/// Weight matrix diagonals for a banded FC layer: `count` diagonals of
+/// length `len`, scaled by `1/count` so outputs stay bounded.
+pub fn diagonals(count: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..len).map(|_| rng.gen_range(-1.0..1.0) / count as f64).collect())
+        .collect()
+}
+
+/// A convolution kernel `k×k` with small random weights.
+pub fn kernel(k: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = 1.0 / (k * k) as f64;
+    (0..k)
+        .map(|_| (0..k).map(|_| rng.gen_range(-1.0..1.0) * scale).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(uniform(10, 0.0, 1.0, 7), uniform(10, 0.0, 1.0, 7));
+        assert_ne!(uniform(10, 0.0, 1.0, 7), uniform(10, 0.0, 1.0, 8));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        for v in uniform(1000, -2.0, 3.0, 1) {
+            assert!((-2.0..3.0).contains(&v));
+        }
+        for v in image(100, 2) {
+            assert!((0.0..0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regression_targets_follow_function() {
+        let (x, y) = regression_xy(100, |v| 2.0 * v + 1.0, 3);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((yi - (2.0 * xi + 1.0)).abs() <= 0.05);
+        }
+    }
+
+    #[test]
+    fn diagonal_shapes() {
+        let d = diagonals(4, 16, 5);
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|row| row.len() == 16));
+    }
+}

@@ -1,0 +1,113 @@
+//! Image-processing benchmarks: Sobel Filter (SF) and Harris Corner
+//! Detection (HCD). The paper uses 4096-pixel 64×64 images.
+
+use std::collections::HashMap;
+
+use fhe_ir::{Builder, Program};
+
+use crate::data;
+use crate::helpers::{box_sum, conv2d};
+
+const SOBEL_GX: [[f64; 3]; 3] = [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]];
+const SOBEL_GY: [[f64; 3]; 3] = [[-1.0, -2.0, -1.0], [0.0, 0.0, 0.0], [1.0, 2.0, 1.0]];
+
+fn kernel(k: &[[f64; 3]; 3]) -> Vec<Vec<f64>> {
+    k.iter().map(|row| row.to_vec()).collect()
+}
+
+/// Builds the Sobel Filter benchmark on a `width × width` image:
+/// `|∇I|² = Ix² + Iy²` with the two 3×3 Sobel kernels.
+pub fn sobel(width: usize) -> Program {
+    let slots = width * width;
+    let b = Builder::new("sobel", slots);
+    let img = b.input("img");
+    let ix = conv2d(&b, &img, &kernel(&SOBEL_GX), width, 1);
+    let iy = conv2d(&b, &img, &kernel(&SOBEL_GY), width, 1);
+    let g = ix.clone() * ix + iy.clone() * iy;
+    b.finish(vec![g])
+}
+
+/// Builds the Harris Corner Detection benchmark: structure-tensor window
+/// sums of the Sobel gradients, response `det(M) − k·trace(M)²`.
+pub fn harris(width: usize) -> Program {
+    let slots = width * width;
+    let b = Builder::new("harris", slots);
+    let img = b.input("img");
+    let ix = conv2d(&b, &img, &kernel(&SOBEL_GX), width, 1);
+    let iy = conv2d(&b, &img, &kernel(&SOBEL_GY), width, 1);
+    let ixx = ix.clone() * ix.clone();
+    let iyy = iy.clone() * iy.clone();
+    let ixy = ix * iy;
+    let sxx = box_sum(&ixx, 3, width, 1);
+    let syy = box_sum(&iyy, 3, width, 1);
+    let sxy = box_sum(&ixy, 3, width, 1);
+    let det = sxx.clone() * syy.clone() - sxy.clone() * sxy;
+    let trace = sxx + syy;
+    let k = b.constant(0.04);
+    let response = det - trace.clone() * trace * k;
+    b.finish(vec![response])
+}
+
+/// Input binding for either image benchmark.
+pub fn image_inputs(width: usize, seed: u64) -> HashMap<String, Vec<f64>> {
+    let mut m = HashMap::new();
+    m.insert("img".to_string(), data::image(width * width, seed));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::analysis;
+    use fhe_runtime::plain;
+
+    #[test]
+    fn sobel_shape_matches_paper() {
+        let p = sobel(64);
+        assert_eq!(p.slots(), 4096);
+        // Paper Table 4: SF has 60 ops; ours must be in that ballpark.
+        assert!((40..=80).contains(&p.num_ops()), "sobel has {} ops", p.num_ops());
+        assert_eq!(analysis::circuit_depth(&p), 2, "conv then square");
+    }
+
+    #[test]
+    fn harris_shape_matches_paper() {
+        let p = harris(64);
+        // Paper: HCD has 110 ops, depth 4 (two levels of products).
+        assert!((90..=140).contains(&p.num_ops()), "harris has {} ops", p.num_ops());
+        assert_eq!(analysis::circuit_depth(&p), 4, "conv, product, response products");
+    }
+
+    #[test]
+    fn sobel_computes_gradient_magnitude() {
+        // A vertical edge: left half 0, right half 1 → interior slots of the
+        // edge columns see a strong Ix, zero Iy.
+        let width = 8;
+        let p = sobel(width);
+        let mut img = vec![0.0; 64];
+        for r in 0..width {
+            for c in 4..width {
+                img[r * width + c] = 1.0;
+            }
+        }
+        let mut inputs = HashMap::new();
+        inputs.insert("img".to_string(), img);
+        let out = plain::execute(&p, &inputs);
+        // Pixel (4, 3) is just left of the edge: Ix = ±4, Iy = 0 → 16.
+        assert_eq!(out[0][4 * width + 3], 16.0);
+        // Deep inside a flat region the gradient is 0.
+        assert_eq!(out[0][4 * width + 1], 0.0);
+    }
+
+    #[test]
+    fn harris_flat_region_has_zero_response() {
+        let width = 8;
+        let p = harris(width);
+        let mut inputs = HashMap::new();
+        inputs.insert("img".to_string(), vec![0.3; 64]);
+        let out = plain::execute(&p, &inputs);
+        for &v in &out[0] {
+            assert!(v.abs() < 1e-12, "flat image must have no corners: {v}");
+        }
+    }
+}

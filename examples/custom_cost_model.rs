@@ -1,0 +1,68 @@
+//! Calibrating the compiler's cost model from real backend measurements.
+//!
+//! The compilers ship with the paper's Table 3 latencies; this example
+//! measures this machine's `fhe-ckks` latencies instead, rebuilds the cost
+//! model from them, and shows how the calibrated model changes (or
+//! confirms) the reserve compiler's plan.
+//!
+//! ```sh
+//! cargo run --example custom_cost_model --release
+//! ```
+
+use fhe_reserve::prelude::*;
+use fhe_reserve::{ckks, runtime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Measure the real backend (small degree for a fast demo).
+    let params = ckks::CkksParams {
+        poly_degree: 1 << 11,
+        max_level: 5,
+        modulus_bits: 45,
+        special_bits: 46,
+        error_std: 3.2,
+    };
+    println!("measuring backend op latencies (N = 2^11, levels 1-4)...");
+    let rows = runtime::microbench::measure(params, 4, 2, 1);
+    for (class, lat) in &rows {
+        let cells: Vec<String> = lat.iter().map(|v| format!("{v:>8.0}")).collect();
+        println!("  {:<20} {} us", class.name(), cells.join(" "));
+    }
+
+    // 2. Build a calibrated cost model.
+    let calibrated = CostModel::from_rows(rows);
+
+    // 3. Compile a workload under both models and compare the plans.
+    let program = fhe_reserve::workloads::image::sobel(16);
+    let paper_opts = Options::new(25);
+    let mut calibrated_opts = Options::new(25);
+    calibrated_opts.cost_model = calibrated.clone();
+
+    let with_paper = fhe_reserve::compiler::compile(&program, &paper_opts)?;
+    let with_measured = fhe_reserve::compiler::compile(&program, &calibrated_opts)?;
+
+    let paper_est = |s: &ScheduledProgram| {
+        runtime::estimate(s, &CostModel::paper_table3()).unwrap().total_us / 1000.0
+    };
+    let measured_est =
+        |s: &ScheduledProgram| runtime::estimate(s, &calibrated).unwrap().total_us / 1000.0;
+
+    println!("\nplan under paper cost model:      {} ops, {} hoists",
+        with_paper.stats.ops_after, with_paper.stats.hoists);
+    println!("plan under calibrated cost model: {} ops, {} hoists",
+        with_measured.stats.ops_after, with_measured.stats.hoists);
+    println!(
+        "\nestimated latency (paper model):      {:.1} ms vs {:.1} ms",
+        paper_est(&with_paper.scheduled),
+        paper_est(&with_measured.scheduled)
+    );
+    println!(
+        "estimated latency (calibrated model): {:.1} ms vs {:.1} ms",
+        measured_est(&with_paper.scheduled),
+        measured_est(&with_measured.scheduled)
+    );
+    println!("\n(the calibrated-model plan should never be worse under its own model)");
+    assert!(
+        measured_est(&with_measured.scheduled) <= measured_est(&with_paper.scheduled) * 1.05
+    );
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! `fhec` — command-line FHE scale-management compiler.
+//!
+//! Reads a program in the textual IR format, compiles it with the selected
+//! scale-management scheme, and prints the scheduled program and/or
+//! statistics.
+//!
+//! ```sh
+//! cargo run --release --bin fhec -- program.fhe --waterline 30 --emit text
+//! cargo run --release --bin fhec -- program.fhe --compiler eva --emit stats
+//! ```
+
+use std::process::ExitCode;
+
+use fhe_reserve::baselines;
+use fhe_reserve::ir::{text, CompileParams, ScheduledProgram};
+use fhe_reserve::prelude::*;
+
+struct Cli {
+    input: String,
+    waterline: u32,
+    compiler: String,
+    mode: Mode,
+    emit: String,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut input = None;
+    let mut waterline = 30u32;
+    let mut compiler = "reserve".to_string();
+    let mut mode = Mode::Full;
+    let mut emit = "stats".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--waterline" | "-w" => {
+                waterline = args
+                    .next()
+                    .ok_or("--waterline needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad waterline: {e}"))?;
+            }
+            "--compiler" | "-c" => {
+                compiler = args.next().ok_or("--compiler needs eva|hecate|reserve")?;
+            }
+            "--mode" | "-m" => {
+                mode = match args.next().as_deref() {
+                    Some("ba") => Mode::Ba,
+                    Some("ra") => Mode::Ra,
+                    Some("full") => Mode::Full,
+                    other => return Err(format!("bad --mode {other:?} (ba|ra|full)")),
+                };
+            }
+            "--emit" | "-e" => {
+                emit = args.next().ok_or("--emit needs text|stats|both")?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: fhec <program.fhe> [--waterline N] \
+                            [--compiler eva|hecate|reserve] [--mode ba|ra|full] \
+                            [--emit text|stats|both]"
+                    .to_string())
+            }
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if !(1..60).contains(&waterline) {
+        return Err(format!(
+            "waterline must be in 1..=59 bits (below the rescaling factor R = 2^60), got {waterline}"
+        ));
+    }
+    Ok(Cli {
+        input: input.ok_or("missing input file (try --help)")?,
+        waterline,
+        compiler,
+        mode,
+        emit,
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&cli.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", cli.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match text::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", cli.input);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (scheduled, label, sm_time): (ScheduledProgram, &str, std::time::Duration) =
+        match cli.compiler.as_str() {
+            "eva" => match baselines::eva::compile(&program, &CompileParams::new(cli.waterline)) {
+                Ok(out) => (out.scheduled, "EVA", out.stats.scale_management_time),
+                Err(e) => {
+                    eprintln!("EVA: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "hecate" => match baselines::hecate::compile(
+                &program,
+                &CompileParams::new(cli.waterline),
+                &baselines::HecateOptions::default(),
+            ) {
+                Ok(out) => (out.scheduled, "Hecate", out.stats.scale_management_time),
+                Err(e) => {
+                    eprintln!("Hecate: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "reserve" => {
+                match fhe_reserve::compiler::compile(
+                    &program,
+                    &Options::with_mode(cli.waterline, cli.mode),
+                ) {
+                    Ok(out) => (out.scheduled, "reserve", out.stats.scale_management_time),
+                    Err(e) => {
+                        eprintln!("reserve: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown compiler `{other}` (eva|hecate|reserve)");
+                return ExitCode::from(2);
+            }
+        };
+
+    let map = scheduled.validate().expect("compiled schedules validate");
+    if cli.emit == "text" || cli.emit == "both" {
+        print!("{}", text::print(&scheduled.program));
+    }
+    if cli.emit == "stats" || cli.emit == "both" {
+        let cost = CostModel::paper_table3().program_cost(&scheduled.program, &map);
+        let (rs, ms, us) = scheduled.scale_management_counts();
+        eprintln!(
+            "{label}: W=2^{} level={} ops={} rescale={rs} modswitch={ms} upscale={us} \
+             est_latency={:.2}ms sm_time={:?}",
+            cli.waterline,
+            map.max_level(),
+            scheduled.program.num_ops(),
+            cost / 1000.0,
+            sm_time,
+        );
+        for (i, spec) in scheduled.inputs.iter().enumerate() {
+            eprintln!("  input {i}: scale 2^{}, level {}", spec.scale_bits, spec.level);
+        }
+    }
+    ExitCode::SUCCESS
+}

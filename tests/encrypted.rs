@@ -1,0 +1,104 @@
+//! Real-encryption integration: compile benchmarks with each compiler and
+//! execute them on the `fhe-ckks` backend, checking the decrypted outputs
+//! against the plaintext reference.
+
+use fhe_reserve::prelude::*;
+use fhe_reserve::{baselines, runtime};
+use fhe_reserve::runtime::ExecOptions;
+
+fn exec_opts() -> ExecOptions {
+    // 256 slots = N/2 for N = 512: matches the Size::Test LeNet slot count.
+    ExecOptions { poly_degree: 256, seed: 99 }
+}
+
+fn with_output_reserve(waterline: u32, bits: u32) -> Options {
+    let mut o = Options::new(waterline);
+    o.params.output_reserve_bits = bits;
+    o
+}
+
+#[test]
+fn encrypted_sobel_matches_reference() {
+    // An 8×8 image is 64 slots, so the backend degree is N = 128.
+    let program = fhe_reserve::workloads::image::sobel(8);
+    let opts = ExecOptions { poly_degree: 128, seed: 1 };
+    let inputs = fhe_reserve::workloads::image::image_inputs(8, 5);
+    let compiled = compile(&program, &with_output_reserve(30, 4)).unwrap();
+    let report = runtime::execute_encrypted(&compiled.scheduled, &inputs, &opts).unwrap();
+    assert!(
+        report.max_abs_error() < 1e-2,
+        "sobel encrypted error {}",
+        report.max_abs_error()
+    );
+}
+
+#[test]
+fn encrypted_linear_regression_trains() {
+    let n = 128;
+    let program = fhe_reserve::workloads::regression::linear(n, 2);
+    let inputs = fhe_reserve::workloads::regression::linear_inputs(n, 21);
+    let compiled = compile(&program, &with_output_reserve(35, 4)).unwrap();
+    let report = runtime::execute_encrypted(&compiled.scheduled, &inputs, &exec_opts()).unwrap();
+    assert!(
+        report.max_abs_error() < 1e-2,
+        "regression encrypted error {}",
+        report.max_abs_error()
+    );
+    // The decrypted weight must match the plaintext-trained weight.
+    assert!((report.outputs[0][0] - report.reference[0][0]).abs() < 1e-2);
+    assert!(report.reference[0][0] > 0.0, "training moved the weight");
+}
+
+#[test]
+fn encrypted_execution_agrees_across_compilers() {
+    // The same program compiled by EVA, Hecate, and the reserve compiler
+    // must decrypt to the same values (modulo noise).
+    let n = 128;
+    let program = fhe_reserve::workloads::mlp::mlp(n, 4, 3);
+    let inputs = fhe_reserve::workloads::mlp::mlp_inputs(n, 3);
+    let params = CompileParams::new(30);
+
+    let eva = baselines::eva::compile(&program, &params).unwrap().scheduled;
+    let hec = baselines::hecate::compile(
+        &program,
+        &params,
+        &baselines::HecateOptions {
+            max_iterations: 60,
+            patience: 60,
+            seed: 2,
+            max_choice: baselines::ForwardPlan::MAX_CHOICE,
+        },
+    )
+    .unwrap()
+    .scheduled;
+    let ours = compile(&program, &with_output_reserve(30, 2)).unwrap().scheduled;
+
+    let mut outs = Vec::new();
+    for s in [&eva, &hec, &ours] {
+        let report = runtime::execute_encrypted(s, &inputs, &exec_opts()).unwrap();
+        assert!(report.max_abs_error() < 1e-2, "error {}", report.max_abs_error());
+        outs.push(report.outputs[0].clone());
+    }
+    for i in (0..n).step_by(17) {
+        assert!((outs[0][i] - outs[1][i]).abs() < 1e-2);
+        assert!((outs[0][i] - outs[2][i]).abs() < 1e-2);
+    }
+}
+
+#[test]
+fn encrypted_tiny_lenet_runs_all_eleven_levels() {
+    let cfg = fhe_reserve::workloads::lenet::LenetConfig::tiny(128);
+    let program = fhe_reserve::workloads::lenet::build(&cfg);
+    let inputs = fhe_reserve::workloads::lenet::lenet_inputs(&cfg, 13);
+    // Depth 11 with a large waterline keeps levels deep — the heaviest
+    // encrypted test in the suite.
+    let compiled = compile(&program, &with_output_reserve(30, 4)).unwrap();
+    let opts = ExecOptions { poly_degree: 256, seed: 4 };
+    let report = runtime::execute_encrypted(&compiled.scheduled, &inputs, &opts).unwrap();
+    assert!(
+        report.max_abs_error() < 0.05,
+        "lenet encrypted error {}",
+        report.max_abs_error()
+    );
+    assert!(report.ops_executed > 100);
+}

@@ -1,0 +1,239 @@
+//! Property-based tests: random programs through the whole toolchain.
+//!
+//! For arbitrary DAG programs, every compiler must emit a schedule that
+//! (a) passes the RNS-CKKS validator, (b) computes exactly the same
+//! function as the source, and (c) respects the reserve type system; and
+//! the core IR utilities (text format, passes, rationals) must uphold
+//! their invariants.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use fhe_reserve::prelude::*;
+use fhe_reserve::{baselines, runtime};
+use fhe_ir::{Frac, Op, Program, ValueId};
+
+/// A recipe for one random op over already-defined values.
+#[derive(Debug, Clone)]
+enum OpRecipe {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Neg(usize),
+    Rotate(usize, i64),
+    Const(f64),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = OpRecipe> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpRecipe::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpRecipe::Sub(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpRecipe::Mul(a, b)),
+        any::<usize>().prop_map(OpRecipe::Neg),
+        (any::<usize>(), -4i64..4).prop_map(|(a, k)| OpRecipe::Rotate(a, k)),
+        (-100i32..100).prop_map(|v| OpRecipe::Const(v as f64 / 100.0)),
+    ]
+}
+
+/// Materializes a random program with bounded multiplicative depth (so it
+/// always fits `max_level`), plus matching inputs.
+fn build_program(
+    recipes: &[OpRecipe],
+    num_inputs: usize,
+) -> (Program, HashMap<String, Vec<f64>>) {
+    const SLOTS: usize = 8;
+    const MAX_DEPTH: u32 = 6;
+    let mut p = Program::new("random", SLOTS);
+    let mut depth: Vec<u32> = Vec::new(); // muls consumed so far per value
+    for i in 0..num_inputs {
+        p.push(Op::Input { name: format!("in{i}") });
+        depth.push(0);
+    }
+    for r in recipes {
+        let n = p.num_ops();
+        let pick = |raw: usize| ValueId((raw % n) as u32);
+        let (op, d) = match r.clone() {
+            OpRecipe::Add(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                (Op::Add(a, b), depth[a.index()].max(depth[b.index()]))
+            }
+            OpRecipe::Sub(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                (Op::Sub(a, b), depth[a.index()].max(depth[b.index()]))
+            }
+            OpRecipe::Mul(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                let d = depth[a.index()].max(depth[b.index()]) + 1;
+                if d > MAX_DEPTH {
+                    // Too deep: degrade to an addition to bound the level.
+                    (Op::Add(a, b), d - 1)
+                } else {
+                    (Op::Mul(a, b), d)
+                }
+            }
+            OpRecipe::Neg(a) => {
+                let a = pick(a);
+                (Op::Neg(a), depth[a.index()])
+            }
+            OpRecipe::Rotate(a, k) => {
+                let a = pick(a);
+                (Op::Rotate(a, k), depth[a.index()])
+            }
+            OpRecipe::Const(v) => (Op::Const { value: v.into() }, 0),
+        };
+        p.push(op);
+        depth.push(d);
+    }
+    // Output: the last ciphertext value (guaranteed: inputs are cipher).
+    let out = p
+        .ids()
+        .rev()
+        .find(|&id| p.is_cipher(id))
+        .expect("at least one cipher value");
+    p.set_outputs(vec![out]);
+    let inputs = (0..num_inputs)
+        .map(|i| {
+            (format!("in{i}"), (0..SLOTS).map(|s| ((s + i) as f64 * 0.11).sin() * 0.5).collect())
+        })
+        .collect();
+    (p, inputs)
+}
+
+fn outputs_equal(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.iter().zip(y).all(|(u, v)| (u - v).abs() <= 1e-9 * v.abs().max(1.0))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reserve_compiler_is_sound_on_random_programs(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..40),
+        num_inputs in 1usize..4,
+        waterline in 15u32..50,
+        mode_idx in 0usize..3,
+    ) {
+        let (program, inputs) = build_program(&recipes, num_inputs);
+        let mode = Mode::ALL[mode_idx];
+        let compiled = compile(&program, &Options::with_mode(waterline, mode))
+            .expect("bounded-depth programs always compile");
+        // (a) validator accepts.
+        prop_assert!(compiled.scheduled.validate().is_ok());
+        // (b) semantics preserved exactly.
+        let reference = runtime::plain::execute(&program, &inputs);
+        let got = runtime::plain::execute(&compiled.scheduled.program, &inputs);
+        prop_assert!(outputs_equal(&got, &reference));
+    }
+
+    #[test]
+    fn baselines_are_sound_on_random_programs(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..30),
+        num_inputs in 1usize..3,
+        waterline in 15u32..50,
+    ) {
+        let (program, inputs) = build_program(&recipes, num_inputs);
+        let params = CompileParams::new(waterline);
+        let reference = runtime::plain::execute(&program, &inputs);
+
+        let eva = baselines::eva::compile(&program, &params).expect("EVA compiles");
+        prop_assert!(eva.scheduled.validate().is_ok());
+        prop_assert!(outputs_equal(
+            &runtime::plain::execute(&eva.scheduled.program, &inputs),
+            &reference
+        ));
+
+        let hec = baselines::hecate::compile(&program, &params, &baselines::HecateOptions {
+            max_iterations: 20, patience: 20, seed: 9,
+            max_choice: baselines::ForwardPlan::MAX_CHOICE,
+        }).expect("Hecate compiles");
+        prop_assert!(hec.scheduled.validate().is_ok());
+        prop_assert!(outputs_equal(
+            &runtime::plain::execute(&hec.scheduled.program, &inputs),
+            &reference
+        ));
+    }
+
+    #[test]
+    fn reserve_solutions_type_check(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..40),
+        waterline in 15u32..50,
+        redistribute in any::<bool>(),
+    ) {
+        let (program, _) = build_program(&recipes, 2);
+        let program = fhe_ir::passes::cleanup(&program);
+        let params = CompileParams::new(waterline);
+        let order = fhe_reserve::compiler::allocation_order(
+            &program, &params, &CostModel::paper_table3());
+        let sol = fhe_reserve::compiler::allocate(&program, &params, &order, redistribute);
+        let errors = fhe_reserve::compiler::types::check(&program, &params, &sol);
+        prop_assert!(errors.is_empty(), "type errors: {errors:?}");
+    }
+
+    #[test]
+    fn text_roundtrip_on_random_programs(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..30),
+    ) {
+        let (program, _) = build_program(&recipes, 2);
+        let text = fhe_ir::text::print(&program);
+        let back = fhe_ir::text::parse(&text).expect("printer output parses");
+        prop_assert_eq!(fhe_ir::text::print(&back), text);
+    }
+
+    #[test]
+    fn cleanup_preserves_semantics(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..40),
+    ) {
+        let (program, inputs) = build_program(&recipes, 2);
+        let cleaned = fhe_ir::passes::cleanup(&program);
+        prop_assert!(cleaned.num_ops() <= program.num_ops());
+        let reference = runtime::plain::execute(&program, &inputs);
+        let got = runtime::plain::execute(&cleaned, &inputs);
+        prop_assert!(outputs_equal(&got, &reference));
+    }
+
+    #[test]
+    fn frac_field_laws(
+        an in -1000i64..1000, ad in 1i64..60,
+        bn in -1000i64..1000, bd in 1i64..60,
+        cn in -1000i64..1000, cd in 1i64..60,
+    ) {
+        let a = Frac::ratio(an as i128, ad as i128);
+        let b = Frac::ratio(bn as i128, bd as i128);
+        let c = Frac::ratio(cn as i128, cd as i128);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Frac::ZERO);
+        // Ceiling and the paper's fractional part are consistent:
+        // x = ⌈x⌉ − 1 + {x}.
+        prop_assert_eq!(Frac::from(a.ceil()) - Frac::from(1) + a.paper_frac(), a);
+        // {x} ∈ (0, 1].
+        prop_assert!(a.paper_frac() > Frac::ZERO && a.paper_frac() <= Frac::from(1));
+    }
+
+    #[test]
+    fn reserve_is_invariant_under_rescale_in_schedules(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..30),
+        waterline in 15u32..50,
+    ) {
+        // For every rescale in a compiled schedule, the reserve
+        // (level·R − scale) of input and output is identical — the paper's
+        // central invariant.
+        let (program, _) = build_program(&recipes, 2);
+        let compiled = compile(&program, &Options::new(waterline)).unwrap();
+        let map = compiled.scheduled.validate().unwrap();
+        let sp = &compiled.scheduled.program;
+        let r = Frac::from(compiled.scheduled.params.rescale_bits);
+        for id in sp.ids() {
+            if let Op::Rescale(src) = sp.op(id) {
+                let res_in = Frac::from(map.level(*src)) * r - map.scale_bits(*src);
+                let res_out = Frac::from(map.level(id)) * r - map.scale_bits(id);
+                prop_assert_eq!(res_in, res_out, "rescale at {} changed reserve", id);
+            }
+        }
+    }
+}

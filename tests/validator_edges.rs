@@ -1,0 +1,159 @@
+//! Edge-case coverage for the shared RNS-CKKS validator, the cost model,
+//! and the schedule utilities — the paths the happy-path suites don't hit.
+
+use fhe_reserve::prelude::*;
+use fhe_ir::{InputSpec, Op, Program, ScheduleError, ScheduledProgram, ValueId};
+
+fn one_input_schedule(
+    build: impl FnOnce(&mut Program, ValueId) -> ValueId,
+    scale_bits: i64,
+    level: u32,
+    params: CompileParams,
+) -> ScheduledProgram {
+    let mut p = Program::new("edge", 4);
+    let x = p.push(Op::Input { name: "x".into() });
+    let out = build(&mut p, x);
+    p.set_outputs(vec![out]);
+    ScheduledProgram {
+        program: p,
+        params,
+        inputs: vec![InputSpec { scale_bits: Frac::from(scale_bits), level }],
+    }
+}
+
+#[test]
+fn exceeds_max_level_flagged() {
+    let mut params = CompileParams::new(20);
+    params.max_level = 2;
+    let s = one_input_schedule(|_, x| x, 30, 3, params);
+    let errs = s.validate().unwrap_err();
+    assert!(errs.iter().any(|e| matches!(e, ScheduleError::ExceedsMaxLevel { level: 3, .. })));
+}
+
+#[test]
+fn non_positive_upscale_flagged() {
+    let params = CompileParams::new(20);
+    let s = one_input_schedule(
+        |p, x| p.push(Op::Upscale(x, Frac::from(0))),
+        30,
+        1,
+        params,
+    );
+    let errs = s.validate().unwrap_err();
+    assert!(errs.iter().any(|e| matches!(e, ScheduleError::NonPositiveUpscale { .. })));
+}
+
+#[test]
+fn scale_management_on_plain_flagged() {
+    let params = CompileParams::new(20);
+    let mut p = Program::new("edge", 4);
+    let x = p.push(Op::Input { name: "x".into() });
+    let c = p.push(Op::Const { value: 1.0.into() });
+    let r = p.push(Op::Rescale(c));
+    let m = p.push(Op::Mul(x, r));
+    p.set_outputs(vec![m]);
+    let s = ScheduledProgram {
+        program: p,
+        params,
+        inputs: vec![InputSpec { scale_bits: Frac::from(20), level: 1 }],
+    };
+    let errs = s.validate().unwrap_err();
+    assert!(errs.iter().any(|e| matches!(e, ScheduleError::ScaleManagementOnPlain { .. })));
+}
+
+#[test]
+fn multiple_violations_all_reported() {
+    // One schedule, three different violations.
+    let params = CompileParams::new(20);
+    let mut p = Program::new("edge", 4);
+    let x = p.push(Op::Input { name: "x".into() }); // below waterline
+    let y = p.push(Op::Input { name: "y".into() });
+    let a = p.push(Op::Add(x, y)); // scale mismatch
+    let r = p.push(Op::Rescale(a)); // level underflow at level 1
+    p.set_outputs(vec![r]);
+    let s = ScheduledProgram {
+        program: p,
+        params,
+        inputs: vec![
+            InputSpec { scale_bits: Frac::from(10), level: 1 },
+            InputSpec { scale_bits: Frac::from(25), level: 1 },
+        ],
+    };
+    let errs = s.validate().unwrap_err();
+    assert!(errs.len() >= 3, "got {errs:?}");
+    assert!(errs.iter().any(|e| matches!(e, ScheduleError::BelowWaterline { .. })));
+    assert!(errs.iter().any(|e| matches!(e, ScheduleError::ScaleMismatch { .. })));
+    assert!(errs.iter().any(|e| matches!(e, ScheduleError::LevelUnderflow { .. })));
+    // Errors display without panicking.
+    for e in &errs {
+        assert!(!e.to_string().is_empty());
+    }
+}
+
+#[test]
+fn mul_overflow_at_exact_boundary_is_allowed() {
+    // scale == level·R is legal (reserve 0, the paper's full utilization);
+    // one bit more is not.
+    let params = CompileParams::new(20);
+    let ok = one_input_schedule(|p, x| p.push(Op::Mul(x, x)), 30, 1, params);
+    assert!(ok.validate().is_ok(), "scale 60 at level 1 is exactly Q");
+    let bad = one_input_schedule(|p, x| p.push(Op::Mul(x, x)), 31, 1, params);
+    let errs = bad.validate().unwrap_err();
+    assert!(errs.iter().any(|e| matches!(e, ScheduleError::Overflow { .. })));
+}
+
+#[test]
+fn modulus_level_and_counts() {
+    let params = CompileParams::new(20);
+    let s = one_input_schedule(
+        |p, x| {
+            let m = p.push(Op::Mul(x, x));
+            let r = p.push(Op::Rescale(m));
+            let u = p.push(Op::Upscale(r, Frac::from(5)));
+            p.push(Op::ModSwitch(u))
+        },
+        40,
+        3,
+        params,
+    );
+    assert_eq!(s.modulus_level(), 3);
+    assert_eq!(s.scale_management_counts(), (1, 1, 1));
+}
+
+#[test]
+fn cost_model_charges_modswitch_and_upscale() {
+    let params = CompileParams::new(20);
+    let s = one_input_schedule(
+        |p, x| {
+            let u = p.push(Op::Upscale(x, Frac::from(10)));
+            p.push(Op::ModSwitch(u))
+        },
+        30,
+        2,
+        params,
+    );
+    let map = s.validate().unwrap();
+    let cm = CostModel::paper_table3();
+    // upscale charged as cipher×plain at level 2 (421), modswitch at its
+    // result level 1 (48).
+    let cost = cm.program_cost(&s.program, &map);
+    assert_eq!(cost, 421.0 + 48.0);
+}
+
+#[test]
+fn input_named_and_editor_outputs() {
+    let mut p = Program::new("edge", 4);
+    let x = p.push(Op::Input { name: "alpha".into() });
+    let y = p.push(Op::Input { name: "beta".into() });
+    let s = p.push(Op::Add(x, y));
+    p.set_outputs(vec![s, x]);
+    assert_eq!(p.input_named("beta"), Some(y));
+    // Editor finish_with_outputs overrides the output list.
+    let mut ed = fhe_ir::ProgramEditor::new(&p);
+    for id in p.ids() {
+        ed.emit(id);
+    }
+    let ny = ed.map_operand(y);
+    let out = ed.finish_with_outputs(vec![ny]);
+    assert_eq!(out.outputs(), &[ny]);
+}
