@@ -1,0 +1,195 @@
+//! A minimal, dependency-free drop-in for the subset of the `bytes` crate
+//! this workspace uses (`Bytes`/`BytesMut` with little-endian `Buf`/`BufMut`
+//! accessors). The build environment has no access to crates.io, so the
+//! workspace vendors this shim via a path dependency.
+//!
+//! `Bytes` is a read cursor over an owned buffer: `get_*` consume from the
+//! front and `Deref<Target = [u8]>` exposes the *remaining* bytes, matching
+//! how the real crate's consuming reads behave.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer with a consuming read cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+/// A growable byte buffer for writing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Consuming little-endian reads (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `n` bytes from the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain. Callers are expected to check
+    /// [`Buf::remaining`] first, as the real crate's `get_*` methods do.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.remaining() >= n,
+            "buffer underrun: need {n}, have {}",
+            self.remaining()
+        );
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..self.pos]
+    }
+}
+
+/// Little-endian writes (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u8(7);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_f64_le(-1.5);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 4 + 1 + 8 + 8);
+        let mut rd = Bytes::copy_from_slice(&frozen);
+        assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_u8(), 7);
+        assert_eq!(rd.get_u64_le(), u64::MAX - 3);
+        assert_eq!(rd.get_f64_le(), -1.5);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_exposes_remaining_bytes() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(&*b, &[1, 2, 3, 4]);
+        b.get_u8();
+        assert_eq!(&*b, &[2, 3, 4]);
+        assert_eq!(b.remaining(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underrun")]
+    fn underrun_panics() {
+        let mut b = Bytes::copy_from_slice(&[1, 2]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -3,35 +3,70 @@
 
 use std::time::Instant;
 
-use fhe_ir::{passes, CompileParams, CostModel, Program};
+use fhe_ir::pipeline::{
+    finish_compiled, CleanupPass, CompileError, Compiled, Pass, PassCx, PassError, PassIr,
+    PassManager, ScaleCompiler,
+};
+use fhe_ir::{CompileParams, CostModel, Program};
 
-use crate::forward::{legalize, ForwardPlan, LegalizeError};
-use crate::{BaselineCompiled, BaselineStats};
+use crate::forward::{legalize, ForwardPlan};
+
+/// EVA's label in the paper's tables.
+pub const NAME: &str = "EVA";
+
+/// Forward waterline legalization with the empty (all-lazy) plan.
+#[derive(Debug, Clone, Copy)]
+struct LegalizePass;
+
+impl Pass for LegalizePass {
+    fn name(&self) -> &str {
+        "legalize"
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let program = ir.try_source("legalize")?;
+        let scheduled = legalize(&program, &cx.params, &ForwardPlan::empty(program.num_ops()))
+            .map_err(|e| PassError::new("legalize", format!("{e:?}")))?;
+        cx.add_iterations(1);
+        Ok(PassIr::Scheduled(scheduled))
+    }
+}
 
 /// Compiles with EVA's waterline-driven forward analysis.
 ///
 /// # Errors
 ///
-/// Fails when the program's accumulated scale requires more levels than
-/// `params.max_level`.
-pub fn compile(program: &Program, params: &CompileParams) -> Result<BaselineCompiled, LegalizeError> {
+/// Fails (in pass `"legalize"`) when the program's accumulated scale
+/// requires more levels than `params.max_level`.
+pub fn compile(program: &Program, params: &CompileParams) -> Result<Compiled, CompileError> {
     let t_total = Instant::now();
-    let cleaned = passes::cleanup(program);
-    let t_sm = Instant::now();
-    let scheduled = legalize(&cleaned, params, &ForwardPlan::empty(cleaned.num_ops()))?;
-    let scale_management_time = t_sm.elapsed();
-    let map = scheduled.validate().expect("EVA schedules are legal by construction");
-    let estimated_latency_us = CostModel::paper_table3().program_cost(&scheduled.program, &map);
-    Ok(BaselineCompiled {
-        scheduled,
-        stats: BaselineStats {
-            scale_management_time,
-            total_time: t_total.elapsed(),
-            iterations: 1,
-            estimated_latency_us,
-            max_level: map.max_level(),
-        },
-    })
+    let mut cx = PassCx::new(*params, CostModel::paper_table3());
+    let (ir, trace) = PassManager::new()
+        .with(CleanupPass)
+        .with(LegalizePass)
+        .run(PassIr::Source(program.clone()), &mut cx)
+        .map_err(|e| CompileError::in_compiler(NAME, e))?;
+    let scheduled = ir
+        .try_scheduled("finish")
+        .map_err(|e| CompileError::in_compiler(NAME, e))?;
+    let ops_before = trace
+        .pass("legalize")
+        .map_or(program.num_ops(), |r| r.ops_before);
+    finish_compiled(NAME, scheduled, trace, &cx, t_total.elapsed(), ops_before)
+}
+
+/// EVA behind the workspace-wide [`ScaleCompiler`] trait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvaCompiler;
+
+impl ScaleCompiler for EvaCompiler {
+    fn name(&self) -> &str {
+        NAME
+    }
+
+    fn compile(&self, program: &Program, params: &CompileParams) -> Result<Compiled, CompileError> {
+        compile(program, params)
+    }
 }
 
 #[cfg(test)]
@@ -47,8 +82,33 @@ mod tests {
         let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
         let p = b.finish(vec![q]);
         let out = compile(&p, &CompileParams::new(20)).unwrap();
-        assert_eq!(out.stats.max_level, 2);
-        assert!(out.stats.estimated_latency_us > 0.0);
-        assert_eq!(out.stats.iterations, 1);
+        assert_eq!(out.report.max_level, 2);
+        assert!(out.report.estimated_latency_us > 0.0);
+        assert_eq!(out.report.iterations, 1);
+        assert_eq!(out.report.compiler, "EVA");
+        let names: Vec<&str> = out
+            .report
+            .trace
+            .passes
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(names, ["cleanup", "legalize"]);
+    }
+
+    #[test]
+    fn depth_beyond_max_level_is_a_compile_error() {
+        let b = Builder::new("deep", 4);
+        let x = b.input("x");
+        let mut acc = x;
+        for _ in 0..8 {
+            acc = acc.clone() * acc;
+        }
+        let p = b.finish(vec![acc]);
+        let mut params = CompileParams::new(50);
+        params.max_level = 3;
+        let err = compile(&p, &params).unwrap_err();
+        assert_eq!(err.compiler, "EVA");
+        assert_eq!(err.error.pass, "legalize");
     }
 }

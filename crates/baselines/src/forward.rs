@@ -32,7 +32,9 @@ impl ForwardPlan {
 
     /// The empty plan (pure EVA behaviour) for a program of `n` values.
     pub fn empty(n: usize) -> Self {
-        ForwardPlan { edge: vec![0; 2 * n] }
+        ForwardPlan {
+            edge: vec![0; 2 * n],
+        }
     }
 
     /// Sets the choice for the edge feeding `op`'s operand `slot`.
@@ -59,7 +61,10 @@ impl std::fmt::Display for LegalizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LegalizeError::ExceedsMaxLevel { required } => {
-                write!(f, "program requires input level {required} beyond max_level")
+                write!(
+                    f,
+                    "program requires input level {required} beyond max_level"
+                )
             }
         }
     }
@@ -111,7 +116,13 @@ pub fn legalize(
             continue;
         }
         let (new, st) = match program.op(id).clone() {
-            Op::Input { .. } => (lg.ed.emit(id), FwdState { scale_bits: waterline, drops: 0 }),
+            Op::Input { .. } => (
+                lg.ed.emit(id),
+                FwdState {
+                    scale_bits: waterline,
+                    drops: 0,
+                },
+            ),
             Op::Add(a, b) | Op::Sub(a, b) => {
                 let pa = program.is_cipher(a);
                 let pb = program.is_cipher(b);
@@ -150,7 +161,10 @@ pub fn legalize(
                         let drops = lg.state[&na].drops;
                         (
                             lg.ed.emit_with(id, &[na, nb]),
-                            FwdState { scale_bits: sa + sb, drops },
+                            FwdState {
+                                scale_bits: sa + sb,
+                                drops,
+                            },
                         )
                     }
                     (true, false) | (false, true) => {
@@ -164,7 +178,10 @@ pub fn legalize(
                         };
                         (
                             lg.ed.emit_with(id, &mapped),
-                            FwdState { scale_bits: st.scale_bits + waterline, drops: st.drops },
+                            FwdState {
+                                scale_bits: st.scale_bits + waterline,
+                                drops: st.drops,
+                            },
                         )
                     }
                     (false, false) => unreachable!("plain handled above"),
@@ -174,7 +191,10 @@ pub fn legalize(
                 let mut st = st;
                 while st.scale_bits - rescale >= waterline {
                     new = lg.ed.push(Op::Rescale(new));
-                    st = FwdState { scale_bits: st.scale_bits - rescale, drops: st.drops + 1 };
+                    st = FwdState {
+                        scale_bits: st.scale_bits - rescale,
+                        drops: st.drops + 1,
+                    };
                     lg.state.insert(new, st);
                     lg.ed.set_mapping(id, new);
                 }
@@ -209,7 +229,13 @@ pub fn legalize(
     Ok(ScheduledProgram {
         program: program_out,
         params: *params,
-        inputs: vec![InputSpec { scale_bits: waterline, level: required }; n_inputs],
+        inputs: vec![
+            InputSpec {
+                scale_bits: waterline,
+                level: required
+            };
+            n_inputs
+        ],
     })
 }
 
@@ -232,11 +258,17 @@ impl<'p> Legalizer<'p> {
         let delta = Frac::from(choice as i32) * waterline / Frac::from(2);
         let mut st = self.state[&cur];
         let mut out = self.ed.push(Op::Upscale(cur, delta));
-        st = FwdState { scale_bits: st.scale_bits + delta, drops: st.drops };
+        st = FwdState {
+            scale_bits: st.scale_bits + delta,
+            drops: st.drops,
+        };
         self.state.insert(out, st);
         while st.scale_bits - rescale >= waterline {
             out = self.ed.push(Op::Rescale(out));
-            st = FwdState { scale_bits: st.scale_bits - rescale, drops: st.drops + 1 };
+            st = FwdState {
+                scale_bits: st.scale_bits - rescale,
+                drops: st.drops + 1,
+            };
             self.state.insert(out, st);
         }
         self.edge_adapted.insert((cur, choice), out);
@@ -280,7 +312,10 @@ impl<'p> Legalizer<'p> {
         let mut cur = start;
         while st.drops < target {
             cur = self.ed.push(Op::ModSwitch(cur));
-            st = FwdState { scale_bits: st.scale_bits, drops: st.drops + 1 };
+            st = FwdState {
+                scale_bits: st.scale_bits,
+                drops: st.drops + 1,
+            };
             self.state.insert(cur, st);
         }
         self.modswitched.insert((start, target), cur);
@@ -294,7 +329,13 @@ impl<'p> Legalizer<'p> {
             return done;
         }
         let up = self.ed.push(Op::Upscale(cur, target_scale - st.scale_bits));
-        self.state.insert(up, FwdState { scale_bits: target_scale, drops: st.drops });
+        self.state.insert(
+            up,
+            FwdState {
+                scale_bits: target_scale,
+                drops: st.drops,
+            },
+        );
         self.upscaled.insert((cur, target_scale), up);
         up
     }
@@ -325,7 +366,10 @@ mod tests {
         assert_eq!(s.scale_management_counts(), (1, 0, 1));
         // Total cost ≈ 390 hundreds of µs.
         let cost = CostModel::paper_table3().program_cost(&s.program, &map) / 100.0;
-        assert!((380.0..400.0).contains(&cost), "EVA cost {cost} should be ≈390");
+        assert!(
+            (380.0..400.0).contains(&cost),
+            "EVA cost {cost} should be ≈390"
+        );
     }
 
     #[test]

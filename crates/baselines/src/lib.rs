@@ -9,7 +9,11 @@
 //!
 //! Both share the [`forward`] legalizer and emit [`fhe_ir::ScheduledProgram`]s
 //! checked by the same validator as the reserve compiler, so latency, error
-//! and compile-time comparisons are apples-to-apples.
+//! and compile-time comparisons are apples-to-apples. Both run on the
+//! workspace-wide instrumented pass pipeline ([`fhe_ir::pipeline`]) and are
+//! exposed behind the [`ScaleCompiler`] trait as [`EvaCompiler`] and
+//! [`HecateCompiler`], reporting the same [`CompileReport`] as the reserve
+//! compiler.
 //!
 //! # Example
 //!
@@ -20,7 +24,8 @@
 //! let p = b.finish(vec![x.clone() * x]);
 //! let eva = fhe_baselines::eva::compile(&p, &CompileParams::new(20))?;
 //! assert!(eva.scheduled.validate().is_ok());
-//! # Ok::<(), fhe_baselines::LegalizeError>(())
+//! assert_eq!(eva.report.compiler, "EVA");
+//! # Ok::<(), fhe_baselines::CompileError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -30,32 +35,7 @@ pub mod eva;
 pub mod forward;
 pub mod hecate;
 
-use std::time::Duration;
-
+pub use eva::EvaCompiler;
+pub use fhe_ir::pipeline::{CompileError, CompileReport, Compiled, ScaleCompiler};
 pub use forward::{legalize, ForwardPlan, LegalizeError};
-pub use hecate::HecateOptions;
-
-/// Output of a baseline compiler.
-#[derive(Debug, Clone)]
-pub struct BaselineCompiled {
-    /// The scheduled program (validates by construction).
-    pub scheduled: fhe_ir::ScheduledProgram,
-    /// Compilation statistics.
-    pub stats: BaselineStats,
-}
-
-/// Timing statistics for a baseline compilation (Table 4's columns).
-#[derive(Debug, Clone)]
-pub struct BaselineStats {
-    /// Time spent in scale management proper.
-    pub scale_management_time: Duration,
-    /// End-to-end compile time (cleanup + scale management + validation).
-    pub total_time: Duration,
-    /// Candidate plans evaluated (1 for EVA; Table 4's `# Iters` for
-    /// Hecate).
-    pub iterations: usize,
-    /// Statically estimated latency of the result (µs).
-    pub estimated_latency_us: f64,
-    /// Modulus level required of fresh encryptions.
-    pub max_level: u32,
-}
+pub use hecate::{HecateCompiler, HecateOptions};

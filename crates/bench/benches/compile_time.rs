@@ -1,35 +1,51 @@
-//! Criterion benchmarks of the three compilers' scale-management passes on
-//! the small benchmarks — the statistical counterpart of `table4`.
+//! Benchmarks of the three compilers' scale-management passes on the small
+//! benchmarks — the statistical counterpart of `table4`.
+//!
+//! Plain timing harness (the workspace builds offline, without criterion),
+//! driving every compiler through the unified `ScaleCompiler` trait.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fhe_baselines::{ForwardPlan, HecateOptions};
+use std::time::Instant;
+
+use fhe_baselines::{EvaCompiler, HecateCompiler, HecateOptions};
+use fhe_ir::pipeline::ScaleCompiler;
 use fhe_ir::CompileParams;
 use fhe_workloads::{suite, Size};
+use reserve_core::ReserveCompiler;
 
-fn bench_compilers(c: &mut Criterion) {
+fn main() {
     let workloads = suite(Size::Test);
     let params = CompileParams::new(30);
-    let mut group = c.benchmark_group("compile");
-    group.sample_size(10);
-    for w in workloads.iter().filter(|w| ["SF", "HCD", "LR", "MLP"].contains(&w.name)) {
-        group.bench_with_input(BenchmarkId::new("eva", w.name), &w.program, |b, p| {
-            b.iter(|| fhe_baselines::eva::compile(p, &params).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("reserve", w.name), &w.program, |b, p| {
-            b.iter(|| reserve_core::compile(p, &reserve_core::Options::new(30)).unwrap())
-        });
-        let hopts = HecateOptions {
-            max_iterations: 50,
-            patience: 50,
-            seed: 1,
-            max_choice: ForwardPlan::MAX_CHOICE,
-        };
-        group.bench_with_input(BenchmarkId::new("hecate50", w.name), &w.program, |b, p| {
-            b.iter(|| fhe_baselines::hecate::compile(p, &params, &hopts).unwrap())
-        });
+    let compilers: Vec<(&str, Box<dyn ScaleCompiler>)> = vec![
+        ("eva", Box::new(EvaCompiler)),
+        ("reserve", Box::new(ReserveCompiler::full())),
+        (
+            "hecate50",
+            Box::new(HecateCompiler {
+                options: HecateOptions {
+                    max_iterations: 50,
+                    patience: 50,
+                    seed: 1,
+                    ..HecateOptions::default()
+                },
+            }),
+        ),
+    ];
+    const WARMUP: usize = 2;
+    const ITERS: usize = 10;
+    for w in workloads
+        .iter()
+        .filter(|w| ["SF", "HCD", "LR", "MLP"].contains(&w.name))
+    {
+        for (label, compiler) in &compilers {
+            for _ in 0..WARMUP {
+                let _ = compiler.compile(&w.program, &params).unwrap();
+            }
+            let t0 = Instant::now();
+            for _ in 0..ITERS {
+                let _ = compiler.compile(&w.program, &params).unwrap();
+            }
+            let per_iter = t0.elapsed().as_secs_f64() / ITERS as f64;
+            println!("compile/{label}/{}: {:.1} us/iter", w.name, per_iter * 1e6);
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compilers);
-criterion_main!(benches);

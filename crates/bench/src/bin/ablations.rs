@@ -7,16 +7,26 @@
 //!    (an ELASM-direction extension) next to the simulated error.
 
 use fhe_bench::{print_table, CliArgs};
-use fhe_runtime::{estimate_error, simulate, ErrorEstimateOptions, NoiseModel};
-use reserve_core::{compile, Options, OrderingStrategy};
+use fhe_ir::pipeline::ScaleCompiler;
+use fhe_ir::CompileParams;
+use fhe_runtime::{estimate_error, ErrorEstimateOptions, Executor, NoiseSimExec};
+use reserve_core::{OrderingStrategy, ReserveCompiler};
 
 fn main() {
     let args = CliArgs::parse();
     let suite = fhe_bench::selected_suite(&args);
-    let cost = fhe_bench::cost_model();
     let waterline = 20;
+    let params = CompileParams::new(waterline);
 
     println!("Ablation A: allocation ordering (latency, ms, W = 2^{waterline}).\n");
+    // Both variants are full reserve pipelines differing only in visit
+    // order — driven through the same ScaleCompiler interface as the
+    // paper's comparisons.
+    let naive_compiler = ReserveCompiler {
+        ordering: OrderingStrategy::ReverseTopological,
+        ..ReserveCompiler::full()
+    };
+    let paper_compiler = ReserveCompiler::full();
     let headers = ["Benchmark", "Naive order", "Cost-priority (paper)", "Delta"];
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
@@ -37,21 +47,20 @@ fn main() {
     suite_a.extend(suite.iter());
     for w in suite_a {
         eprintln!("ordering ablation: {} ...", w.name);
-        let naive = {
-            let mut o = Options::new(waterline);
-            o.ordering = OrderingStrategy::ReverseTopological;
-            compile(&w.program, &o).expect("compiles")
-        };
-        let paper = compile(&w.program, &Options::new(waterline)).expect("compiles");
-        let ratio = paper.stats.estimated_latency_us / naive.stats.estimated_latency_us;
+        let naive = naive_compiler
+            .compile(&w.program, &params)
+            .expect("compiles");
+        let paper = paper_compiler
+            .compile(&w.program, &params)
+            .expect("compiles");
+        let ratio = paper.report.estimated_latency_us / naive.report.estimated_latency_us;
         ratios.push(ratio);
         rows.push(vec![
             w.name.to_string(),
-            format!("{:.1}", naive.stats.estimated_latency_us / 1000.0),
-            format!("{:.1}", paper.stats.estimated_latency_us / 1000.0),
+            format!("{:.1}", naive.report.estimated_latency_us / 1000.0),
+            format!("{:.1}", paper.report.estimated_latency_us / 1000.0),
             format!("{:+.1}%", (ratio - 1.0) * 100.0),
         ]);
-        let _ = &cost;
     }
     print_table(&headers, &rows);
     println!(
@@ -62,12 +71,16 @@ fn main() {
     println!(" changes which local optimum is found, so deltas can go either way)\n");
 
     println!("Ablation B: static error bound vs simulated error (log2, W = 2^{waterline}).\n");
+    let sim = NoiseSimExec::default();
     let headers = ["Benchmark", "Simulated", "Static bound", "Slack (bits)"];
     let mut rows = Vec::new();
     for w in &suite {
         eprintln!("error ablation: {} ...", w.name);
-        let compiled = compile(&w.program, &Options::new(waterline)).expect("compiles");
-        let sim = simulate(&compiled.scheduled, &w.inputs, &NoiseModel::default())
+        let compiled = paper_compiler
+            .compile(&w.program, &params)
+            .expect("compiles");
+        let simulated = sim
+            .execute(&compiled.scheduled, &w.inputs)
             .expect("validates")
             .log2_error();
         let bound = estimate_error(&compiled.scheduled, &ErrorEstimateOptions::default())
@@ -77,9 +90,9 @@ fn main() {
             .log2();
         rows.push(vec![
             w.name.to_string(),
-            format!("{sim:.1}"),
+            format!("{simulated:.1}"),
             format!("{bound:.1}"),
-            format!("{:.1}", bound - sim),
+            format!("{:.1}", bound - simulated),
         ]);
     }
     print_table(&headers, &rows);

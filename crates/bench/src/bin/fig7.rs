@@ -6,33 +6,36 @@
 //! this work's errors are at or below the baselines' because the reserve
 //! analysis does not unnecessarily minimize scales.
 
-use fhe_bench::{hecate_budget, print_table, run_eva, run_hecate, run_reserve, CliArgs};
-use fhe_runtime::{simulate, NoiseModel};
-use reserve_core::Mode;
+use fhe_bench::{compile_all, hecate_budget, print_table, standard_compilers, CliArgs};
+use fhe_runtime::{Executor, NoiseSimExec};
 
 fn main() {
     let args = CliArgs::parse();
     let suite = fhe_bench::selected_suite(&args);
-    let model = NoiseModel::default();
+    let sim = NoiseSimExec::default();
+    let names: Vec<String> = standard_compilers(1)
+        .iter()
+        .map(|c| c.name().to_string())
+        .collect();
 
     for waterline in [20u32, 40] {
-        println!("Fig. 7{}: error (log2) at waterline 2^{waterline}.\n",
-            if waterline == 20 { "a" } else { "b" });
-        let headers = ["Benchmark", "EVA", "Hecate", "This work"];
+        println!(
+            "Fig. 7{}: error (log2) at waterline 2^{waterline}.\n",
+            if waterline == 20 { "a" } else { "b" }
+        );
+        let mut headers = vec!["Benchmark"];
+        headers.extend(names.iter().map(String::as_str));
         let mut rows = Vec::new();
         for w in &suite {
             eprintln!("simulating {} at W=2^{waterline} ...", w.name);
             // Sweeps multiply Hecate's cost by the number of points; cap the
             // exploration budget to keep the harness under a few minutes.
             let budget = hecate_budget(&args, w.program.num_ops()).min(2000);
-            let recs = [
-                run_eva(&w.program, waterline),
-                run_hecate(&w.program, waterline, budget),
-                run_reserve(&w.program, waterline, Mode::Full),
-            ];
+            let outs = compile_all(&standard_compilers(budget), &w.program, waterline);
             let mut row = vec![w.name.to_string()];
-            for rec in &recs {
-                let run = simulate(&rec.scheduled, &w.inputs, &model)
+            for out in &outs {
+                let run = sim
+                    .execute(&out.scheduled, &w.inputs)
                     .expect("schedules validate");
                 row.push(format!("{:.1}", run.log2_error()));
             }

@@ -5,9 +5,9 @@
 //! `--paper` switches to the paper's `N = 2^15`, `R = 2^60` (minutes in
 //! this pure-Rust backend). The reproduction target is the *shape*: latency
 //! grows with level, and `mul cc ≫ rotate ≫ rescale ≫ mul cp ≫ adds ≫
-//! modswitch`, as in the paper.
+//! modswitch`, as in the paper. `--json <path>` writes the measured matrix.
 
-use fhe_bench::{print_table, CliArgs};
+use fhe_bench::{json::Json, print_table, CliArgs};
 use fhe_ckks::CkksParams;
 use fhe_runtime::microbench;
 
@@ -15,7 +15,11 @@ fn main() {
     let args = CliArgs::parse();
     let levels = 5usize;
     let params = if args.paper {
-        CkksParams { poly_degree: 1 << 15, max_level: levels + 1, ..CkksParams::paper_eval(levels + 1) }
+        CkksParams {
+            poly_degree: 1 << 15,
+            max_level: levels + 1,
+            ..CkksParams::paper_eval(levels + 1)
+        }
     } else {
         CkksParams {
             poly_degree: 1 << 13,
@@ -26,6 +30,7 @@ fn main() {
         }
     };
     let reps = if args.fast { 1 } else { 3 };
+    let poly_degree = params.poly_degree;
     eprintln!(
         "measuring N=2^{}, {} levels, {} reps (this is real encrypted computation)...",
         params.poly_degree.trailing_zeros(),
@@ -50,13 +55,43 @@ fn main() {
 
     // Shape checks mirroring the paper's ordering claims.
     let get = |name: &str| -> &Vec<f64> {
-        &rows.iter().find(|(c, _)| c.name() == name).expect("present").1
+        &rows
+            .iter()
+            .find(|(c, _)| c.name() == name)
+            .expect("present")
+            .1
     };
     let mul = get("cipher x cipher");
     let rot = get("rotate (cipher)");
     let rs = get("rescale (cipher)");
-    assert!(mul[levels - 1] > rot[levels - 1] * 0.5, "mul and rotate dominate");
+    assert!(
+        mul[levels - 1] > rot[levels - 1] * 0.5,
+        "mul and rotate dominate"
+    );
     assert!(rot[0] > rs[0], "rotate > rescale at level 1");
     assert!(mul[levels - 1] > mul[0] * 2.0, "mul grows with level");
     println!("\nshape check passed: cost grows with level; mul/rotate dominate.");
+
+    args.emit_json(&Json::obj([
+        ("table", Json::from("table3")),
+        ("poly_degree", Json::from(poly_degree)),
+        ("levels", Json::from(levels)),
+        ("reps", Json::from(reps)),
+        (
+            "ops",
+            Json::Array(
+                rows.iter()
+                    .map(|(class, lat)| {
+                        Json::obj([
+                            ("op", Json::from(class.name())),
+                            (
+                                "latency_us",
+                                Json::Array(lat.iter().map(|&v| Json::from(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
 }

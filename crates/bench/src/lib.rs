@@ -15,78 +15,74 @@
 //! differ from the paper's SEAL-on-i7 testbed; the *shape* (who wins, by
 //! roughly what factor, where crossovers fall) is the reproduction target
 //! and is recorded against the paper in EXPERIMENTS.md.
+//!
+//! Every harness drives the compilers through the workspace-wide
+//! [`ScaleCompiler`] trait — the binaries iterate `&[&dyn ScaleCompiler]`
+//! and never dispatch on a concrete compiler, so adding a scale-management
+//! strategy to the comparison is one [`standard_compilers`] entry.
+//! `fig6`/`fig8`/`table3`/`table4` additionally accept `--json <path>` and
+//! emit their [`CompileReport`]/trace fields machine-readably ([`json`]).
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::time::Duration;
 
-use fhe_baselines::{hecate, HecateOptions};
-use fhe_ir::{CompileParams, CostModel, Program, ScheduledProgram};
+use fhe_baselines::{EvaCompiler, HecateCompiler, HecateOptions};
+use fhe_ir::pipeline::{CompileReport, Compiled, ScaleCompiler};
+use fhe_ir::{CompileParams, CostModel, Program};
 use fhe_workloads::{suite, Size, Workload};
+use reserve_core::{Mode, ReserveCompiler};
 
-/// One compiler's result on one benchmark at one waterline.
-#[derive(Debug, Clone)]
-pub struct RunRecord {
-    /// Compiler label ("EVA", "Hecate", "This work", "BA", "RA").
-    pub compiler: &'static str,
-    /// Estimated program latency (µs) under the paper's Table 3 model.
-    pub latency_us: f64,
-    /// Scale-management time.
-    pub scale_management: Duration,
-    /// Total compile time.
-    pub compile_time: Duration,
-    /// Candidate plans evaluated (Hecate's `# Iters`; 1 otherwise).
-    pub iterations: usize,
-    /// The schedule, for further measurement (error simulation etc.).
-    pub scheduled: ScheduledProgram,
+use crate::json::Json;
+
+/// The paper's three-way comparison — EVA, Hecate (with the given
+/// exploration budget), and this work — in table order. By convention EVA
+/// is first and this work last; harness summaries rely on that.
+pub fn standard_compilers(hecate_budget: usize) -> Vec<Box<dyn ScaleCompiler>> {
+    vec![
+        Box::new(EvaCompiler),
+        Box::new(HecateCompiler {
+            options: HecateOptions {
+                max_iterations: hecate_budget,
+                patience: hecate_budget / 4 + 50,
+                seed: 0xCA7,
+                ..HecateOptions::default()
+            },
+        }),
+        Box::new(ReserveCompiler::full()),
+    ]
 }
 
-/// Runs EVA on a program.
-pub fn run_eva(program: &Program, waterline: u32) -> RunRecord {
-    let out = fhe_baselines::eva::compile(program, &CompileParams::new(waterline))
-        .expect("EVA compiles the benchmarks");
-    RunRecord {
-        compiler: "EVA",
-        latency_us: out.stats.estimated_latency_us,
-        scale_management: out.stats.scale_management_time,
-        compile_time: out.stats.total_time,
-        iterations: out.stats.iterations,
-        scheduled: out.scheduled,
-    }
+/// Fig. 8's ablation ladder: BA, RA, this work — in the paper's order
+/// (the first entry is the normalization baseline).
+pub fn ablation_compilers() -> Vec<Box<dyn ScaleCompiler>> {
+    Mode::ALL
+        .iter()
+        .map(|&m| Box::new(ReserveCompiler::with_mode(m)) as Box<dyn ScaleCompiler>)
+        .collect()
 }
 
-/// Runs Hecate with the given exploration budget.
-pub fn run_hecate(program: &Program, waterline: u32, budget: usize) -> RunRecord {
-    let opts = HecateOptions {
-        max_iterations: budget,
-        patience: budget / 4 + 50,
-        seed: 0xCA7,
-        max_choice: fhe_baselines::ForwardPlan::MAX_CHOICE,
-    };
-    let out = hecate::compile(program, &CompileParams::new(waterline), &opts)
-        .expect("Hecate compiles the benchmarks");
-    RunRecord {
-        compiler: "Hecate",
-        latency_us: out.stats.estimated_latency_us,
-        scale_management: out.stats.scale_management_time,
-        compile_time: out.stats.total_time,
-        iterations: out.stats.iterations,
-        scheduled: out.scheduled,
-    }
-}
-
-/// Runs the reserve compiler in the given ablation mode.
-pub fn run_reserve(program: &Program, waterline: u32, mode: reserve_core::Mode) -> RunRecord {
-    let out = reserve_core::compile(program, &reserve_core::Options::with_mode(waterline, mode))
-        .expect("the reserve compiler compiles the benchmarks");
-    RunRecord {
-        compiler: mode.label(),
-        latency_us: out.stats.estimated_latency_us,
-        scale_management: out.stats.scale_management_time,
-        compile_time: out.stats.total_time,
-        iterations: 1,
-        scheduled: out.scheduled,
-    }
+/// Compiles `program` at `waterline` with every compiler, in order.
+///
+/// # Panics
+///
+/// Panics if any compiler fails — the harness workloads are all expected
+/// to compile.
+pub fn compile_all(
+    compilers: &[Box<dyn ScaleCompiler>],
+    program: &Program,
+    waterline: u32,
+) -> Vec<Compiled> {
+    let params = CompileParams::new(waterline);
+    compilers
+        .iter()
+        .map(|c| {
+            c.compile(program, &params)
+                .unwrap_or_else(|e| panic!("{} compiles the benchmarks: {e}", c.name()))
+        })
+        .collect()
 }
 
 /// The benchmark suite selected by CLI flags: `--fast` shrinks programs to
@@ -114,24 +110,99 @@ pub struct CliArgs {
     pub fast: bool,
     /// Use paper-scale CKKS parameters where applicable (`table3`).
     pub paper: bool,
+    /// Also write the results as JSON to this path.
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl CliArgs {
-    /// Parses `--fast` / `--paper` from `std::env::args`.
+    /// Parses `--fast` / `--paper` / `--json <path>` from `std::env::args`.
     pub fn parse() -> Self {
         let mut args = CliArgs::default();
-        for a in std::env::args().skip(1) {
+        let mut iter = std::env::args().skip(1);
+        while let Some(a) = iter.next() {
             match a.as_str() {
                 "--fast" => args.fast = true,
                 "--paper" => args.paper = true,
+                "--json" => match iter.next() {
+                    Some(path) => args.json = Some(path.into()),
+                    None => {
+                        eprintln!("--json requires a path argument");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
-                    eprintln!("unknown flag `{other}` (supported: --fast, --paper)");
+                    eprintln!("unknown flag `{other}` (supported: --fast, --paper, --json <path>)");
                     std::process::exit(2);
                 }
             }
         }
         args
     }
+
+    /// Writes `value` to the `--json` path, if one was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn emit_json(&self, value: &Json) {
+        if let Some(path) = &self.json {
+            std::fs::write(path, format!("{value}\n"))
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// A [`CompileReport`] as a JSON object, including the per-pass trace
+/// (wall times in µs; level `null` before scheduling).
+pub fn report_json(report: &CompileReport) -> Json {
+    let trace: Vec<Json> = report
+        .trace
+        .passes
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("pass", Json::from(p.name.as_str())),
+                ("kind", Json::from(p.kind.label())),
+                ("wall_us", Json::from(p.wall.as_secs_f64() * 1e6)),
+                ("ops_before", Json::from(p.ops_before)),
+                ("ops_after", Json::from(p.ops_after)),
+                (
+                    "max_level_before",
+                    p.max_level_before.map_or(Json::Null, Json::from),
+                ),
+                (
+                    "max_level_after",
+                    p.max_level_after.map_or(Json::Null, Json::from),
+                ),
+                (
+                    "notes",
+                    Json::Array(p.notes.iter().map(|n| Json::from(n.as_str())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("compiler", Json::from(report.compiler.as_str())),
+        (
+            "scale_management_us",
+            Json::from(report.scale_management_time.as_secs_f64() * 1e6),
+        ),
+        (
+            "total_us",
+            Json::from(report.total_time.as_secs_f64() * 1e6),
+        ),
+        ("iterations", Json::from(report.iterations)),
+        ("ops_before", Json::from(report.ops_before)),
+        ("ops_after", Json::from(report.ops_after)),
+        ("hoists", Json::from(report.hoists)),
+        (
+            "estimated_latency_us",
+            Json::from(report.estimated_latency_us),
+        ),
+        ("max_level", Json::from(report.max_level)),
+        ("trace", Json::Array(trace)),
+    ])
 }
 
 /// Formats a duration in ms with Table 4-style precision.
@@ -190,15 +261,33 @@ mod tests {
     }
 
     #[test]
-    fn runners_produce_valid_schedules() {
+    fn standard_compilers_produce_valid_schedules() {
         let w = &fhe_workloads::suite(Size::Test)[0];
-        for rec in [
-            run_eva(&w.program, 25),
-            run_hecate(&w.program, 25, 30),
-            run_reserve(&w.program, 25, reserve_core::Mode::Full),
-        ] {
-            assert!(rec.scheduled.validate().is_ok(), "{}", rec.compiler);
-            assert!(rec.latency_us > 0.0);
+        let compilers = standard_compilers(30);
+        assert_eq!(compilers[0].name(), "EVA");
+        assert_eq!(compilers.last().unwrap().name(), "This work");
+        for out in compile_all(&compilers, &w.program, 25) {
+            assert!(out.scheduled.validate().is_ok(), "{}", out.report.compiler);
+            assert!(out.report.estimated_latency_us > 0.0);
         }
+    }
+
+    #[test]
+    fn ablation_ladder_is_ba_first() {
+        let names: Vec<String> = ablation_compilers()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        assert_eq!(names, ["BA", "RA", "This work"]);
+    }
+
+    #[test]
+    fn report_json_round_trips_key_fields() {
+        let w = &fhe_workloads::suite(Size::Test)[0];
+        let out = compile_all(&standard_compilers(30), &w.program, 25);
+        let j = format!("{}", report_json(&out[2].report));
+        assert!(j.contains("\"compiler\":\"This work\""));
+        assert!(j.contains("\"pass\":\"hoist\""));
+        assert!(j.contains("\"max_level\":"));
     }
 }

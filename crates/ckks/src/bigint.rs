@@ -168,7 +168,12 @@ impl CrtReconstructor {
             q_hat_invs.push(md.inv(hat_mod));
             q_hats.push(hat);
         }
-        CrtReconstructor { moduli: moduli.to_vec(), q_hats, q_hat_invs, q }
+        CrtReconstructor {
+            moduli: moduli.to_vec(),
+            q_hats,
+            q_hat_invs,
+            q,
+        }
     }
 
     /// Reconstructs the centered value of the residue vector.
@@ -242,8 +247,10 @@ mod tests {
         let basis = [97u64, 101, 103];
         let crt = CrtReconstructor::new(&basis);
         for &x in &[0i64, 1, -1, 42, -4242, 300000, -499999] {
-            let residues: Vec<u64> =
-                basis.iter().map(|&m| x.rem_euclid(m as i64) as u64).collect();
+            let residues: Vec<u64> = basis
+                .iter()
+                .map(|&m| x.rem_euclid(m as i64) as u64)
+                .collect();
             let got = crt.centered_f64(&residues);
             assert_eq!(got, x as f64, "x = {x}");
         }
@@ -255,7 +262,12 @@ mod tests {
         let q = 11 * 13; // 143
         let crt = CrtReconstructor::new(&basis);
         // 71 = floor(143/2) stays positive; 72 wraps to −71.
-        let r = |x: i64| -> Vec<u64> { basis.iter().map(|&m| x.rem_euclid(m as i64) as u64).collect() };
+        let r = |x: i64| -> Vec<u64> {
+            basis
+                .iter()
+                .map(|&m| x.rem_euclid(m as i64) as u64)
+                .collect()
+        };
         assert_eq!(crt.centered_f64(&r(71)), 71.0);
         assert_eq!(crt.centered_f64(&r(72)), 72.0 - q as f64);
     }
@@ -265,8 +277,10 @@ mod tests {
         let basis = crate::primes::ntt_primes(55, 1 << 4, 6);
         let crt = CrtReconstructor::new(&basis);
         let x: i64 = -123456789012345;
-        let residues: Vec<u64> =
-            basis.iter().map(|&m| x.rem_euclid(m as i64) as u64).collect();
+        let residues: Vec<u64> = basis
+            .iter()
+            .map(|&m| x.rem_euclid(m as i64) as u64)
+            .collect();
         assert_eq!(crt.centered_f64(&residues), x as f64);
     }
 }

@@ -50,7 +50,12 @@ pub fn encrypt_symmetric(
     c0.neg_assign(ctx);
     c0.add_assign(ctx, &e);
     c0.add_assign(ctx, &pt.poly);
-    Ciphertext { c0, c1: a, level: l, scale: pt.scale }
+    Ciphertext {
+        c0,
+        c1: a,
+        level: l,
+        scale: pt.scale,
+    }
 }
 
 /// Encrypts a plaintext under the public key.
@@ -76,7 +81,12 @@ pub fn encrypt_public(
     c0.add_assign(ctx, &pt.poly);
     let mut c1 = p1.mul(ctx, &u);
     c1.add_assign(ctx, &e1);
-    Ciphertext { c0, c1, level: l, scale: pt.scale }
+    Ciphertext {
+        c0,
+        c1,
+        level: l,
+        scale: pt.scale,
+    }
 }
 
 /// Decrypts a ciphertext back to a plaintext (`m ≈ c0 + c1·s`).
@@ -85,7 +95,11 @@ pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext 
     s.drop_to_level(ct.level);
     let mut m = ct.c1.mul(ctx, &s);
     m.add_assign(ctx, &ct.c0);
-    Plaintext { poly: m, scale: ct.scale, level: ct.level }
+    Plaintext {
+        poly: m,
+        scale: ct.scale,
+        level: ct.level,
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +163,9 @@ mod tests {
         let pt = enc.encode(&[1.0], 2f64.powi(30), 1);
         let ct = encrypt_symmetric(&ctx, &kg1.secret_key(), &pt, &mut rng);
         let back = enc.decode(&decrypt(&ctx, &kg2.secret_key(), &ct));
-        assert!((back[0] - 1.0).abs() > 1.0, "decryption with wrong key should fail");
+        assert!(
+            (back[0] - 1.0).abs() > 1.0,
+            "decryption with wrong key should fail"
+        );
     }
 }

@@ -201,7 +201,10 @@ mod tests {
         }
         for i in 0..3 {
             let qi = ctx.moduli()[i];
-            assert_eq!(qi.mul(qi.reduce(ctx.special().value()), ctx.special_inv(i)), 1);
+            assert_eq!(
+                qi.mul(qi.reduce(ctx.special().value()), ctx.special_inv(i)),
+                1
+            );
         }
     }
 

@@ -29,7 +29,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     fn mul(self, o: Complex) -> Complex {
@@ -40,11 +43,17 @@ impl Complex {
     }
 
     fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 
     fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -131,7 +140,11 @@ impl<'c> Encoder<'c> {
             slot_to_bin.push((g - 1) / 2);
             g = (g * 5) % (2 * n);
         }
-        Encoder { ctx, twist, slot_to_bin }
+        Encoder {
+            ctx,
+            twist,
+            slot_to_bin,
+        }
     }
 
     /// Number of slots (`N/2`).
@@ -208,8 +221,9 @@ mod tests {
 
     #[test]
     fn fft_roundtrip() {
-        let mut x: Vec<Complex> =
-            (0..16).map(|i| Complex::new(i as f64, (i * i) as f64 * 0.1)).collect();
+        let mut x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, (i * i) as f64 * 0.1))
+            .collect();
         let orig = x.clone();
         fft(&mut x, false);
         fft(&mut x, true);
@@ -222,7 +236,9 @@ mod tests {
     fn encode_decode_roundtrip() {
         let ctx = ctx();
         let enc = Encoder::new(&ctx);
-        let values: Vec<f64> = (0..enc.slots()).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let values: Vec<f64> = (0..enc.slots())
+            .map(|i| (i as f64 * 0.37).sin() * 3.0)
+            .collect();
         let pt = enc.encode(&values, 2f64.powi(30), 2);
         let back = enc.decode(&pt);
         for (a, b) in back.iter().zip(&values) {
@@ -252,7 +268,11 @@ mod tests {
         let pb = enc.encode(&b, scale, 1);
         let mut sum = pa.poly.clone();
         sum.add_assign(&ctx, &pb.poly);
-        let pt = Plaintext { poly: sum, scale, level: 1 };
+        let pt = Plaintext {
+            poly: sum,
+            scale,
+            level: 1,
+        };
         let back = enc.decode(&pt);
         for (i, v) in back.iter().enumerate() {
             assert!((v - (a[i] + b[i])).abs() < 1e-6);
@@ -264,16 +284,28 @@ mod tests {
         // Negacyclic poly product == slotwise product of embeddings.
         let ctx = ctx();
         let enc = Encoder::new(&ctx);
-        let a: Vec<f64> = (0..enc.slots()).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
-        let b: Vec<f64> = (0..enc.slots()).map(|i| ((i * 3 % 4) as f64) * 0.5).collect();
+        let a: Vec<f64> = (0..enc.slots())
+            .map(|i| ((i * 7 % 5) as f64) - 2.0)
+            .collect();
+        let b: Vec<f64> = (0..enc.slots())
+            .map(|i| ((i * 3 % 4) as f64) * 0.5)
+            .collect();
         let scale = 2f64.powi(25);
         let pa = enc.encode(&a, scale, 2);
         let pb = enc.encode(&b, scale, 2);
         let prod = pa.poly.mul(&ctx, &pb.poly);
-        let pt = Plaintext { poly: prod, scale: scale * scale, level: 2 };
+        let pt = Plaintext {
+            poly: prod,
+            scale: scale * scale,
+            level: 2,
+        };
         let back = enc.decode(&pt);
         for (i, v) in back.iter().enumerate() {
-            assert!((v - a[i] * b[i]).abs() < 1e-4, "slot {i}: {v} vs {}", a[i] * b[i]);
+            assert!(
+                (v - a[i] * b[i]).abs() < 1e-4,
+                "slot {i}: {v} vs {}",
+                a[i] * b[i]
+            );
         }
     }
 

@@ -23,7 +23,12 @@ impl<'c> Evaluator<'c> {
     /// Creates an evaluator. `relin` is needed for cipher×cipher
     /// multiplication; `galois` for rotations.
     pub fn new(ctx: &'c CkksContext, relin: Option<RelinKey>, galois: GaloisKeys) -> Self {
-        Evaluator { ctx, encoder: Encoder::new(ctx), relin, galois }
+        Evaluator {
+            ctx,
+            encoder: Encoder::new(ctx),
+            relin,
+            galois,
+        }
     }
 
     /// The context.
@@ -114,7 +119,10 @@ impl<'c> Evaluator<'c> {
     /// Panics if no relinearization key was provided.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.check_pair(a, b);
-        let relin = self.relin.as_ref().expect("relinearization key required for mul");
+        let relin = self
+            .relin
+            .as_ref()
+            .expect("relinearization key required for mul");
         let ctx = self.ctx;
         let d0 = a.c0.mul(ctx, &b.c0);
         let mut d1 = a.c0.mul(ctx, &b.c1);
@@ -124,7 +132,12 @@ impl<'c> Evaluator<'c> {
         let mut c0 = d0;
         c0.add_assign(ctx, &k0);
         d1.add_assign(ctx, &k1);
-        Ciphertext { c0, c1: d1, level: a.level, scale: a.scale * b.scale }
+        Ciphertext {
+            c0,
+            c1: d1,
+            level: a.level,
+            scale: a.scale * b.scale,
+        }
     }
 
     /// Squares a ciphertext (same as `mul(a, a)`).
@@ -153,7 +166,12 @@ impl<'c> Evaluator<'c> {
         c1.automorphism(ctx, g);
         let (k0, k1) = self.key_switch(&c1, key);
         c0.add_assign(ctx, &k0);
-        Ciphertext { c0, c1: k1, level: a.level, scale: a.scale }
+        Ciphertext {
+            c0,
+            c1: k1,
+            level: a.level,
+            scale: a.scale,
+        }
     }
 
     /// `rescale`: divides the scale by the dropped prime (`≈ R`), level −1.
@@ -189,7 +207,10 @@ impl<'c> Evaluator<'c> {
     /// `upscale`: multiplies by an encoded identity at `factor`, raising the
     /// scale without changing the level (Table 2).
     pub fn upscale(&self, a: &Ciphertext, factor: f64) -> Ciphertext {
-        assert!(factor.is_finite() && factor >= 1.0, "upscale factor must be >= 1");
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "upscale factor must be >= 1"
+        );
         let ones = vec![1.0; self.ctx.slots()];
         let p = self.encoder.encode(&ones, factor, a.level);
         self.mul_plain(a, &p)
@@ -287,7 +308,12 @@ impl<'c> Evaluator<'c> {
                 let mut c0 = a.c0.clone();
                 c0.automorphism(ctx, g);
                 c0.add_assign(ctx, &k0);
-                Ciphertext { c0, c1: k1, level: l, scale: a.scale }
+                Ciphertext {
+                    c0,
+                    c1: k1,
+                    level: l,
+                    scale: a.scale,
+                }
             })
             .collect()
     }
@@ -367,7 +393,12 @@ mod tests {
         assert!((rescaled.scale_bits() - 35.0).abs() < 0.1);
         let d = ev.encoder().decode(&decrypt(&f.ctx, &sk, &rescaled));
         for i in 0..16 {
-            assert!((d[i] - a[i] * b[i]).abs() < 1e-3, "slot {i}: {} vs {}", d[i], a[i] * b[i]);
+            assert!(
+                (d[i] - a[i] * b[i]).abs() < 1e-3,
+                "slot {i}: {} vs {}",
+                d[i],
+                a[i] * b[i]
+            );
         }
     }
 
@@ -387,7 +418,11 @@ mod tests {
         let slots = f.ctx.slots();
         for i in 0..8 {
             let expect = a[(i + 1) % slots];
-            assert!((d[i] - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", d[i]);
+            assert!(
+                (d[i] - expect).abs() < 1e-2,
+                "slot {i}: {} vs {expect}",
+                d[i]
+            );
         }
         // Rotation by 0 is identity.
         let r0 = ev.rotate(&ca, 0);
@@ -443,7 +478,11 @@ mod tests {
         let d = ev.encoder().decode(&decrypt(&f.ctx, &sk, &quad));
         for i in 0..8 {
             let expect = a[i].powi(4);
-            assert!((d[i] - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", d[i]);
+            assert!(
+                (d[i] - expect).abs() < 1e-2,
+                "slot {i}: {} vs {expect}",
+                d[i]
+            );
         }
     }
 
@@ -456,7 +495,12 @@ mod tests {
         let gk = kg.galois_keys_with_conjugation([], &mut rng);
         let ev = Evaluator::new(&f.ctx, None, gk);
         let a = vals(&f.ctx, |i| (i as f64 * 0.03).sin());
-        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&a, 2f64.powi(35), 1), &mut rng);
+        let ca = encrypt_symmetric(
+            &f.ctx,
+            &sk,
+            &ev.encoder().encode(&a, 2f64.powi(35), 1),
+            &mut rng,
+        );
         let conj = ev.conjugate(&ca);
         let d = ev.encoder().decode(&decrypt(&f.ctx, &sk, &conj));
         for i in 0..8 {
@@ -472,8 +516,18 @@ mod tests {
         let kg = KeyGenerator::new(&f.ctx, &mut rng);
         let sk = kg.secret_key();
         let ev = Evaluator::new(&f.ctx, None, GaloisKeys::default());
-        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&[1.0], 2f64.powi(30), 1), &mut rng);
-        let cb = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&[1.0], 2f64.powi(31), 1), &mut rng);
+        let ca = encrypt_symmetric(
+            &f.ctx,
+            &sk,
+            &ev.encoder().encode(&[1.0], 2f64.powi(30), 1),
+            &mut rng,
+        );
+        let cb = encrypt_symmetric(
+            &f.ctx,
+            &sk,
+            &ev.encoder().encode(&[1.0], 2f64.powi(31), 1),
+            &mut rng,
+        );
         let _ = ev.add(&ca, &cb);
     }
 }
@@ -501,7 +555,12 @@ impl<'c> Evaluator<'c> {
         c1.automorphism(ctx, g);
         let (k0, k1) = self.key_switch(&c1, key);
         c0.add_assign(ctx, &k0);
-        Ciphertext { c0, c1: k1, level: a.level, scale: a.scale }
+        Ciphertext {
+            c0,
+            c1: k1,
+            level: a.level,
+            scale: a.scale,
+        }
     }
 }
 
@@ -548,8 +607,7 @@ mod hoisted_rotation_tests {
                     dh[i],
                     di[i]
                 );
-                let expect = values[(i + k.rem_euclid(ctx.slots() as i64) as usize)
-                    % ctx.slots()];
+                let expect = values[(i + k.rem_euclid(ctx.slots() as i64) as usize) % ctx.slots()];
                 assert!((dh[i] - expect).abs() < 1e-2);
             }
         }

@@ -80,7 +80,10 @@ impl<'c> KeyGenerator<'c> {
     pub fn new(ctx: &'c CkksContext, rng: &mut impl Rng) -> Self {
         let mut s = RnsPoly::ternary(ctx, ctx.max_level(), true, rng);
         s.to_ntt(ctx);
-        KeyGenerator { ctx, sk: SecretKey { s } }
+        KeyGenerator {
+            ctx,
+            sk: SecretKey { s },
+        }
     }
 
     /// The secret key (needed for decryption).
@@ -170,6 +173,25 @@ impl<'c> KeyGenerator<'c> {
     }
 }
 
+impl<'c> KeyGenerator<'c> {
+    /// Generates the complex-conjugation key (Galois element `2N − 1`)
+    /// alongside keys for the given rotation steps.
+    pub fn galois_keys_with_conjugation(
+        &self,
+        steps: impl IntoIterator<Item = i64>,
+        rng: &mut impl Rng,
+    ) -> GaloisKeys {
+        let mut keys = self.galois_keys(steps, rng);
+        let g = 2 * self.ctx.degree() - 1;
+        keys.keys.entry(g).or_insert_with(|| {
+            let mut sg = self.sk.s.clone();
+            sg.automorphism(self.ctx, g);
+            self.ksw_key(&sg, rng)
+        });
+        keys
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,7 +217,10 @@ mod tests {
         assert_eq!(rotation_to_galois(&ctx, 2), 25);
         // Negative steps wrap modulo slot count.
         let slots = ctx.slots() as i64;
-        assert_eq!(rotation_to_galois(&ctx, -1), rotation_to_galois(&ctx, slots - 1));
+        assert_eq!(
+            rotation_to_galois(&ctx, -1),
+            rotation_to_galois(&ctx, slots - 1)
+        );
     }
 
     #[test]
@@ -212,7 +237,11 @@ mod tests {
         acc.to_coeff(&ctx);
         let m = ctx.moduli()[0];
         for &c in acc.limb(0) {
-            assert!(m.center(c).abs() < 64, "pk noise too large: {}", m.center(c));
+            assert!(
+                m.center(c).abs() < 64,
+                "pk noise too large: {}",
+                m.center(c)
+            );
         }
     }
 
@@ -227,24 +256,5 @@ mod tests {
         assert_eq!(els, vec![5, 25]);
         assert!(gk.get(5).is_some());
         assert!(gk.get(1).is_none());
-    }
-}
-
-impl<'c> KeyGenerator<'c> {
-    /// Generates the complex-conjugation key (Galois element `2N − 1`)
-    /// alongside keys for the given rotation steps.
-    pub fn galois_keys_with_conjugation(
-        &self,
-        steps: impl IntoIterator<Item = i64>,
-        rng: &mut impl Rng,
-    ) -> GaloisKeys {
-        let mut keys = self.galois_keys(steps, rng);
-        let g = 2 * self.ctx.degree() - 1;
-        keys.keys.entry(g).or_insert_with(|| {
-            let mut sg = self.sk.s.clone();
-            sg.automorphism(self.ctx, g);
-            self.ksw_key(&sg, rng)
-        });
-        keys
     }
 }

@@ -231,7 +231,15 @@ mod tests {
     #[test]
     fn reduce_f64_matches_integer_reduction() {
         let m = Modulus::new(Q);
-        for &x in &[0.0, 1.0, -1.0, 123456789.0, -987654321.0, 2f64.powi(80), -2f64.powi(75)] {
+        for &x in &[
+            0.0,
+            1.0,
+            -1.0,
+            123456789.0,
+            -987654321.0,
+            2f64.powi(80),
+            -2f64.powi(75),
+        ] {
             let r = m.reduce_f64(x);
             if x.abs() < 2f64.powi(53) {
                 assert_eq!(r, m.reduce_i64(x as i64), "x = {x}");

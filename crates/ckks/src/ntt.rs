@@ -49,7 +49,10 @@ impl NttTable {
     ///
     /// Panics if `n` is not a power of two or `q` is not NTT-friendly.
     pub fn new(modulus: Modulus, n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "degree must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "degree must be a power of two >= 2"
+        );
         let log_n = n.trailing_zeros();
         let q = modulus.value();
         assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2N");
@@ -73,7 +76,13 @@ impl NttTable {
             inv[i] = powers_i[r];
         }
         let n_inv = modulus.inv(n as u64);
-        NttTable { modulus, n, fwd_twiddles: fwd, inv_twiddles: inv, n_inv }
+        NttTable {
+            modulus,
+            n,
+            fwd_twiddles: fwd,
+            inv_twiddles: inv,
+            n_inv,
+        }
     }
 
     /// The polynomial degree `N`.
@@ -150,9 +159,9 @@ impl NttTable {
 pub fn negacyclic_mul_naive(m: Modulus, a: &[u64], b: &[u64]) -> Vec<u64> {
     let n = a.len();
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        for j in 0..n {
-            let prod = m.mul(a[i], b[j]);
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = m.mul(ai, bj);
             let k = i + j;
             if k < n {
                 out[k] = m.add(out[k], prod);
@@ -224,7 +233,9 @@ mod tests {
     fn large_degree_roundtrip() {
         let t = table(1 << 12);
         let m = t.modulus();
-        let mut a: Vec<u64> = (0..(1u64 << 12)).map(|i| m.reduce(i.wrapping_mul(0x9E3779B97F4A7C15))).collect();
+        let mut a: Vec<u64> = (0..(1u64 << 12))
+            .map(|i| m.reduce(i.wrapping_mul(0x9E3779B97F4A7C15)))
+            .collect();
         let orig = a.clone();
         t.forward(&mut a);
         t.inverse(&mut a);

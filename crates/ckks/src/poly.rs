@@ -28,7 +28,12 @@ impl RnsPoly {
         assert!(level >= 1 && level <= ctx.max_level(), "level out of range");
         let n = ctx.degree();
         let count = level + usize::from(special);
-        RnsPoly { level, special, ntt, limbs: vec![vec![0u64; n]; count] }
+        RnsPoly {
+            level,
+            special,
+            ntt,
+            limbs: vec![vec![0u64; n]; count],
+        }
     }
 
     /// Number of active chain limbs.
@@ -268,7 +273,12 @@ impl RnsPoly {
         assert!(level <= self.level);
         let mut limbs: Vec<Vec<u64>> = self.limbs[..level].to_vec();
         limbs.push(self.limbs.last().expect("special limb").clone());
-        RnsPoly { level, special: true, ntt: self.ntt, limbs }
+        RnsPoly {
+            level,
+            special: true,
+            ntt: self.ntt,
+            limbs,
+        }
     }
 
     /// Exact RNS rescale: divides by the last chain prime `q_{l-1}` with
@@ -448,7 +458,10 @@ mod tests {
         // Constant polynomial with value q_1 · 12345 rescales to ≈ 12345.
         let q1 = ctx.moduli()[1].value();
         let v = q1 as f64 * 12345.0;
-        let coeffs: Vec<f64> = std::iter::once(v).chain(std::iter::repeat(0.0)).take(64).collect();
+        let coeffs: Vec<f64> = std::iter::once(v)
+            .chain(std::iter::repeat(0.0))
+            .take(64)
+            .collect();
         let mut p = RnsPoly::from_real_coeffs(&ctx, 2, false, &coeffs);
         p.to_ntt(&ctx);
         p.rescale_last(&ctx);

@@ -14,7 +14,10 @@ use crate::modular::is_prime;
 /// sizes used here).
 pub fn ntt_primes(bits: u32, n: usize, count: usize) -> Vec<u64> {
     assert!(n.is_power_of_two(), "degree must be a power of two");
-    assert!((20..=61).contains(&bits), "prime size must be in 20..=61 bits");
+    assert!(
+        (20..=61).contains(&bits),
+        "prime size must be in 20..=61 bits"
+    );
     let step = 2 * n as u64;
     let target = 1u64 << bits;
     // First candidate ≡ 1 mod 2n at or below target.

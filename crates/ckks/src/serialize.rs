@@ -133,7 +133,12 @@ pub fn ciphertext_from_bytes(ctx: &CkksContext, data: &[u8]) -> Result<Ciphertex
         return err("inconsistent ciphertext components");
     }
     let level = c0.level();
-    Ok(Ciphertext { c0, c1, level, scale })
+    Ok(Ciphertext {
+        c0,
+        c1,
+        level,
+        scale,
+    })
 }
 
 /// Serializes a plaintext.

@@ -1,14 +1,16 @@
-//! Property-based tests of the RNS-CKKS scheme: homomorphism laws over
+//! Property-style tests of the RNS-CKKS scheme: homomorphism laws over
 //! random data, round-trips, and noise growth sanity.
-
-use proptest::prelude::*;
+//!
+//! The workspace builds offline (no proptest), so each property runs as a
+//! deterministic seeded loop: every case is reproducible from its printed
+//! case index.
 
 use fhe_ckks::{
     decrypt, encrypt_public, encrypt_symmetric, CkksContext, CkksParams, Encoder, Evaluator,
     GaloisKeys, KeyGenerator,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn ctx() -> CkksContext {
     CkksContext::new(CkksParams {
@@ -20,28 +22,33 @@ fn ctx() -> CkksContext {
     })
 }
 
-fn values_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-4.0f64..4.0, n)
+fn random_values(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-4.0f64..4.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn encode_decode_roundtrip(values in values_strategy(64), level in 1usize..3) {
+#[test]
+fn encode_decode_roundtrip() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0xE0DE ^ case);
+        let values = random_values(&mut rng, 64);
+        let level = rng.gen_range(1usize..3);
         let ctx = ctx();
         let enc = Encoder::new(&ctx);
         let pt = enc.encode(&values, 2f64.powi(30), level);
         let back = enc.decode(&pt);
         for (a, b) in back.iter().zip(&values) {
-            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-6, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn homomorphic_add_mul(xs in values_strategy(64), ys in values_strategy(64), seed in 0u64..1000) {
+#[test]
+fn homomorphic_add_mul() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0xADD3 ^ case);
+        let xs = random_values(&mut rng, 64);
+        let ys = random_values(&mut rng, 64);
         let ctx = ctx();
-        let mut rng = StdRng::seed_from_u64(seed);
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let sk = kg.secret_key();
         let relin = kg.relin_key(&mut rng);
@@ -51,36 +58,64 @@ proptest! {
         let cb = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&ys, scale, 2), &mut rng);
 
         let sum = ev.encoder().decode(&decrypt(&ctx, &sk, &ev.add(&ca, &cb)));
-        let prod = ev.encoder().decode(&decrypt(&ctx, &sk, &ev.rescale(&ev.mul(&ca, &cb))));
+        let prod = ev
+            .encoder()
+            .decode(&decrypt(&ctx, &sk, &ev.rescale(&ev.mul(&ca, &cb))));
         for i in 0..64 {
-            prop_assert!((sum[i] - (xs[i] + ys[i])).abs() < 1e-3, "add slot {i}");
-            prop_assert!((prod[i] - xs[i] * ys[i]).abs() < 1e-2, "mul slot {i}: {} vs {}", prod[i], xs[i]*ys[i]);
+            assert!(
+                (sum[i] - (xs[i] + ys[i])).abs() < 1e-3,
+                "case {case}: add slot {i}"
+            );
+            assert!(
+                (prod[i] - xs[i] * ys[i]).abs() < 1e-2,
+                "case {case}: mul slot {i}: {} vs {}",
+                prod[i],
+                xs[i] * ys[i]
+            );
         }
     }
+}
 
-    #[test]
-    fn rotation_composes(xs in values_strategy(64), k1 in 0i64..8, k2 in 0i64..8, seed in 0u64..100) {
+#[test]
+fn rotation_composes() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x207A7E ^ case);
+        let xs = random_values(&mut rng, 64);
+        let k1 = rng.gen_range(0i64..8);
+        let k2 = rng.gen_range(0i64..8);
         let ctx = ctx();
-        let mut rng = StdRng::seed_from_u64(seed);
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let sk = kg.secret_key();
         let gk = kg.galois_keys([k1, k2, k1 + k2], &mut rng);
         let ev = Evaluator::new(&ctx, None, gk);
-        let ca = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&xs, 2f64.powi(35), 1), &mut rng);
+        let ca = encrypt_symmetric(
+            &ctx,
+            &sk,
+            &ev.encoder().encode(&xs, 2f64.powi(35), 1),
+            &mut rng,
+        );
         // rotate(rotate(x, k1), k2) == rotate(x, k1 + k2)
         let double = ev.rotate(&ev.rotate(&ca, k1), k2);
         let single = ev.rotate(&ca, k1 + k2);
         let d = ev.encoder().decode(&decrypt(&ctx, &sk, &double));
         let s = ev.encoder().decode(&decrypt(&ctx, &sk, &single));
         for i in 0..16 {
-            prop_assert!((d[i] - s[i]).abs() < 1e-1, "slot {i}: {} vs {}", d[i], s[i]);
+            assert!(
+                (d[i] - s[i]).abs() < 1e-1,
+                "case {case}: slot {i}: {} vs {}",
+                d[i],
+                s[i]
+            );
         }
     }
+}
 
-    #[test]
-    fn public_and_symmetric_agree(xs in values_strategy(32), seed in 0u64..100) {
+#[test]
+fn public_and_symmetric_agree() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x9B ^ case);
+        let xs = random_values(&mut rng, 32);
         let ctx = ctx();
-        let mut rng = StdRng::seed_from_u64(seed);
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let sk = kg.secret_key();
         let pk = kg.public_key(&mut rng);
@@ -91,15 +126,24 @@ proptest! {
         let d_sym = enc.decode(&decrypt(&ctx, &sk, &c_sym));
         let d_pub = enc.decode(&decrypt(&ctx, &sk, &c_pub));
         for i in 0..32 {
-            prop_assert!((d_sym[i] - xs[i]).abs() < 1e-3);
-            prop_assert!((d_pub[i] - xs[i]).abs() < 1e-2);
+            assert!(
+                (d_sym[i] - xs[i]).abs() < 1e-3,
+                "case {case}: symmetric slot {i}"
+            );
+            assert!(
+                (d_pub[i] - xs[i]).abs() < 1e-2,
+                "case {case}: public slot {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn serialization_roundtrip_random(xs in values_strategy(48), seed in 0u64..100) {
+#[test]
+fn serialization_roundtrip_random() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E21 ^ case);
+        let xs = random_values(&mut rng, 48);
         let ctx = ctx();
-        let mut rng = StdRng::seed_from_u64(seed);
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let sk = kg.secret_key();
         let enc = Encoder::new(&ctx);
@@ -109,23 +153,31 @@ proptest! {
         let back = fhe_ckks::serialize::ciphertext_from_bytes(&ctx, &blob).unwrap();
         let d = enc.decode(&decrypt(&ctx, &sk, &back));
         for i in 0..48 {
-            prop_assert!((d[i] - xs[i]).abs() < 1e-3);
+            assert!((d[i] - xs[i]).abs() < 1e-3, "case {case}: slot {i}");
         }
     }
+}
 
-    #[test]
-    fn modswitch_preserves_values(xs in values_strategy(32), seed in 0u64..100) {
+#[test]
+fn modswitch_preserves_values() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x305 ^ case);
+        let xs = random_values(&mut rng, 32);
         let ctx = ctx();
-        let mut rng = StdRng::seed_from_u64(seed);
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let sk = kg.secret_key();
         let ev = Evaluator::new(&ctx, None, GaloisKeys::default());
-        let ca = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&xs, 2f64.powi(35), 3), &mut rng);
+        let ca = encrypt_symmetric(
+            &ctx,
+            &sk,
+            &ev.encoder().encode(&xs, 2f64.powi(35), 3),
+            &mut rng,
+        );
         let dropped = ev.mod_switch(&ev.mod_switch(&ca));
-        prop_assert_eq!(dropped.level, 1);
+        assert_eq!(dropped.level, 1, "case {case}");
         let d = ev.encoder().decode(&decrypt(&ctx, &sk, &dropped));
         for i in 0..32 {
-            prop_assert!((d[i] - xs[i]).abs() < 1e-3);
+            assert!((d[i] - xs[i]).abs() < 1e-3, "case {case}: slot {i}");
         }
     }
 }

@@ -65,9 +65,20 @@ impl ReserveSolution {
 /// One reversible mutation of the allocator state.
 #[derive(Debug, Clone, Copy)]
 enum Undo {
-    ReserveIn { value: ValueId, idx: usize, old: Frac },
-    OperandReq { op: ValueId, slot: usize, old: Option<Frac> },
-    Reserve { value: ValueId, old: Option<Frac> },
+    ReserveIn {
+        value: ValueId,
+        idx: usize,
+        old: Frac,
+    },
+    OperandReq {
+        op: ValueId,
+        slot: usize,
+        old: Option<Frac>,
+    },
+    Reserve {
+        value: ValueId,
+        old: Option<Frac>,
+    },
 }
 
 struct Allocator<'p> {
@@ -103,7 +114,10 @@ pub fn allocate(
     let out_reserve = params.to_relative(Frac::from(params.output_reserve_bits));
     for &o in program.outputs() {
         if program.is_cipher(o) {
-            alloc.reserve_ins[o.index()].push(ReserveIn { user: None, req: out_reserve });
+            alloc.reserve_ins[o.index()].push(ReserveIn {
+                user: None,
+                req: out_reserve,
+            });
         }
     }
     for &v in &order.order {
@@ -206,7 +220,10 @@ impl<'p> Allocator<'p> {
 
     fn add_edge(&mut self, user: ValueId, slot: usize, operand: ValueId, req: Frac) {
         self.operand_req[user.index()][slot] = Some(req);
-        self.reserve_ins[operand.index()].push(ReserveIn { user: Some((user, slot)), req });
+        self.reserve_ins[operand.index()].push(ReserveIn {
+            user: Some((user, slot)),
+            req,
+        });
     }
 
     /// Attempts to lower every reserve-in of `v` to at most `target`,
@@ -259,7 +276,11 @@ impl<'p> Allocator<'p> {
             if !self.shift_edge(user, slot, v, delta, journal) {
                 return false;
             }
-            journal.push(Undo::ReserveIn { value: v, idx: i, old: self.reserve_ins[v.index()][i].req });
+            journal.push(Undo::ReserveIn {
+                value: v,
+                idx: i,
+                old: self.reserve_ins[v.index()][i].req,
+            });
             self.reserve_ins[v.index()][i].req = target;
         }
         true
@@ -300,9 +321,17 @@ impl<'p> Allocator<'p> {
                         return false;
                     }
                 }
-                journal.push(Undo::OperandReq { op: user, slot, old: self.operand_req[user.index()][slot] });
+                journal.push(Undo::OperandReq {
+                    op: user,
+                    slot,
+                    old: self.operand_req[user.index()][slot],
+                });
                 self.operand_req[user.index()][slot] = Some(my_req - delta);
-                journal.push(Undo::OperandReq { op: user, slot: other_slot, old: self.operand_req[user.index()][other_slot] });
+                journal.push(Undo::OperandReq {
+                    op: user,
+                    slot: other_slot,
+                    old: self.operand_req[user.index()][other_slot],
+                });
                 self.operand_req[user.index()][other_slot] = Some(new_sib);
                 self.update_reserve_in(sibling, user, other_slot, new_sib, journal);
                 true
@@ -314,13 +343,20 @@ impl<'p> Allocator<'p> {
                 if !self.reduce_reserve_ins_inner(user, new_rho, journal) {
                     return false;
                 }
-                journal.push(Undo::Reserve { value: user, old: self.reserve[user.index()] });
+                journal.push(Undo::Reserve {
+                    value: user,
+                    old: self.reserve[user.index()],
+                });
                 self.reserve[user.index()] = Some(new_rho);
                 // All cipher operand demands of the user drop to new_rho.
                 let ops: Vec<ValueId> = p.op(user).operands().collect();
                 for (s, &o) in ops.iter().enumerate() {
                     if p.is_cipher(o) {
-                        journal.push(Undo::OperandReq { op: user, slot: s, old: self.operand_req[user.index()][s] });
+                        journal.push(Undo::OperandReq {
+                            op: user,
+                            slot: s,
+                            old: self.operand_req[user.index()][s],
+                        });
                         self.operand_req[user.index()][s] = Some(new_rho);
                         self.update_reserve_in(o, user, s, new_rho, journal);
                     }
@@ -334,9 +370,16 @@ impl<'p> Allocator<'p> {
                 if !self.reduce_reserve_ins_inner(user, new_rho, journal) {
                     return false;
                 }
-                journal.push(Undo::Reserve { value: user, old: self.reserve[user.index()] });
+                journal.push(Undo::Reserve {
+                    value: user,
+                    old: self.reserve[user.index()],
+                });
                 self.reserve[user.index()] = Some(new_rho);
-                journal.push(Undo::OperandReq { op: user, slot, old: self.operand_req[user.index()][slot] });
+                journal.push(Undo::OperandReq {
+                    op: user,
+                    slot,
+                    old: self.operand_req[user.index()][slot],
+                });
                 self.operand_req[user.index()][slot] = Some(new_rho + w);
                 self.update_reserve_in(v, user, slot, new_rho + w, journal);
                 true
@@ -358,7 +401,11 @@ impl<'p> Allocator<'p> {
     ) {
         for (idx, entry) in self.reserve_ins[operand.index()].iter_mut().enumerate() {
             if entry.user == Some((user, slot)) {
-                journal.push(Undo::ReserveIn { value: operand, idx, old: entry.req });
+                journal.push(Undo::ReserveIn {
+                    value: operand,
+                    idx,
+                    old: entry.req,
+                });
                 entry.req = req;
                 return;
             }

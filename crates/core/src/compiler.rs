@@ -1,16 +1,26 @@
-//! The reserve compiler driver: cleanup → reserve analysis → placement →
-//! hoisting, with the paper's BA / RA / full ablation modes (§8.3).
+//! The reserve compiler driver: cleanup → ordering → reserve allocation →
+//! type checking → placement → hoisting, with the paper's BA / RA / full
+//! ablation modes (§8.3).
+//!
+//! The driver is a [`PassManager`] pipeline (see [`fhe_ir::pipeline`]):
+//! each phase is a [`Pass`] and the per-phase timing that used to be
+//! hand-rolled `Instant` bookkeeping now falls out of the recorded
+//! [`PipelineTrace`]. [`ReserveCompiler`] exposes the whole thing behind
+//! the workspace-wide [`ScaleCompiler`] trait.
 
-use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use fhe_ir::{passes, CompileParams, CostModel, Program, ScheduleError, ScheduledProgram};
+use fhe_ir::pipeline::{
+    finish_compiled, CleanupPass, CompileError, CompileReport, Compiled as UnifiedCompiled, Pass,
+    PassCx, PassError, PassIr, PassKind, PassManager, PipelineTrace, ScaleCompiler,
+};
+use fhe_ir::{CompileParams, CostModel, Program, ScheduledProgram};
 
 use crate::alloc::{allocate, ReserveSolution};
 use crate::hoist::hoist;
-use crate::ordering::{allocation_order, naive_order};
+use crate::ordering::{allocation_order, naive_order, AllocationOrder};
 use crate::placement::place;
-use crate::types::{self, TypeError};
+use crate::types;
 
 /// Ablation configuration (Fig. 8 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,115 +93,250 @@ impl Options {
 
     /// Same, with an explicit ablation mode.
     pub fn with_mode(waterline_bits: u32, mode: Mode) -> Self {
-        Options { mode, ..Self::new(waterline_bits) }
-    }
-}
-
-/// Why compilation failed.
-#[derive(Debug, Clone)]
-pub enum CompileError {
-    /// The reserve solution violates the type system (e.g. the program's
-    /// depth exceeds `max_level`).
-    Type(Vec<TypeError>),
-    /// The emitted schedule failed validation (a compiler bug if it ever
-    /// happens — surfaced rather than panicking so fuzzing can observe it).
-    Schedule(Vec<ScheduleError>),
-}
-
-impl fmt::Display for CompileError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CompileError::Type(errs) => write!(f, "reserve typing failed: {} error(s)", errs.len()),
-            CompileError::Schedule(errs) => {
-                write!(f, "schedule validation failed: {} error(s)", errs.len())
-            }
+        Options {
+            mode,
+            ..Self::new(waterline_bits)
         }
     }
 }
 
-impl std::error::Error for CompileError {}
-
-/// Timing and size statistics for one compilation (Table 4's columns).
-#[derive(Debug, Clone)]
-pub struct Stats {
-    /// Time spent in scale management proper (ordering + allocation +
-    /// placement + hoisting) — the paper's "Scale Management Time".
-    pub scale_management_time: Duration,
-    /// End-to-end compile time including cleanup passes and validation.
-    pub total_time: Duration,
-    /// Op count before compilation (after cleanup).
-    pub ops_before: usize,
-    /// Op count of the scheduled program.
-    pub ops_after: usize,
-    /// Number of hoists applied.
-    pub hoists: usize,
-    /// Statically estimated latency of the result (µs).
-    pub estimated_latency_us: f64,
-    /// Modulus level required of fresh encryptions.
-    pub max_level: u32,
-}
-
-/// Output of the reserve compiler.
+/// Output of the reserve compiler: the unified artifact plus the certified
+/// reserve solution for inspection and tests.
 #[derive(Debug, Clone)]
 pub struct Compiled {
     /// The scheduled program (validates by construction).
     pub scheduled: ScheduledProgram,
     /// The certified reserve solution (for inspection/tests).
     pub solution: ReserveSolution,
-    /// Compilation statistics.
-    pub stats: Stats,
+    /// Compilation statistics, uniform across the workspace's compilers.
+    pub report: CompileReport,
+}
+
+impl From<Compiled> for UnifiedCompiled {
+    fn from(c: Compiled) -> Self {
+        UnifiedCompiled {
+            scheduled: c.scheduled,
+            report: c.report,
+        }
+    }
+}
+
+/// §6.1 visit ordering: computes the [`AllocationOrder`] artifact.
+#[derive(Debug, Clone, Copy)]
+struct OrderPass {
+    strategy: OrderingStrategy,
+}
+
+impl Pass for OrderPass {
+    fn name(&self) -> &str {
+        "order"
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let order = match self.strategy {
+            OrderingStrategy::CostPriority => {
+                allocation_order(ir.program(), &cx.params, &cx.cost_model)
+            }
+            OrderingStrategy::ReverseTopological => naive_order(ir.program()),
+        };
+        cx.put(order);
+        Ok(ir)
+    }
+}
+
+/// Backward reserve allocation (§6), optionally with redistribution (§6.2).
+#[derive(Debug, Clone, Copy)]
+struct AllocPass {
+    redistribute: bool,
+}
+
+impl Pass for AllocPass {
+    fn name(&self) -> &str {
+        "alloc"
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let order = cx
+            .take::<AllocationOrder>()
+            .ok_or_else(|| PassError::new("alloc", "order pass did not run"))?;
+        let solution = allocate(ir.program(), &cx.params, &order, self.redistribute);
+        cx.add_iterations(1);
+        cx.put(solution);
+        Ok(ir)
+    }
+}
+
+/// §7 type checking of the reserve solution against the program.
+#[derive(Debug, Clone, Copy)]
+struct TypeCheckPass;
+
+impl Pass for TypeCheckPass {
+    fn name(&self) -> &str {
+        "typecheck"
+    }
+
+    fn kind(&self) -> PassKind {
+        PassKind::Check
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let solution = cx
+            .get::<ReserveSolution>()
+            .ok_or_else(|| PassError::new("typecheck", "alloc pass did not run"))?;
+        let errs = types::check(ir.program(), &cx.params, solution);
+        if !errs.is_empty() {
+            return Err(PassError::with_diagnostics("typecheck", &errs));
+        }
+        Ok(ir)
+    }
+}
+
+/// Materializes the certified solution as explicit scale-management ops.
+#[derive(Debug, Clone, Copy)]
+struct PlacePass;
+
+impl Pass for PlacePass {
+    fn name(&self) -> &str {
+        "place"
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let program = ir.try_source("place")?;
+        let solution = cx
+            .get::<ReserveSolution>()
+            .ok_or_else(|| PassError::new("place", "alloc pass did not run"))?;
+        Ok(PassIr::Scheduled(place(&program, &cx.params, solution)))
+    }
+}
+
+/// §6.3 rescale hoisting over the scheduled program.
+#[derive(Debug, Clone, Copy)]
+struct HoistPass;
+
+impl Pass for HoistPass {
+    fn name(&self) -> &str {
+        "hoist"
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let mut scheduled = ir.try_scheduled("hoist")?;
+        let n = hoist(&mut scheduled, &cx.cost_model);
+        cx.hoists += n;
+        cx.note(format!("{n} rescale(s) hoisted"));
+        Ok(PassIr::Scheduled(scheduled))
+    }
+}
+
+/// Builds the reserve pipeline for `options` (without running it).
+fn pipeline_for(options: &Options) -> PassManager {
+    let mut pm = PassManager::new();
+    if options.cleanup {
+        pm = pm.with(CleanupPass);
+    }
+    pm = pm
+        .with(OrderPass {
+            strategy: options.ordering,
+        })
+        .with(AllocPass {
+            redistribute: options.mode.redistribute(),
+        })
+        .with(TypeCheckPass)
+        .with(PlacePass);
+    if options.mode.hoist() {
+        pm = pm.with(HoistPass);
+    }
+    pm
+}
+
+/// Op count entering scale management (i.e. after cleanup, if it ran).
+fn ops_entering_scale_management(trace: &PipelineTrace, fallback: usize) -> usize {
+    trace.pass("order").map_or(fallback, |r| r.ops_before)
 }
 
 /// Compiles a program with the reserve pipeline.
 ///
 /// # Errors
 ///
-/// Returns [`CompileError::Type`] when the program cannot be typed under the
+/// Fails in pass `"typecheck"` when the program cannot be typed under the
 /// given parameters (most commonly: multiplicative depth needs more than
 /// `params.max_level` levels).
 pub fn compile(program: &Program, options: &Options) -> Result<Compiled, CompileError> {
+    let label = options.mode.label();
     let t_total = Instant::now();
-    let cleaned;
-    let program = if options.cleanup {
-        cleaned = passes::cleanup(program);
-        &cleaned
-    } else {
-        program
-    };
-    let ops_before = program.num_ops();
+    let mut cx = PassCx::new(options.params, options.cost_model.clone());
+    let (ir, trace) = pipeline_for(options)
+        .run(PassIr::Source(program.clone()), &mut cx)
+        .map_err(|e| CompileError::in_compiler(label, e))?;
+    let scheduled = ir
+        .try_scheduled("finish")
+        .map_err(|e| CompileError::in_compiler(label, e))?;
+    let solution = cx
+        .take::<ReserveSolution>()
+        .expect("alloc pass leaves its solution in the context");
+    let ops_before = ops_entering_scale_management(&trace, program.num_ops());
+    let unified = finish_compiled(label, scheduled, trace, &cx, t_total.elapsed(), ops_before)?;
+    Ok(Compiled {
+        scheduled: unified.scheduled,
+        solution,
+        report: unified.report,
+    })
+}
 
-    let t_sm = Instant::now();
-    let order = match options.ordering {
-        OrderingStrategy::CostPriority => {
-            allocation_order(program, &options.params, &options.cost_model)
-        }
-        OrderingStrategy::ReverseTopological => naive_order(program),
-    };
-    let solution = allocate(program, &options.params, &order, options.mode.redistribute());
-    let type_errors = types::check(program, &options.params, &solution);
-    if !type_errors.is_empty() {
-        return Err(CompileError::Type(type_errors));
+/// The reserve compiler behind the workspace-wide [`ScaleCompiler`] trait.
+///
+/// Holds everything but the [`CompileParams`], which arrive per call so one
+/// configured compiler can serve a waterline sweep.
+#[derive(Debug, Clone)]
+pub struct ReserveCompiler {
+    /// Ablation mode (drives the reported name: "BA" / "RA" / "This work").
+    pub mode: Mode,
+    /// Latency model used for ordering and hoisting decisions.
+    pub cost_model: CostModel,
+    /// Run CSE/DCE before scale management.
+    pub cleanup: bool,
+    /// Allocation-order strategy.
+    pub ordering: OrderingStrategy,
+}
+
+impl ReserveCompiler {
+    /// The full pipeline ("This work").
+    pub fn full() -> Self {
+        Self::with_mode(Mode::Full)
     }
-    let mut scheduled = place(program, &options.params, &solution);
-    let hoists = if options.mode.hoist() {
-        hoist(&mut scheduled, &options.cost_model)
-    } else {
-        0
-    };
-    let scale_management_time = t_sm.elapsed();
 
-    let map = scheduled.validate().map_err(CompileError::Schedule)?;
-    let estimated_latency_us = options.cost_model.program_cost(&scheduled.program, &map);
-    let stats = Stats {
-        scale_management_time,
-        total_time: t_total.elapsed(),
-        ops_before,
-        ops_after: scheduled.program.num_ops(),
-        hoists,
-        estimated_latency_us,
-        max_level: map.max_level(),
-    };
-    Ok(Compiled { scheduled, solution, stats })
+    /// A specific ablation mode with paper-default settings.
+    pub fn with_mode(mode: Mode) -> Self {
+        ReserveCompiler {
+            mode,
+            cost_model: CostModel::paper_table3(),
+            cleanup: true,
+            ordering: OrderingStrategy::CostPriority,
+        }
+    }
+
+    fn options(&self, params: &CompileParams) -> Options {
+        Options {
+            params: *params,
+            cost_model: self.cost_model.clone(),
+            mode: self.mode,
+            cleanup: self.cleanup,
+            ordering: self.ordering,
+        }
+    }
+}
+
+impl ScaleCompiler for ReserveCompiler {
+    fn name(&self) -> &str {
+        self.mode.label()
+    }
+
+    fn compile(
+        &self,
+        program: &Program,
+        params: &CompileParams,
+    ) -> Result<UnifiedCompiled, CompileError> {
+        compile(program, &self.options(params)).map(UnifiedCompiled::from)
+    }
 }
 
 #[cfg(test)]
@@ -215,9 +360,9 @@ mod tests {
         let full = compile(&p, &Options::new(20)).unwrap();
         let ra = compile(&p, &Options::with_mode(20, Mode::Ra)).unwrap();
         let ba = compile(&p, &Options::with_mode(20, Mode::Ba)).unwrap();
-        let f = full.stats.estimated_latency_us / 100.0;
-        let r = ra.stats.estimated_latency_us / 100.0;
-        let bb = ba.stats.estimated_latency_us / 100.0;
+        let f = full.report.estimated_latency_us / 100.0;
+        let r = ra.report.estimated_latency_us / 100.0;
+        let bb = ba.report.estimated_latency_us / 100.0;
         assert!(f < r, "hoisting must help on Fig. 2a: {f} vs {r}");
         assert!(r <= bb, "redistribution must not hurt: {r} vs {bb}");
         assert!((300.0..380.0).contains(&f), "full cost {f} should be ≈335");
@@ -231,7 +376,7 @@ mod tests {
             for wl in [15, 25, 35, 45] {
                 let out = compile(&p, &Options::with_mode(wl, mode)).unwrap();
                 assert!(out.scheduled.validate().is_ok());
-                assert!(out.stats.max_level >= 1);
+                assert!(out.report.max_level >= 1);
             }
         }
     }
@@ -247,10 +392,9 @@ mod tests {
         let p = b.finish(vec![acc]);
         let mut options = Options::new(50);
         options.params.max_level = 3;
-        match compile(&p, &options) {
-            Err(CompileError::Type(errs)) => assert!(!errs.is_empty()),
-            other => panic!("expected type error, got {other:?}"),
-        }
+        let err = compile(&p, &options).unwrap_err();
+        assert_eq!(err.error.pass, "typecheck");
+        assert!(!err.error.diagnostics.is_empty());
     }
 
     #[test]
@@ -264,15 +408,60 @@ mod tests {
         let compiled = compile(&p, &Options::new(20)).unwrap();
         // One mul survives CSE; with x, add, and any scale management the
         // total stays small.
-        assert!(compiled.stats.ops_before < p.num_ops());
+        assert!(compiled.report.ops_before < p.num_ops());
     }
 
     #[test]
-    fn stats_time_is_populated() {
+    fn report_times_and_trace_are_populated() {
         let p = fig2a();
         let out = compile(&p, &Options::new(20)).unwrap();
-        assert!(out.stats.total_time >= out.stats.scale_management_time);
-        assert!(out.stats.estimated_latency_us > 0.0);
+        assert!(out.report.total_time >= out.report.scale_management_time);
+        assert!(out.report.estimated_latency_us > 0.0);
+        let names: Vec<&str> = out
+            .report
+            .trace
+            .passes
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["cleanup", "order", "alloc", "typecheck", "place", "hoist"]
+        );
+        let place = out.report.trace.pass("place").unwrap();
+        assert!(
+            place.ops_after > place.ops_before,
+            "placement inserts SM ops"
+        );
+        assert!(place.max_level_before.is_none() && place.max_level_after.is_some());
+        assert_eq!(
+            out.report.hoists,
+            out.report
+                .trace
+                .pass("hoist")
+                .map(|_| out.report.hoists)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn trait_object_compile_matches_direct_call() {
+        let p = fig2a();
+        let params = CompileParams::new(20);
+        let direct = compile(&p, &Options::new(20)).unwrap();
+        let compilers: Vec<Box<dyn ScaleCompiler>> = vec![Box::new(ReserveCompiler::full())];
+        for c in &compilers {
+            let via_trait = c.compile(&p, &params).unwrap();
+            assert_eq!(via_trait.report.compiler, "This work");
+            assert_eq!(
+                via_trait.report.estimated_latency_us,
+                direct.report.estimated_latency_us
+            );
+            assert_eq!(
+                via_trait.scheduled.program.num_ops(),
+                direct.scheduled.program.num_ops()
+            );
+        }
     }
 }
 
@@ -294,7 +483,7 @@ mod ordering_ablation_tests {
         assert!(out.scheduled.validate().is_ok());
         // Both orderings produce locally-optimal (but possibly different)
         // plans; each must beat EVA's 390 on this example.
-        assert!(out.stats.estimated_latency_us < 39000.0);
+        assert!(out.report.estimated_latency_us < 39000.0);
     }
 
     #[test]
@@ -312,8 +501,8 @@ mod ordering_ablation_tests {
             assert_eq!(out.scheduled.program.outputs().len(), 3);
             // Every output keeps at least the configured output reserve.
             for &o in out.scheduled.program.outputs() {
-                let reserve = fhe_ir::Frac::from(map.level(o)) * fhe_ir::Frac::from(60)
-                    - map.scale_bits(o);
+                let reserve =
+                    fhe_ir::Frac::from(map.level(o)) * fhe_ir::Frac::from(60) - map.scale_bits(o);
                 assert!(reserve >= fhe_ir::Frac::ZERO);
             }
         }
@@ -331,7 +520,7 @@ mod ordering_ablation_tests {
         options.cleanup = false;
         let out = compile(&p, &options).unwrap();
         // Duplicate squares survive without CSE.
-        assert!(out.stats.ops_before == p.num_ops());
+        assert!(out.report.ops_before == p.num_ops());
         out.scheduled.validate().unwrap();
     }
 }

@@ -41,8 +41,7 @@ fn hoist_once(scheduled: &mut ScheduledProgram, cost: &CostModel) -> usize {
         Err(e) => panic!("hoisting requires a valid schedule: {e:?}"),
     };
     let users = program.users();
-    let is_output: std::collections::HashSet<ValueId> =
-        program.outputs().iter().copied().collect();
+    let is_output: std::collections::HashSet<ValueId> = program.outputs().iter().copied().collect();
 
     // Step 1: candidate adds — both operands are distinct rescales with
     // matching pre-rescale states, and hoisting is locally beneficial.
@@ -74,7 +73,9 @@ fn hoist_once(scheduled: &mut ScheduledProgram, cost: &CostModel) -> usize {
             .copied()
             .filter(|&add| {
                 program.op(add).operands().any(|rs| {
-                    users[rs.index()].iter().any(|u| !candidates.contains_key(u))
+                    users[rs.index()]
+                        .iter()
+                        .any(|u| !candidates.contains_key(u))
                 })
             })
             .collect();
@@ -97,15 +98,14 @@ fn hoist_once(scheduled: &mut ScheduledProgram, cost: &CostModel) -> usize {
     let mut add_list: Vec<ValueId> = candidates.keys().copied().collect();
     add_list.sort_unstable();
     let mut parent: Vec<usize> = (0..add_list.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
             i = parent[i];
         }
         i
     }
-    let mut owner_of: std::collections::HashMap<ValueId, usize> =
-        std::collections::HashMap::new(); // rescale-op -> add index owning it
+    let mut owner_of: std::collections::HashMap<ValueId, usize> = std::collections::HashMap::new(); // rescale-op -> add index owning it
     for (idx, &add) in add_list.iter().enumerate() {
         for o in program.op(add).operands() {
             match owner_of.get(&o) {
@@ -137,7 +137,8 @@ fn hoist_once(scheduled: &mut ScheduledProgram, cost: &CostModel) -> usize {
             let l_low = map.level(add);
             let l_high = l_low + 1;
             let add_class = CostModel::classify(program, add).expect("cipher add");
-            benefit += cost.at_level(add_class, l_low) - cost.at_level(add_class, l_high)
+            benefit += cost.at_level(add_class, l_low)
+                - cost.at_level(add_class, l_high)
                 - cost.at_level(OpClass::Rescale, l_low);
             for o in program.op(add).operands() {
                 sources.insert(o);
@@ -274,6 +275,8 @@ mod tests {
         let cm = CostModel::paper_table3();
         let _ = hoist(&mut sched, &cm);
         assert!(valid_before);
-        sched.validate().expect("still valid after (possibly zero) hoists");
+        sched
+            .validate()
+            .expect("still valid after (possibly zero) hoists");
     }
 }

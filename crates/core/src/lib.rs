@@ -34,7 +34,7 @@
 //! let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
 //! let program = b.finish(vec![q]);
 //! let out = compile(&program, &Options::new(20))?;
-//! assert_eq!(out.stats.max_level, 2);
+//! assert_eq!(out.report.max_level, 2);
 //! # Ok::<(), reserve_core::CompileError>(())
 //! ```
 
@@ -49,6 +49,7 @@ pub mod placement;
 pub mod types;
 
 pub use alloc::{allocate, ReserveSolution};
-pub use compiler::{compile, Compiled, CompileError, Mode, Options, OrderingStrategy, Stats};
+pub use compiler::{compile, Compiled, Mode, Options, OrderingStrategy, ReserveCompiler};
+pub use fhe_ir::pipeline::{CompileError, CompileReport, ScaleCompiler};
 pub use ordering::{allocation_order, naive_order, AllocationOrder};
 pub use placement::place;

@@ -132,7 +132,10 @@ pub fn allocation_order(
         }
     }
     debug_assert_eq!(order.len(), n, "every value must be ordered");
-    AllocationOrder { order, estimated_cost }
+    AllocationOrder {
+        order,
+        estimated_cost,
+    }
 }
 
 /// A deliberately naive allocation order — plain reverse-topological by id,
@@ -140,7 +143,10 @@ pub fn allocation_order(
 /// much the §6.1 cost-prioritized ordering contributes.
 pub fn naive_order(program: &Program) -> AllocationOrder {
     let order: Vec<ValueId> = program.ids().rev().collect();
-    AllocationOrder { order, estimated_cost: vec![0.0; program.num_ops()] }
+    AllocationOrder {
+        order,
+        estimated_cost: vec![0.0; program.num_ops()],
+    }
 }
 
 #[cfg(test)]

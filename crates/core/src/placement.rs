@@ -39,11 +39,7 @@ impl State {
 /// Panics if the solution omits a reserve for a live ciphertext value (run
 /// the type checker first) or if the program already contains scale
 /// management ops.
-pub fn place(
-    program: &Program,
-    params: &CompileParams,
-    sol: &ReserveSolution,
-) -> ScheduledProgram {
+pub fn place(program: &Program, params: &CompileParams, sol: &ReserveSolution) -> ScheduledProgram {
     let mut ed = ProgramEditor::new(program);
     let mut state: HashMap<ValueId, State> = HashMap::new(); // dest id → state
     let mut adapted: HashMap<(ValueId, State), ValueId> = HashMap::new();
@@ -80,7 +76,12 @@ pub fn place(
                 let mapped = [a, b].map(|o| {
                     if program.is_cipher(o) {
                         adapt(
-                            params, &mut ed, &mut state, &mut adapted, o, principal_state,
+                            params,
+                            &mut ed,
+                            &mut state,
+                            &mut adapted,
+                            o,
+                            principal_state,
                         )
                     } else {
                         ed.map_operand(o)
@@ -90,7 +91,14 @@ pub fn place(
                 state.insert(new, principal_state);
             }
             Op::Neg(a) | Op::Rotate(a, _) => {
-                let na = adapt(params, &mut ed, &mut state, &mut adapted, a, principal_state);
+                let na = adapt(
+                    params,
+                    &mut ed,
+                    &mut state,
+                    &mut adapted,
+                    a,
+                    principal_state,
+                );
                 let new = ed.emit_with(id, &[na]);
                 state.insert(new, principal_state);
             }
@@ -99,8 +107,8 @@ pub fn place(
                     (true, true) => {
                         let req0 = req_bits(id, 0);
                         let req1 = req_bits(id, 1);
-                        let l_op = ((params.to_relative(req0) + params.omega()).ceil().max(1))
-                            as u32;
+                        let l_op =
+                            ((params.to_relative(req0) + params.omega()).ceil().max(1)) as u32;
                         let t0 = State {
                             scale_bits: Frac::from(l_op) * rescale - req0,
                             level: l_op,
@@ -113,7 +121,10 @@ pub fn place(
                         let nb = adapt(params, &mut ed, &mut state, &mut adapted, b, t1);
                         (
                             vec![na, nb],
-                            State { scale_bits: t0.scale_bits + t1.scale_bits, level: l_op },
+                            State {
+                                scale_bits: t0.scale_bits + t1.scale_bits,
+                                level: l_op,
+                            },
                         )
                     }
                     (true, false) | (false, true) => {
@@ -146,10 +157,16 @@ pub fn place(
                 // Level mismatch: rescale down to the principal level.
                 while cur.level > principal {
                     new = ed.push(Op::Rescale(new));
-                    cur = State { scale_bits: cur.scale_bits - rescale, level: cur.level - 1 };
+                    cur = State {
+                        scale_bits: cur.scale_bits - rescale,
+                        level: cur.level - 1,
+                    };
                     ed.set_mapping(id, new);
                 }
-                debug_assert_eq!(cur, principal_state, "mul normalization must land on principal");
+                debug_assert_eq!(
+                    cur, principal_state,
+                    "mul normalization must land on principal"
+                );
                 state.insert(new, cur);
             }
             Op::Rescale(_) | Op::ModSwitch(_) | Op::Upscale(..) => {
@@ -159,7 +176,11 @@ pub fn place(
         }
     }
 
-    ScheduledProgram { program: ed.finish(), params: *params, inputs }
+    ScheduledProgram {
+        program: ed.finish(),
+        params: *params,
+        inputs,
+    }
 }
 
 /// Adapts the dest value mapped from source `src` to the `target` state,
@@ -182,7 +203,10 @@ fn adapt(
         return done;
     }
     let rescale = params.rescale();
-    let d = cur.level.checked_sub(target.level).expect("levels only decrease");
+    let d = cur
+        .level
+        .checked_sub(target.level)
+        .expect("levels only decrease");
     let eps = cur.reserve_bits(params) - target.reserve_bits(params);
     assert!(eps >= Frac::ZERO, "reserves only decrease along an edge");
     // Each modswitch burns one level AND R bits of reserve.
@@ -239,9 +263,9 @@ mod tests {
         for redistribute in [false, true] {
             for wl in [15, 20, 25, 30, 35, 40, 45, 50] {
                 let s = compile_raw(&fig2a(), wl, redistribute);
-                let map = s.validate().unwrap_or_else(|e| {
-                    panic!("W={wl} redistribute={redistribute}: {e:?}")
-                });
+                let map = s
+                    .validate()
+                    .unwrap_or_else(|e| panic!("W={wl} redistribute={redistribute}: {e:?}"));
                 assert!(map.max_level() >= 1);
             }
         }
@@ -316,8 +340,8 @@ mod tests {
         let b = Builder::new("rot", 16);
         let x = b.input("x");
         let k = b.constant(vec![0.25; 16]);
-        let conv = (x.clone() * k.clone()) + (x.clone().rotate(1) * k.clone())
-            + (x.clone().rotate(2) * k);
+        let conv =
+            (x.clone() * k.clone()) + (x.clone().rotate(1) * k.clone()) + (x.clone().rotate(2) * k);
         let sq = conv.clone() * conv;
         let p = b.finish(vec![sq]);
         for wl in [20, 30, 40] {

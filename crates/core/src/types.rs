@@ -75,7 +75,12 @@ impl fmt::Display for TypeError {
         match self {
             TypeError::MissingReserve { value } => write!(f, "{value} has no reserve"),
             TypeError::NegativeReserve { value } => write!(f, "{value} has a negative reserve"),
-            TypeError::SubtypeViolation { user, operand, demanded, available } => write!(
+            TypeError::SubtypeViolation {
+                user,
+                operand,
+                demanded,
+                available,
+            } => write!(
                 f,
                 "{user} demands reserve {demanded} of {operand}, which only has {available}"
             ),
@@ -105,11 +110,7 @@ impl std::error::Error for TypeError {}
 
 /// Checks a reserve solution against the Fig. 5 typing rules. Returns all
 /// violations (empty ⇒ well-typed).
-pub fn check(
-    program: &Program,
-    params: &CompileParams,
-    sol: &ReserveSolution,
-) -> Vec<TypeError> {
+pub fn check(program: &Program, params: &CompileParams, sol: &ReserveSolution) -> Vec<TypeError> {
     let mut errors = Vec::new();
     let live = fhe_ir::analysis::live(program);
     let w = params.omega();

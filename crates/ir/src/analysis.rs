@@ -53,7 +53,10 @@ pub fn live(program: &Program) -> Vec<bool> {
 /// fractional levels.
 pub fn estimated_levels(program: &Program, params: &CompileParams) -> Vec<Frac> {
     let depth = mult_depth(program);
-    depth.iter().map(|&d| Frac::ONE + Frac::from(d) * params.omega()).collect()
+    depth
+        .iter()
+        .map(|&d| Frac::ONE + Frac::from(d) * params.omega())
+        .collect()
 }
 
 /// Maximum number of scale-consuming multiplications on any live path — the

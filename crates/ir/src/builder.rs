@@ -40,22 +40,32 @@ pub struct Expr {
 impl Builder {
     /// Starts building a program with the given name and slot count.
     pub fn new(name: impl Into<String>, slots: usize) -> Self {
-        Builder { inner: Rc::new(RefCell::new(Program::new(name, slots))) }
+        Builder {
+            inner: Rc::new(RefCell::new(Program::new(name, slots))),
+        }
     }
 
     fn expr(&self, id: ValueId) -> Expr {
-        Expr { inner: Rc::clone(&self.inner), id }
+        Expr {
+            inner: Rc::clone(&self.inner),
+            id,
+        }
     }
 
     /// Declares a fresh ciphertext input.
     pub fn input(&self, name: impl Into<String>) -> Expr {
-        let id = self.inner.borrow_mut().push(Op::Input { name: name.into() });
+        let id = self
+            .inner
+            .borrow_mut()
+            .push(Op::Input { name: name.into() });
         self.expr(id)
     }
 
     /// Introduces a plaintext constant (scalar or vector).
     pub fn constant(&self, value: impl Into<ConstValue>) -> Expr {
-        let id = self.inner.borrow_mut().push(Op::Const { value: value.into() });
+        let id = self.inner.borrow_mut().push(Op::Const {
+            value: value.into(),
+        });
         self.expr(id)
     }
 
@@ -101,7 +111,10 @@ impl Expr {
 
     fn push(&self, op: Op) -> Expr {
         let id = self.inner.borrow_mut().push(op);
-        Expr { inner: Rc::clone(&self.inner), id }
+        Expr {
+            inner: Rc::clone(&self.inner),
+            id,
+        }
     }
 
     fn same_builder(&self, other: &Expr) {

@@ -178,7 +178,10 @@ impl CostModel {
 
     /// Latency (µs) of op `id` under the derived `scales`.
     pub fn op_cost(&self, program: &Program, id: ValueId, scales: &ScaleMap) -> f64 {
-        match (Self::classify(program, id), Self::charge_level(program, id, scales)) {
+        match (
+            Self::classify(program, id),
+            Self::charge_level(program, id, scales),
+        ) {
             (Some(class), Some(level)) => self.at_level(class, level),
             _ => 0.0,
         }
@@ -268,7 +271,10 @@ mod tests {
         let s = ScheduledProgram {
             program: p,
             params,
-            inputs: vec![InputSpec { scale_bits: Frac::from(40), level: 2 }],
+            inputs: vec![InputSpec {
+                scale_bits: Frac::from(40),
+                level: 2,
+            }],
         };
         let map = s.validate().unwrap();
         let m = CostModel::paper_table3();
@@ -289,7 +295,10 @@ mod tests {
         let s = ScheduledProgram {
             program: p,
             params,
-            inputs: vec![InputSpec { scale_bits: Frac::from(20), level: 1 }],
+            inputs: vec![InputSpec {
+                scale_bits: Frac::from(20),
+                level: 1,
+            }],
         };
         let map = s.validate().unwrap();
         let cm = CostModel::paper_table3();

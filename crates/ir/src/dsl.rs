@@ -111,7 +111,10 @@ mod tests {
             }
         };
         assert_eq!(program.outputs().len(), 2);
-        assert_eq!(program.count_ops(|o| matches!(o, crate::Op::Const { .. })), 2);
+        assert_eq!(
+            program.count_ops(|o| matches!(o, crate::Op::Const { .. })),
+            2
+        );
     }
 
     #[test]

@@ -21,11 +21,18 @@ fn is_scalar(program: &Program, id: ValueId, v: f64) -> bool {
     matches!(as_const(program, id), Some(ConstValue::Scalar(s)) if *s == v)
 }
 
-fn binary_fold(a: &ConstValue, b: &ConstValue, slots: usize, f: impl Fn(f64, f64) -> f64) -> ConstValue {
+fn binary_fold(
+    a: &ConstValue,
+    b: &ConstValue,
+    slots: usize,
+    f: impl Fn(f64, f64) -> f64,
+) -> ConstValue {
     match (a, b) {
         (ConstValue::Scalar(x), ConstValue::Scalar(y)) => ConstValue::Scalar(f(*x, *y)),
         _ => ConstValue::from(
-            (0..slots).map(|i| f(a.at(i), b.at(i))).collect::<Vec<f64>>(),
+            (0..slots)
+                .map(|i| f(a.at(i), b.at(i)))
+                .collect::<Vec<f64>>(),
         ),
     }
 }
@@ -99,7 +106,11 @@ pub fn canonicalize(program: &Program) -> (Program, bool) {
                     let slots = program.slots() as i64;
                     let total = (k + j).rem_euclid(slots);
                     let base = ed.map_operand(*inner);
-                    let new = if total == 0 { base } else { ed.push(Op::Rotate(base, total)) };
+                    let new = if total == 0 {
+                        base
+                    } else {
+                        ed.push(Op::Rotate(base, total))
+                    };
                     Some(new)
                 }
                 _ => None,
@@ -107,13 +118,15 @@ pub fn canonicalize(program: &Program) -> (Program, bool) {
             Op::Add(a, b) if is_scalar(program, b, 0.0) => Some(ed.map_operand(a)),
             Op::Add(a, b) if is_scalar(program, a, 0.0) => Some(ed.map_operand(b)),
             Op::Sub(a, b) if is_scalar(program, b, 0.0) => Some(ed.map_operand(a)),
-            Op::Sub(a, b) if a == b => {
-                Some(ed.push(Op::Const { value: ConstValue::Scalar(0.0) }))
-            }
+            Op::Sub(a, b) if a == b => Some(ed.push(Op::Const {
+                value: ConstValue::Scalar(0.0),
+            })),
             Op::Mul(a, b) if is_scalar(program, b, 1.0) => Some(ed.map_operand(a)),
             Op::Mul(a, b) if is_scalar(program, a, 1.0) => Some(ed.map_operand(b)),
             Op::Mul(a, b) if is_scalar(program, b, 0.0) || is_scalar(program, a, 0.0) => {
-                Some(ed.push(Op::Const { value: ConstValue::Scalar(0.0) }))
+                Some(ed.push(Op::Const {
+                    value: ConstValue::Scalar(0.0),
+                }))
             }
             _ => None,
         };

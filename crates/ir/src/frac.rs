@@ -59,7 +59,10 @@ impl Frac {
         if g == 0 {
             return Frac { num: 0, den: 1 };
         }
-        Frac { num: num / g, den: den / g }
+        Frac {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Numerator of the reduced fraction.
@@ -148,19 +151,28 @@ impl From<i128> for Frac {
 
 impl From<i32> for Frac {
     fn from(v: i32) -> Self {
-        Frac { num: v as i128, den: 1 }
+        Frac {
+            num: v as i128,
+            den: 1,
+        }
     }
 }
 
 impl From<i64> for Frac {
     fn from(v: i64) -> Self {
-        Frac { num: v as i128, den: 1 }
+        Frac {
+            num: v as i128,
+            den: 1,
+        }
     }
 }
 
 impl From<u32> for Frac {
     fn from(v: u32) -> Self {
-        Frac { num: v as i128, den: 1 }
+        Frac {
+            num: v as i128,
+            den: 1,
+        }
     }
 }
 
@@ -196,7 +208,10 @@ impl Div for Frac {
 impl Neg for Frac {
     type Output = Frac;
     fn neg(self) -> Frac {
-        Frac { num: -self.num, den: self.den }
+        Frac {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

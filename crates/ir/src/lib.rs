@@ -14,8 +14,12 @@
 //!   algebraic canonicalization);
 //! - a textual format ([`text`]) for printing and parsing programs;
 //! - the RNS-CKKS legality validator ([`ScheduledProgram::validate`]), the
-//!   shared correctness oracle for compiled programs; and
-//! - the latency [`CostModel`] seeded with the paper's Table 3.
+//!   shared correctness oracle for compiled programs;
+//! - the latency [`CostModel`] seeded with the paper's Table 3; and
+//! - the instrumented [`pipeline`] every compiler is built on: a [`Pass`]
+//!   sequence run by a [`PassManager`] recording a [`PipelineTrace`], with
+//!   all compilers unified behind the [`ScaleCompiler`] trait producing a
+//!   uniform [`CompileReport`].
 //!
 //! # Example
 //!
@@ -37,13 +41,14 @@
 
 pub mod analysis;
 mod builder;
-pub mod dsl;
 pub mod cost;
+pub mod dsl;
 pub mod fold;
 mod frac;
 mod op;
 mod params;
 pub mod passes;
+pub mod pipeline;
 mod program;
 mod schedule;
 pub mod text;
@@ -53,5 +58,9 @@ pub use cost::{CostModel, OpClass};
 pub use frac::Frac;
 pub use op::{ConstValue, Op, OperandIter, ValueId};
 pub use params::CompileParams;
+pub use pipeline::{
+    CompileError, CompileReport, Compiled, Pass, PassCx, PassError, PassIr, PassKind, PassManager,
+    PassRecord, PipelineTrace, ScaleCompiler,
+};
 pub use program::{Program, ProgramEditor};
 pub use schedule::{InputSpec, ScaleMap, ScheduleError, ScheduledProgram};

@@ -64,7 +64,9 @@ impl PartialEq for ConstValue {
             (ConstValue::Scalar(a), ConstValue::Scalar(b)) => a.to_bits() == b.to_bits(),
             (ConstValue::Vector(a), ConstValue::Vector(b)) => {
                 a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
             }
             _ => false,
         }

@@ -53,7 +53,10 @@ impl CompileParams {
 
     /// Same as [`CompileParams::new`] with an explicit rescaling-factor size.
     pub fn with_rescale_bits(waterline_bits: u32, rescale_bits: u32) -> Self {
-        let p = CompileParams { rescale_bits, ..Self::new_unchecked(waterline_bits) };
+        let p = CompileParams {
+            rescale_bits,
+            ..Self::new_unchecked(waterline_bits)
+        };
         p.check();
         p
     }

@@ -243,9 +243,13 @@ impl<'a> ProgramEditor<'a> {
     pub fn emit_with(&mut self, old: ValueId, operands: &[ValueId]) -> ValueId {
         let mut it = operands.iter().copied();
         let op = self.source.op(old).map_operands(|_| {
-            it.next().expect("emit_with: not enough replacement operands")
+            it.next()
+                .expect("emit_with: not enough replacement operands")
         });
-        assert!(it.next().is_none(), "emit_with: too many replacement operands");
+        assert!(
+            it.next().is_none(),
+            "emit_with: too many replacement operands"
+        );
         let new = self.dest.push(op);
         self.mapping.insert(old, new);
         new
@@ -283,7 +287,9 @@ mod tests {
     fn sample() -> Program {
         let mut p = Program::new("t", 8);
         let x = p.push(Op::Input { name: "x".into() });
-        let c = p.push(Op::Const { value: ConstValue::Scalar(2.0) });
+        let c = p.push(Op::Const {
+            value: ConstValue::Scalar(2.0),
+        });
         let m = p.push(Op::Mul(x, c));
         let a = p.push(Op::Add(m, x));
         p.set_outputs(vec![a]);
@@ -304,8 +310,12 @@ mod tests {
     #[test]
     fn plain_times_plain_is_plain() {
         let mut p = Program::new("t", 4);
-        let a = p.push(Op::Const { value: ConstValue::Scalar(1.0) });
-        let b = p.push(Op::Const { value: ConstValue::Scalar(2.0) });
+        let a = p.push(Op::Const {
+            value: ConstValue::Scalar(1.0),
+        });
+        let b = p.push(Op::Const {
+            value: ConstValue::Scalar(2.0),
+        });
         let m = p.push(Op::Mul(a, b));
         assert!(p.is_plain(m));
     }

@@ -152,14 +152,25 @@ impl fmt::Display for ScheduleError {
             ScheduleError::InputArity { expected, actual } => {
                 write!(f, "expected {expected} input specs, got {actual}")
             }
-            ScheduleError::ScaleMismatch { op, lhs_bits, rhs_bits } => {
+            ScheduleError::ScaleMismatch {
+                op,
+                lhs_bits,
+                rhs_bits,
+            } => {
                 write!(f, "scale mismatch at {op}: {lhs_bits} vs {rhs_bits} bits")
             }
             ScheduleError::LevelMismatch { op, lhs, rhs } => {
                 write!(f, "level mismatch at {op}: {lhs} vs {rhs}")
             }
-            ScheduleError::Overflow { op, scale_bits, level } => {
-                write!(f, "scale overflow at {op}: {scale_bits} bits exceeds modulus at level {level}")
+            ScheduleError::Overflow {
+                op,
+                scale_bits,
+                level,
+            } => {
+                write!(
+                    f,
+                    "scale overflow at {op}: {scale_bits} bits exceeds modulus at level {level}"
+                )
             }
             ScheduleError::BelowWaterline { op, scale_bits } => {
                 write!(f, "scale {scale_bits} bits below waterline at {op}")
@@ -190,7 +201,10 @@ impl ScheduledProgram {
         let params = &self.params;
         let mut errors = Vec::new();
         let n = p.num_ops();
-        let mut map = ScaleMap { scale_bits: vec![None; n], level: vec![None; n] };
+        let mut map = ScaleMap {
+            scale_bits: vec![None; n],
+            level: vec![None; n],
+        };
 
         if self.inputs.len() != p.inputs().len() {
             return Err(vec![ScheduleError::InputArity {
@@ -220,33 +234,31 @@ impl ScheduledProgram {
                     Some((spec.scale_bits, spec.level))
                 }
                 Op::Const { .. } => unreachable!("consts are plain"),
-                Op::Add(a, b) | Op::Sub(a, b) => {
-                    match (p.is_cipher(*a), p.is_cipher(*b)) {
-                        (true, true) => match (cipher(*a), cipher(*b)) {
-                            (Some((sa, la)), Some((sb, lb))) => {
-                                if sa != sb {
-                                    errors.push(ScheduleError::ScaleMismatch {
-                                        op: id,
-                                        lhs_bits: sa,
-                                        rhs_bits: sb,
-                                    });
-                                }
-                                if la != lb {
-                                    errors.push(ScheduleError::LevelMismatch {
-                                        op: id,
-                                        lhs: la,
-                                        rhs: lb,
-                                    });
-                                }
-                                Some((sa, la.min(lb)))
+                Op::Add(a, b) | Op::Sub(a, b) => match (p.is_cipher(*a), p.is_cipher(*b)) {
+                    (true, true) => match (cipher(*a), cipher(*b)) {
+                        (Some((sa, la)), Some((sb, lb))) => {
+                            if sa != sb {
+                                errors.push(ScheduleError::ScaleMismatch {
+                                    op: id,
+                                    lhs_bits: sa,
+                                    rhs_bits: sb,
+                                });
                             }
-                            _ => None,
-                        },
-                        (true, false) => cipher(*a),
-                        (false, true) => cipher(*b),
-                        (false, false) => unreachable!("plain op handled above"),
-                    }
-                }
+                            if la != lb {
+                                errors.push(ScheduleError::LevelMismatch {
+                                    op: id,
+                                    lhs: la,
+                                    rhs: lb,
+                                });
+                            }
+                            Some((sa, la.min(lb)))
+                        }
+                        _ => None,
+                    },
+                    (true, false) => cipher(*a),
+                    (false, true) => cipher(*b),
+                    (false, false) => unreachable!("plain op handled above"),
+                },
                 Op::Mul(a, b) => match (p.is_cipher(*a), p.is_cipher(*b)) {
                     (true, true) => match (cipher(*a), cipher(*b)) {
                         (Some((sa, la)), Some((sb, lb))) => {
@@ -292,10 +304,17 @@ impl ScheduledProgram {
 
             if let Some((scale, level)) = derived {
                 if scale < waterline {
-                    errors.push(ScheduleError::BelowWaterline { op: id, scale_bits: scale });
+                    errors.push(ScheduleError::BelowWaterline {
+                        op: id,
+                        scale_bits: scale,
+                    });
                 }
                 if scale > Frac::from(level) * rescale {
-                    errors.push(ScheduleError::Overflow { op: id, scale_bits: scale, level });
+                    errors.push(ScheduleError::Overflow {
+                        op: id,
+                        scale_bits: scale,
+                        level,
+                    });
                 }
                 if level > params.max_level {
                     errors.push(ScheduleError::ExceedsMaxLevel { op: id, level });
@@ -353,8 +372,15 @@ mod tests {
         let q = p.push(Op::Mul(x3, s));
         let qr = p.push(Op::Rescale(q));
         p.set_outputs(vec![qr]);
-        let spec = InputSpec { scale_bits: Frac::from(20), level: 2 };
-        ScheduledProgram { program: p, params, inputs: vec![spec, spec] }
+        let spec = InputSpec {
+            scale_bits: Frac::from(20),
+            level: 2,
+        };
+        ScheduledProgram {
+            program: p,
+            params,
+            inputs: vec![spec, spec],
+        }
     }
 
     #[test]
@@ -380,8 +406,12 @@ mod tests {
             spec.level = 1;
         }
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::Overflow { .. })));
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::LevelUnderflow { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::Overflow { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::LevelUnderflow { .. })));
     }
 
     #[test]
@@ -396,8 +426,14 @@ mod tests {
             program: p,
             params,
             inputs: vec![
-                InputSpec { scale_bits: Frac::from(20), level: 1 },
-                InputSpec { scale_bits: Frac::from(30), level: 1 },
+                InputSpec {
+                    scale_bits: Frac::from(20),
+                    level: 1,
+                },
+                InputSpec {
+                    scale_bits: Frac::from(30),
+                    level: 1,
+                },
             ],
         };
         let errs = s.validate().unwrap_err();
@@ -417,8 +453,14 @@ mod tests {
             program: p,
             params,
             inputs: vec![
-                InputSpec { scale_bits: Frac::from(20), level: 2 },
-                InputSpec { scale_bits: Frac::from(20), level: 1 },
+                InputSpec {
+                    scale_bits: Frac::from(20),
+                    level: 2,
+                },
+                InputSpec {
+                    scale_bits: Frac::from(20),
+                    level: 1,
+                },
             ],
         };
         let errs = s.validate().unwrap_err();
@@ -434,7 +476,10 @@ mod tests {
         let s = ScheduledProgram {
             program: p,
             params,
-            inputs: vec![InputSpec { scale_bits: Frac::from(10), level: 1 }],
+            inputs: vec![InputSpec {
+                scale_bits: Frac::from(10),
+                level: 1,
+            }],
         };
         let errs = s.validate().unwrap_err();
         assert!(matches!(errs[0], ScheduleError::BelowWaterline { .. }));
@@ -451,10 +496,15 @@ mod tests {
         let s = ScheduledProgram {
             program: p,
             params,
-            inputs: vec![InputSpec { scale_bits: Frac::from(70), level: 2 }],
+            inputs: vec![InputSpec {
+                scale_bits: Frac::from(70),
+                level: 2,
+            }],
         };
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ScheduleError::BelowWaterline { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ScheduleError::BelowWaterline { .. })));
     }
 
     #[test]
@@ -468,7 +518,10 @@ mod tests {
         let s = ScheduledProgram {
             program: p,
             params,
-            inputs: vec![InputSpec { scale_bits: Frac::from(20), level: 1 }],
+            inputs: vec![InputSpec {
+                scale_bits: Frac::from(20),
+                level: 1,
+            }],
         };
         let map = s.validate().unwrap();
         assert_eq!(map.scale_bits(ValueId(2)), Frac::from(40));
@@ -487,7 +540,10 @@ mod tests {
         let s = ScheduledProgram {
             program: p,
             params,
-            inputs: vec![InputSpec { scale_bits: Frac::from(20), level: 1 }],
+            inputs: vec![InputSpec {
+                scale_bits: Frac::from(20),
+                level: 1,
+            }],
         };
         let map = s.validate().unwrap();
         assert_eq!(map.try_scale_bits(ValueId(0)), None);
@@ -502,8 +558,18 @@ mod tests {
         let b = Builder::new("a", 4);
         let x = b.input("x");
         let p = b.finish(vec![x]);
-        let s = ScheduledProgram { program: p, params, inputs: vec![] };
+        let s = ScheduledProgram {
+            program: p,
+            params,
+            inputs: vec![],
+        };
         let errs = s.validate().unwrap_err();
-        assert!(matches!(errs[0], ScheduleError::InputArity { expected: 1, actual: 0 }));
+        assert!(matches!(
+            errs[0],
+            ScheduleError::InputArity {
+                expected: 1,
+                actual: 0
+            }
+        ));
     }
 }

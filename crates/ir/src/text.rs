@@ -22,7 +22,13 @@ use crate::Frac;
 pub fn print(program: &Program) -> String {
     let mut out = String::new();
     use fmt::Write;
-    writeln!(out, "program {}(slots={}) {{", program.name(), program.slots()).unwrap();
+    writeln!(
+        out,
+        "program {}(slots={}) {{",
+        program.name(),
+        program.slots()
+    )
+    .unwrap();
     for id in program.ids() {
         write!(out, "  {id} = ").unwrap();
         match program.op(id) {
@@ -81,7 +87,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line_no, message: message.into() })
+        Err(ParseError {
+            line: self.line_no,
+            message: message.into(),
+        })
     }
 
     fn eat_ws(&mut self) {
@@ -204,7 +213,10 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
         if line.is_empty() || line.starts_with("//") {
             continue;
         }
-        let mut p = Parser { line_no, rest: line };
+        let mut p = Parser {
+            line_no,
+            rest: line,
+        };
         if program.is_none() {
             p.expect("program")?;
             let name = p.ident()?.to_owned();
@@ -276,9 +288,13 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
                             p.rest = &p.rest[1..];
                         }
                     }
-                    Op::Const { value: ConstValue::from(vals) }
+                    Op::Const {
+                        value: ConstValue::from(vals),
+                    }
                 } else {
-                    Op::Const { value: ConstValue::Scalar(p.float()?) }
+                    Op::Const {
+                        value: ConstValue::Scalar(p.float()?),
+                    }
                 }
             }
             "add" | "sub" | "mul" => {
@@ -312,9 +328,15 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
         prog.push(op);
     }
 
-    let prog = program.ok_or(ParseError { line: 1, message: "empty input".into() })?;
+    let prog = program.ok_or(ParseError {
+        line: 1,
+        message: "empty input".into(),
+    })?;
     if !done {
-        return Err(ParseError { line: text.lines().count(), message: "missing `}`".into() });
+        return Err(ParseError {
+            line: text.lines().count(),
+            message: "missing `}`".into(),
+        });
     }
     Ok(prog)
 }
@@ -330,8 +352,7 @@ mod tests {
         let c = b.constant(vec![1.0, 2.5]);
         let e = (x.clone().rotate(-2) * c + x.clone()) - x.clone().square();
         let n = -e;
-        let p = b.finish(vec![n, x]);
-        p
+        b.finish(vec![n, x])
     }
 
     #[test]
@@ -359,7 +380,10 @@ mod tests {
         let u = p.push(Op::Upscale(m, Frac::ratio(41, 2)));
         p.set_outputs(vec![u]);
         let q = parse(&print(&p)).unwrap();
-        assert_eq!(q.op(ValueId(3)), &Op::Upscale(ValueId(2), Frac::ratio(41, 2)));
+        assert_eq!(
+            q.op(ValueId(3)),
+            &Op::Upscale(ValueId(2), Frac::ratio(41, 2))
+        );
     }
 
     #[test]
@@ -393,7 +417,8 @@ mod tests {
 
     #[test]
     fn negative_rotation_roundtrips() {
-        let text = "program t(slots=4) {\n  %0 = input \"x\"\n  %1 = rotate %0, -7\n  return %1\n}\n";
+        let text =
+            "program t(slots=4) {\n  %0 = input \"x\"\n  %1 = rotate %0, -7\n  return %1\n}\n";
         let p = parse(text).unwrap();
         assert_eq!(p.op(ValueId(1)), &Op::Rotate(ValueId(0), -7));
     }

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use fhe_ckks::{
     decrypt, encrypt_symmetric, Ciphertext, CkksContext, CkksParams, Evaluator, KeyGenerator,
 };
-use fhe_ir::{Op, ScheduleError, ScheduledProgram, ValueId};
+use fhe_ir::{CostModel, Op, OpClass, ScheduleError, ScheduledProgram, ValueId};
 
 use crate::plain;
 
@@ -27,7 +27,10 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { poly_degree: 1 << 12, seed: 0xC0FFEE }
+        ExecOptions {
+            poly_degree: 1 << 12,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -45,6 +48,9 @@ pub struct ExecReport {
     pub total_time: Duration,
     /// Number of homomorphic ops executed.
     pub ops_executed: usize,
+    /// Wall time and op count per Table 3 op class (fresh encryptions are
+    /// counted in [`ExecReport::ops_executed`] but have no class).
+    pub per_class: Vec<(OpClass, Duration, usize)>,
 }
 
 impl ExecReport {
@@ -129,6 +135,8 @@ pub fn execute(
 
     let mut op_time = Duration::ZERO;
     let mut ops_executed = 0usize;
+    let mut by_class: [(Duration, usize); OpClass::ALL.len()] =
+        [(Duration::ZERO, 0); OpClass::ALL.len()];
     let mut input_iter = scheduled.inputs.iter();
 
     for id in program.ids() {
@@ -181,7 +189,11 @@ pub fn execute(
                     (true, false) => {
                         let ca = cget(&cipher_vals, *a);
                         let pv = get(&plain_vals, *b).clone();
-                        let pv = if sub { pv.iter().map(|x| -x).collect() } else { pv };
+                        let pv = if sub {
+                            pv.iter().map(|x| -x).collect()
+                        } else {
+                            pv
+                        };
                         let pt = ev.encoder().encode(&pv, ca.scale, ca.level);
                         ev.add_plain(&ca, &pt)
                     }
@@ -189,8 +201,9 @@ pub fn execute(
                         // plain ± cipher: a + b, or a − b = (−b) + a.
                         let cb = cget(&cipher_vals, *b);
                         let base = if sub { ev.neg(&cb) } else { cb };
-                        let pt =
-                            ev.encoder().encode(get(&plain_vals, *a), base.scale, base.level);
+                        let pt = ev
+                            .encoder()
+                            .encode(get(&plain_vals, *a), base.scale, base.level);
                         ev.add_plain(&base, &pt)
                     }
                     (false, false) => unreachable!(),
@@ -203,9 +216,15 @@ pub fn execute(
                     ev.mul(&ca, &cb)
                 }
                 (true, false) | (false, true) => {
-                    let (c, p) = if program.is_cipher(*a) { (*a, *b) } else { (*b, *a) };
+                    let (c, p) = if program.is_cipher(*a) {
+                        (*a, *b)
+                    } else {
+                        (*b, *a)
+                    };
                     let cc = cget(&cipher_vals, c);
-                    let pt = ev.encoder().encode(get(&plain_vals, p), waterline, cc.level);
+                    let pt = ev
+                        .encoder()
+                        .encode(get(&plain_vals, p), waterline, cc.level);
                     ev.mul_plain(&cc, &pt)
                 }
                 (false, false) => unreachable!(),
@@ -233,14 +252,25 @@ pub fn execute(
             }
             Op::Rescale(a) => ev.rescale(&cget(&cipher_vals, *a)),
             Op::ModSwitch(a) => ev.mod_switch(&cget(&cipher_vals, *a)),
-            Op::Upscale(a, delta) => {
-                ev.upscale(&cget(&cipher_vals, *a), 2f64.powf(delta.to_f64()))
-            }
+            Op::Upscale(a, delta) => ev.upscale(&cget(&cipher_vals, *a), 2f64.powf(delta.to_f64())),
             Op::Const { .. } => unreachable!("consts are plain"),
         };
-        op_time += t0.elapsed();
+        let elapsed = t0.elapsed();
+        op_time += elapsed;
         ops_executed += 1;
-        debug_assert_eq!(ct.level as u32, map.level(id), "backend level tracks schedule");
+        if let Some(class) = CostModel::classify(program, id) {
+            let slot = OpClass::ALL
+                .iter()
+                .position(|c| *c == class)
+                .expect("class in ALL");
+            by_class[slot].0 += elapsed;
+            by_class[slot].1 += 1;
+        }
+        debug_assert_eq!(
+            ct.level as u32,
+            map.level(id),
+            "backend level tracks schedule"
+        );
         cipher_vals[id.index()] = Some(ct);
     }
 
@@ -255,12 +285,19 @@ pub fn execute(
         })
         .collect();
     let reference = plain::execute(program, inputs);
+    let per_class = OpClass::ALL
+        .iter()
+        .zip(by_class)
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(&c, (d, n))| (c, d, n))
+        .collect();
     Ok(ExecReport {
         outputs,
         reference,
         op_time,
         total_time: t_total.elapsed(),
         ops_executed,
+        per_class,
     })
 }
 
@@ -269,7 +306,11 @@ fn get(vals: &[Option<Vec<f64>>], id: ValueId) -> &Vec<f64> {
 }
 
 fn bin(vals: &[Option<Vec<f64>>], a: ValueId, b: ValueId, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
-    get(vals, a).iter().zip(get(vals, b)).map(|(&x, &y)| f(x, y)).collect()
+    get(vals, a)
+        .iter()
+        .zip(get(vals, b))
+        .map(|(&x, &y)| f(x, y))
+        .collect()
 }
 
 #[cfg(test)]
@@ -279,11 +320,17 @@ mod tests {
     use reserve_core::Options;
 
     fn inputs(pairs: &[(&str, Vec<f64>)]) -> HashMap<String, Vec<f64>> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn opts() -> ExecOptions {
-        ExecOptions { poly_degree: 256, seed: 3 }
+        ExecOptions {
+            poly_degree: 256,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -297,8 +344,12 @@ mod tests {
         let compiled = reserve_core::compile(&p, &Options::new(30)).unwrap();
         let xs: Vec<f64> = (0..slots).map(|i| ((i % 5) as f64 - 2.0) * 0.3).collect();
         let ys: Vec<f64> = (0..slots).map(|i| ((i % 7) as f64) * 0.1).collect();
-        let report =
-            execute(&compiled.scheduled, &inputs(&[("x", xs), ("y", ys)]), &opts()).unwrap();
+        let report = execute(
+            &compiled.scheduled,
+            &inputs(&[("x", xs), ("y", ys)]),
+            &opts(),
+        )
+        .unwrap();
         assert!(
             report.max_abs_error() < 1e-2,
             "encrypted error {}",
@@ -341,6 +392,10 @@ mod tests {
         let xs = vec![0.5; slots];
         let ys = vec![0.25; slots];
         let report = execute(&eva.scheduled, &inputs(&[("x", xs), ("y", ys)]), &opts()).unwrap();
-        assert!(report.max_abs_error() < 1e-2, "err {}", report.max_abs_error());
+        assert!(
+            report.max_abs_error() < 1e-2,
+            "err {}",
+            report.max_abs_error()
+        );
     }
 }

@@ -25,7 +25,10 @@ pub struct ErrorEstimateOptions {
 
 impl Default for ErrorEstimateOptions {
     fn default() -> Self {
-        ErrorEstimateOptions { model: NoiseModel::default(), magnitude_bound: 1.0 }
+        ErrorEstimateOptions {
+            model: NoiseModel::default(),
+            magnitude_bound: 1.0,
+        }
     }
 }
 
@@ -96,7 +99,9 @@ mod tests {
         let y = b.input("y");
         let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
         let p = b.finish(vec![q]);
-        reserve_core::compile(&p, &Options::new(waterline)).unwrap().scheduled
+        reserve_core::compile(&p, &Options::new(waterline))
+            .unwrap()
+            .scheduled
     }
 
     #[test]
@@ -107,23 +112,31 @@ mod tests {
         for waterline in [20, 30, 40] {
             let s = fig2a_scheduled(waterline);
             let est = estimate_error(&s, &ErrorEstimateOptions::default()).unwrap()[0];
-            let sim = simulate(&s, &inputs, &NoiseModel::default()).unwrap().max_abs_error();
+            let sim = simulate(&s, &inputs, &NoiseModel::default())
+                .unwrap()
+                .max_abs_error();
             assert!(
                 est >= sim,
                 "W={waterline}: static bound {est:.3e} below measured {sim:.3e}"
             );
             // The bound should not be absurdly loose (within ~4 orders).
-            assert!(est < sim.max(f64::MIN_POSITIVE) * 1e4, "W={waterline}: bound too loose");
+            assert!(
+                est < sim.max(f64::MIN_POSITIVE) * 1e4,
+                "W={waterline}: bound too loose"
+            );
         }
     }
 
     #[test]
     fn error_shrinks_with_waterline() {
-        let e20 = estimate_error(&fig2a_scheduled(20), &ErrorEstimateOptions::default())
-            .unwrap()[0];
-        let e40 = estimate_error(&fig2a_scheduled(40), &ErrorEstimateOptions::default())
-            .unwrap()[0];
-        assert!(e40 < e20 / 1e4, "W=2^40 bound {e40:.3e} vs W=2^20 {e20:.3e}");
+        let e20 =
+            estimate_error(&fig2a_scheduled(20), &ErrorEstimateOptions::default()).unwrap()[0];
+        let e40 =
+            estimate_error(&fig2a_scheduled(40), &ErrorEstimateOptions::default()).unwrap()[0];
+        assert!(
+            e40 < e20 / 1e4,
+            "W=2^40 bound {e40:.3e} vs W=2^20 {e20:.3e}"
+        );
     }
 
     #[test]
@@ -133,7 +146,9 @@ mod tests {
         let k = b.constant(2.0) * b.constant(3.0);
         let out = x + k;
         let p = b.finish(vec![out]);
-        let s = reserve_core::compile(&p, &Options::new(30)).unwrap().scheduled;
+        let s = reserve_core::compile(&p, &Options::new(30))
+            .unwrap()
+            .scheduled;
         let est = estimate_error(&s, &ErrorEstimateOptions::default()).unwrap()[0];
         // Only the fresh encryption noise of x contributes.
         assert!(est > 0.0 && est < 1e-3);
@@ -159,8 +174,12 @@ where
     let mut sorted: Vec<u32> = candidates.into_iter().collect();
     sorted.sort_unstable();
     for waterline in sorted {
-        let Some(scheduled) = compile(waterline) else { continue };
-        let Ok(errors) = estimate_error(&scheduled, options) else { continue };
+        let Some(scheduled) = compile(waterline) else {
+            continue;
+        };
+        let Ok(errors) = estimate_error(&scheduled, options) else {
+            continue;
+        };
         let worst = errors.iter().fold(0.0f64, |a, &b| a.max(b));
         if worst.max(f64::MIN_POSITIVE).log2() <= target_log2_error {
             return Some((waterline, scheduled));
@@ -187,7 +206,9 @@ mod selection_tests {
     fn picks_smallest_sufficient_waterline() {
         let p = program();
         let compile = |wl: u32| {
-            reserve_core::compile(&p, &Options::new(wl)).ok().map(|c| c.scheduled)
+            reserve_core::compile(&p, &Options::new(wl))
+                .ok()
+                .map(|c| c.scheduled)
         };
         let opts = ErrorEstimateOptions::default();
         // A loose target admits a small waterline; a strict one forces a
@@ -202,7 +223,9 @@ mod selection_tests {
     fn selected_schedule_meets_target() {
         let p = program();
         let compile = |wl: u32| {
-            reserve_core::compile(&p, &Options::new(wl)).ok().map(|c| c.scheduled)
+            reserve_core::compile(&p, &Options::new(wl))
+                .ok()
+                .map(|c| c.scheduled)
         };
         let opts = ErrorEstimateOptions::default();
         let target = -12.0;

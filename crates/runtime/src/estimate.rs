@@ -42,7 +42,10 @@ pub fn estimate(
         }
     }
     by_class.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite costs"));
-    Ok(LatencyBreakdown { by_class, total_us: total })
+    Ok(LatencyBreakdown {
+        by_class,
+        total_us: total,
+    })
 }
 
 #[cfg(test)]
@@ -64,7 +67,11 @@ mod tests {
         assert!((sum - bd.total_us).abs() < 1e-9);
         assert!(bd.total_us > 0.0);
         // Rotation present and expensive.
-        let rot = bd.by_class.iter().find(|(c, _, _)| *c == OpClass::Rotate).unwrap();
+        let rot = bd
+            .by_class
+            .iter()
+            .find(|(c, _, _)| *c == OpClass::Rotate)
+            .unwrap();
         assert_eq!(rot.2, 1);
         assert!(rot.1 >= 3828.0);
     }

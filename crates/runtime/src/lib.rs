@@ -15,6 +15,12 @@
 //!   extension beyond the paper);
 //!
 //! plus [`microbench`], which measures this repo's own Table 3.
+//!
+//! The three executors are unified behind the [`Executor`] trait
+//! ([`executor`]): each returns the same [`Execution`] artifact (outputs +
+//! plaintext reference + [`ExecTrace`] with per-op-class timing), and the
+//! encrypted/plain output-diff check is the shared [`outputs_close`]
+//! helper.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,6 +28,7 @@
 pub mod ckks_exec;
 pub mod error_est;
 pub mod estimate;
+pub mod executor;
 pub mod microbench;
 pub mod noise_sim;
 pub mod plain;
@@ -29,4 +36,7 @@ pub mod plain;
 pub use ckks_exec::{execute as execute_encrypted, ExecOptions, ExecReport};
 pub use error_est::{estimate_error, select_waterline, ErrorEstimateOptions};
 pub use estimate::{estimate, LatencyBreakdown};
+pub use executor::{
+    max_abs_diff, outputs_close, CkksExec, ExecTrace, Execution, Executor, NoiseSimExec, PlainExec,
+};
 pub use noise_sim::{simulate, NoiseModel, NoisyRun};

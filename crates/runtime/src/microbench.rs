@@ -18,7 +18,10 @@ pub type LatencyRow = (OpClass, Vec<f64>);
 /// A `rescale` at row level `l` operates on a level `l+1` ciphertext (the
 /// paper charges rescales at their result level). `reps` controls averaging.
 pub fn measure(params: CkksParams, levels: usize, reps: usize, seed: u64) -> Vec<LatencyRow> {
-    assert!(params.max_level > levels, "need max_level > measured levels for rescale");
+    assert!(
+        params.max_level > levels,
+        "need max_level > measured levels for rescale"
+    );
     let ctx = CkksContext::new(params);
     let mut rng = StdRng::seed_from_u64(seed);
     let kg = KeyGenerator::new(&ctx, &mut rng);
@@ -27,14 +30,18 @@ pub fn measure(params: CkksParams, levels: usize, reps: usize, seed: u64) -> Vec
     let galois = kg.galois_keys([1i64], &mut rng);
     let ev = Evaluator::new(&ctx, Some(relin), galois);
 
-    let values: Vec<f64> = (0..ctx.slots()).map(|i| ((i % 17) as f64 - 8.0) * 0.05).collect();
+    let values: Vec<f64> = (0..ctx.slots())
+        .map(|i| ((i % 17) as f64 - 8.0) * 0.05)
+        .collect();
     let fresh = |level: usize, rng: &mut StdRng| -> Ciphertext {
         let pt = ev.encoder().encode(&values, 2f64.powi(40), level);
         encrypt_symmetric(&ctx, &sk, &pt, rng)
     };
 
-    let mut rows: Vec<LatencyRow> =
-        OpClass::ALL.iter().map(|&c| (c, Vec::with_capacity(levels))).collect();
+    let mut rows: Vec<LatencyRow> = OpClass::ALL
+        .iter()
+        .map(|&c| (c, Vec::with_capacity(levels)))
+        .collect();
 
     for level in 1..=levels {
         let ct = fresh(level, &mut rng);

@@ -32,7 +32,10 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        NoiseModel { noise_bits: 16.0, seed: 0x5EED }
+        NoiseModel {
+            noise_bits: 16.0,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -105,8 +108,9 @@ pub fn simulate(
                 let data = inputs
                     .get(name)
                     .unwrap_or_else(|| panic!("missing input binding `{name}`"));
-                let v: Vec<f64> =
-                    (0..slots).map(|i| data.get(i).copied().unwrap_or(0.0)).collect();
+                let v: Vec<f64> = (0..slots)
+                    .map(|i| data.get(i).copied().unwrap_or(0.0))
+                    .collect();
                 (v, true) // fresh encryption noise
             }
             Op::Const { value } => (value.to_vec(slots), false),
@@ -167,7 +171,10 @@ mod tests {
     use reserve_core::Options;
 
     fn inputs(pairs: &[(&str, Vec<f64>)]) -> HashMap<String, Vec<f64>> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn fig2a_scheduled(waterline: u32) -> ScheduledProgram {
@@ -176,7 +183,9 @@ mod tests {
         let y = b.input("y");
         let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
         let p = b.finish(vec![q]);
-        reserve_core::compile(&p, &Options::new(waterline)).unwrap().scheduled
+        reserve_core::compile(&p, &Options::new(waterline))
+            .unwrap()
+            .scheduled
     }
 
     #[test]
@@ -213,7 +222,10 @@ mod tests {
         let run = simulate(
             &s,
             &inputs(&[("x", vec![1.5; 8]), ("y", vec![-0.5; 8])]),
-            &NoiseModel { noise_bits: f64::NEG_INFINITY, seed: 1 },
+            &NoiseModel {
+                noise_bits: f64::NEG_INFINITY,
+                seed: 1,
+            },
         )
         .unwrap();
         assert_eq!(run.max_abs_error(), 0.0);

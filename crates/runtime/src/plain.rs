@@ -21,7 +21,9 @@ pub fn execute(program: &Program, inputs: &HashMap<String, Vec<f64>>) -> Vec<Vec
     let live = fhe_ir::analysis::live(program);
 
     let fetch = |values: &Vec<Option<Vec<f64>>>, id: ValueId| -> Vec<f64> {
-        values[id.index()].clone().expect("operand evaluated (topological order)")
+        values[id.index()]
+            .clone()
+            .expect("operand evaluated (topological order)")
     };
 
     for id in program.ids() {
@@ -33,7 +35,9 @@ pub fn execute(program: &Program, inputs: &HashMap<String, Vec<f64>>) -> Vec<Vec
                 let data = inputs
                     .get(name)
                     .unwrap_or_else(|| panic!("missing input binding `{name}`"));
-                (0..slots).map(|i| data.get(i).copied().unwrap_or(0.0)).collect()
+                (0..slots)
+                    .map(|i| data.get(i).copied().unwrap_or(0.0))
+                    .collect()
             }
             Op::Const { value } => value.to_vec(slots),
             Op::Add(a, b) => binop(&fetch(&values, *a), &fetch(&values, *b), |x, y| x + y),
@@ -61,7 +65,9 @@ fn binop(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
 /// CKKS Galois rotation convention).
 pub fn rotate(a: &[f64], k: i64) -> Vec<f64> {
     let n = a.len() as i64;
-    (0..n).map(|i| a[((i + k).rem_euclid(n)) as usize]).collect()
+    (0..n)
+        .map(|i| a[((i + k).rem_euclid(n)) as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -70,7 +76,10 @@ mod tests {
     use fhe_ir::Builder;
 
     fn inputs(pairs: &[(&str, Vec<f64>)]) -> HashMap<String, Vec<f64>> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -82,12 +91,15 @@ mod tests {
         let p = b.finish(vec![q]);
         let out = execute(
             &p,
-            &inputs(&[("x", vec![2.0, 1.0, 0.5, -1.0]), ("y", vec![1.0, 2.0, 3.0, 4.0])]),
+            &inputs(&[
+                ("x", vec![2.0, 1.0, 0.5, -1.0]),
+                ("y", vec![1.0, 2.0, 3.0, 4.0]),
+            ]),
         );
         // x³·(y²+y)
         assert_eq!(out[0][0], 8.0 * 2.0);
         assert_eq!(out[0][1], 1.0 * 6.0);
-        assert_eq!(out[0][3], -1.0 * 20.0);
+        assert_eq!(out[0][3], -20.0);
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub fn regression_xy(n: usize, f: impl Fn(f64) -> f64, seed: u64) -> (Vec<f64>, 
 pub fn diagonals(count: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
-        .map(|_| (0..len).map(|_| rng.gen_range(-1.0..1.0) / count as f64).collect())
+        .map(|_| {
+            (0..len)
+                .map(|_| rng.gen_range(-1.0..1.0) / count as f64)
+                .collect()
+        })
         .collect()
 }
 

@@ -30,7 +30,10 @@ pub fn sum_balanced(mut terms: Vec<Expr>) -> Expr {
 /// Sums all `n` slots into every slot (`n` must be a power of two):
 /// `log₂ n` rotate-and-add steps. The result holds `Σ x` replicated.
 pub fn rotate_sum_all(expr: Expr, n: usize) -> Expr {
-    assert!(n.is_power_of_two(), "rotate_sum_all needs a power-of-two width");
+    assert!(
+        n.is_power_of_two(),
+        "rotate_sum_all needs a power-of-two width"
+    );
     let mut acc = expr;
     let mut step = 1usize;
     while step < n {
@@ -51,7 +54,13 @@ pub fn mean_all(b: &Builder, expr: Expr, n: usize) -> Expr {
 /// (lazy-strided layouts use dilation > 1). Border pixels wrap around —
 /// acceptable for latency benchmarks, as in the original EVA/Hecate image
 /// kernels.
-pub fn conv2d(b: &Builder, image: &Expr, weights: &[Vec<f64>], width: usize, dilation: usize) -> Expr {
+pub fn conv2d(
+    b: &Builder,
+    image: &Expr,
+    weights: &[Vec<f64>],
+    width: usize,
+    dilation: usize,
+) -> Expr {
     let kh = weights.len();
     let kw = weights[0].len();
     let mut terms = Vec::new();
@@ -61,9 +70,14 @@ pub fn conv2d(b: &Builder, image: &Expr, weights: &[Vec<f64>], width: usize, dil
             if w == 0.0 {
                 continue; // skip structural zeros (e.g. Sobel centres)
             }
-            let off = ((dy as i64 - (kh / 2) as i64) * width as i64 + (dx as i64 - (kw / 2) as i64))
+            let off = ((dy as i64 - (kh / 2) as i64) * width as i64
+                + (dx as i64 - (kw / 2) as i64))
                 * dilation as i64;
-            let shifted = if off == 0 { image.clone() } else { image.rotate(off) };
+            let shifted = if off == 0 {
+                image.clone()
+            } else {
+                image.rotate(off)
+            };
             terms.push(shifted * b.constant(w));
         }
     }
@@ -77,7 +91,11 @@ pub fn box_sum(image: &Expr, k: usize, width: usize, dilation: usize) -> Expr {
     for dy in -half..=half {
         for dx in -half..=half {
             let off = (dy * width as i64 + dx) * dilation as i64;
-            terms.push(if off == 0 { image.clone() } else { image.rotate(off) });
+            terms.push(if off == 0 {
+                image.clone()
+            } else {
+                image.rotate(off)
+            });
         }
     }
     sum_balanced(terms)
@@ -92,7 +110,11 @@ pub fn matvec_diagonals(b: &Builder, x: &Expr, diagonals: &[Vec<f64>]) -> Expr {
         .iter()
         .enumerate()
         .map(|(d, diag)| {
-            let shifted = if d == 0 { x.clone() } else { x.rotate(d as i64) };
+            let shifted = if d == 0 {
+                x.clone()
+            } else {
+                x.rotate(d as i64)
+            };
             shifted * b.constant(diag.clone())
         })
         .collect();
@@ -116,8 +138,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn run(p: &fhe_ir::Program, pairs: &[(&str, Vec<f64>)]) -> Vec<Vec<f64>> {
-        let inputs: HashMap<String, Vec<f64>> =
-            pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        let inputs: HashMap<String, Vec<f64>> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
         plain::execute(p, &inputs)
     }
 
@@ -147,7 +171,11 @@ mod tests {
     fn conv2d_identity_kernel() {
         let b = Builder::new("t", 16);
         let img = b.input("img");
-        let id = vec![vec![0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 0.0]];
+        let id = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ];
         let c = conv2d(&b, &img, &id, 4, 1);
         let p = b.finish(vec![c]);
         let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
@@ -160,7 +188,11 @@ mod tests {
         // A kernel with weight 1 at (dy=0, dx=+1) picks the right neighbour.
         let b = Builder::new("t", 16);
         let img = b.input("img");
-        let k = vec![vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 0.0]];
+        let k = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.0],
+        ];
         let c = conv2d(&b, &img, &k, 4, 1);
         let p = b.finish(vec![c]);
         let data: Vec<f64> = (0..16).map(|i| i as f64).collect();

@@ -66,7 +66,11 @@ mod tests {
         let p = sobel(64);
         assert_eq!(p.slots(), 4096);
         // Paper Table 4: SF has 60 ops; ours must be in that ballpark.
-        assert!((40..=80).contains(&p.num_ops()), "sobel has {} ops", p.num_ops());
+        assert!(
+            (40..=80).contains(&p.num_ops()),
+            "sobel has {} ops",
+            p.num_ops()
+        );
         assert_eq!(analysis::circuit_depth(&p), 2, "conv then square");
     }
 
@@ -74,8 +78,16 @@ mod tests {
     fn harris_shape_matches_paper() {
         let p = harris(64);
         // Paper: HCD has 110 ops, depth 4 (two levels of products).
-        assert!((90..=140).contains(&p.num_ops()), "harris has {} ops", p.num_ops());
-        assert_eq!(analysis::circuit_depth(&p), 4, "conv, product, response products");
+        assert!(
+            (90..=140).contains(&p.num_ops()),
+            "harris has {} ops",
+            p.num_ops()
+        );
+        assert_eq!(
+            analysis::circuit_depth(&p),
+            4,
+            "conv, product, response products"
+        );
     }
 
     #[test]

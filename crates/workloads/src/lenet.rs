@@ -54,7 +54,11 @@ impl LenetConfig {
     /// LeNet-5 on CIFAR-shaped inputs (paper's `Lenet-C`): three input
     /// channels.
     pub fn lenet_cifar() -> Self {
-        LenetConfig { in_channels: 3, seed: 0xC1FA5, ..Self::lenet5() }
+        LenetConfig {
+            in_channels: 3,
+            seed: 0xC1FA5,
+            ..Self::lenet5()
+        }
     }
 
     /// A miniature instance for unit tests and encrypted execution.
@@ -92,7 +96,11 @@ fn conv_layer(
                 for dy in -half..=half {
                     for dx in -half..=half {
                         let off = (dy * grid as i64 + dx) * dilation as i64;
-                        let shifted = if off == 0 { input.clone() } else { input.rotate(off) };
+                        let shifted = if off == 0 {
+                            input.clone()
+                        } else {
+                            input.rotate(off)
+                        };
                         let w = rng.gen_range(-1.0..1.0) * scale;
                         terms.push(shifted * b.constant(w));
                     }
@@ -105,22 +113,46 @@ fn conv_layer(
 
 /// Builds a LeNet program per the configuration.
 pub fn build(cfg: &LenetConfig) -> Program {
-    assert!(cfg.grid * cfg.grid <= cfg.slots, "grid must fit the slot count");
+    assert!(
+        cfg.grid * cfg.grid <= cfg.slots,
+        "grid must fit the slot count"
+    );
     let b = Builder::new(
-        if cfg.in_channels == 1 { "lenet5" } else { "lenet_c" },
+        if cfg.in_channels == 1 {
+            "lenet5"
+        } else {
+            "lenet_c"
+        },
         cfg.slots,
     );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let inputs: Vec<Expr> =
-        (0..cfg.in_channels).map(|i| b.input(format!("image{i}"))).collect();
+    let inputs: Vec<Expr> = (0..cfg.in_channels)
+        .map(|i| b.input(format!("image{i}")))
+        .collect();
 
     // Conv1 → square → pool (dilation 1 → 2).
-    let c1 = conv_layer(&b, &inputs, cfg.conv_channels[0], cfg.kernel, cfg.grid, 1, &mut rng);
+    let c1 = conv_layer(
+        &b,
+        &inputs,
+        cfg.conv_channels[0],
+        cfg.kernel,
+        cfg.grid,
+        1,
+        &mut rng,
+    );
     let s1: Vec<Expr> = c1.into_iter().map(|c| c.clone() * c).collect();
     let p1: Vec<Expr> = s1.iter().map(|c| avg_pool2(&b, c, cfg.grid, 1)).collect();
 
     // Conv2 → square → pool (dilation 2 → 4).
-    let c2 = conv_layer(&b, &p1, cfg.conv_channels[1], cfg.kernel, cfg.grid, 2, &mut rng);
+    let c2 = conv_layer(
+        &b,
+        &p1,
+        cfg.conv_channels[1],
+        cfg.kernel,
+        cfg.grid,
+        2,
+        &mut rng,
+    );
     let s2: Vec<Expr> = c2.into_iter().map(|c| c.clone() * c).collect();
     let p2: Vec<Expr> = s2.iter().map(|c| avg_pool2(&b, c, cfg.grid, 2)).collect();
 
@@ -147,7 +179,12 @@ pub fn build(cfg: &LenetConfig) -> Program {
 /// Input bindings: one synthetic image per input channel.
 pub fn lenet_inputs(cfg: &LenetConfig, seed: u64) -> HashMap<String, Vec<f64>> {
     (0..cfg.in_channels)
-        .map(|i| (format!("image{i}"), data::image(cfg.grid * cfg.grid, seed + i as u64)))
+        .map(|i| {
+            (
+                format!("image{i}"),
+                data::image(cfg.grid * cfg.grid, seed + i as u64),
+            )
+        })
         .collect()
 }
 
@@ -167,7 +204,11 @@ mod tests {
             "lenet5 has {} ops",
             p.num_ops()
         );
-        assert_eq!(analysis::circuit_depth(&p), 11, "paper: 11 multiplicative depths");
+        assert_eq!(
+            analysis::circuit_depth(&p),
+            11,
+            "paper: 11 multiplicative depths"
+        );
         assert_eq!(p.slots(), 16384);
     }
 
@@ -186,7 +227,10 @@ mod tests {
         let before = p.count_ops(|o| matches!(o, fhe_ir::Op::Rotate(..)));
         let (after_cse, _) = passes::cse(&p);
         let after = after_cse.count_ops(|o| matches!(o, fhe_ir::Op::Rotate(..)));
-        assert!(after < before, "CSE must merge shared rotations: {after} vs {before}");
+        assert!(
+            after < before,
+            "CSE must merge shared rotations: {after} vs {before}"
+        );
     }
 
     #[test]

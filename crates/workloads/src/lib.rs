@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn suite_covers_all_eight() {
         let names: Vec<&str> = suite(Size::Test).iter().map(|w| w.name).collect();
-        assert_eq!(names, vec!["SF", "HCD", "LR", "MR", "PR", "MLP", "Lenet-5", "Lenet-C"]);
+        assert_eq!(
+            names,
+            vec!["SF", "HCD", "LR", "MR", "PR", "MLP", "Lenet-5", "Lenet-C"]
+        );
     }
 
     #[test]
@@ -167,7 +170,11 @@ mod tests {
         for w in suite(Size::Test) {
             for &input in w.program.inputs() {
                 if let fhe_ir::Op::Input { name } = w.program.op(input) {
-                    assert!(w.inputs.contains_key(name), "{}: input {name} unbound", w.name);
+                    assert!(
+                        w.inputs.contains_key(name),
+                        "{}: input {name} unbound",
+                        w.name
+                    );
                 }
             }
         }
@@ -175,8 +182,10 @@ mod tests {
 
     #[test]
     fn paper_sizes_match_table4_order_of_magnitude() {
-        let ops: HashMap<&str, usize> =
-            suite(Size::Paper).iter().map(|w| (w.name, w.program.num_ops())).collect();
+        let ops: HashMap<&str, usize> = suite(Size::Paper)
+            .iter()
+            .map(|w| (w.name, w.program.num_ops()))
+            .collect();
         // Paper Table 4 # Ops: SF 60, HCD 110, LR 123, MR 550, PR 183,
         // MLP 462, Lenet-5 8895, Lenet-C 9845.
         assert!(ops["SF"] < ops["HCD"]);
@@ -192,7 +201,11 @@ mod tests {
             let out = fhe_runtime::plain::execute(&w.program, &w.inputs);
             assert!(!out.is_empty(), "{} produced no outputs", w.name);
             for o in &out {
-                assert!(o.iter().all(|v| v.is_finite()), "{} non-finite output", w.name);
+                assert!(
+                    o.iter().all(|v| v.is_finite()),
+                    "{} non-finite output",
+                    w.name
+                );
             }
         }
     }

@@ -170,7 +170,7 @@ mod tests {
         let inputs = multivariate_inputs(n, 3, 5);
         let out = plain::execute(&p, &inputs);
         assert_eq!(out.len(), 4); // 3 weights + bias
-        // Bias moves towards 0.1.
+                                  // Bias moves towards 0.1.
         assert!(out[3][0] > 0.0);
     }
 

@@ -41,15 +41,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let with_measured = fhe_reserve::compiler::compile(&program, &calibrated_opts)?;
 
     let paper_est = |s: &ScheduledProgram| {
-        runtime::estimate(s, &CostModel::paper_table3()).unwrap().total_us / 1000.0
+        runtime::estimate(s, &CostModel::paper_table3())
+            .unwrap()
+            .total_us
+            / 1000.0
     };
     let measured_est =
         |s: &ScheduledProgram| runtime::estimate(s, &calibrated).unwrap().total_us / 1000.0;
 
-    println!("\nplan under paper cost model:      {} ops, {} hoists",
-        with_paper.stats.ops_after, with_paper.stats.hoists);
-    println!("plan under calibrated cost model: {} ops, {} hoists",
-        with_measured.stats.ops_after, with_measured.stats.hoists);
+    println!(
+        "\nplan under paper cost model:      {} ops, {} hoists",
+        with_paper.report.ops_after, with_paper.report.hoists
+    );
+    println!(
+        "plan under calibrated cost model: {} ops, {} hoists",
+        with_measured.report.ops_after, with_measured.report.hoists
+    );
     println!(
         "\nestimated latency (paper model):      {:.1} ms vs {:.1} ms",
         paper_est(&with_paper.scheduled),
@@ -61,8 +68,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measured_est(&with_measured.scheduled)
     );
     println!("\n(the calibrated-model plan should never be worse under its own model)");
-    assert!(
-        measured_est(&with_measured.scheduled) <= measured_est(&with_paper.scheduled) * 1.05
-    );
+    assert!(measured_est(&with_measured.scheduled) <= measured_est(&with_paper.scheduled) * 1.05);
     Ok(())
 }

@@ -31,9 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "  W=2^{waterline}: compiled in {:?} (scale mgmt {:?}), level {}, est {:.1} s",
                 t.elapsed(),
-                ours.stats.scale_management_time,
-                ours.stats.max_level,
-                ours.stats.estimated_latency_us / 1e6
+                ours.report.scale_management_time,
+                ours.report.max_level,
+                ours.report.estimated_latency_us / 1e6
             );
         }
         return Ok(());
@@ -56,26 +56,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ours = fhe_reserve::compiler::compile(&program, &options)?;
     println!(
         "EVA:     level {:>2}, estimated {:>8.1} ms",
-        eva.stats.max_level,
-        eva.stats.estimated_latency_us / 1000.0
+        eva.report.max_level,
+        eva.report.estimated_latency_us / 1000.0
     );
     println!(
         "reserve: level {:>2}, estimated {:>8.1} ms ({} hoists, {:?} scale mgmt)",
-        ours.stats.max_level,
-        ours.stats.estimated_latency_us / 1000.0,
-        ours.stats.hoists,
-        ours.stats.scale_management_time
+        ours.report.max_level,
+        ours.report.estimated_latency_us / 1000.0,
+        ours.report.hoists,
+        ours.report.scale_management_time
     );
 
     let report = runtime::execute_encrypted(
         &ours.scheduled,
         &inputs,
-        &runtime::ExecOptions { poly_degree: 256, seed: 5 },
+        &runtime::ExecOptions {
+            poly_degree: 256,
+            seed: 5,
+        },
     )
     .unwrap();
     println!(
         "encrypted inference: {} ops in {:?}, max error {:.3e}",
-        report.ops_executed, report.op_time, report.max_abs_error()
+        report.ops_executed,
+        report.op_time,
+        report.max_abs_error()
     );
     let scores: Vec<f64> = report.outputs[0][..8].to_vec();
     println!("first 8 output scores: {scores:.3?}");

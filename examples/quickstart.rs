@@ -20,25 +20,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y = b.input("y");
     let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
     let program = b.finish(vec![q]);
-    println!("source program:\n{}", fhe_reserve::ir::text::print(&program));
+    println!(
+        "source program:\n{}",
+        fhe_reserve::ir::text::print(&program)
+    );
 
     // 2. Compile: the reserve analysis assigns scales/levels and inserts all
     //    rescale/modswitch/upscale operations.
     let mut options = Options::new(30); // waterline 2^30
     options.params.output_reserve_bits = 4; // headroom for outputs up to 2^4
     let compiled = fhe_reserve::compiler::compile(&program, &options)?;
-    println!("compiled program:\n{}", fhe_reserve::ir::text::print(&compiled.scheduled.program));
+    println!(
+        "compiled program:\n{}",
+        fhe_reserve::ir::text::print(&compiled.scheduled.program)
+    );
     println!(
         "scale management took {:?}; estimated latency {:.1} ms at level {}",
-        compiled.stats.scale_management_time,
-        compiled.stats.estimated_latency_us / 1000.0,
-        compiled.stats.max_level
+        compiled.report.scale_management_time,
+        compiled.report.estimated_latency_us / 1000.0,
+        compiled.report.max_level
     );
 
     // 3. Bind inputs.
     let mut inputs = HashMap::new();
-    inputs.insert("x".to_string(), (0..slots).map(|i| (i as f64 * 0.1).sin()).collect());
-    inputs.insert("y".to_string(), (0..slots).map(|i| (i as f64 * 0.05).cos()).collect());
+    inputs.insert(
+        "x".to_string(),
+        (0..slots).map(|i| (i as f64 * 0.1).sin()).collect(),
+    );
+    inputs.insert(
+        "y".to_string(),
+        (0..slots).map(|i| (i as f64 * 0.05).cos()).collect(),
+    );
 
     // 4a. Reference run in the clear.
     let reference = runtime::plain::execute(&compiled.scheduled.program, &inputs);
@@ -51,12 +63,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = runtime::execute_encrypted(
         &compiled.scheduled,
         &inputs,
-        &runtime::ExecOptions { poly_degree: 2 * slots, seed: 42 },
+        &runtime::ExecOptions {
+            poly_degree: 2 * slots,
+            seed: 42,
+        },
     )
     .unwrap();
     println!(
         "encrypted run: {} homomorphic ops in {:?} (total {:?}), max error {:.3e}",
-        report.ops_executed, report.op_time, report.total_time, report.max_abs_error()
+        report.ops_executed,
+        report.op_time,
+        report.total_time,
+        report.max_abs_error()
     );
     println!(
         "slot 3: plaintext {:.6}, decrypted {:.6}",

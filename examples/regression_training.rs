@@ -27,15 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = fhe_reserve::compiler::compile(&program, &options)?;
     println!(
         "compiled to {} ops at level {} (estimated {:.1} ms)",
-        compiled.stats.ops_after,
-        compiled.stats.max_level,
-        compiled.stats.estimated_latency_us / 1000.0
+        compiled.report.ops_after,
+        compiled.report.max_level,
+        compiled.report.estimated_latency_us / 1000.0
     );
 
     let report = runtime::execute_encrypted(
         &compiled.scheduled,
         &inputs,
-        &runtime::ExecOptions { poly_degree: 2 * n, seed: 77 },
+        &runtime::ExecOptions {
+            poly_degree: 2 * n,
+            seed: 77,
+        },
     )
     .unwrap();
 

@@ -41,20 +41,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "EVA",
             &eva.scheduled,
-            eva.stats.estimated_latency_us,
-            eva.stats.scale_management_time,
+            eva.report.estimated_latency_us,
+            eva.report.scale_management_time,
         ),
         (
             "Hecate",
             &hecate.scheduled,
-            hecate.stats.estimated_latency_us,
-            hecate.stats.scale_management_time,
+            hecate.report.estimated_latency_us,
+            hecate.report.scale_management_time,
         ),
         (
             "reserve",
             &ours.scheduled,
-            ours.stats.estimated_latency_us,
-            ours.stats.scale_management_time,
+            ours.report.estimated_latency_us,
+            ours.report.scale_management_time,
         ),
     ] {
         let (rs, ms, us_ops) = sched.scale_management_counts();
@@ -67,19 +67,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "hecate explored {} candidate plans; the reserve compiler none.",
-        hecate.stats.iterations
+        hecate.report.iterations
     );
 
     // Run the reserve plan under real encryption.
     let report = runtime::execute_encrypted(
         &ours.scheduled,
         &inputs,
-        &runtime::ExecOptions { poly_degree: 2 * width * width, seed: 3 },
+        &runtime::ExecOptions {
+            poly_degree: 2 * width * width,
+            seed: 3,
+        },
     )
     .unwrap();
     println!(
         "encrypted sobel: {} ops, wall-clock {:?}, max error {:.3e}",
-        report.ops_executed, report.op_time, report.max_abs_error()
+        report.ops_executed,
+        report.op_time,
+        report.max_abs_error()
     );
     // Show a few edge magnitudes.
     for i in [17, 18, 19] {

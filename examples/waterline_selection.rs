@@ -20,14 +20,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compile_at = |wl: u32| {
         let mut o = Options::new(wl);
         o.params.output_reserve_bits = 4;
-        fhe_reserve::compiler::compile(&program, &o).ok().map(|c| c.scheduled)
+        fhe_reserve::compiler::compile(&program, &o)
+            .ok()
+            .map(|c| c.scheduled)
     };
 
     // Require the worst-case output error below 2^-16.
     let target = -16.0;
-    let (waterline, scheduled) =
-        select_waterline(15..=55, compile_at, target, &ErrorEstimateOptions::default())
-            .expect("some waterline meets the target");
+    let (waterline, scheduled) = select_waterline(
+        15..=55,
+        compile_at,
+        target,
+        &ErrorEstimateOptions::default(),
+    )
+    .expect("some waterline meets the target");
     let est = runtime::estimate(&scheduled, &CostModel::paper_table3()).unwrap();
     println!(
         "selected waterline 2^{waterline} for target 2^{target}: \
@@ -38,12 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Confirm under real encryption.
     let mut inputs = std::collections::HashMap::new();
-    inputs.insert("x".to_string(), (0..slots).map(|i| (i as f64 * 0.07).sin()).collect());
-    inputs.insert("y".to_string(), (0..slots).map(|i| (i as f64 * 0.13).cos()).collect());
+    inputs.insert(
+        "x".to_string(),
+        (0..slots).map(|i| (i as f64 * 0.07).sin()).collect(),
+    );
+    inputs.insert(
+        "y".to_string(),
+        (0..slots).map(|i| (i as f64 * 0.13).cos()).collect(),
+    );
     let report = runtime::execute_encrypted(
         &scheduled,
         &inputs,
-        &runtime::ExecOptions { poly_degree: 2 * slots, seed: 8 },
+        &runtime::ExecOptions {
+            poly_degree: 2 * slots,
+            seed: 8,
+        },
     )
     .unwrap();
     println!(

@@ -105,7 +105,7 @@ fn main() -> ExitCode {
     let (scheduled, label, sm_time): (ScheduledProgram, &str, std::time::Duration) =
         match cli.compiler.as_str() {
             "eva" => match baselines::eva::compile(&program, &CompileParams::new(cli.waterline)) {
-                Ok(out) => (out.scheduled, "EVA", out.stats.scale_management_time),
+                Ok(out) => (out.scheduled, "EVA", out.report.scale_management_time),
                 Err(e) => {
                     eprintln!("EVA: {e}");
                     return ExitCode::FAILURE;
@@ -116,7 +116,7 @@ fn main() -> ExitCode {
                 &CompileParams::new(cli.waterline),
                 &baselines::HecateOptions::default(),
             ) {
-                Ok(out) => (out.scheduled, "Hecate", out.stats.scale_management_time),
+                Ok(out) => (out.scheduled, "Hecate", out.report.scale_management_time),
                 Err(e) => {
                     eprintln!("Hecate: {e}");
                     return ExitCode::FAILURE;
@@ -127,7 +127,7 @@ fn main() -> ExitCode {
                     &program,
                     &Options::with_mode(cli.waterline, cli.mode),
                 ) {
-                    Ok(out) => (out.scheduled, "reserve", out.stats.scale_management_time),
+                    Ok(out) => (out.scheduled, "reserve", out.report.scale_management_time),
                     Err(e) => {
                         eprintln!("reserve: {e}");
                         return ExitCode::FAILURE;
@@ -157,7 +157,10 @@ fn main() -> ExitCode {
             sm_time,
         );
         for (i, spec) in scheduled.inputs.iter().enumerate() {
-            eprintln!("  input {i}: scale 2^{}, level {}", spec.scale_bits, spec.level);
+            eprintln!(
+                "  input {i}: scale 2^{}, level {}",
+                spec.scale_bits, spec.level
+            );
         }
     }
     ExitCode::SUCCESS

@@ -58,8 +58,12 @@ pub use reserve_core as compiler;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use fhe_baselines::{EvaCompiler, HecateCompiler, HecateOptions};
+    pub use fhe_ir::pipeline::{CompileReport, Compiled, PipelineTrace, ScaleCompiler};
     pub use fhe_ir::{Builder, CompileParams, CostModel, Expr, Frac, Program, ScheduledProgram};
-    pub use fhe_runtime::{simulate, NoiseModel};
+    pub use fhe_runtime::{
+        outputs_close, simulate, CkksExec, Execution, Executor, NoiseModel, NoiseSimExec, PlainExec,
+    };
     pub use fhe_workloads::{suite, Size, Workload};
-    pub use reserve_core::{compile, Mode, Options};
+    pub use reserve_core::{compile, Mode, Options, ReserveCompiler};
 }

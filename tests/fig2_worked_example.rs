@@ -18,7 +18,10 @@ fn fig2a() -> fhe_ir::Program {
 }
 
 fn cost_hundreds(s: &ScheduledProgram) -> f64 {
-    runtime::estimate(s, &CostModel::paper_table3()).unwrap().total_us / 100.0
+    runtime::estimate(s, &CostModel::paper_table3())
+        .unwrap()
+        .total_us
+        / 100.0
 }
 
 #[test]
@@ -28,15 +31,26 @@ fn fig2_cost_story() {
 
     let eva = baselines::eva::compile(&p, &params).unwrap().scheduled;
     let eva_cost = cost_hundreds(&eva);
-    assert!((385.0..400.0).contains(&eva_cost), "EVA ≈390, got {eva_cost:.1}");
+    assert!(
+        (385.0..400.0).contains(&eva_cost),
+        "EVA ≈390, got {eva_cost:.1}"
+    );
 
-    let ra = compile(&p, &Options::with_mode(20, Mode::Ra)).unwrap().scheduled;
+    let ra = compile(&p, &Options::with_mode(20, Mode::Ra))
+        .unwrap()
+        .scheduled;
     let ra_cost = cost_hundreds(&ra);
-    assert!((345.0..375.0).contains(&ra_cost), "step 1 ≈353, got {ra_cost:.1}");
+    assert!(
+        (345.0..375.0).contains(&ra_cost),
+        "step 1 ≈353, got {ra_cost:.1}"
+    );
 
     let full = compile(&p, &Options::new(20)).unwrap().scheduled;
     let full_cost = cost_hundreds(&full);
-    assert!((325.0..355.0).contains(&full_cost), "step 2 ≈335, got {full_cost:.1}");
+    assert!(
+        (325.0..355.0).contains(&full_cost),
+        "step 2 ≈335, got {full_cost:.1}"
+    );
 
     assert!(full_cost < ra_cost && ra_cost < eva_cost);
 
@@ -57,14 +71,16 @@ fn fig2_cost_story() {
         hec_cost < eva_cost && hec_cost < full_cost * 1.15,
         "Hecate ({hec_cost:.1}) should approach the reserve plan ({full_cost:.1})"
     );
-    assert!(hec.stats.iterations > 100, "exploration actually explored");
+    assert!(hec.report.iterations > 100, "exploration actually explored");
 }
 
 #[test]
 fn fig2_input_levels_match_paper() {
     // Both EVA and this work encrypt Fig. 2a's inputs at level 2.
     let p = fig2a();
-    let eva = baselines::eva::compile(&p, &CompileParams::new(20)).unwrap().scheduled;
+    let eva = baselines::eva::compile(&p, &CompileParams::new(20))
+        .unwrap()
+        .scheduled;
     let ours = compile(&p, &Options::new(20)).unwrap().scheduled;
     assert_eq!(eva.validate().unwrap().max_level(), 2);
     assert_eq!(ours.validate().unwrap().max_level(), 2);
@@ -78,8 +94,14 @@ fn fig2_input_levels_match_paper() {
 fn fig2_all_plans_compute_the_same_function() {
     let p = fig2a();
     let mut inputs = std::collections::HashMap::new();
-    inputs.insert("x".to_string(), vec![1.5, -0.5, 2.0, 0.1, 0.0, 1.0, -1.0, 0.7]);
-    inputs.insert("y".to_string(), vec![0.5, 1.0, -2.0, 3.0, 0.2, -0.2, 1.1, 0.0]);
+    inputs.insert(
+        "x".to_string(),
+        vec![1.5, -0.5, 2.0, 0.1, 0.0, 1.0, -1.0, 0.7],
+    );
+    inputs.insert(
+        "y".to_string(),
+        vec![0.5, 1.0, -2.0, 3.0, 0.2, -0.2, 1.1, 0.0],
+    );
     let reference = runtime::plain::execute(&p, &inputs);
     let params = CompileParams::new(20);
     let eva = baselines::eva::compile(&p, &params).unwrap().scheduled;

@@ -40,7 +40,10 @@ fn check(name: &str, rendered: String) {
 fn render(s: &fhe_ir::ScheduledProgram) -> String {
     let mut out = text::print(&s.program);
     for (i, spec) in s.inputs.iter().enumerate() {
-        out.push_str(&format!("// input {i}: scale 2^{}, level {}\n", spec.scale_bits, spec.level));
+        out.push_str(&format!(
+            "// input {i}: scale 2^{}, level {}\n",
+            spec.scale_bits, spec.level
+        ));
     }
     out
 }

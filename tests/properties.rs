@@ -1,18 +1,23 @@
-//! Property-based tests: random programs through the whole toolchain.
+//! Property-style tests: random programs through the whole toolchain.
 //!
 //! For arbitrary DAG programs, every compiler must emit a schedule that
 //! (a) passes the RNS-CKKS validator, (b) computes exactly the same
 //! function as the source, and (c) respects the reserve type system; and
 //! the core IR utilities (text format, passes, rationals) must uphold
 //! their invariants.
+//!
+//! The workspace builds offline (no proptest), so each property runs as a
+//! deterministic seeded loop: every case is reproducible from its printed
+//! case index.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use fhe_ir::{Frac, Op, Program, ValueId};
 use fhe_reserve::prelude::*;
 use fhe_reserve::{baselines, runtime};
-use fhe_ir::{Frac, Op, Program, ValueId};
 
 /// A recipe for one random op over already-defined values.
 #[derive(Debug, Clone)]
@@ -25,29 +30,42 @@ enum OpRecipe {
     Const(f64),
 }
 
-fn recipe_strategy() -> impl Strategy<Value = OpRecipe> {
-    prop_oneof![
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpRecipe::Add(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpRecipe::Sub(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpRecipe::Mul(a, b)),
-        any::<usize>().prop_map(OpRecipe::Neg),
-        (any::<usize>(), -4i64..4).prop_map(|(a, k)| OpRecipe::Rotate(a, k)),
-        (-100i32..100).prop_map(|v| OpRecipe::Const(v as f64 / 100.0)),
-    ]
+fn random_recipe(rng: &mut StdRng) -> OpRecipe {
+    match rng.gen_range(0usize..6) {
+        0 => OpRecipe::Add(
+            rng.gen_range(0usize..1 << 16),
+            rng.gen_range(0usize..1 << 16),
+        ),
+        1 => OpRecipe::Sub(
+            rng.gen_range(0usize..1 << 16),
+            rng.gen_range(0usize..1 << 16),
+        ),
+        2 => OpRecipe::Mul(
+            rng.gen_range(0usize..1 << 16),
+            rng.gen_range(0usize..1 << 16),
+        ),
+        3 => OpRecipe::Neg(rng.gen_range(0usize..1 << 16)),
+        4 => OpRecipe::Rotate(rng.gen_range(0usize..1 << 16), rng.gen_range(-4i64..4)),
+        _ => OpRecipe::Const(rng.gen_range(-100i64..100) as f64 / 100.0),
+    }
+}
+
+fn random_recipes(rng: &mut StdRng, max_len: usize) -> Vec<OpRecipe> {
+    let len = rng.gen_range(1usize..max_len);
+    (0..len).map(|_| random_recipe(rng)).collect()
 }
 
 /// Materializes a random program with bounded multiplicative depth (so it
 /// always fits `max_level`), plus matching inputs.
-fn build_program(
-    recipes: &[OpRecipe],
-    num_inputs: usize,
-) -> (Program, HashMap<String, Vec<f64>>) {
+fn build_program(recipes: &[OpRecipe], num_inputs: usize) -> (Program, HashMap<String, Vec<f64>>) {
     const SLOTS: usize = 8;
     const MAX_DEPTH: u32 = 6;
     let mut p = Program::new("random", SLOTS);
     let mut depth: Vec<u32> = Vec::new(); // muls consumed so far per value
     for i in 0..num_inputs {
-        p.push(Op::Input { name: format!("in{i}") });
+        p.push(Op::Input {
+            name: format!("in{i}"),
+        });
         depth.push(0);
     }
     for r in recipes {
@@ -94,7 +112,12 @@ fn build_program(
     p.set_outputs(vec![out]);
     let inputs = (0..num_inputs)
         .map(|i| {
-            (format!("in{i}"), (0..SLOTS).map(|s| ((s + i) as f64 * 0.11).sin() * 0.5).collect())
+            (
+                format!("in{i}"),
+                (0..SLOTS)
+                    .map(|s| ((s + i) as f64 * 0.11).sin() * 0.5)
+                    .collect(),
+            )
         })
         .collect();
     (p, inputs)
@@ -103,126 +126,179 @@ fn build_program(
 fn outputs_equal(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(x, y)| {
-            x.iter().zip(y).all(|(u, v)| (u - v).abs() <= 1e-9 * v.abs().max(1.0))
+            x.iter()
+                .zip(y)
+                .all(|(u, v)| (u - v).abs() <= 1e-9 * v.abs().max(1.0))
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn reserve_compiler_is_sound_on_random_programs(
-        recipes in proptest::collection::vec(recipe_strategy(), 1..40),
-        num_inputs in 1usize..4,
-        waterline in 15u32..50,
-        mode_idx in 0usize..3,
-    ) {
+#[test]
+fn reserve_compiler_is_sound_on_random_programs() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E5EED ^ case);
+        let recipes = random_recipes(&mut rng, 40);
+        let num_inputs = rng.gen_range(1usize..4);
+        let waterline = rng.gen_range(15u32..50);
+        let mode = Mode::ALL[rng.gen_range(0usize..3)];
         let (program, inputs) = build_program(&recipes, num_inputs);
-        let mode = Mode::ALL[mode_idx];
         let compiled = compile(&program, &Options::with_mode(waterline, mode))
             .expect("bounded-depth programs always compile");
         // (a) validator accepts.
-        prop_assert!(compiled.scheduled.validate().is_ok());
+        assert!(
+            compiled.scheduled.validate().is_ok(),
+            "case {case}: validator rejected"
+        );
         // (b) semantics preserved exactly.
         let reference = runtime::plain::execute(&program, &inputs);
         let got = runtime::plain::execute(&compiled.scheduled.program, &inputs);
-        prop_assert!(outputs_equal(&got, &reference));
+        assert!(
+            outputs_equal(&got, &reference),
+            "case {case}: outputs diverged"
+        );
     }
+}
 
-    #[test]
-    fn baselines_are_sound_on_random_programs(
-        recipes in proptest::collection::vec(recipe_strategy(), 1..30),
-        num_inputs in 1usize..3,
-        waterline in 15u32..50,
-    ) {
+#[test]
+fn baselines_are_sound_on_random_programs() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xBA5E ^ case);
+        let recipes = random_recipes(&mut rng, 30);
+        let num_inputs = rng.gen_range(1usize..3);
+        let waterline = rng.gen_range(15u32..50);
         let (program, inputs) = build_program(&recipes, num_inputs);
         let params = CompileParams::new(waterline);
         let reference = runtime::plain::execute(&program, &inputs);
 
         let eva = baselines::eva::compile(&program, &params).expect("EVA compiles");
-        prop_assert!(eva.scheduled.validate().is_ok());
-        prop_assert!(outputs_equal(
-            &runtime::plain::execute(&eva.scheduled.program, &inputs),
-            &reference
-        ));
+        assert!(
+            eva.scheduled.validate().is_ok(),
+            "case {case}: EVA validator rejected"
+        );
+        assert!(
+            outputs_equal(
+                &runtime::plain::execute(&eva.scheduled.program, &inputs),
+                &reference
+            ),
+            "case {case}: EVA outputs diverged"
+        );
 
-        let hec = baselines::hecate::compile(&program, &params, &baselines::HecateOptions {
-            max_iterations: 20, patience: 20, seed: 9,
-            max_choice: baselines::ForwardPlan::MAX_CHOICE,
-        }).expect("Hecate compiles");
-        prop_assert!(hec.scheduled.validate().is_ok());
-        prop_assert!(outputs_equal(
-            &runtime::plain::execute(&hec.scheduled.program, &inputs),
-            &reference
-        ));
+        let hec = baselines::hecate::compile(
+            &program,
+            &params,
+            &baselines::HecateOptions {
+                max_iterations: 20,
+                patience: 20,
+                seed: 9,
+                max_choice: baselines::ForwardPlan::MAX_CHOICE,
+            },
+        )
+        .expect("Hecate compiles");
+        assert!(
+            hec.scheduled.validate().is_ok(),
+            "case {case}: Hecate validator rejected"
+        );
+        assert!(
+            outputs_equal(
+                &runtime::plain::execute(&hec.scheduled.program, &inputs),
+                &reference
+            ),
+            "case {case}: Hecate outputs diverged"
+        );
     }
+}
 
-    #[test]
-    fn reserve_solutions_type_check(
-        recipes in proptest::collection::vec(recipe_strategy(), 1..40),
-        waterline in 15u32..50,
-        redistribute in any::<bool>(),
-    ) {
+#[test]
+fn reserve_solutions_type_check() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x7CEC ^ case);
+        let recipes = random_recipes(&mut rng, 40);
+        let waterline = rng.gen_range(15u32..50);
+        let redistribute = rng.gen_range(0u8..2) == 1;
         let (program, _) = build_program(&recipes, 2);
         let program = fhe_ir::passes::cleanup(&program);
         let params = CompileParams::new(waterline);
-        let order = fhe_reserve::compiler::allocation_order(
-            &program, &params, &CostModel::paper_table3());
+        let order =
+            fhe_reserve::compiler::allocation_order(&program, &params, &CostModel::paper_table3());
         let sol = fhe_reserve::compiler::allocate(&program, &params, &order, redistribute);
         let errors = fhe_reserve::compiler::types::check(&program, &params, &sol);
-        prop_assert!(errors.is_empty(), "type errors: {errors:?}");
+        assert!(errors.is_empty(), "case {case}: type errors: {errors:?}");
     }
+}
 
-    #[test]
-    fn text_roundtrip_on_random_programs(
-        recipes in proptest::collection::vec(recipe_strategy(), 1..30),
-    ) {
+#[test]
+fn text_roundtrip_on_random_programs() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x7E27 ^ case);
+        let recipes = random_recipes(&mut rng, 30);
         let (program, _) = build_program(&recipes, 2);
         let text = fhe_ir::text::print(&program);
         let back = fhe_ir::text::parse(&text).expect("printer output parses");
-        prop_assert_eq!(fhe_ir::text::print(&back), text);
+        assert_eq!(
+            fhe_ir::text::print(&back),
+            text,
+            "case {case}: roundtrip changed text"
+        );
     }
+}
 
-    #[test]
-    fn cleanup_preserves_semantics(
-        recipes in proptest::collection::vec(recipe_strategy(), 1..40),
-    ) {
+#[test]
+fn cleanup_preserves_semantics() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xC1EA ^ case);
+        let recipes = random_recipes(&mut rng, 40);
         let (program, inputs) = build_program(&recipes, 2);
         let cleaned = fhe_ir::passes::cleanup(&program);
-        prop_assert!(cleaned.num_ops() <= program.num_ops());
+        assert!(
+            cleaned.num_ops() <= program.num_ops(),
+            "case {case}: cleanup grew the program"
+        );
         let reference = runtime::plain::execute(&program, &inputs);
         let got = runtime::plain::execute(&cleaned, &inputs);
-        prop_assert!(outputs_equal(&got, &reference));
+        assert!(
+            outputs_equal(&got, &reference),
+            "case {case}: cleanup changed semantics"
+        );
     }
+}
 
-    #[test]
-    fn frac_field_laws(
-        an in -1000i64..1000, ad in 1i64..60,
-        bn in -1000i64..1000, bd in 1i64..60,
-        cn in -1000i64..1000, cd in 1i64..60,
-    ) {
-        let a = Frac::ratio(an as i128, ad as i128);
-        let b = Frac::ratio(bn as i128, bd as i128);
-        let c = Frac::ratio(cn as i128, cd as i128);
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!((a + b) + c, a + (b + c));
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-        prop_assert_eq!(a - a, Frac::ZERO);
+#[test]
+fn frac_field_laws() {
+    for case in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0xF2AC ^ case);
+        let mut frac = || {
+            let n = rng.gen_range(-1000i64..1000);
+            let d = rng.gen_range(1i64..60);
+            Frac::ratio(n as i128, d as i128)
+        };
+        let (a, b, c) = (frac(), frac(), frac());
+        assert_eq!(a + b, b + a, "case {case}");
+        assert_eq!((a + b) + c, a + (b + c), "case {case}");
+        assert_eq!(a * (b + c), a * b + a * c, "case {case}");
+        assert_eq!(a - a, Frac::ZERO, "case {case}");
         // Ceiling and the paper's fractional part are consistent:
         // x = ⌈x⌉ − 1 + {x}.
-        prop_assert_eq!(Frac::from(a.ceil()) - Frac::from(1) + a.paper_frac(), a);
+        assert_eq!(
+            Frac::from(a.ceil()) - Frac::from(1) + a.paper_frac(),
+            a,
+            "case {case}"
+        );
         // {x} ∈ (0, 1].
-        prop_assert!(a.paper_frac() > Frac::ZERO && a.paper_frac() <= Frac::from(1));
+        assert!(
+            a.paper_frac() > Frac::ZERO && a.paper_frac() <= Frac::from(1),
+            "case {case}: paper_frac out of range"
+        );
     }
+}
 
-    #[test]
-    fn reserve_is_invariant_under_rescale_in_schedules(
-        recipes in proptest::collection::vec(recipe_strategy(), 1..30),
-        waterline in 15u32..50,
-    ) {
-        // For every rescale in a compiled schedule, the reserve
-        // (level·R − scale) of input and output is identical — the paper's
-        // central invariant.
+#[test]
+fn reserve_is_invariant_under_rescale_in_schedules() {
+    // For every rescale in a compiled schedule, the reserve
+    // (level·R − scale) of input and output is identical — the paper's
+    // central invariant.
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x2E5C ^ case);
+        let recipes = random_recipes(&mut rng, 30);
+        let waterline = rng.gen_range(15u32..50);
         let (program, _) = build_program(&recipes, 2);
         let compiled = compile(&program, &Options::new(waterline)).unwrap();
         let map = compiled.scheduled.validate().unwrap();
@@ -232,7 +308,10 @@ proptest! {
             if let Op::Rescale(src) = sp.op(id) {
                 let res_in = Frac::from(map.level(*src)) * r - map.scale_bits(*src);
                 let res_out = Frac::from(map.level(id)) * r - map.scale_bits(id);
-                prop_assert_eq!(res_in, res_out, "rescale at {} changed reserve", id);
+                assert_eq!(
+                    res_in, res_out,
+                    "case {case}: rescale at {id} changed reserve"
+                );
             }
         }
     }

@@ -1,8 +1,8 @@
 //! Edge-case coverage for the shared RNS-CKKS validator, the cost model,
 //! and the schedule utilities — the paths the happy-path suites don't hit.
 
-use fhe_reserve::prelude::*;
 use fhe_ir::{InputSpec, Op, Program, ScheduleError, ScheduledProgram, ValueId};
+use fhe_reserve::prelude::*;
 
 fn one_input_schedule(
     build: impl FnOnce(&mut Program, ValueId) -> ValueId,
@@ -17,7 +17,10 @@ fn one_input_schedule(
     ScheduledProgram {
         program: p,
         params,
-        inputs: vec![InputSpec { scale_bits: Frac::from(scale_bits), level }],
+        inputs: vec![InputSpec {
+            scale_bits: Frac::from(scale_bits),
+            level,
+        }],
     }
 }
 
@@ -27,20 +30,19 @@ fn exceeds_max_level_flagged() {
     params.max_level = 2;
     let s = one_input_schedule(|_, x| x, 30, 3, params);
     let errs = s.validate().unwrap_err();
-    assert!(errs.iter().any(|e| matches!(e, ScheduleError::ExceedsMaxLevel { level: 3, .. })));
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, ScheduleError::ExceedsMaxLevel { level: 3, .. })));
 }
 
 #[test]
 fn non_positive_upscale_flagged() {
     let params = CompileParams::new(20);
-    let s = one_input_schedule(
-        |p, x| p.push(Op::Upscale(x, Frac::from(0))),
-        30,
-        1,
-        params,
-    );
+    let s = one_input_schedule(|p, x| p.push(Op::Upscale(x, Frac::from(0))), 30, 1, params);
     let errs = s.validate().unwrap_err();
-    assert!(errs.iter().any(|e| matches!(e, ScheduleError::NonPositiveUpscale { .. })));
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, ScheduleError::NonPositiveUpscale { .. })));
 }
 
 #[test]
@@ -55,10 +57,15 @@ fn scale_management_on_plain_flagged() {
     let s = ScheduledProgram {
         program: p,
         params,
-        inputs: vec![InputSpec { scale_bits: Frac::from(20), level: 1 }],
+        inputs: vec![InputSpec {
+            scale_bits: Frac::from(20),
+            level: 1,
+        }],
     };
     let errs = s.validate().unwrap_err();
-    assert!(errs.iter().any(|e| matches!(e, ScheduleError::ScaleManagementOnPlain { .. })));
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, ScheduleError::ScaleManagementOnPlain { .. })));
 }
 
 #[test]
@@ -75,15 +82,27 @@ fn multiple_violations_all_reported() {
         program: p,
         params,
         inputs: vec![
-            InputSpec { scale_bits: Frac::from(10), level: 1 },
-            InputSpec { scale_bits: Frac::from(25), level: 1 },
+            InputSpec {
+                scale_bits: Frac::from(10),
+                level: 1,
+            },
+            InputSpec {
+                scale_bits: Frac::from(25),
+                level: 1,
+            },
         ],
     };
     let errs = s.validate().unwrap_err();
     assert!(errs.len() >= 3, "got {errs:?}");
-    assert!(errs.iter().any(|e| matches!(e, ScheduleError::BelowWaterline { .. })));
-    assert!(errs.iter().any(|e| matches!(e, ScheduleError::ScaleMismatch { .. })));
-    assert!(errs.iter().any(|e| matches!(e, ScheduleError::LevelUnderflow { .. })));
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, ScheduleError::BelowWaterline { .. })));
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, ScheduleError::ScaleMismatch { .. })));
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, ScheduleError::LevelUnderflow { .. })));
     // Errors display without panicking.
     for e in &errs {
         assert!(!e.to_string().is_empty());
@@ -99,7 +118,9 @@ fn mul_overflow_at_exact_boundary_is_allowed() {
     assert!(ok.validate().is_ok(), "scale 60 at level 1 is exactly Q");
     let bad = one_input_schedule(|p, x| p.push(Op::Mul(x, x)), 31, 1, params);
     let errs = bad.validate().unwrap_err();
-    assert!(errs.iter().any(|e| matches!(e, ScheduleError::Overflow { .. })));
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, ScheduleError::Overflow { .. })));
 }
 
 #[test]
@@ -143,8 +164,12 @@ fn cost_model_charges_modswitch_and_upscale() {
 #[test]
 fn input_named_and_editor_outputs() {
     let mut p = Program::new("edge", 4);
-    let x = p.push(Op::Input { name: "alpha".into() });
-    let y = p.push(Op::Input { name: "beta".into() });
+    let x = p.push(Op::Input {
+        name: "alpha".into(),
+    });
+    let y = p.push(Op::Input {
+        name: "beta".into(),
+    });
     let s = p.push(Op::Add(x, y));
     p.set_outputs(vec![s, x]);
     assert_eq!(p.input_named("beta"), Some(y));
