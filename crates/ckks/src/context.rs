@@ -23,6 +23,13 @@ pub struct CkksParams {
     pub special_bits: u32,
     /// Standard deviation of the RLWE error distribution.
     pub error_std: f64,
+    /// Worker threads for fanning independent RNS limbs across cores
+    /// (NTT conversions, pointwise products, rescale, key-switch inner
+    /// loops). `0` = use [`std::thread::available_parallelism`]; `1` =
+    /// exact serial execution. Results are bit-identical for every value —
+    /// limb jobs are independent and deterministic — so this is purely a
+    /// throughput knob.
+    pub threads: usize,
 }
 
 impl CkksParams {
@@ -34,6 +41,7 @@ impl CkksParams {
             modulus_bits: 60,
             special_bits: 60,
             error_std: 3.2,
+            threads: 0,
         }
     }
 
@@ -45,6 +53,7 @@ impl CkksParams {
             modulus_bits: 50,
             special_bits: 51,
             error_std: 3.2,
+            threads: 0,
         }
     }
 }
@@ -61,11 +70,13 @@ pub struct CkksContext {
     special_table: NttTable,
     /// CRT reconstructors for each level `1..=L` (index `l-1`).
     crt: Vec<CrtReconstructor>,
-    /// `q_j^{-1} mod q_i` for rescaling from level `j+1` (index `[j][i]`,
-    /// `i < j`).
-    rescale_inv: Vec<Vec<u64>>,
-    /// `P^{-1} mod q_i` for the key-switch scale-down.
-    special_inv: Vec<u64>,
+    /// `(q_j^{-1} mod q_i, Shoup companion)` for rescaling from level `j+1`
+    /// (index `[j][i]`, `i < j`).
+    rescale_inv: Vec<Vec<(u64, u64)>>,
+    /// `(P^{-1} mod q_i, Shoup companion)` for the key-switch scale-down.
+    special_inv: Vec<(u64, u64)>,
+    /// Resolved worker-thread count (≥ 1); see [`CkksParams::threads`].
+    threads: usize,
 }
 
 impl CkksContext {
@@ -93,10 +104,23 @@ impl CkksContext {
         let crt = (1..=params.max_level)
             .map(|l| CrtReconstructor::new(&chain[..l]))
             .collect();
+        let with_shoup = |m: Modulus, v: u64| -> (u64, u64) {
+            let inv = m.inv(v);
+            (inv, m.shoup(inv))
+        };
         let rescale_inv = (0..params.max_level)
-            .map(|j| (0..j).map(|i| moduli[i].inv(moduli[j].value())).collect())
+            .map(|j| {
+                (0..j)
+                    .map(|i| with_shoup(moduli[i], moduli[j].value()))
+                    .collect()
+            })
             .collect();
-        let special_inv = moduli.iter().map(|&m| m.inv(special % m.value())).collect();
+        let special_inv = moduli.iter().map(|&m| with_shoup(m, special)).collect();
+        let threads = if params.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            params.threads
+        };
         CkksContext {
             params,
             moduli,
@@ -106,6 +130,7 @@ impl CkksContext {
             crt,
             rescale_inv,
             special_inv,
+            threads,
         }
     }
 
@@ -154,14 +179,20 @@ impl CkksContext {
         &self.crt[l - 1]
     }
 
-    /// `q_j^{-1} mod q_i` where `j` is the limb being dropped.
-    pub fn rescale_inv(&self, j: usize, i: usize) -> u64 {
+    /// `q_j^{-1} mod q_i` where `j` is the limb being dropped, with its
+    /// Shoup companion for constant-multiplier products.
+    pub fn rescale_inv(&self, j: usize, i: usize) -> (u64, u64) {
         self.rescale_inv[j][i]
     }
 
-    /// `P^{-1} mod q_i`.
-    pub fn special_inv(&self, i: usize) -> u64 {
+    /// `P^{-1} mod q_i`, with its Shoup companion.
+    pub fn special_inv(&self, i: usize) -> (u64, u64) {
         self.special_inv[i]
+    }
+
+    /// Worker threads for per-limb fan-out (resolved; always ≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The exact product of the first `l` chain primes, as `f64` (this is
@@ -196,16 +227,26 @@ mod tests {
             for i in 0..j {
                 let qi = ctx.moduli()[i];
                 let qj = ctx.moduli()[j].value();
-                assert_eq!(qi.mul(qi.reduce(qj), ctx.rescale_inv(j, i)), 1);
+                let (inv, shoup) = ctx.rescale_inv(j, i);
+                assert_eq!(qi.mul(qi.reduce(qj), inv), 1);
+                assert_eq!(shoup, qi.shoup(inv), "Shoup companion consistent");
             }
         }
         for i in 0..3 {
             let qi = ctx.moduli()[i];
-            assert_eq!(
-                qi.mul(qi.reduce(ctx.special().value()), ctx.special_inv(i)),
-                1
-            );
+            let (inv, shoup) = ctx.special_inv(i);
+            assert_eq!(qi.mul(qi.reduce(ctx.special().value()), inv), 1);
+            assert_eq!(shoup, qi.shoup(inv));
         }
+    }
+
+    #[test]
+    fn threads_resolve() {
+        let mut params = CkksParams::insecure_test(1);
+        params.threads = 3;
+        assert_eq!(CkksContext::new(params).threads(), 3);
+        params.threads = 0;
+        assert!(CkksContext::new(params).threads() >= 1);
     }
 
     #[test]

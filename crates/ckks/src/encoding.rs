@@ -216,6 +216,7 @@ mod tests {
             modulus_bits: 45,
             special_bits: 46,
             error_std: 3.2,
+            threads: 1,
         })
     }
 

@@ -4,6 +4,7 @@ use crate::cipher::Ciphertext;
 use crate::context::CkksContext;
 use crate::encoding::{Encoder, Plaintext};
 use crate::keys::{rotation_to_galois, GaloisKeys, KswKey, RelinKey};
+use crate::par;
 use crate::poly::RnsPoly;
 
 /// Relative scale mismatch tolerated by additions (chain primes are only
@@ -224,37 +225,45 @@ impl<'c> Evaluator<'c> {
         let l = d.level();
         let mut dc = d.clone();
         dc.to_coeff(ctx);
-        (0..l)
-            .map(|j| {
-                let mut lifted = RnsPoly::zero(ctx, l, true, false);
-                for i in 0..l {
-                    let m = ctx.moduli()[i];
-                    let dst = lifted.limb_mut(i);
-                    for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
-                        *d = m.reduce(src);
-                    }
-                }
-                let p = ctx.special();
-                let dst = lifted.special_limb_mut();
+        let dc = &dc;
+        // Each digit's lifted polynomial is built independently; fan the
+        // digits across the worker threads.
+        par::map_range(ctx.threads(), l, |j| {
+            let mut lifted = RnsPoly::zero(ctx, l, true, false);
+            for i in 0..l {
+                let m = ctx.moduli()[i];
+                let dst = lifted.limb_mut(i);
                 for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
-                    *d = p.reduce(src);
+                    *d = m.reduce(src);
                 }
-                lifted
-            })
-            .collect()
+            }
+            let p = ctx.special();
+            let dst = lifted.special_limb_mut();
+            for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
+                *d = p.reduce(src);
+            }
+            lifted
+        })
     }
 
     /// The back half of a key switch: NTT the (possibly permuted) lifted
     /// decomposition, inner-product with the key, and divide by `P`.
-    fn key_switch_lifted(&self, lifted: &[RnsPoly], l: usize, key: &KswKey) -> (RnsPoly, RnsPoly) {
+    /// Consumes the decomposition so each digit transforms in place, and
+    /// multiplies against the full-basis key polynomials directly — no
+    /// per-digit clone or [`RnsPoly::restrict_for_keyswitch`] copy.
+    fn key_switch_lifted(
+        &self,
+        mut lifted: Vec<RnsPoly>,
+        l: usize,
+        key: &KswKey,
+    ) -> (RnsPoly, RnsPoly) {
         let ctx = self.ctx;
         let mut acc0 = RnsPoly::zero(ctx, l, true, true);
         let mut acc1 = RnsPoly::zero(ctx, l, true, true);
-        for (j, lp) in lifted.iter().enumerate() {
-            let mut t = lp.clone();
+        for (j, t) in lifted.iter_mut().enumerate() {
             t.to_ntt(ctx);
-            t.mul_acc(ctx, &key.k0[j].restrict_for_keyswitch(l), &mut acc0);
-            t.mul_acc(ctx, &key.k1[j].restrict_for_keyswitch(l), &mut acc1);
+            t.mul_acc_restricted(ctx, &key.k0[j], &mut acc0);
+            t.mul_acc_restricted(ctx, &key.k1[j], &mut acc1);
         }
         acc0.rescale_special(ctx);
         acc1.rescale_special(ctx);
@@ -266,7 +275,7 @@ impl<'c> Evaluator<'c> {
     /// `k0 + k1·s ≈ d·t` at level `l`.
     fn key_switch(&self, d: &RnsPoly, key: &KswKey) -> (RnsPoly, RnsPoly) {
         let lifted = self.decompose_lifted(d);
-        self.key_switch_lifted(&lifted, d.level(), key)
+        self.key_switch_lifted(lifted, d.level(), key)
     }
 
     /// Computes several rotations of one ciphertext with a *hoisted* key
@@ -304,7 +313,7 @@ impl<'c> Evaluator<'c> {
                         t
                     })
                     .collect();
-                let (k0, k1) = self.key_switch_lifted(&permuted, l, key);
+                let (k0, k1) = self.key_switch_lifted(permuted, l, key);
                 let mut c0 = a.c0.clone();
                 c0.automorphism(ctx, g);
                 c0.add_assign(ctx, &k0);
@@ -340,6 +349,7 @@ mod tests {
                 modulus_bits: 45,
                 special_bits: 46,
                 error_std: 3.2,
+                threads: 1,
             }),
         }
     }
@@ -581,6 +591,7 @@ mod hoisted_rotation_tests {
             modulus_bits: 45,
             special_bits: 46,
             error_std: 3.2,
+            threads: 1,
         });
         let mut rng = StdRng::seed_from_u64(11);
         let kg = KeyGenerator::new(&ctx, &mut rng);

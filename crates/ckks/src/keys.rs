@@ -131,10 +131,11 @@ impl<'c> KeyGenerator<'c> {
             let tj = {
                 let qj = ctx.moduli()[j];
                 let factor = qj.reduce(p);
+                let factor_shoup = qj.shoup(factor);
                 // Zero on all limbs except j, where it is (P mod q_j)·t.
                 let mut tj = RnsPoly::zero(ctx, l, true, true);
                 for (dst, &src) in tj.limb_mut(j).iter_mut().zip(t.limb(j)) {
-                    *dst = qj.mul(src, factor);
+                    *dst = qj.mul_shoup(src, factor, factor_shoup);
                 }
                 tj
             };
@@ -206,6 +207,7 @@ mod tests {
             modulus_bits: 45,
             special_bits: 46,
             error_std: 3.2,
+            threads: 1,
         })
     }
 

@@ -29,7 +29,7 @@
 //!                encrypt_symmetric, decrypt, GaloisKeys};
 //! use rand::SeedableRng;
 //! let ctx = CkksContext::new(CkksParams { poly_degree: 256, max_level: 2,
-//!     modulus_bits: 45, special_bits: 46, error_std: 3.2 });
+//!     modulus_bits: 45, special_bits: 46, error_std: 3.2, threads: 1 });
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let kg = KeyGenerator::new(&ctx, &mut rng);
 //! let sk = kg.secret_key();
@@ -52,6 +52,7 @@ mod eval;
 mod keys;
 pub mod modular;
 pub mod ntt;
+mod par;
 pub mod poly;
 pub mod primes;
 pub mod security;

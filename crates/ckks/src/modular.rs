@@ -1,17 +1,50 @@
 //! 64-bit modular arithmetic for NTT-friendly primes.
+//!
+//! Products avoid the hardware `u128 %` division entirely: every [`Modulus`]
+//! precomputes a 128-bit Barrett magic constant at construction, so a general
+//! modular product is four word multiplications plus one branchless
+//! correction. Multiplications by a *constant* operand (twiddle factors,
+//! rescale inverses, `N⁻¹`) use Shoup's trick — a precomputed quotient turns
+//! the product into two word multiplications and a conditional subtraction,
+//! and the `*_lazy` variant skips the correction to keep values in `[0, 2q)`
+//! for the Harvey NTT butterflies (see `ntt.rs` and DESIGN.md § Kernel
+//! optimization). The `u128 %` path survives only as
+//! [`Modulus::mul_reference`], the oracle the property tests and the
+//! `kernels` bench compare against.
 
 /// A word-sized prime modulus with the arithmetic the scheme needs.
 ///
-/// Products are computed through `u128`; this is slower than Shoup/Barrett
-/// multiplication but keeps the code obviously correct, and the *relative*
-/// op latencies (what the paper's Table 3 cares about) are unaffected.
+/// General products use Barrett reduction off a precomputed
+/// `⌊2^128 / q⌋` constant; constant-operand products use Shoup
+/// precomputed-quotient multiplication ([`Modulus::mul_shoup`]). The
+/// `q < 2^62` bound leaves the headroom the lazy `[0, 4q)` NTT butterflies
+/// need in 64 bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Modulus {
     q: u64,
+    /// `⌊2^64 / q⌋` — Barrett constant for one-word reduction.
+    ratio64: u64,
+    /// `⌊2^128 / q⌋` — Barrett constant for two-word reduction.
+    ratio128: u128,
+}
+
+/// High 128 bits of the 256-bit product `a · b`.
+#[inline]
+fn mul_hi_128(a: u128, b: u128) -> u128 {
+    let a_lo = a as u64 as u128;
+    let a_hi = (a >> 64) as u64 as u128;
+    let b_lo = b as u64 as u128;
+    let b_hi = (b >> 64) as u64 as u128;
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh as u64 as u128) + (hl as u64 as u128);
+    hh + (lh >> 64) + (hl >> 64) + (mid >> 64)
 }
 
 impl Modulus {
-    /// Wraps a modulus value.
+    /// Wraps a modulus value and precomputes its Barrett constants.
     ///
     /// # Panics
     ///
@@ -19,7 +52,20 @@ impl Modulus {
     pub fn new(q: u64) -> Self {
         assert!(q >= 2, "modulus must be at least 2");
         assert!(q < 1 << 62, "modulus must leave headroom below 2^62");
-        Modulus { q }
+        // ⌊2^k / q⌋: when q is not a power of two it does not divide 2^k,
+        // so ⌊(2^k − 1) / q⌋ is the same value; when q = 2^t the quotient
+        // is exactly 2^(k−t) (t ≥ 1, so the shift never overflows).
+        let (ratio64, ratio128) = if q.is_power_of_two() {
+            let t = q.trailing_zeros();
+            (1u64 << (64 - t), 1u128 << (128 - t))
+        } else {
+            (u64::MAX / q, u128::MAX / q as u128)
+        };
+        Modulus {
+            q,
+            ratio64,
+            ratio128,
+        }
     }
 
     /// The modulus value.
@@ -58,22 +104,77 @@ impl Modulus {
         }
     }
 
-    /// `(a · b) mod q` for operands already `< q`.
+    /// `(a · b) mod q` for operands already `< q`, by Barrett reduction of
+    /// the 128-bit product (no hardware division).
     #[inline]
     pub fn mul(self, a: u64, b: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// `(a · b) mod q` through the `u128 %` hardware division — the slow
+    /// but transparently correct kernel this module used before Barrett
+    /// reduction. Kept as the oracle for property tests and the `kernels`
+    /// bench baseline.
+    #[inline]
+    pub fn mul_reference(self, a: u64, b: u64) -> u64 {
         ((a as u128 * b as u128) % self.q as u128) as u64
     }
 
-    /// Reduces an arbitrary `u64` into `[0, q)`.
+    /// Shoup precomputed quotient `⌊w · 2^64 / q⌋` for a constant
+    /// multiplier `w < q`, consumed by [`Modulus::mul_shoup`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= q`.
     #[inline]
-    pub fn reduce(self, a: u64) -> u64 {
-        a % self.q
+    pub fn shoup(self, w: u64) -> u64 {
+        assert!(w < self.q, "Shoup precomputation requires w < q");
+        (((w as u128) << 64) / self.q as u128) as u64
     }
 
-    /// Reduces an arbitrary `u128` into `[0, q)`.
+    /// `(a · w) mod q` for a constant `w < q` with its Shoup companion
+    /// `w_shoup = self.shoup(w)`. `a` may be any `u64` (lazy NTT values
+    /// included); the result is fully reduced into `[0, q)`.
+    #[inline]
+    pub fn mul_shoup(self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let r = self.mul_shoup_lazy(a, w, w_shoup);
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Lazy Shoup product: same as [`Modulus::mul_shoup`] but the result is
+    /// only guaranteed to be in `[0, 2q)` — the Harvey butterfly invariant.
+    #[inline]
+    pub fn mul_shoup_lazy(self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let quot = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        a.wrapping_mul(w).wrapping_sub(quot.wrapping_mul(self.q))
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)` (one-word Barrett).
+    #[inline]
+    pub fn reduce(self, a: u64) -> u64 {
+        let quot = ((a as u128 * self.ratio64 as u128) >> 64) as u64;
+        let r = a - quot * self.q;
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Reduces an arbitrary `u128` into `[0, q)` (two-word Barrett).
     #[inline]
     pub fn reduce_u128(self, a: u128) -> u64 {
-        (a % self.q as u128) as u64
+        let quot = mul_hi_128(a, self.ratio128);
+        let r = (a - quot * self.q as u128) as u64;
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
     }
 
     /// Reduces a signed value into `[0, q)`.
@@ -85,7 +186,7 @@ impl Modulus {
 
     /// `a^e mod q` by square-and-multiply.
     pub fn pow(self, mut a: u64, mut e: u64) -> u64 {
-        a %= self.q;
+        a = self.reduce(a);
         let mut acc = 1u64;
         while e > 0 {
             if e & 1 == 1 {
@@ -103,7 +204,7 @@ impl Modulus {
     ///
     /// Panics if `a ≡ 0 (mod q)`.
     pub fn inv(self, a: u64) -> u64 {
-        let a = a % self.q;
+        let a = self.reduce(a);
         assert!(a != 0, "no inverse of 0");
         // Fermat: a^(q-2) mod q.
         self.pow(a, self.q - 2)
@@ -120,19 +221,26 @@ impl Modulus {
     }
 
     /// Reduces an `f64` (|x| possibly ≫ 2^64, e.g. a coefficient scaled by
-    /// 2^80) into `[0, q)`, exactly for the 53-bit mantissa and with exact
-    /// modular handling of the binary exponent.
+    /// 2^80) into `[0, q)`, exactly: the mantissa and binary exponent are
+    /// read straight out of the IEEE-754 bit pattern (`f64::to_bits`), so
+    /// powers of two, subnormals and fractional values all reduce without
+    /// any floating-point rounding.
     pub fn reduce_f64(self, x: f64) -> u64 {
         assert!(x.is_finite(), "cannot reduce non-finite value");
         if x == 0.0 {
             return 0;
         }
-        // x = mant · 2^exp with mant an integer |mant| < 2^53.
-        let bits = x.abs();
-        let exp = bits.log2().floor() as i32 - 52;
-        let mant = (bits / 2f64.powi(exp)).round() as u64;
-        // Guard against rounding at the boundary.
-        debug_assert!((mant as f64 * 2f64.powi(exp) - bits).abs() <= 2f64.powi(exp));
+        // |x| = mant · 2^exp exactly, with mant an integer < 2^53.
+        let bits = x.abs().to_bits();
+        let raw_exp = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mant, exp) = if raw_exp == 0 {
+            // Subnormal: frac · 2^(1 − 1023 − 52).
+            (frac, -1074)
+        } else {
+            // Normal: (2^52 + frac) · 2^(raw − 1023 − 52).
+            (frac | (1u64 << 52), raw_exp - 1075)
+        };
         let mant_mod = self.reduce(mant);
         let two_exp = if exp >= 0 {
             self.pow(2, exp as u64)
@@ -188,6 +296,8 @@ pub fn is_prime(n: u64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     const Q: u64 = (1 << 61) - 1; // not NTT-friendly, fine for arithmetic
 
@@ -209,6 +319,65 @@ mod tests {
         assert_eq!(m.pow(a, 3), m.mul(m.mul(a, a), a));
         let inv = m.inv(a);
         assert_eq!(m.mul(a, inv), 1);
+    }
+
+    #[test]
+    fn barrett_agrees_with_reference() {
+        // Primes across the supported range, including just below 2^62,
+        // power-of-two and tiny moduli.
+        for &q in &[
+            2u64,
+            3,
+            17,
+            1 << 20,
+            (1 << 40) - 87,
+            Q,
+            (1 << 62) - 57, // just below the 2^62 headroom bound
+        ] {
+            let m = Modulus::new(q);
+            let mut rng = StdRng::seed_from_u64(q);
+            for case in 0..2000u64 {
+                let a = rng.gen_range(0..q);
+                let b = rng.gen_range(0..q);
+                assert_eq!(
+                    m.mul(a, b),
+                    m.mul_reference(a, b),
+                    "q={q} case={case} a={a} b={b}"
+                );
+                let r: u64 = rng.gen();
+                assert_eq!(m.reduce(r), r % q, "q={q} reduce({r})");
+                let z: u128 = (rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128;
+                assert_eq!(m.reduce_u128(z), (z % q as u128) as u64, "q={q} u128");
+            }
+            // Boundary operands.
+            for &(a, b) in &[(0, 0), (0, q - 1), (1, q - 1), (q - 1, q - 1)] {
+                assert_eq!(m.mul(a, b), m.mul_reference(a, b), "q={q} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_agrees_with_reference() {
+        for &q in &[17u64, (1 << 50) - 27, Q, (1 << 62) - 57] {
+            let m = Modulus::new(q);
+            let mut rng = StdRng::seed_from_u64(!q);
+            for _ in 0..2000 {
+                let w = rng.gen_range(0..q);
+                let ws = m.shoup(w);
+                // a may be any u64, not just a reduced residue.
+                let a: u64 = rng.gen();
+                assert_eq!(m.mul_shoup(a, w, ws), m.mul_reference(a % q, w), "q={q}");
+                let lazy = m.mul_shoup_lazy(a, w, ws);
+                assert!(lazy < 2 * q, "lazy result out of [0, 2q): q={q}");
+                assert_eq!(m.reduce(lazy), m.mul_reference(a % q, w), "q={q} lazy");
+            }
+            for &w in &[0u64, 1, q - 1] {
+                let ws = m.shoup(w);
+                for &a in &[0u64, 1, q - 1, u64::MAX] {
+                    assert_eq!(m.mul_shoup(a, w, ws), m.mul_reference(a % q, w));
+                }
+            }
+        }
     }
 
     #[test]
@@ -259,6 +428,41 @@ mod tests {
         let x = 3.0 * 2f64.powi(60);
         let expect = m.mul(3, m.pow(2, 60));
         assert_eq!(m.reduce_f64(x), expect);
+    }
+
+    #[test]
+    fn reduce_f64_power_of_two_boundaries() {
+        // Exact powers of two across the whole exponent range: the old
+        // log2-based exponent extraction was fragile exactly here.
+        let m = Modulus::new(Q);
+        for k in [-80i32, -62, -1, 0, 1, 52, 53, 61, 62, 80, 500, 1023] {
+            let x = 2f64.powi(k);
+            let expect = if k >= 0 {
+                m.pow(2, k as u64)
+            } else {
+                m.inv(m.pow(2, (-k) as u64))
+            };
+            assert_eq!(m.reduce_f64(x), expect, "2^{k}");
+            assert_eq!(m.reduce_f64(-x), m.neg(expect), "-2^{k}");
+        }
+    }
+
+    #[test]
+    fn reduce_f64_subnormal_and_tiny() {
+        let m = Modulus::new(Q);
+        // Smallest positive subnormal: 2^-1074.
+        let tiny = f64::from_bits(1);
+        let expect = m.inv(m.pow(2, 1074));
+        assert_eq!(m.reduce_f64(tiny), expect);
+        // A general subnormal: 5 · 2^-1074.
+        let sub = f64::from_bits(5);
+        assert_eq!(m.reduce_f64(sub), m.mul(5, expect));
+        // Smallest positive normal: 2^-1022.
+        assert_eq!(
+            m.reduce_f64(f64::MIN_POSITIVE),
+            m.inv(m.pow(2, 1022)),
+            "2^-1022"
+        );
     }
 
     #[test]

@@ -4,6 +4,19 @@
 //! Gentleman–Sande (inverse) butterflies with the 2N-th root-of-unity twist
 //! folded into the twiddle factors, so polynomial multiplication modulo
 //! `X^N + 1` is pointwise in the transform domain.
+//!
+//! The hot kernels are Harvey butterflies: every twiddle carries a Shoup
+//! precomputed quotient, products are two word multiplications, and values
+//! stay *lazily* reduced — in `[0, 4q)` through the forward stages and
+//! `[0, 2q)` through the inverse stages — with a single normalization pass
+//! at the end (`q < 2^62` guarantees 64-bit headroom; see DESIGN.md
+//! § Kernel optimization). [`NttTable::forward_reference`] /
+//! [`NttTable::inverse_reference`] keep the original exact-reduction
+//! `u128 %` kernels as the oracle for property tests and the `kernels`
+//! bench baseline.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use crate::modular::Modulus;
 
@@ -14,19 +27,31 @@ pub struct NttTable {
     n: usize,
     /// ψ^bitrev(i) for the forward transform (ψ a primitive 2N-th root).
     fwd_twiddles: Vec<u64>,
+    /// Shoup companions of `fwd_twiddles`.
+    fwd_shoup: Vec<u64>,
     /// ψ^{-bitrev(i)} for the inverse transform.
     inv_twiddles: Vec<u64>,
+    /// Shoup companions of `inv_twiddles`.
+    inv_shoup: Vec<u64>,
     /// N^{-1} mod q.
     n_inv: u64,
+    /// Shoup companion of `n_inv`.
+    n_inv_shoup: u64,
+    /// ψ^{-bitrev(1)} · N^{-1}: the last inverse stage's twiddle with the
+    /// `1/N` normalization folded in, so the inverse needs no separate
+    /// normalization pass.
+    inv_last_tw: u64,
+    /// Shoup companion of `inv_last_tw`.
+    inv_last_tw_shoup: u64,
 }
 
 fn bit_reverse(i: usize, log_n: u32) -> usize {
     i.reverse_bits() >> (usize::BITS - log_n)
 }
 
-/// Finds a primitive `order`-th root of unity modulo `q`
+/// Finds a primitive `order`-th root of unity modulo `q` by trial scan
 /// (requires `order | q − 1`).
-fn primitive_root(m: Modulus, order: u64) -> u64 {
+fn primitive_root_uncached(m: Modulus, order: u64) -> u64 {
     let q = m.value();
     assert_eq!((q - 1) % order, 0, "order must divide q-1");
     let cofactor = (q - 1) / order;
@@ -39,6 +64,24 @@ fn primitive_root(m: Modulus, order: u64) -> u64 {
         }
     }
     unreachable!("no primitive root found (q not prime?)");
+}
+
+/// Found generators per `(q, order)`. The trial scan costs two full `pow`
+/// calls per candidate; contexts for long modulus chains (and tests, which
+/// rebuild contexts constantly) hit the same primes repeatedly, so the
+/// result is memoized process-wide.
+static ROOT_CACHE: OnceLock<Mutex<HashMap<(u64, u64), u64>>> = OnceLock::new();
+
+/// Cached front-end of [`primitive_root_uncached`].
+fn primitive_root(m: Modulus, order: u64) -> u64 {
+    let cache = ROOT_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (m.value(), order);
+    if let Some(&root) = cache.lock().expect("root cache lock").get(&key) {
+        return root;
+    }
+    let root = primitive_root_uncached(m, order);
+    cache.lock().expect("root cache lock").insert(key, root);
+    root
 }
 
 impl NttTable {
@@ -75,13 +118,23 @@ impl NttTable {
             fwd[i] = powers_f[r];
             inv[i] = powers_i[r];
         }
+        let fwd_shoup = fwd.iter().map(|&w| modulus.shoup(w)).collect();
+        let inv_shoup = inv.iter().map(|&w| modulus.shoup(w)).collect();
         let n_inv = modulus.inv(n as u64);
+        let n_inv_shoup = modulus.shoup(n_inv);
+        let inv_last_tw = modulus.mul(inv[1], n_inv);
+        let inv_last_tw_shoup = modulus.shoup(inv_last_tw);
         NttTable {
             modulus,
             n,
             fwd_twiddles: fwd,
+            fwd_shoup,
             inv_twiddles: inv,
+            inv_shoup,
             n_inv,
+            n_inv_shoup,
+            inv_last_tw,
+            inv_last_tw_shoup,
         }
     }
 
@@ -96,12 +149,112 @@ impl NttTable {
     }
 
     /// In-place forward negacyclic NTT (natural input order → transform
-    /// domain).
+    /// domain). Input residues must be `< q`; output residues are `< q`.
+    ///
+    /// Harvey butterflies: intermediate values live in `[0, 4q)` and are
+    /// normalized once after the last stage.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != N`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = self.modulus;
+        let q = m.value();
+        let two_q = 2 * q;
+        let mut t = self.n;
+        let mut stage = 1usize;
+        while stage < self.n {
+            t >>= 1;
+            let tw = self.fwd_twiddles[stage..2 * stage].iter();
+            let tws = self.fwd_shoup[stage..2 * stage].iter();
+            for ((block, &w), &ws) in a.chunks_exact_mut(2 * t).zip(tw).zip(tws) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // u ∈ [0, 4q) on entry; fold to [0, 2q).
+                    let mut u = *x;
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    // v ∈ [0, 2q) for any 64-bit input.
+                    let v = m.mul_shoup_lazy(*y, w, ws);
+                    *x = u + v;
+                    *y = u + two_q - v;
+                }
+            }
+            stage <<= 1;
+        }
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (transform domain → natural order),
+    /// including the `1/N` normalization. Input residues must be `< q`;
+    /// output residues are `< q`.
+    ///
+    /// Harvey butterflies: intermediate values live in `[0, 2q)`; the `1/N`
+    /// normalization is folded into the last stage's butterflies (both
+    /// output branches multiply there, so scaling the twiddle by `N^{-1}`
+    /// costs half a multiply per element instead of a separate full pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = self.modulus;
+        let two_q = 2 * m.value();
+        let mut t = 1usize;
+        let mut stage = self.n >> 1;
+        while stage > 1 {
+            let tw = self.inv_twiddles[stage..2 * stage].iter();
+            let tws = self.inv_shoup[stage..2 * stage].iter();
+            for ((block, &w), &ws) in a.chunks_exact_mut(2 * t).zip(tw).zip(tws) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // u, v ∈ [0, 2q).
+                    let u = *x;
+                    let v = *y;
+                    let mut s = u + v;
+                    if s >= two_q {
+                        s -= two_q;
+                    }
+                    *x = s;
+                    *y = m.mul_shoup_lazy(u + two_q - v, w, ws);
+                }
+            }
+            t <<= 1;
+            stage >>= 1;
+        }
+        // Last stage (single twiddle): scale both branches by N^{-1} and
+        // normalize into [0, q). u + v < 4q and q < 2^62, so the lazy sums
+        // stay inside 64 bits.
+        let (w, ws) = (self.inv_last_tw, self.inv_last_tw_shoup);
+        let (lo, hi) = a.split_at_mut(t);
+        for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+            let u = *x;
+            let v = *y;
+            *x = m.mul_shoup(u + v, self.n_inv, self.n_inv_shoup);
+            *y = m.mul_shoup(u + two_q - v, w, ws);
+        }
+    }
+
+    /// The forward transform with exact (`u128 %`) reduction at every
+    /// butterfly — the pre-optimization kernel, kept as the correctness
+    /// oracle for the Harvey path and the `kernels` bench baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn forward_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let m = self.modulus;
         let mut t = self.n;
@@ -113,7 +266,7 @@ impl NttTable {
                 let base = 2 * i * t;
                 for j in base..base + t {
                     let u = a[j];
-                    let v = m.mul(a[j + t], w);
+                    let v = m.mul_reference(a[j + t], w);
                     a[j] = m.add(u, v);
                     a[j + t] = m.sub(u, v);
                 }
@@ -122,13 +275,13 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (transform domain → natural order),
-    /// including the `1/N` normalization.
+    /// The inverse transform with exact (`u128 %`) reduction at every
+    /// butterfly — counterpart of [`NttTable::forward_reference`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != N`.
-    pub fn inverse(&self, a: &mut [u64]) {
+    pub fn inverse_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let m = self.modulus;
         let mut t = 1usize;
@@ -141,7 +294,7 @@ impl NttTable {
                     let u = a[j];
                     let v = a[j + t];
                     a[j] = m.add(u, v);
-                    a[j + t] = m.mul(m.sub(u, v), w);
+                    a[j + t] = m.mul_reference(m.sub(u, v), w);
                 }
                 base += 2 * t;
             }
@@ -149,7 +302,7 @@ impl NttTable {
             stage >>= 1;
         }
         for x in a.iter_mut() {
-            *x = m.mul(*x, self.n_inv);
+            *x = m.mul_reference(*x, self.n_inv);
         }
     }
 }
@@ -240,5 +393,33 @@ mod tests {
         t.forward(&mut a);
         t.inverse(&mut a);
         assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn harvey_matches_reference_kernels() {
+        let t = table(256);
+        let m = t.modulus();
+        let mut a: Vec<u64> = (0..256u64)
+            .map(|i| m.reduce(i.wrapping_mul(0xD1B54A32D192ED03)))
+            .collect();
+        let mut b = a.clone();
+        t.forward(&mut a);
+        t.forward_reference(&mut b);
+        assert_eq!(a, b, "forward");
+        t.inverse(&mut a);
+        t.inverse_reference(&mut b);
+        assert_eq!(a, b, "inverse");
+    }
+
+    #[test]
+    fn primitive_root_cache_agrees_with_uncached() {
+        let q = crate::primes::ntt_primes(50, 1 << 6, 1)[0];
+        let m = Modulus::new(q);
+        let order = 2 * (1 << 6) as u64;
+        let direct = primitive_root_uncached(m, order);
+        // First call populates the cache, second hits it; both must agree
+        // with the direct scan.
+        assert_eq!(primitive_root(m, order), direct);
+        assert_eq!(primitive_root(m, order), direct);
     }
 }

@@ -1,0 +1,120 @@
+//! Scoped-thread fan-out of independent per-limb jobs.
+//!
+//! RNS limbs never interact inside an NTT conversion, a pointwise product,
+//! a rescale correction, or a key-switch decomposition, so those loops
+//! parallelize by slicing the limb array across `std::thread::scope`
+//! workers (the same dependency-free pattern as the fig6 waterline sweep —
+//! no external crates). Every job is deterministic and writes only its own
+//! slice, so results are bit-identical for any thread count;
+//! [`crate::CkksParams::threads`] `= 1` takes the plain serial loop.
+
+/// Runs `f(index, &mut items[index])` for every item, fanning contiguous
+/// chunks across up to `threads` scoped workers.
+pub(crate) fn for_each<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let per = n.div_ceil(threads.min(n));
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, chunk) in items.chunks_mut(per).enumerate() {
+            scope.spawn(move || {
+                for (k, item) in chunk.iter_mut().enumerate() {
+                    f(c * per + k, item);
+                }
+            });
+        }
+    });
+}
+
+/// Like [`for_each`], but each worker additionally owns a scratch buffer
+/// reused across every item it processes — rescale and key-switch
+/// corrections need one `N`-length temporary per limb, and this caps the
+/// allocations at one per worker instead of one per limb.
+pub(crate) fn for_each_with_scratch<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T, &mut Vec<u64>) + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        let mut scratch = Vec::new();
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item, &mut scratch);
+        }
+        return;
+    }
+    let per = n.div_ceil(threads.min(n));
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, chunk) in items.chunks_mut(per).enumerate() {
+            scope.spawn(move || {
+                let mut scratch = Vec::new();
+                for (k, item) in chunk.iter_mut().enumerate() {
+                    f(c * per + k, item, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel `(0..count).map(f).collect()` over scoped workers, preserving
+/// index order. Used for the per-limb key-switch decomposition, where each
+/// job builds an owned polynomial.
+pub(crate) fn map_range<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for_each(threads, &mut slots, |i, slot| *slot = Some(f(i)));
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..17).collect();
+            for_each(threads, &mut items, |i, x| *x = *x * 3 + i as u64);
+            let expect: Vec<u64> = (0..17).map(|i| i * 3 + i).collect();
+            assert_eq!(items, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_agrees_and_reuses() {
+        for threads in [1usize, 4] {
+            let mut items: Vec<u64> = (0..9).collect();
+            for_each_with_scratch(threads, &mut items, |i, x, scratch| {
+                scratch.clear();
+                scratch.extend((0..=i as u64).map(|k| k + *x));
+                *x = scratch.iter().sum();
+            });
+            let expect: Vec<u64> = (0..9u64).map(|i| (0..=i).map(|k| k + i).sum()).collect();
+            assert_eq!(items, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_range_preserves_order() {
+        for threads in [1usize, 3] {
+            let out = map_range(threads, 13, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+}

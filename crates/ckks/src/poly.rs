@@ -5,6 +5,7 @@ use rand::Rng;
 use crate::context::CkksContext;
 use crate::modular::Modulus;
 use crate::ntt::NttTable;
+use crate::par;
 
 /// A polynomial in RNS form: one residue vector (length `N`) per active
 /// modulus. The active basis is the first `level` chain primes, optionally
@@ -89,8 +90,21 @@ impl RnsPoly {
         }
     }
 
-    fn table_of<'c>(&self, ctx: &'c CkksContext, idx: usize) -> &'c NttTable {
-        if self.special && idx == self.limbs.len() - 1 {
+    /// Modulus for limb `idx` of a poly with `count` limbs, the last of
+    /// which is the special prime iff `special` — the borrow-free twin of
+    /// [`RnsPoly::modulus_of`] for use inside per-limb closures that hold
+    /// `&mut` on the limb storage.
+    fn modulus_at(ctx: &CkksContext, special: bool, count: usize, idx: usize) -> Modulus {
+        if special && idx == count - 1 {
+            ctx.special()
+        } else {
+            ctx.moduli()[idx]
+        }
+    }
+
+    /// NTT table for limb `idx`; companion of [`RnsPoly::modulus_at`].
+    fn table_at(ctx: &CkksContext, special: bool, count: usize, idx: usize) -> &NttTable {
+        if special && idx == count - 1 {
             ctx.special_table()
         } else {
             ctx.table(idx)
@@ -170,27 +184,29 @@ impl RnsPoly {
         Self::from_signed_coeffs(ctx, level, special, &coeffs)
     }
 
-    /// Converts to NTT domain (no-op if already there).
+    /// Converts to NTT domain (no-op if already there). Limbs transform
+    /// independently and fan out across the context's worker threads.
     pub fn to_ntt(&mut self, ctx: &CkksContext) {
         if self.ntt {
             return;
         }
-        for idx in 0..self.limbs.len() {
-            let table = self.table_of(ctx, idx);
-            table.forward(&mut self.limbs[idx]);
-        }
+        let (special, count) = (self.special, self.limbs.len());
+        par::for_each(ctx.threads(), &mut self.limbs, |idx, limb| {
+            Self::table_at(ctx, special, count, idx).forward(limb);
+        });
         self.ntt = true;
     }
 
-    /// Converts to coefficient domain (no-op if already there).
+    /// Converts to coefficient domain (no-op if already there). Limbs
+    /// transform independently and fan out across worker threads.
     pub fn to_coeff(&mut self, ctx: &CkksContext) {
         if !self.ntt {
             return;
         }
-        for idx in 0..self.limbs.len() {
-            let table = self.table_of(ctx, idx);
-            table.inverse(&mut self.limbs[idx]);
-        }
+        let (special, count) = (self.special, self.limbs.len());
+        par::for_each(ctx.threads(), &mut self.limbs, |idx, limb| {
+            Self::table_at(ctx, special, count, idx).inverse(limb);
+        });
         self.ntt = false;
     }
 
@@ -241,19 +257,61 @@ impl RnsPoly {
         self.check_compatible(other);
         assert!(self.ntt, "polynomial product requires NTT domain");
         let mut out = self.clone();
-        for idx in 0..out.limbs.len() {
-            let m = out.modulus_of(ctx, idx);
-            for (a, &b) in out.limbs[idx].iter_mut().zip(&other.limbs[idx]) {
+        let (special, count) = (out.special, out.limbs.len());
+        par::for_each(ctx.threads(), &mut out.limbs, |idx, limb| {
+            let m = Self::modulus_at(ctx, special, count, idx);
+            for (a, &b) in limb.iter_mut().zip(&other.limbs[idx]) {
                 *a = m.mul(*a, b);
             }
-        }
+        });
         out
     }
 
-    /// `self · other` accumulated into `acc` (`acc += self ∘ other`).
+    /// `self · other` accumulated into `acc` (`acc += self ∘ other`),
+    /// fused into a single pass per limb — no temporary product polynomial
+    /// is materialized.
     pub fn mul_acc(&self, ctx: &CkksContext, other: &RnsPoly, acc: &mut RnsPoly) {
-        let prod = self.mul(ctx, other);
-        acc.add_assign(ctx, &prod);
+        self.check_compatible(other);
+        self.check_compatible(acc);
+        assert!(self.ntt, "polynomial product requires NTT domain");
+        let (special, count) = (acc.special, acc.limbs.len());
+        par::for_each(ctx.threads(), &mut acc.limbs, |idx, limb| {
+            let m = Self::modulus_at(ctx, special, count, idx);
+            for ((a, &x), &y) in limb.iter_mut().zip(&self.limbs[idx]).zip(&other.limbs[idx]) {
+                *a = m.add(*a, m.mul(x, y));
+            }
+        });
+    }
+
+    /// Like [`RnsPoly::mul_acc`], with `key` a full-basis key polynomial
+    /// (all `L` chain limbs plus `P`): `self`'s chain limbs pair with
+    /// `key`'s first limbs and `self`'s special limb with `key`'s last.
+    /// This lets key switching skip the per-digit
+    /// [`RnsPoly::restrict_for_keyswitch`] clone of every key polynomial.
+    pub fn mul_acc_restricted(&self, ctx: &CkksContext, key: &RnsPoly, acc: &mut RnsPoly) {
+        self.check_compatible(acc);
+        assert!(
+            self.ntt && key.ntt,
+            "polynomial product requires NTT domain"
+        );
+        assert!(
+            self.special && key.special,
+            "key switching runs on the extended basis"
+        );
+        assert_eq!(key.level, ctx.max_level(), "key polys carry the full basis");
+        assert!(self.level <= key.level);
+        let (special, count) = (acc.special, acc.limbs.len());
+        par::for_each(ctx.threads(), &mut acc.limbs, |idx, limb| {
+            let m = Self::modulus_at(ctx, special, count, idx);
+            let key_limb = if special && idx == count - 1 {
+                key.limbs.last().expect("special limb")
+            } else {
+                &key.limbs[idx]
+            };
+            for ((a, &x), &y) in limb.iter_mut().zip(&self.limbs[idx]).zip(key_limb) {
+                *a = m.add(*a, m.mul(x, y));
+            }
+        });
     }
 
     /// Drops the basis down to `new_level` chain limbs (and drops the
@@ -300,26 +358,26 @@ impl RnsPoly {
         ctx.table(j).inverse(&mut last);
         let qj = ctx.moduli()[j];
         let half = qj.value() / 2;
-        for i in 0..j {
+        let last = &last;
+        par::for_each_with_scratch(ctx.threads(), &mut self.limbs, |i, limb, corr| {
             let mi = ctx.moduli()[i];
-            // Centered lift of [x]_{q_j} reduced mod q_i, then NTT under q_i.
-            let mut corr: Vec<u64> = last
-                .iter()
-                .map(|&v| {
-                    // center to (−q_j/2, q_j/2] to keep the subtraction small
-                    if v > half {
-                        mi.sub(0, mi.reduce(qj.value() - v))
-                    } else {
-                        mi.reduce(v)
-                    }
-                })
-                .collect();
-            ctx.table(i).forward(&mut corr);
-            let inv = ctx.rescale_inv(j, i);
-            for (a, &c) in self.limbs[i].iter_mut().zip(&corr) {
-                *a = mi.mul(mi.sub(*a, c), inv);
+            // Centered lift of [x]_{q_j} reduced mod q_i, then NTT under q_i
+            // (built in the worker's reused scratch buffer).
+            corr.clear();
+            corr.extend(last.iter().map(|&v| {
+                // center to (−q_j/2, q_j/2] to keep the subtraction small
+                if v > half {
+                    mi.sub(0, mi.reduce(qj.value() - v))
+                } else {
+                    mi.reduce(v)
+                }
+            }));
+            ctx.table(i).forward(corr);
+            let (inv, inv_shoup) = ctx.rescale_inv(j, i);
+            for (a, &c) in limb.iter_mut().zip(corr.iter()) {
+                *a = mi.mul_shoup(mi.sub(*a, c), inv, inv_shoup);
             }
-        }
+        });
         self.level = j;
     }
 
@@ -336,24 +394,23 @@ impl RnsPoly {
         ctx.special_table().inverse(&mut last);
         let p = ctx.special();
         let half = p.value() / 2;
-        for i in 0..self.level {
+        let last = &last;
+        par::for_each_with_scratch(ctx.threads(), &mut self.limbs, |i, limb, corr| {
             let mi = ctx.moduli()[i];
-            let mut corr: Vec<u64> = last
-                .iter()
-                .map(|&v| {
-                    if v > half {
-                        mi.sub(0, mi.reduce(p.value() - v))
-                    } else {
-                        mi.reduce(v)
-                    }
-                })
-                .collect();
-            ctx.table(i).forward(&mut corr);
-            let inv = ctx.special_inv(i);
-            for (a, &c) in self.limbs[i].iter_mut().zip(&corr) {
-                *a = mi.mul(mi.sub(*a, c), inv);
+            corr.clear();
+            corr.extend(last.iter().map(|&v| {
+                if v > half {
+                    mi.sub(0, mi.reduce(p.value() - v))
+                } else {
+                    mi.reduce(v)
+                }
+            }));
+            ctx.table(i).forward(corr);
+            let (inv, inv_shoup) = ctx.special_inv(i);
+            for (a, &c) in limb.iter_mut().zip(corr.iter()) {
+                *a = mi.mul_shoup(mi.sub(*a, c), inv, inv_shoup);
             }
-        }
+        });
         self.special = false;
     }
 
@@ -405,6 +462,7 @@ mod tests {
             modulus_bits: 40,
             special_bits: 41,
             error_std: 3.2,
+            threads: 1,
         })
     }
 
@@ -508,6 +566,44 @@ mod tests {
                 assert_eq!(m.center(c), 0, "coefficient {i}");
             }
         }
+    }
+
+    #[test]
+    fn mul_acc_is_fused_and_allocation_free() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = RnsPoly::uniform(&ctx, 2, false, &mut rng);
+        let b = RnsPoly::uniform(&ctx, 2, false, &mut rng);
+        let mut acc = RnsPoly::uniform(&ctx, 2, false, &mut rng);
+        // Reference: materialize the product, then add.
+        let mut expect = acc.clone();
+        expect.add_assign(&ctx, &a.mul(&ctx, &b));
+        // The fused path must write into the existing limb storage — record
+        // each limb's data pointer and capacity and check nothing moved.
+        let before: Vec<(*const u64, usize)> = (0..acc.limbs.len())
+            .map(|i| (acc.limbs[i].as_ptr(), acc.limbs[i].capacity()))
+            .collect();
+        a.mul_acc(&ctx, &b, &mut acc);
+        let after: Vec<(*const u64, usize)> = (0..acc.limbs.len())
+            .map(|i| (acc.limbs[i].as_ptr(), acc.limbs[i].capacity()))
+            .collect();
+        assert_eq!(acc, expect, "fused mul_acc result");
+        assert_eq!(before, after, "mul_acc reallocated limb storage");
+    }
+
+    #[test]
+    fn mul_acc_restricted_matches_restrict_then_mul_acc() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(8);
+        // Key poly on the full basis (all L chain limbs + P); operand and
+        // accumulator on a lower level plus the special limb.
+        let key = RnsPoly::uniform(&ctx, 3, true, &mut rng);
+        let x = RnsPoly::uniform(&ctx, 2, true, &mut rng);
+        let mut direct = RnsPoly::uniform(&ctx, 2, true, &mut rng);
+        let mut via_restrict = direct.clone();
+        x.mul_acc(&ctx, &key.restrict_for_keyswitch(2), &mut via_restrict);
+        x.mul_acc_restricted(&ctx, &key, &mut direct);
+        assert_eq!(direct, via_restrict);
     }
 
     #[test]

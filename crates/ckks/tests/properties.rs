@@ -19,6 +19,7 @@ fn ctx() -> CkksContext {
         modulus_bits: 45,
         special_bits: 46,
         error_std: 3.2,
+        threads: 1,
     })
 }
 
@@ -155,6 +156,106 @@ fn serialization_roundtrip_random() {
         for i in 0..48 {
             assert!((d[i] - xs[i]).abs() < 1e-3, "case {case}: slot {i}");
         }
+    }
+}
+
+#[test]
+fn barrett_and_shoup_agree_with_u128_reference() {
+    use fhe_ckks::modular::Modulus;
+    // Chain-prime sizes the backend actually uses, plus a modulus just
+    // under the 2^62 headroom bound where Barrett/Shoup error terms are
+    // tightest.
+    let moduli = [
+        fhe_ckks::primes::ntt_primes(45, 1 << 7, 1)[0],
+        fhe_ckks::primes::ntt_primes(50, 1 << 12, 1)[0],
+        fhe_ckks::primes::ntt_primes(60, 1 << 13, 1)[0],
+        (1u64 << 62) - 57,
+    ];
+    for q in moduli {
+        let m = Modulus::new(q);
+        let mut rng = StdRng::seed_from_u64(0xBA2_2E77 ^ q);
+        let boundary = [0u64, 1, 2, q / 2, q - 2, q - 1];
+        // Boundary operands cross-paired, then 10k random pairs.
+        let pairs = boundary
+            .iter()
+            .flat_map(|&a| boundary.iter().map(move |&b| (a, b)))
+            .chain((0..10_000).map(|_| (rng.gen::<u64>() % q, rng.gen::<u64>() % q)));
+        for (case, (a, b)) in pairs.enumerate() {
+            let expect = m.mul_reference(a, b);
+            assert_eq!(m.mul(a, b), expect, "q={q} case {case}: barrett {a}*{b}");
+            let b_shoup = m.shoup(b);
+            assert_eq!(
+                m.mul_shoup(a, b, b_shoup),
+                expect,
+                "q={q} case {case}: shoup {a}*{b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn harvey_ntt_matches_reference_all_degrees() {
+    use fhe_ckks::modular::Modulus;
+    use fhe_ckks::ntt::NttTable;
+    for log_n in 4..=13u32 {
+        let n = 1usize << log_n;
+        let q = fhe_ckks::primes::ntt_primes(50, n, 1)[0];
+        let m = Modulus::new(q);
+        let t = NttTable::new(m, n);
+        let mut rng = StdRng::seed_from_u64(0x4172 ^ u64::from(log_n));
+        let orig: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q).collect();
+        let mut fast = orig.clone();
+        let mut reference = orig.clone();
+        t.forward(&mut fast);
+        t.forward_reference(&mut reference);
+        assert_eq!(fast, reference, "forward n={n}");
+        t.inverse(&mut fast);
+        t.inverse_reference(&mut reference);
+        assert_eq!(fast, reference, "inverse n={n}");
+        assert_eq!(fast, orig, "roundtrip n={n}");
+    }
+}
+
+/// Per-limb jobs are independent and deterministic, so the thread count
+/// must not change a single bit of any ciphertext or decryption.
+#[test]
+fn thread_count_is_bit_exact() {
+    let run = |threads: usize| -> (Vec<Vec<u8>>, Vec<f64>) {
+        let ctx = CkksContext::new(CkksParams {
+            poly_degree: 128,
+            max_level: 3,
+            modulus_bits: 45,
+            special_bits: 46,
+            error_std: 3.2,
+            threads,
+        });
+        let mut rng = StdRng::seed_from_u64(0xDE7E_2817);
+        let xs = random_values(&mut rng, 64);
+        let ys = random_values(&mut rng, 64);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let gk = kg.galois_keys([1i64, 3], &mut rng);
+        let ev = Evaluator::new(&ctx, Some(relin), gk);
+        let scale = 2f64.powi(40);
+        let ca = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&xs, scale, 3), &mut rng);
+        let cb = encrypt_symmetric(&ctx, &sk, &ev.encoder().encode(&ys, scale, 3), &mut rng);
+        let prod = ev.rescale(&ev.mul(&ca, &cb));
+        let rot = ev.rotate(&prod, 3);
+        let hoisted = ev.rotate_hoisted(&prod, &[1, 3]);
+        let blobs: Vec<Vec<u8>> = [&ca, &cb, &prod, &rot, &hoisted[0], &hoisted[1]]
+            .iter()
+            .map(|ct| fhe_ckks::serialize::ciphertext_to_bytes(&ctx, ct).to_vec())
+            .collect();
+        let decoded = ev.encoder().decode(&decrypt(&ctx, &sk, &rot));
+        (blobs, decoded)
+    };
+    let (blobs_serial, dec_serial) = run(1);
+    for threads in [2usize, 4] {
+        let (blobs, dec) = run(threads);
+        assert_eq!(blobs, blobs_serial, "ciphertext bytes, threads={threads}");
+        // f64 equality is intentional: same bits in, same bits out.
+        assert_eq!(dec, dec_serial, "decryption, threads={threads}");
     }
 }
 

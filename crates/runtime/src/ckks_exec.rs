@@ -23,6 +23,10 @@ pub struct ExecOptions {
     pub poly_degree: usize,
     /// RNG seed for key generation and encryption randomness.
     pub seed: u64,
+    /// Worker threads for the backend's per-limb fan-out (see
+    /// [`CkksParams::threads`]): `0` = auto-detect, `1` = serial. Results
+    /// are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -30,6 +34,7 @@ impl Default for ExecOptions {
         ExecOptions {
             poly_degree: 1 << 12,
             seed: 0xC0FFEE,
+            threads: 0,
         }
     }
 }
@@ -95,6 +100,7 @@ pub fn execute(
         modulus_bits: scheduled.params.rescale_bits,
         special_bits: scheduled.params.rescale_bits.min(60) + 1,
         error_std: 3.2,
+        threads: options.threads,
     };
     let ctx = CkksContext::new(ckks_params);
     let mut rng = StdRng::seed_from_u64(options.seed);
@@ -330,6 +336,7 @@ mod tests {
         ExecOptions {
             poly_degree: 256,
             seed: 3,
+            threads: 1,
         }
     }
 

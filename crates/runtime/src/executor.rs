@@ -297,6 +297,7 @@ mod tests {
                 options: ExecOptions {
                     poly_degree: 256,
                     seed: 3,
+                    threads: 1,
                 },
             }),
         ];
@@ -315,6 +316,7 @@ mod tests {
             options: ExecOptions {
                 poly_degree: 256,
                 seed: 3,
+                threads: 1,
             },
         }
         .execute(&s, &binds)

@@ -98,6 +98,7 @@ mod tests {
             modulus_bits: 40,
             special_bits: 41,
             error_std: 3.2,
+            threads: 1,
         };
         let rows = measure(params, 3, 2, 42);
         let get = |c: OpClass| -> &Vec<f64> {

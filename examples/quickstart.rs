@@ -66,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &runtime::ExecOptions {
             poly_degree: 2 * slots,
             seed: 42,
+            threads: 1,
         },
     )
     .unwrap();

@@ -77,6 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &runtime::ExecOptions {
             poly_degree: 2 * width * width,
             seed: 3,
+            threads: 1,
         },
     )
     .unwrap();

@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &runtime::ExecOptions {
             poly_degree: 2 * slots,
             seed: 8,
+            threads: 1,
         },
     )
     .unwrap();

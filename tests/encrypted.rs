@@ -12,6 +12,7 @@ fn exec() -> CkksExec {
         options: ExecOptions {
             poly_degree: 256,
             seed: 99,
+            threads: 1,
         },
     }
 }
@@ -30,6 +31,7 @@ fn encrypted_sobel_matches_reference() {
         options: ExecOptions {
             poly_degree: 128,
             seed: 1,
+            threads: 1,
         },
     };
     let inputs = fhe_reserve::workloads::image::image_inputs(8, 5);
@@ -104,6 +106,7 @@ fn encrypted_tiny_lenet_runs_all_eleven_levels() {
         options: ExecOptions {
             poly_degree: 256,
             seed: 4,
+            threads: 1,
         },
     };
     let run = ckks.execute(&compiled.scheduled, &inputs).unwrap();
