@@ -238,6 +238,19 @@ impl RnsPoly {
         }
     }
 
+    /// `self *= m` for a scalar `m` (domain-agnostic: a scalar commutes
+    /// with the NTT).
+    pub fn mul_scalar_assign(&mut self, ctx: &CkksContext, scalar: u64) {
+        for idx in 0..self.limbs.len() {
+            let m = self.modulus_of(ctx, idx);
+            let s = m.reduce(scalar);
+            let s_shoup = m.shoup(s);
+            for a in self.limbs[idx].iter_mut() {
+                *a = m.mul_shoup(*a, s, s_shoup);
+            }
+        }
+    }
+
     /// `self = −self`.
     pub fn neg_assign(&mut self, ctx: &CkksContext) {
         for idx in 0..self.limbs.len() {
@@ -508,6 +521,31 @@ mod tests {
         assert_eq!(prod.limb(0)[0], 1);
         assert_eq!(prod.limb(0)[1], 0);
         assert_eq!(prod.limb(0)[2], m.neg(1));
+    }
+
+    #[test]
+    fn mul_scalar_matches_per_coefficient_multiply() {
+        let ctx = tiny_ctx();
+        let coeffs: Vec<i64> = (0..64).map(|i| (i as i64 % 17) - 8).collect();
+        let mut p = RnsPoly::from_signed_coeffs(&ctx, 2, false, &coeffs);
+        p.mul_scalar_assign(&ctx, 12345);
+        for (i, &c) in coeffs.iter().enumerate() {
+            for limb in 0..2 {
+                let m = ctx.moduli()[limb];
+                assert_eq!(
+                    m.center(p.limb(limb)[i]),
+                    c * 12345,
+                    "limb {limb} coefficient {i}"
+                );
+            }
+        }
+        // A scalar commutes with the NTT: multiplying in evaluation form
+        // then returning to coefficients gives the same polynomial.
+        let mut q = RnsPoly::from_signed_coeffs(&ctx, 2, false, &coeffs);
+        q.to_ntt(&ctx);
+        q.mul_scalar_assign(&ctx, 12345);
+        q.to_coeff(&ctx);
+        assert_eq!(q, p);
     }
 
     #[test]

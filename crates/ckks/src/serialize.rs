@@ -9,6 +9,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::cipher::Ciphertext;
 use crate::context::CkksContext;
 use crate::encoding::Plaintext;
+use crate::keys::SecretKey;
 use crate::poly::RnsPoly;
 
 const MAGIC: u32 = 0x52_4E_53_43; // "RNSC"
@@ -186,6 +187,51 @@ pub fn plaintext_from_bytes(ctx: &CkksContext, data: &[u8]) -> Result<Plaintext,
     Ok(Plaintext { poly, scale, level })
 }
 
+/// Serializes a secret key. The key lives over the full `Q·P` basis in
+/// NTT form; the blob is for client-side persistence — it must never
+/// travel to the evaluation server.
+pub fn secret_key_to_bytes(ctx: &CkksContext, sk: &SecretKey) -> Bytes {
+    let n = ctx.degree();
+    let mut buf = BytesMut::with_capacity(16 + (ctx.max_level() + 1) * n * 8);
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(2); // kind: secret key
+    buf.put_u32_le(n as u32);
+    put_poly(&mut buf, &sk.s, n);
+    buf.freeze()
+}
+
+/// Deserializes a secret key.
+///
+/// # Errors
+///
+/// Fails on wrong magic/version/kind, degree mismatch, truncation,
+/// unreduced residues, or a polynomial not over the full `Q·P` basis in
+/// NTT form (any partial-basis key would decrypt nothing).
+pub fn secret_key_from_bytes(ctx: &CkksContext, data: &[u8]) -> Result<SecretKey, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 10 {
+        return err("truncated header");
+    }
+    if buf.get_u32_le() != MAGIC {
+        return err("bad magic");
+    }
+    if buf.get_u8() != VERSION {
+        return err("unsupported version");
+    }
+    if buf.get_u8() != 2 {
+        return err("not a secret-key blob");
+    }
+    if buf.get_u32_le() as usize != ctx.degree() {
+        return err("polynomial degree mismatch");
+    }
+    let s = get_poly(&mut buf, ctx)?;
+    if s.level() != ctx.max_level() || !s.has_special() || !s.is_ntt() {
+        return err("secret key must cover the full Q·P basis in NTT form");
+    }
+    Ok(SecretKey { s })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +282,62 @@ mod tests {
         let decoded = enc.decode(&back);
         assert!((decoded[9] - 0.75).abs() < 1e-5);
         assert!(decoded[10].abs() < 1e-5);
+    }
+
+    #[test]
+    fn secret_key_roundtrips_and_decrypts() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(7);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let blob = secret_key_to_bytes(&ctx, &sk);
+        let back = secret_key_from_bytes(&ctx, &blob).expect("roundtrip");
+        assert_eq!(back.s, sk.s);
+        // The deserialized key decrypts a ciphertext made with the original.
+        let enc = Encoder::new(&ctx);
+        let pt = enc.encode(&[0.625, -1.5], 2f64.powi(30), 2);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let decoded = enc.decode(&decrypt(&ctx, &back, &ct));
+        assert!((decoded[0] - 0.625).abs() < 1e-4);
+        assert!((decoded[1] + 1.5).abs() < 1e-4);
+        // Kind bytes are checked: a key blob is not a ciphertext and vice
+        // versa.
+        assert!(ciphertext_from_bytes(&ctx, &blob).is_err());
+        let cblob = ciphertext_to_bytes(&ctx, &ct);
+        assert!(secret_key_from_bytes(&ctx, &cblob).is_err());
+    }
+
+    #[test]
+    fn ciphertext_roundtrips_at_rescaled_level() {
+        // The wire format must carry non-fresh ciphertexts too: after a
+        // multiply + rescale the level has dropped and the scale is no
+        // longer a clean power of two (chain primes are only ≈ 2^45).
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(8);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let ev = crate::eval::Evaluator::new(&ctx, Some(relin), crate::keys::GaloisKeys::default());
+        let values: Vec<f64> = (0..8).map(|i| (i as f64 - 4.0) * 0.2).collect();
+        let pt = ev.encoder().encode(&values, 2f64.powi(40), 2);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let rescaled = ev.rescale(&ev.square(&ct));
+        assert_eq!(rescaled.level, 1);
+        let blob = ciphertext_to_bytes(&ctx, &rescaled);
+        let back = ciphertext_from_bytes(&ctx, &blob).expect("roundtrip");
+        assert_eq!(back.level, 1);
+        assert_eq!(back.scale, rescaled.scale);
+        assert_eq!(back.c0, rescaled.c0);
+        assert_eq!(back.c1, rescaled.c1);
+        let decoded = ev.encoder().decode(&decrypt(&ctx, &sk, &back));
+        for (i, &v) in values.iter().enumerate() {
+            assert!(
+                (decoded[i] - v * v).abs() < 1e-3,
+                "slot {i}: {} vs {}",
+                decoded[i],
+                v * v
+            );
+        }
     }
 
     #[test]

@@ -234,8 +234,18 @@ impl<'p> Allocator<'p> {
         // Mutations are journaled and rolled back on failure (cloning the
         // whole analysis state per attempt is quadratic on LeNet-sized
         // programs).
+        //
+        // The inner pass walks a snapshot of `v`'s reserve-ins, but a
+        // recursive shift can *re-raise* an already-lowered edge: shrinking
+        // a shared user pushes its overflow onto a sibling slot, and when
+        // `v` feeds that user through both slots (e.g. `mul(x, f(x))`) the
+        // sibling is `v` itself. Re-checking the maximum after the pass
+        // catches that; the attempt then rolls back and the mismatch stays
+        // (costing a level, but keeping the solution well-typed).
         let mut journal = Vec::new();
-        if self.reduce_reserve_ins_inner(v, target, &mut journal) {
+        if self.reduce_reserve_ins_inner(v, target, &mut journal)
+            && self.max_reserve_in(v) <= target
+        {
             true
         } else {
             for undo in journal.into_iter().rev() {
@@ -340,7 +350,13 @@ impl<'p> Allocator<'p> {
                 // Pass-through: the user's own reserve must shrink by delta.
                 let user_rho = self.reserve[user.index()].expect("user allocated");
                 let new_rho = user_rho - delta;
-                if !self.reduce_reserve_ins_inner(user, new_rho, journal) {
+                // The max is re-checked after the nested reduction: a shift
+                // deeper in the chain can re-raise one of `user`'s edges
+                // against its *old* (higher) reserve — the snapshot the
+                // inner walk took no longer covers it.
+                if !self.reduce_reserve_ins_inner(user, new_rho, journal)
+                    || self.max_reserve_in(user) > new_rho
+                {
                     return false;
                 }
                 journal.push(Undo::Reserve {
@@ -367,7 +383,10 @@ impl<'p> Allocator<'p> {
                 // cipher×plain: demand is ρ_user + ω; shrink the user.
                 let user_rho = self.reserve[user.index()].expect("user allocated");
                 let new_rho = user_rho - delta;
-                if !self.reduce_reserve_ins_inner(user, new_rho, journal) {
+                // See the pass-through branch for why the max is re-checked.
+                if !self.reduce_reserve_ins_inner(user, new_rho, journal)
+                    || self.max_reserve_in(user) > new_rho
+                {
                     return false;
                 }
                 journal.push(Undo::Reserve {
@@ -550,5 +569,32 @@ mod tests {
             params.to_bits(sol.reserve[m_id.index()].unwrap()),
             Frac::from(10)
         );
+    }
+
+    #[test]
+    fn redistribution_diamond_stays_well_typed() {
+        // Fuzzer reproducer (tests/corpus/redistribute_demand_reraise.fhe):
+        // a cipher×plain chain feeding `mul(%4, f(%4))` lets a shift_edge
+        // walk re-raise the demand on %4 against the snapshot reserve the
+        // outer reduction already lowered, yielding a SubtypeViolation at
+        // typecheck. The per-frame fixpoint guards must keep the solution
+        // well-typed at every output reserve.
+        for output_reserve in 0..=6 {
+            let b = Builder::new("diamond", 64);
+            let x = b.input("x2");
+            let m2 = x * b.constant(-0.9533997746251046);
+            let m4 = m2 * b.constant(1.832335992135432);
+            let m6 = m4.clone() * b.constant(-0.1563696043930376);
+            let q = m4 * m6;
+            let p = b.finish(vec![q]);
+            let mut options = crate::Options::new(35);
+            options.params.output_reserve_bits = output_reserve;
+            let compiled = crate::compile(&p, &options)
+                .unwrap_or_else(|e| panic!("output_reserve={output_reserve}: {e}"));
+            compiled
+                .scheduled
+                .validate()
+                .unwrap_or_else(|e| panic!("output_reserve={output_reserve}: {e:?}"));
+        }
     }
 }

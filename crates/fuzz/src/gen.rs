@@ -1,0 +1,426 @@
+//! Seeded random-program generator.
+//!
+//! Emits valid [`Program`] SSA DAGs under a configurable op mix
+//! ([`OpMix`]) with bounded multiplicative depth and bounded value
+//! magnitudes, so every generated program is (a) compilable by all three
+//! scale compilers under the default [`fhe_ir::CompileParams`] and (b)
+//! numerically tame enough that the noise-based executors can be compared
+//! against the exact reference with a meaningful tolerance.
+//!
+//! Generation is deterministic: the same `(seed, config)` pair always
+//! produces the same program, byte for byte.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fhe_ir::{ConstValue, Op, Program, ValueId};
+
+/// Relative weights for each generated op kind. A weight of zero disables
+/// the kind entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMix {
+    /// cipher/plain addition
+    pub add: u32,
+    /// subtraction (operands may coincide, exercising `x − x` folding)
+    pub sub: u32,
+    /// multiplication of two existing values
+    pub mul: u32,
+    /// multiplication by a fresh constant (scalar or vector)
+    pub mul_const: u32,
+    /// cyclic rotation by an offset from [`GenConfig::rotate_offsets`]
+    pub rotate: u32,
+    /// negation
+    pub neg: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix {
+            add: 4,
+            sub: 2,
+            mul: 3,
+            mul_const: 2,
+            rotate: 2,
+            neg: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Add,
+    Sub,
+    Mul,
+    MulConst,
+    Rotate,
+    Neg,
+}
+
+impl OpMix {
+    /// Parses a `key=weight` comma list, e.g. `add=4,mul=0,rotate=7`.
+    /// Unspecified kinds keep their default weight; `negate` is accepted
+    /// as an alias for `neg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed entry.
+    pub fn parse(spec: &str) -> Result<OpMix, String> {
+        let mut mix = OpMix::default();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("opmix entry `{entry}` is not `key=weight`"))?;
+            let weight: u32 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("opmix weight `{value}` is not a non-negative integer"))?;
+            match key.trim() {
+                "add" => mix.add = weight,
+                "sub" => mix.sub = weight,
+                "mul" => mix.mul = weight,
+                "mul_const" => mix.mul_const = weight,
+                "rotate" => mix.rotate = weight,
+                "neg" | "negate" => mix.neg = weight,
+                other => return Err(format!("unknown opmix key `{other}`")),
+            }
+        }
+        if mix.total() == 0 {
+            return Err("opmix has zero total weight".into());
+        }
+        Ok(mix)
+    }
+
+    fn entries(&self) -> Vec<(OpKind, u32)> {
+        [
+            (OpKind::Add, self.add),
+            (OpKind::Sub, self.sub),
+            (OpKind::Mul, self.mul),
+            (OpKind::MulConst, self.mul_const),
+            (OpKind::Rotate, self.rotate),
+            (OpKind::Neg, self.neg),
+        ]
+        .into_iter()
+        .filter(|&(_, w)| w > 0)
+        .collect()
+    }
+
+    fn total(&self) -> u32 {
+        self.add + self.sub + self.mul + self.mul_const + self.rotate + self.neg
+    }
+}
+
+/// Shape and budget knobs for program generation.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Slot count of every generated program. The encrypted executor
+    /// requires `poly_degree = 2 × slots`, so keep this a power of two.
+    pub slots: usize,
+    /// Inputs are drawn uniformly from `1..=max_inputs`.
+    pub max_inputs: usize,
+    /// Op count (beyond the inputs) is drawn from `min_ops..=max_ops`;
+    /// a `mul_const` contributes its constant as a second op.
+    pub min_ops: usize,
+    /// Upper bound of the op-count range.
+    pub max_ops: usize,
+    /// Outputs are drawn uniformly from `1..=max_outputs` (always cipher).
+    pub max_outputs: usize,
+    /// Multiplicative-depth budget: no value's chain of muls (counting
+    /// cipher×plain) exceeds this. Must stay well below
+    /// `CompileParams::max_level` for all compilers to succeed.
+    pub max_mul_depth: u32,
+    /// Estimated-magnitude cap per value; ops that would exceed it are
+    /// re-drawn. Keeps noise tolerances meaningful and bounds the
+    /// magnitude-derived output reserve the oracle requests (values up to
+    /// `2^m` need `m+1` reserve bits of the per-level budget, so the cap
+    /// must stay well under `2^(rescale − waterline)`).
+    pub magnitude_cap: f64,
+    /// Op-kind weights.
+    pub opmix: OpMix,
+    /// Pool of rotation offsets (may exceed `slots` to exercise cyclic
+    /// wrap-around, and may be negative).
+    pub rotate_offsets: Vec<i64>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            slots: 64,
+            max_inputs: 3,
+            min_ops: 4,
+            max_ops: 40,
+            max_outputs: 3,
+            max_mul_depth: 5,
+            magnitude_cap: 64.0,
+            opmix: OpMix::default(),
+            rotate_offsets: vec![-31, -17, -5, -3, -2, -1, 1, 2, 3, 5, 8, 16, 33, 67],
+        }
+    }
+}
+
+/// Per-value bookkeeping carried while growing the DAG: multiplicative
+/// depth and an upper bound on `max |slot|` given inputs in `[-1, 1]`.
+#[derive(Clone, Copy)]
+struct ValueInfo {
+    depth: u32,
+    magnitude: f64,
+}
+
+/// One admissible generation step: the ops to append (a `mul_const` brings
+/// its constant along) and the bookkeeping of the last one.
+struct Step {
+    ops: Vec<Op>,
+    infos: Vec<ValueInfo>,
+}
+
+/// Generates one program. Deterministic in `(seed, cfg)`.
+///
+/// # Panics
+///
+/// Panics if `cfg` is degenerate (zero op-mix weight, empty rotation pool
+/// while rotations are enabled, `min_ops > max_ops`, no inputs/outputs).
+pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
+    assert!(cfg.max_inputs >= 1 && cfg.min_ops <= cfg.max_ops && cfg.max_outputs >= 1);
+    let entries = cfg.opmix.entries();
+    let total: u32 = entries.iter().map(|&(_, w)| w).sum();
+    assert!(total > 0, "op mix must have positive total weight");
+    assert!(
+        cfg.opmix.rotate == 0 || !cfg.rotate_offsets.is_empty(),
+        "rotations enabled with an empty offset pool"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let n_inputs = rng.gen_range(1..=cfg.max_inputs);
+    let n_ops = rng.gen_range(cfg.min_ops..=cfg.max_ops);
+    let n_outputs = rng.gen_range(1..=cfg.max_outputs);
+
+    let mut program = Program::new(format!("fuzz_{seed}"), cfg.slots);
+    let mut info: Vec<ValueInfo> = Vec::new();
+    for i in 0..n_inputs {
+        program.push(Op::Input {
+            name: format!("x{i}"),
+        });
+        info.push(ValueInfo {
+            depth: 0,
+            magnitude: 1.0,
+        });
+    }
+
+    for _ in 0..n_ops {
+        let mut placed = false;
+        for _attempt in 0..16 {
+            let kind = pick_weighted(&mut rng, &entries, total);
+            if let Some(step) = propose(&mut rng, &info, cfg, kind) {
+                for (op, vi) in step.ops.into_iter().zip(step.infos) {
+                    program.push(op);
+                    info.push(vi);
+                }
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Every draw was over budget 16 times in a row: negation is
+            // always depth- and magnitude-neutral.
+            let a = pick_value(&mut rng, info.len());
+            let vi = info[a.index()];
+            program.push(Op::Neg(a));
+            info.push(vi);
+        }
+    }
+
+    // Outputs: cipher values only (the encrypted backend decrypts them),
+    // biased towards late (deep) values so the whole DAG tends to stay
+    // live.
+    let cipher: Vec<ValueId> = program.ids().filter(|&id| program.is_cipher(id)).collect();
+    let mut outputs: Vec<ValueId> = Vec::new();
+    let mut guard = 0;
+    while outputs.len() < n_outputs && guard < 64 {
+        guard += 1;
+        let a = rng.gen_range(0..cipher.len());
+        let b = rng.gen_range(0..cipher.len());
+        let id = cipher[a.max(b)];
+        if !outputs.contains(&id) {
+            outputs.push(id);
+        }
+    }
+    if outputs.is_empty() {
+        outputs.push(*cipher.last().expect("inputs are cipher"));
+    }
+    program.set_outputs(outputs);
+    program
+}
+
+fn pick_weighted(rng: &mut StdRng, entries: &[(OpKind, u32)], total: u32) -> OpKind {
+    let mut t = rng.gen_range(0..total);
+    for &(kind, w) in entries {
+        if t < w {
+            return kind;
+        }
+        t -= w;
+    }
+    unreachable!("weights sum to total")
+}
+
+/// Uniform over existing values with a mild bias towards recent ones.
+fn pick_value(rng: &mut StdRng, len: usize) -> ValueId {
+    let a = rng.gen_range(0..len);
+    let b = rng.gen_range(0..len);
+    ValueId(a.max(b) as u32)
+}
+
+fn propose(rng: &mut StdRng, info: &[ValueInfo], cfg: &GenConfig, kind: OpKind) -> Option<Step> {
+    let len = info.len();
+    let one = |op: Op, depth: u32, magnitude: f64| -> Option<Step> {
+        (depth <= cfg.max_mul_depth && magnitude.is_finite() && magnitude <= cfg.magnitude_cap)
+            .then(|| Step {
+                ops: vec![op],
+                infos: vec![ValueInfo { depth, magnitude }],
+            })
+    };
+    match kind {
+        OpKind::Add | OpKind::Sub => {
+            let a = pick_value(rng, len);
+            let b = pick_value(rng, len);
+            let depth = info[a.index()].depth.max(info[b.index()].depth);
+            let magnitude = info[a.index()].magnitude + info[b.index()].magnitude;
+            let op = if kind == OpKind::Add {
+                Op::Add(a, b)
+            } else {
+                Op::Sub(a, b)
+            };
+            one(op, depth, magnitude)
+        }
+        OpKind::Mul => {
+            let a = pick_value(rng, len);
+            let b = pick_value(rng, len);
+            let depth = info[a.index()].depth.max(info[b.index()].depth) + 1;
+            let magnitude = info[a.index()].magnitude * info[b.index()].magnitude;
+            one(Op::Mul(a, b), depth, magnitude)
+        }
+        OpKind::MulConst => {
+            let a = pick_value(rng, len);
+            let (value, const_mag) = random_const(rng, cfg.slots);
+            let depth = info[a.index()].depth + 1;
+            let magnitude = info[a.index()].magnitude * const_mag;
+            if depth > cfg.max_mul_depth || !magnitude.is_finite() || magnitude > cfg.magnitude_cap
+            {
+                return None;
+            }
+            let c = ValueId(len as u32);
+            Some(Step {
+                ops: vec![Op::Const { value }, Op::Mul(a, c)],
+                infos: vec![
+                    ValueInfo {
+                        depth: 0,
+                        magnitude: const_mag,
+                    },
+                    ValueInfo { depth, magnitude },
+                ],
+            })
+        }
+        OpKind::Rotate => {
+            let a = pick_value(rng, len);
+            let k = cfg.rotate_offsets[rng.gen_range(0..cfg.rotate_offsets.len())];
+            one(
+                Op::Rotate(a, k),
+                info[a.index()].depth,
+                info[a.index()].magnitude,
+            )
+        }
+        OpKind::Neg => {
+            let a = pick_value(rng, len);
+            one(Op::Neg(a), info[a.index()].depth, info[a.index()].magnitude)
+        }
+    }
+}
+
+/// A random constant: scalar or (possibly short, zero-padded) vector with
+/// entries in `[-2, 2]`, salted with exact special values (0, ±1, ±½, 2)
+/// that trigger the algebraic-identity folds.
+fn random_const(rng: &mut StdRng, slots: usize) -> (ConstValue, f64) {
+    const SPECIALS: [f64; 6] = [0.0, 1.0, -1.0, 0.5, 2.0, -0.5];
+    fn draw(rng: &mut StdRng) -> f64 {
+        if rng.gen_range(0..10) < 3 {
+            SPECIALS[rng.gen_range(0..SPECIALS.len())]
+        } else {
+            rng.gen_range(-2.0..2.0)
+        }
+    }
+    if rng.gen_range(0..10) < 6 {
+        let v = draw(rng);
+        (ConstValue::Scalar(v), v.abs())
+    } else {
+        let len = if rng.gen_range(0..2) == 0 {
+            slots
+        } else {
+            rng.gen_range(1..=slots)
+        };
+        let vals: Vec<f64> = (0..len).map(|_| draw(rng)).collect();
+        let magnitude = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        (ConstValue::from(vals), magnitude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(42, &cfg);
+        let b = generate(42, &cfg);
+        assert_eq!(a.num_ops(), b.num_ops());
+        for id in a.ids() {
+            assert_eq!(a.op(id), b.op(id));
+        }
+        assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn respects_shape_budgets() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let p = generate(seed, &cfg);
+            assert!(p.num_ops() >= cfg.min_ops);
+            assert!(p.num_ops() <= cfg.max_inputs + 2 * cfg.max_ops);
+            assert!(!p.outputs().is_empty() && p.outputs().len() <= cfg.max_outputs);
+            for &o in p.outputs() {
+                assert!(p.is_cipher(o), "outputs must be cipher");
+            }
+            // `mult_depth` is 1-based (§6.1), the generator budget 0-based.
+            let depth = fhe_ir::analysis::mult_depth(&p)
+                .into_iter()
+                .max()
+                .unwrap_or(1);
+            assert!(depth <= cfg.max_mul_depth + 1, "depth {depth} over budget");
+        }
+    }
+
+    #[test]
+    fn opmix_parsing() {
+        let mix = OpMix::parse("add=7,negate=0,mul_const=1").unwrap();
+        assert_eq!(mix.add, 7);
+        assert_eq!(mix.neg, 0);
+        assert_eq!(mix.mul_const, 1);
+        assert_eq!(mix.sub, OpMix::default().sub);
+        assert!(OpMix::parse("bogus=1").is_err());
+        assert!(OpMix::parse("add").is_err());
+        assert!(OpMix::parse("add=0,sub=0,mul=0,mul_const=0,rotate=0,neg=0").is_err());
+    }
+
+    #[test]
+    fn zero_weight_disables_kind() {
+        let cfg = GenConfig {
+            opmix: OpMix::parse("rotate=0,mul=0,mul_const=0").unwrap(),
+            ..GenConfig::default()
+        };
+        for seed in 0..20 {
+            let p = generate(seed, &cfg);
+            assert_eq!(
+                p.count_ops(|op| matches!(op, Op::Rotate(..) | Op::Mul(..))),
+                0
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Differential fuzzing for the scale-management pipeline.
+//!
+//! The paper's claim is semantic: every compiler (Reserve, EVA, Hecate)
+//! must produce schedules that compute the *same function* as the source
+//! program, up to CKKS noise, while respecting the scale/level type
+//! system. Eight hand-written workloads cannot cover the op-mix space, so
+//! this crate turns the pipeline into its own oracle:
+//!
+//! * [`gen`] — seeded random [`fhe_ir::Program`] generator with
+//!   configurable op mix, depth and magnitude budgets;
+//! * [`oracle`] — the differential harness: all compilers × all
+//!   executors, schedule type-system invariants, metamorphic
+//!   pass-preservation, textual round-trip;
+//! * [`shrink`] — greedy minimizer preserving the failure label;
+//! * [`corpus`] — textual reproducers (committed under `tests/corpus/`)
+//!   that replay from the file alone.
+//!
+//! The `fuzz` binary drives a seed range from the command line; the
+//! bounded smoke run and corpus replay live in the workspace-level
+//! `tests/fuzz_smoke.rs`.
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use corpus::{load_dir, parse_case, render_case, write_case, CorpusCase};
+pub use gen::{generate, GenConfig, OpMix};
+pub use oracle::{
+    check_program, compilers, input_data, schedule_fits_backend, structural_diff, Divergence,
+    DivergenceKind, OracleConfig,
+};
+pub use shrink::shrink;
+
+/// Outcome of fuzzing one seed.
+#[derive(Debug, Clone)]
+pub struct SeedResult {
+    /// The seed.
+    pub seed: u64,
+    /// The generated program.
+    pub program: fhe_ir::Program,
+    /// Every divergence the oracle found (empty = clean).
+    pub divergences: Vec<Divergence>,
+}
+
+/// Generates the program for `seed` and runs the full oracle on it.
+pub fn run_seed(seed: u64, gen_cfg: &GenConfig, oracle_cfg: &OracleConfig) -> SeedResult {
+    let program = generate(seed, gen_cfg);
+    let divergences = check_program(&program, oracle_cfg);
+    SeedResult {
+        seed,
+        program,
+        divergences,
+    }
+}

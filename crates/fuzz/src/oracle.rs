@@ -1,0 +1,605 @@
+//! The differential oracle: one program, every compiler, every executor.
+//!
+//! Per program the oracle checks, in order:
+//!
+//! 1. **Textual round-trip** — `parse(print(p))` reproduces `p` exactly.
+//! 2. **Metamorphic pass preservation** — CSE, DCE and the full cleanup
+//!    pipeline leave the exact plaintext semantics bit-identical (every
+//!    rewrite is IEEE-exact by design).
+//! 3. **Compilation** — Reserve, EVA and Hecate must all compile the
+//!    program (the generator guarantees compilability); panics are caught
+//!    and reported as findings, not crashes.
+//! 4. **Schedule invariants** — independently of the validator, every
+//!    live cipher value of every schedule respects the waterline, stays
+//!    under the level's modulus budget (`scale ≤ level·R`), stays under
+//!    the key's max level, and never gains level across an op.
+//! 5. **Executor agreement** — `PlainExec` must reproduce the source
+//!    program's reference bit-for-bit (scale management is semantically
+//!    transparent); `NoiseSimExec` and `CkksExec` must agree with the
+//!    reference — and pairwise with each other — within a tolerance
+//!    scaled to the program's dynamic range.
+//!
+//! Anything that trips becomes a [`Divergence`] with a stable
+//! [`Divergence::label`] the shrinker uses to preserve failure identity
+//! while minimizing.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fhe_baselines::{EvaCompiler, HecateCompiler};
+use fhe_ir::{passes, CompileParams, Op, Program, ScaleCompiler, ScheduledProgram};
+use fhe_runtime::executor::{max_abs_diff, CkksExec, Executor, NoiseSimExec, PlainExec};
+use fhe_runtime::{plain, ExecOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reserve_core::{Mode, ReserveCompiler};
+
+/// What went wrong, structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// `parse(print(p))` did not reproduce `p`.
+    RoundTrip,
+    /// A cleanup pass changed exact plaintext semantics.
+    Metamorphic,
+    /// A compiler refused a generator-guaranteed-compilable program.
+    CompileFail,
+    /// A compiler or executor panicked.
+    Panic,
+    /// A schedule violated the scale/level type system.
+    Invariant,
+    /// An executor rejected a schedule its compiler validated.
+    ExecError,
+    /// Executor outputs disagreed beyond tolerance.
+    OutputMismatch,
+}
+
+impl DivergenceKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            DivergenceKind::RoundTrip => "roundtrip",
+            DivergenceKind::Metamorphic => "metamorphic",
+            DivergenceKind::CompileFail => "compile-fail",
+            DivergenceKind::Panic => "panic",
+            DivergenceKind::Invariant => "invariant",
+            DivergenceKind::ExecError => "exec-error",
+            DivergenceKind::OutputMismatch => "output-mismatch",
+        }
+    }
+}
+
+/// One oracle finding.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Failure class.
+    pub kind: DivergenceKind,
+    /// Where it happened: `"text"`, a pass name, `"reserve"`,
+    /// `"eva:ckks"`, …
+    pub stage: String,
+    /// Human-readable specifics (panic payload, worst slot diff, …).
+    pub detail: String,
+}
+
+impl Divergence {
+    /// Stable identity used by the shrinker: kind + stage, without the
+    /// run-specific detail.
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.kind.as_str(), self.stage)
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.label(), self.detail)
+    }
+}
+
+/// Oracle configuration.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Compilation parameters handed to every compiler. The default
+    /// waterline of 35 bits keeps per-op noise (≈ `2^(16 − W)`) far under
+    /// the comparison tolerance.
+    pub params: CompileParams,
+    /// Hecate exploration budget per program (the 20k paper default is
+    /// far too slow for fuzzing volume).
+    pub hecate_iterations: usize,
+    /// Run the real encrypted backend (the most expensive check).
+    pub run_ckks: bool,
+    /// Seed for the encrypted backend's keygen/encryption randomness.
+    pub ckks_seed: u64,
+    /// Relative tolerance for the noisy executors: the absolute tolerance
+    /// is `rel_tol × (1 + max |value|)` over every live value of the
+    /// program, so cancellation-heavy programs are judged against their
+    /// true dynamic range.
+    pub rel_tol: f64,
+    /// Also run the reserve compiler's BA/RA ablation modes.
+    pub include_ablations: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            params: CompileParams::new(35),
+            hecate_iterations: 300,
+            run_ckks: true,
+            ckks_seed: 0xD1FF,
+            rel_tol: 1e-2,
+            include_ablations: false,
+        }
+    }
+}
+
+/// The compiler roster under test.
+pub fn compilers(cfg: &OracleConfig) -> Vec<(&'static str, Box<dyn ScaleCompiler>)> {
+    let mut v: Vec<(&'static str, Box<dyn ScaleCompiler>)> = vec![
+        ("reserve", Box::new(ReserveCompiler::full())),
+        ("eva", Box::new(EvaCompiler)),
+        (
+            "hecate",
+            Box::new(HecateCompiler::with_budget(cfg.hecate_iterations)),
+        ),
+    ];
+    if cfg.include_ablations {
+        v.push(("reserve-ba", Box::new(ReserveCompiler::with_mode(Mode::Ba))));
+        v.push(("reserve-ra", Box::new(ReserveCompiler::with_mode(Mode::Ra))));
+    }
+    v
+}
+
+/// Deterministic input vectors for a program: each input's data depends
+/// only on its *name*, so a shrunk or corpus-replayed program sees the
+/// same slot values as the original run. Values lie in `[-1, 1)`.
+pub fn input_data(program: &Program) -> HashMap<String, Vec<f64>> {
+    let slots = program.slots();
+    program
+        .inputs()
+        .iter()
+        .filter_map(|&id| match program.op(id) {
+            Op::Input { name } => Some(name.clone()),
+            _ => None,
+        })
+        .map(|name| {
+            let mut rng = StdRng::seed_from_u64(fnv1a(&name) ^ 0x5EED_F00D);
+            let data = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            (name, data)
+        })
+        .collect()
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f`, converting a panic into an error string.
+pub fn catching<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|e| {
+        if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+/// Largest `|slot|` over *every* value of the program (not just outputs):
+/// the dynamic range the noisy executors' tolerance must scale with.
+fn value_magnitude(program: &Program, inputs: &HashMap<String, Vec<f64>>) -> f64 {
+    let mut all = program.clone();
+    all.set_outputs(program.ids().collect());
+    plain::execute(&all, inputs)
+        .iter()
+        .flatten()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Checks one program against every compiler and executor; returns every
+/// divergence found (empty = the program is clean).
+pub fn check_program(program: &Program, cfg: &OracleConfig) -> Vec<Divergence> {
+    let mut divs = Vec::new();
+
+    check_roundtrip(program, &mut divs);
+
+    let inputs = input_data(program);
+    let reference = match catching(|| plain::execute(program, &inputs)) {
+        Ok(r) => r,
+        Err(e) => {
+            divs.push(Divergence {
+                kind: DivergenceKind::Panic,
+                stage: "plain:source".into(),
+                detail: e,
+            });
+            return divs;
+        }
+    };
+
+    let magnitude = value_magnitude(program, &inputs);
+    if !magnitude.is_finite() {
+        divs.push(Divergence {
+            kind: DivergenceKind::Invariant,
+            stage: "generator".into(),
+            detail: "program evaluates to non-finite values".into(),
+        });
+        return divs;
+    }
+    let tol = cfg.rel_tol * (1.0 + magnitude);
+
+    // Table 1's m·x_max < Q constraint: scale analysis assumes message
+    // magnitudes fit the slack between a value's scale and its level's
+    // modulus budget. Values of magnitude up to `m` therefore need
+    // `⌈log₂(1+m)⌉ + 1` bits of reserve at the outputs, which the
+    // backward allocation propagates to every intermediate. Deriving it
+    // from the measured dynamic range keeps the oracle honest: without
+    // it, reserve's maximize-precision schedules sit at zero slack and
+    // any |value| ≥ 1 wraps modulo Q/scale in the real backend.
+    let mut params = cfg.params;
+    let magnitude_bits = (1.0 + magnitude).log2().ceil() as u32 + 1;
+    params.output_reserve_bits = params.output_reserve_bits.max(magnitude_bits);
+
+    check_metamorphic(program, &inputs, &reference, &mut divs);
+
+    for (name, compiler) in compilers(cfg) {
+        let compiled = match catching(|| compiler.compile(program, &params)) {
+            Err(payload) => {
+                divs.push(Divergence {
+                    kind: DivergenceKind::Panic,
+                    stage: name.into(),
+                    detail: payload,
+                });
+                continue;
+            }
+            Ok(Err(e)) => {
+                divs.push(Divergence {
+                    kind: DivergenceKind::CompileFail,
+                    stage: name.into(),
+                    detail: e.to_string(),
+                });
+                continue;
+            }
+            Ok(Ok(c)) => c,
+        };
+        check_schedule_invariants(&compiled.scheduled, &params, name, &mut divs);
+        check_executors(
+            &compiled.scheduled,
+            &inputs,
+            &reference,
+            tol,
+            name,
+            cfg,
+            &mut divs,
+        );
+    }
+    divs
+}
+
+fn check_roundtrip(program: &Program, divs: &mut Vec<Divergence>) {
+    let push = |divs: &mut Vec<Divergence>, detail: String| {
+        divs.push(Divergence {
+            kind: DivergenceKind::RoundTrip,
+            stage: "text".into(),
+            detail,
+        });
+    };
+    let text = fhe_ir::text::print(program);
+    let parsed = match catching(|| fhe_ir::text::parse(&text)) {
+        Ok(Ok(p)) => p,
+        Ok(Err(e)) => return push(divs, format!("printed program fails to parse: {e}")),
+        Err(payload) => return push(divs, format!("parser panicked: {payload}")),
+    };
+    if let Some(diff) = structural_diff(program, &parsed) {
+        push(divs, diff);
+    } else if fhe_ir::text::print(&parsed) != text {
+        push(divs, "printing is not idempotent".into());
+    }
+}
+
+/// First structural difference between two programs, if any.
+pub fn structural_diff(a: &Program, b: &Program) -> Option<String> {
+    if a.name() != b.name() {
+        return Some(format!("name {:?} vs {:?}", a.name(), b.name()));
+    }
+    if a.slots() != b.slots() {
+        return Some(format!("slots {} vs {}", a.slots(), b.slots()));
+    }
+    if a.num_ops() != b.num_ops() {
+        return Some(format!("op count {} vs {}", a.num_ops(), b.num_ops()));
+    }
+    for id in a.ids() {
+        if a.op(id) != b.op(id) {
+            return Some(format!("op {id}: {:?} vs {:?}", a.op(id), b.op(id)));
+        }
+    }
+    if a.outputs() != b.outputs() {
+        return Some(format!("outputs {:?} vs {:?}", a.outputs(), b.outputs()));
+    }
+    None
+}
+
+fn check_metamorphic(
+    program: &Program,
+    inputs: &HashMap<String, Vec<f64>>,
+    reference: &[Vec<f64>],
+    divs: &mut Vec<Divergence>,
+) {
+    let variants: [(&str, Program); 3] = [
+        ("cse", passes::cse(program).0),
+        ("dce", passes::dce(program).0),
+        ("cleanup", passes::cleanup(program)),
+    ];
+    for (pass, variant) in variants {
+        match catching(|| plain::execute(&variant, inputs)) {
+            Err(payload) => divs.push(Divergence {
+                kind: DivergenceKind::Panic,
+                stage: format!("plain:{pass}"),
+                detail: payload,
+            }),
+            Ok(outputs) => {
+                // Every cleanup rewrite is IEEE-exact, so "preserved
+                // semantics" means bit-identical, not merely close.
+                let worst = max_abs_diff(&outputs, reference);
+                if worst != 0.0 {
+                    divs.push(Divergence {
+                        kind: DivergenceKind::Metamorphic,
+                        stage: pass.into(),
+                        detail: format!("max |Δ| = {worst:.3e} after {pass}"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Re-derives the scale map and asserts the type-system invariants the
+/// paper's Table 1 imposes, independently of the compilers' own
+/// validation calls.
+fn check_schedule_invariants(
+    scheduled: &ScheduledProgram,
+    params: &CompileParams,
+    compiler: &str,
+    divs: &mut Vec<Divergence>,
+) {
+    let mut push = |detail: String| {
+        divs.push(Divergence {
+            kind: DivergenceKind::Invariant,
+            stage: compiler.into(),
+            detail,
+        });
+    };
+    let map = match scheduled.validate() {
+        Ok(map) => map,
+        Err(errs) => {
+            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+            push(format!("schedule fails validation: {}", msgs.join("; ")));
+            return;
+        }
+    };
+    let program = &scheduled.program;
+    let live = fhe_ir::analysis::live(program);
+    let waterline = f64::from(params.waterline_bits);
+    let rescale = f64::from(params.rescale_bits);
+    for id in program.ids() {
+        if !live[id.index()] || !program.is_cipher(id) {
+            continue;
+        }
+        let scale = map.scale_bits(id).to_f64();
+        let level = map.level(id);
+        if scale < waterline - 1e-9 {
+            push(format!(
+                "{id}: scale 2^{scale:.2} below waterline 2^{waterline}"
+            ));
+        }
+        if scale > f64::from(level) * rescale + 1e-9 {
+            push(format!(
+                "{id}: scale 2^{scale:.2} exceeds modulus 2^{} at level {level}",
+                f64::from(level) * rescale
+            ));
+        }
+        if level > params.max_level {
+            push(format!(
+                "{id}: level {level} exceeds max level {}",
+                params.max_level
+            ));
+        }
+        // Level monotonicity: an op's result level never exceeds its
+        // cipher operands' minimum (rescale/modswitch must drop exactly
+        // one).
+        let operand_min = program
+            .op(id)
+            .operands()
+            .filter(|&o| program.is_cipher(o))
+            .map(|o| map.level(o))
+            .min();
+        if let Some(lmin) = operand_min {
+            let bound = match program.op(id) {
+                Op::Rescale(_) | Op::ModSwitch(_) => lmin.saturating_sub(1),
+                _ => lmin,
+            };
+            if level > bound {
+                push(format!(
+                    "{id}: level {level} above operand bound {bound} ({})",
+                    program.op(id).mnemonic()
+                ));
+            }
+        }
+    }
+}
+
+/// Whether every live cipher value's magnitude fits the slack between its
+/// scheduled scale and its level's modulus budget (`|v|·2^scale < Q_l/2`).
+/// The type system only guarantees encrypted correctness under this
+/// condition; EVA and Hecate never receive the magnitude-derived output
+/// reserve (they ignore `output_reserve_bits`), so a schedule can be
+/// well-typed yet wrap in the real backend. Such runs are skipped, not
+/// flagged — they are outside the guarantee, not a divergence.
+pub fn schedule_fits_backend(
+    scheduled: &ScheduledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+) -> bool {
+    let Ok(map) = scheduled.validate() else {
+        return false;
+    };
+    let program = &scheduled.program;
+    let mut all = program.clone();
+    all.set_outputs(program.ids().collect());
+    let Ok(vals) = catching(|| plain::execute(&all, inputs)) else {
+        return false;
+    };
+    let rescale = f64::from(scheduled.params.rescale_bits);
+    let live = fhe_ir::analysis::live(program);
+    for (id, slots) in program.ids().zip(&vals) {
+        if !live[id.index()] || !program.is_cipher(id) {
+            continue;
+        }
+        // The backend realizes an upscale as an exact integer scalar
+        // multiply, so a factor far from any integer (a small
+        // fractional-bit delta like 2^(1/2)) drifts the actual scale away
+        // from the scheduled one — unrealizable in an integer plaintext
+        // ring, and outside the encrypted-correctness guarantee.
+        if let Op::Upscale(_, delta) = program.op(id) {
+            let factor = 2f64.powf(delta.to_f64());
+            if factor < 2f64.powi(53) && (factor.round() - factor).abs() / factor > 1e-8 {
+                return false;
+            }
+        }
+        let mag = slots.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if mag == 0.0 {
+            continue;
+        }
+        let scale = map.scale_bits(id).to_f64();
+        let budget = f64::from(map.level(id)) * rescale;
+        // One bit covers the `< Q/2` half plus the chain primes sitting
+        // fractionally below 2^rescale.
+        if mag.log2() + scale > budget - 1.0 {
+            return false;
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_executors(
+    scheduled: &ScheduledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    reference: &[Vec<f64>],
+    tol: f64,
+    compiler: &str,
+    cfg: &OracleConfig,
+    divs: &mut Vec<Divergence>,
+) {
+    let mut noisy_outputs: Vec<(String, Vec<Vec<f64>>)> = Vec::new();
+    let mut executors: Vec<(&str, Box<dyn Executor>, f64)> = vec![
+        ("plain", Box::new(PlainExec), 0.0),
+        ("noise-sim", Box::new(NoiseSimExec::default()), tol),
+    ];
+    if cfg.run_ckks && schedule_fits_backend(scheduled, inputs) {
+        executors.push((
+            "ckks",
+            Box::new(CkksExec {
+                options: ExecOptions {
+                    poly_degree: scheduled.program.slots() * 2,
+                    seed: cfg.ckks_seed,
+                    threads: 1,
+                },
+            }),
+            tol,
+        ));
+    }
+    for (exec_name, executor, allowed) in executors {
+        let stage = format!("{compiler}:{exec_name}");
+        let run = match catching(|| executor.execute(scheduled, inputs)) {
+            Err(payload) => {
+                divs.push(Divergence {
+                    kind: DivergenceKind::Panic,
+                    stage,
+                    detail: payload,
+                });
+                continue;
+            }
+            Ok(Err(errs)) => {
+                let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+                divs.push(Divergence {
+                    kind: DivergenceKind::ExecError,
+                    stage,
+                    detail: msgs.join("; "),
+                });
+                continue;
+            }
+            Ok(Ok(run)) => run,
+        };
+        let worst = max_abs_diff(&run.outputs, reference);
+        if worst > allowed {
+            divs.push(Divergence {
+                kind: DivergenceKind::OutputMismatch,
+                stage,
+                detail: format!("max |Δ| vs reference = {worst:.3e} > {allowed:.3e}"),
+            });
+            continue;
+        }
+        if allowed > 0.0 {
+            noisy_outputs.push((exec_name.to_string(), run.outputs));
+        }
+    }
+    // Pairwise agreement between the noisy executors (each is within
+    // `tol` of the reference, so demand `2·tol` of each other).
+    for i in 0..noisy_outputs.len() {
+        for j in i + 1..noisy_outputs.len() {
+            let (ref a_name, ref a) = noisy_outputs[i];
+            let (ref b_name, ref b) = noisy_outputs[j];
+            let worst = max_abs_diff(a, b);
+            if worst > 2.0 * tol {
+                divs.push(Divergence {
+                    kind: DivergenceKind::OutputMismatch,
+                    stage: format!("{compiler}:{a_name}~{b_name}"),
+                    detail: format!("pairwise max |Δ| = {worst:.3e} > {:.3e}", 2.0 * tol),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn input_data_depends_only_on_names() {
+        let cfg = GenConfig::default();
+        let p = generate(7, &cfg);
+        let a = input_data(&p);
+        let b = input_data(&p);
+        assert_eq!(a, b);
+        // Different inputs get different data.
+        if a.len() >= 2 {
+            let vals: Vec<&Vec<f64>> = a.values().collect();
+            assert_ne!(vals[0], vals[1]);
+        }
+    }
+
+    #[test]
+    fn clean_programs_produce_no_divergences() {
+        let cfg = GenConfig::default();
+        let oracle = OracleConfig {
+            run_ckks: false,
+            ..OracleConfig::default()
+        };
+        for seed in 100..110 {
+            let p = generate(seed, &cfg);
+            let divs = check_program(&p, &oracle);
+            assert!(divs.is_empty(), "seed {seed}: {divs:?}");
+        }
+    }
+
+    #[test]
+    fn catching_captures_panics() {
+        assert_eq!(catching(|| 3).unwrap(), 3);
+        let err = catching(|| panic!("boom {}", 1)).unwrap_err();
+        assert!(err.contains("boom"), "got {err}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Greedy program shrinker.
+//!
+//! Given a failing program and the [`Divergence::label`] that identifies
+//! its failure, repeatedly tries strictly smaller candidate programs —
+//! dropping outputs, forwarding an op to one of its operands (which
+//! deletes the op), and demoting vector constants to scalars — keeping a
+//! candidate whenever the *same* failure label still reproduces. The
+//! fixpoint is a (locally) minimal reproducer suitable for the corpus.
+
+use fhe_ir::{passes, ConstValue, Op, Program, ProgramEditor, ValueId};
+
+use crate::oracle::Divergence;
+
+/// Upper bound on candidate evaluations per shrink (each evaluation runs
+/// the full oracle on the candidate).
+const MAX_CHECKS: usize = 2_000;
+
+/// Shrinks `program` while `check` keeps reporting a divergence whose
+/// [`Divergence::label`] equals `label`. Returns the smallest program
+/// found (possibly the input itself).
+pub fn shrink(
+    program: &Program,
+    label: &str,
+    check: &dyn Fn(&Program) -> Vec<Divergence>,
+) -> Program {
+    let still_fails = |p: &Program| -> bool { check(p).iter().any(|d| d.label() == label) };
+    let mut current = program.clone();
+    let mut budget = MAX_CHECKS;
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if budget == 0 {
+                break 'outer;
+            }
+            if size(&candidate) >= size(&current) {
+                continue;
+            }
+            budget -= 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// Size metric the shrinker minimizes: ops, then outputs, then total
+/// constant width.
+fn size(p: &Program) -> (usize, usize, usize) {
+    let const_width: usize = p
+        .ids()
+        .map(|id| match p.op(id) {
+            Op::Const {
+                value: ConstValue::Vector(v),
+            } => v.len(),
+            _ => 0,
+        })
+        .sum();
+    (p.num_ops(), p.outputs().len(), const_width)
+}
+
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // Drop one output at a time (plus whatever becomes dead).
+    if p.outputs().len() > 1 {
+        for i in 0..p.outputs().len() {
+            let mut q = p.clone();
+            let mut outputs = p.outputs().to_vec();
+            outputs.remove(i);
+            q.set_outputs(outputs);
+            out.push(gc(&q));
+        }
+    }
+    // Forward each op to each of its operands, deleting the op. Later ops
+    // first: deleting deep ops tends to discard the most.
+    for id in p.ids().rev() {
+        for operand in p.op(id).operands() {
+            out.push(gc(&forward(p, id, operand)));
+        }
+    }
+    // Demote vector constants to their first element.
+    for id in p.ids() {
+        if let Op::Const {
+            value: ConstValue::Vector(v),
+        } = p.op(id)
+        {
+            if let Some(&first) = v.first() {
+                let mut ed = ProgramEditor::new(p);
+                for other in p.ids() {
+                    if other == id {
+                        let new = ed.push(Op::Const {
+                            value: ConstValue::Scalar(first),
+                        });
+                        ed.set_mapping(other, new);
+                    } else {
+                        ed.emit(other);
+                    }
+                }
+                out.push(ed.finish());
+            }
+        }
+    }
+    out
+}
+
+/// Rebuilds `p` with every use of `victim` replaced by `replacement`
+/// (which must dominate it), dropping `victim` itself.
+fn forward(p: &Program, victim: ValueId, replacement: ValueId) -> Program {
+    let mut ed = ProgramEditor::new(p);
+    for id in p.ids() {
+        if id == victim {
+            let mapped = ed.map_operand(replacement);
+            ed.set_mapping(victim, mapped);
+        } else {
+            ed.emit(id);
+        }
+    }
+    ed.finish()
+}
+
+fn gc(p: &Program) -> Program {
+    passes::dce(p).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DivergenceKind;
+
+    /// A synthetic oracle that "fails" iff the program still contains a
+    /// rotate op.
+    fn rotate_oracle(p: &Program) -> Vec<Divergence> {
+        if p.count_ops(|op| matches!(op, Op::Rotate(..))) > 0 {
+            vec![Divergence {
+                kind: DivergenceKind::Invariant,
+                stage: "test".into(),
+                detail: "has rotate".into(),
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn shrinks_to_minimal_rotate() {
+        // Build a bushy program with one rotate buried in the middle.
+        let mut p = Program::new("bush", 8);
+        let x = p.push(Op::Input { name: "x".into() });
+        let y = p.push(Op::Input { name: "y".into() });
+        let a = p.push(Op::Add(x, y));
+        let m = p.push(Op::Mul(a, a));
+        let r = p.push(Op::Rotate(m, 3));
+        let n = p.push(Op::Neg(r));
+        let s = p.push(Op::Sub(n, x));
+        let t = p.push(Op::Add(s, y));
+        p.set_outputs(vec![t, m]);
+
+        let small = shrink(&p, "invariant:test", &rotate_oracle);
+        assert!(small.count_ops(|op| matches!(op, Op::Rotate(..))) > 0);
+        // Minimal reproducer: one input, one rotate, nothing else.
+        assert!(
+            small.num_ops() <= 2,
+            "expected ≤2 ops, got:\n{}",
+            fhe_ir::text::print(&small)
+        );
+        assert_eq!(small.outputs().len(), 1);
+    }
+
+    #[test]
+    fn non_failing_program_is_returned_unchanged() {
+        let mut p = Program::new("id", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let n = p.push(Op::Neg(x));
+        p.set_outputs(vec![n]);
+        let same = shrink(&p, "invariant:test", &rotate_oracle);
+        assert_eq!(same.num_ops(), p.num_ops());
+    }
+}

@@ -341,6 +341,26 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
     Ok(prog)
 }
 
+/// Like [`parse`], but also returns every `//` comment line (with the
+/// `//` prefix stripped and surrounding whitespace trimmed), in file
+/// order. The comments are otherwise ignored by the grammar; tooling
+/// (e.g. the fuzz corpus) uses them to carry reproduction metadata —
+/// compile parameters, failure labels — alongside a program in one file.
+///
+/// # Errors
+///
+/// Same failure modes as [`parse`].
+pub fn parse_with_comments(text: &str) -> Result<(Program, Vec<String>), ParseError> {
+    let program = parse(text)?;
+    let comments = text
+        .lines()
+        .map(str::trim)
+        .filter_map(|l| l.strip_prefix("//"))
+        .map(|l| l.trim().to_owned())
+        .collect();
+    Ok((program, comments))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +433,14 @@ mod tests {
         let text = "\n// header\nprogram t(slots=4) {\n\n  // the input\n  %0 = input \"x\"\n  return %0\n}\n";
         let p = parse(text).unwrap();
         assert_eq!(p.num_ops(), 1);
+    }
+
+    #[test]
+    fn comments_are_surfaced_by_parse_with_comments() {
+        let text = "// fuzz-label: panic:ckks\n// note\nprogram t(slots=4) {\n  // inner\n  %0 = input \"x\"\n  return %0\n}\n";
+        let (p, comments) = parse_with_comments(text).unwrap();
+        assert_eq!(p.num_ops(), 1);
+        assert_eq!(comments, vec!["fuzz-label: panic:ckks", "note", "inner"]);
     }
 
     #[test]

@@ -284,6 +284,11 @@ pub fn execute(
         .outputs()
         .iter()
         .map(|&o| {
+            // Rewrites can fold an output to a public value (e.g. `x - x`);
+            // a plain output has no ciphertext to decrypt.
+            if program.is_plain(o) {
+                return get(&plain_vals, o).clone();
+            }
             let ct = cipher_vals[o.index()].clone().expect("output evaluated");
             let mut v = ev.encoder().decode(&decrypt(&ctx, &sk, &ct));
             v.truncate(slots);
@@ -385,6 +390,31 @@ mod tests {
         let expect0 = xs[1] * 0.5 + xs[0];
         assert!((report.outputs[0][0] - expect0).abs() < 1e-2);
         assert_eq!(report.outputs[0].len(), slots);
+    }
+
+    #[test]
+    fn plain_output_decodes_without_ciphertext() {
+        // Fuzzer reproducer (tests/corpus/fold_plain_output.fhe): cleanup
+        // folds `x - x` to a public zero, so the program's only output is
+        // a plain value with no ciphertext to decrypt.
+        let slots = 128;
+        let b = Builder::new("fold", slots);
+        let x = b.input("x");
+        let z = x.clone() - x;
+        let p = b.finish(vec![z]);
+        let compiled = reserve_core::compile(&p, &Options::new(30)).unwrap();
+        assert!(
+            compiled
+                .scheduled
+                .program
+                .outputs()
+                .iter()
+                .any(|&o| { compiled.scheduled.program.is_plain(o) }),
+            "expected cleanup to fold the output to a plain value"
+        );
+        let xs: Vec<f64> = (0..slots).map(|i| i as f64 * 0.01).collect();
+        let report = execute(&compiled.scheduled, &inputs(&[("x", xs)]), &opts()).unwrap();
+        assert!(report.outputs[0].iter().all(|&v| v == 0.0));
     }
 
     #[test]

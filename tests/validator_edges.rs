@@ -124,6 +124,106 @@ fn mul_overflow_at_exact_boundary_is_allowed() {
 }
 
 #[test]
+fn level_mismatch_after_one_sided_modswitch_flagged() {
+    // Dropping one operand's level without the other makes the add
+    // ill-typed: RNS limbs no longer line up.
+    let params = CompileParams::new(20);
+    let s = one_input_schedule(
+        |p, x| {
+            let dropped = p.push(Op::ModSwitch(x));
+            p.push(Op::Add(x, dropped))
+        },
+        30,
+        2,
+        params,
+    );
+    let errs = s.validate().unwrap_err();
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, ScheduleError::LevelMismatch { lhs: 2, rhs: 1, .. })),
+        "got {errs:?}"
+    );
+}
+
+#[test]
+fn level_mismatch_between_inputs_flagged() {
+    // Two inputs pinned at different levels by their specs.
+    let params = CompileParams::new(20);
+    let mut p = Program::new("edge", 4);
+    let x = p.push(Op::Input { name: "x".into() });
+    let y = p.push(Op::Input { name: "y".into() });
+    let m = p.push(Op::Mul(x, y));
+    p.set_outputs(vec![m]);
+    let s = ScheduledProgram {
+        program: p,
+        params,
+        inputs: vec![
+            InputSpec {
+                scale_bits: Frac::from(30),
+                level: 3,
+            },
+            InputSpec {
+                scale_bits: Frac::from(30),
+                level: 2,
+            },
+        ],
+    };
+    let errs = s.validate().unwrap_err();
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, ScheduleError::LevelMismatch { lhs: 3, rhs: 2, .. })),
+        "got {errs:?}"
+    );
+}
+
+#[test]
+fn upscale_past_modulus_overflows() {
+    // An otherwise-legal upscale that pushes the scale past Q = R^l must
+    // report Overflow on the upscaled value, not merely fail downstream.
+    let params = CompileParams::new(20);
+    let s = one_input_schedule(|p, x| p.push(Op::Upscale(x, Frac::from(31))), 30, 1, params);
+    let errs = s.validate().unwrap_err();
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            ScheduleError::Overflow { scale_bits, level: 1, .. } if *scale_bits == Frac::from(61)
+        )),
+        "got {errs:?}"
+    );
+}
+
+#[test]
+fn overflow_reports_offending_value_and_level() {
+    // Deep schedule: the squaring at level 2 overflows (scale 80 > 2·60
+    // fails only at level 1 — here 35+35 = 70 ≤ 120 is fine, but a second
+    // squaring without rescale demands 140 > 120).
+    let params = CompileParams::new(20);
+    let s = one_input_schedule(
+        |p, x| {
+            let sq = p.push(Op::Mul(x, x));
+            p.push(Op::Mul(sq, sq))
+        },
+        35,
+        2,
+        params,
+    );
+    let errs = s.validate().unwrap_err();
+    let overflow = errs
+        .iter()
+        .find_map(|e| match e {
+            ScheduleError::Overflow {
+                op,
+                scale_bits,
+                level,
+            } => Some((*op, *scale_bits, *level)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no Overflow in {errs:?}"));
+    assert_eq!(overflow.1, Frac::from(140));
+    assert_eq!(overflow.2, 2);
+}
+
+#[test]
 fn modulus_level_and_counts() {
     let params = CompileParams::new(20);
     let s = one_input_schedule(
