@@ -1,0 +1,91 @@
+//! The abstract-interpretation engine.
+//!
+//! An [`AbstractDomain`] assigns every SSA value an abstract value and
+//! defines one transfer function per op. Because IR programs are DAGs in
+//! topological order (every operand id precedes its user), a single forward
+//! sweep *is* the complete analysis — there are no loops, hence no joins,
+//! widening, or fixpoint iteration.
+
+use fhe_ir::{Program, ScaleMap, ValueId};
+
+/// Context handed to every transfer function: the program under analysis
+/// and, when it is a scheduled program, the validator-derived scale map.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisCx<'a> {
+    /// The program being interpreted (source or scheduled).
+    pub program: &'a Program,
+    /// Per-value scale/level, when analyzing a scheduled program
+    /// (domains that need scales — e.g. noise — require it).
+    pub scales: Option<&'a ScaleMap>,
+}
+
+impl<'a> AnalysisCx<'a> {
+    /// Context for a source program (no scale information).
+    pub fn source(program: &'a Program) -> Self {
+        AnalysisCx {
+            program,
+            scales: None,
+        }
+    }
+
+    /// Context for a scheduled program with its validated scale map.
+    pub fn scheduled(program: &'a Program, scales: &'a ScaleMap) -> Self {
+        AnalysisCx {
+            program,
+            scales: Some(scales),
+        }
+    }
+}
+
+/// A lattice domain interpreted forward over the DAG.
+pub trait AbstractDomain {
+    /// Abstract value attached to each SSA value.
+    type Value: Clone;
+
+    /// Computes the abstract value of `id` from its operands' values
+    /// (`args` parallels `program.op(id).operands()`).
+    fn transfer(&self, cx: &AnalysisCx<'_>, id: ValueId, args: &[Self::Value]) -> Self::Value;
+}
+
+/// Interprets `domain` over the whole program; returns one abstract value
+/// per SSA value, indexed by [`ValueId::index`].
+pub fn analyze<D: AbstractDomain>(domain: &D, cx: &AnalysisCx<'_>) -> Vec<D::Value> {
+    let mut values: Vec<D::Value> = Vec::with_capacity(cx.program.num_ops());
+    let mut args: Vec<D::Value> = Vec::with_capacity(2);
+    for id in cx.program.ids() {
+        args.clear();
+        args.extend(
+            cx.program
+                .op(id)
+                .operands()
+                .map(|o| values[o.index()].clone()),
+        );
+        values.push(domain.transfer(cx, id, &args));
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::{Builder, Op};
+
+    /// A toy domain: counts the ops feeding each value (including itself).
+    struct OpCount;
+    impl AbstractDomain for OpCount {
+        type Value = usize;
+        fn transfer(&self, _cx: &AnalysisCx<'_>, _id: ValueId, args: &[usize]) -> usize {
+            1 + args.iter().sum::<usize>()
+        }
+    }
+
+    #[test]
+    fn forward_sweep_visits_in_topological_order() {
+        let b = Builder::new("t", 4);
+        let x = b.input("x");
+        let p = b.finish(vec![x.clone() * x]);
+        let counts = analyze(&OpCount, &AnalysisCx::source(&p));
+        assert_eq!(counts, vec![1, 3]); // input, mul(input, input)
+        assert!(matches!(p.op(ValueId(1)), Op::Mul(..)));
+    }
+}

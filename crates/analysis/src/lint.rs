@@ -1,0 +1,328 @@
+//! The lint engine: walks abstract-domain results over a scheduled program
+//! and emits [`Finding`]s.
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | `F001` | error   | possible overflow: the static magnitude bound times the scale may exceed the level's modulus budget (`m·x_max < Q` unprovable) |
+//! | `F002` | warning | dead rescale/modswitch: the result of a level-dropping op is never used |
+//! | `F003` | warning | redundant upscale: dead, or immediately re-upscaled (mergeable) |
+//! | `F004` | warning | level imbalance: a multiplication's operand scales differ by a whole rescale factor, pinning the smaller operand a level too high |
+//! | `F005` | warning | over-provisioned modulus: every live ciphertext keeps ≥ R bits of slack, so the whole schedule provably fits one level lower |
+//!
+//! `F001` is the static form of the fuzz oracle's `schedule_fits_backend`
+//! gate: a lint-clean schedule under true input ranges cannot wrap in the
+//! encrypted backend. `F005` is a proof, not a heuristic: slack ≥ R on
+//! every live cipher value implies dropping every level by one preserves
+//! every validator constraint.
+
+use fhe_ir::diag::{Finding, Severity};
+use fhe_ir::{analysis, Op, ScheduleError, ScheduledProgram};
+
+use crate::domain::{analyze, AnalysisCx};
+use crate::interval::IntervalDomain;
+
+/// Knobs for the lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Input ranges assumed by the magnitude analysis (default `[-1, 1]`
+    /// for every input).
+    pub intervals: IntervalDomain,
+}
+
+/// Lints a scheduled program; returns all findings (empty = clean).
+///
+/// # Errors
+///
+/// Returns the validator's errors when the schedule is illegal — linting
+/// presupposes a well-typed schedule.
+pub fn lint_scheduled(
+    scheduled: &ScheduledProgram,
+    options: &LintOptions,
+) -> Result<Vec<Finding>, Vec<ScheduleError>> {
+    let map = scheduled.validate()?;
+    let program = &scheduled.program;
+    let cx = AnalysisCx::scheduled(program, &map);
+    let intervals = analyze(&options.intervals, &cx);
+    let live = analysis::live(program);
+    let users = program.users();
+    let rescale = f64::from(scheduled.params.rescale_bits);
+
+    let mut findings = Vec::new();
+    let mut min_slack: Option<(fhe_ir::ValueId, f64)> = None;
+
+    for id in program.ids() {
+        let is_live = live[id.index()];
+
+        // F002 / F003(dead): scale management whose result is never used.
+        if !is_live {
+            match program.op(id) {
+                Op::Rescale(_) | Op::ModSwitch(_) => {
+                    findings.push(
+                        Finding::new(
+                            "F002",
+                            Severity::Warning,
+                            format!(
+                                "dead {}: the result of {id} is never used",
+                                program.op(id).mnemonic()
+                            ),
+                        )
+                        .at(id),
+                    );
+                }
+                Op::Upscale(..) => {
+                    findings.push(
+                        Finding::new(
+                            "F003",
+                            Severity::Warning,
+                            format!("redundant upscale: the result of {id} is never used"),
+                        )
+                        .at(id),
+                    );
+                }
+                _ => {}
+            }
+            continue;
+        }
+
+        // F003 (mergeable): an upscale consumed only by another upscale.
+        if let Op::Upscale(..) = program.op(id) {
+            let us = &users[id.index()];
+            if !us.is_empty()
+                && !program.outputs().contains(&id)
+                && us.iter().all(|&u| matches!(program.op(u), Op::Upscale(..)))
+            {
+                findings.push(
+                    Finding::new(
+                        "F003",
+                        Severity::Warning,
+                        format!(
+                            "redundant upscale: {id} is only consumed by another upscale \
+                             ({}); merge the two",
+                            us.iter()
+                                .map(|u| u.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    )
+                    .at(id),
+                );
+            }
+        }
+
+        if !program.is_cipher(id) {
+            continue;
+        }
+        let scale = map.scale_bits(id).to_f64();
+        let level = map.level(id);
+        let budget = f64::from(level) * rescale;
+
+        // F001: the soundness hypothesis m·x_max < Q. One bit of margin
+        // covers the `< Q/2` half-range plus chain primes sitting
+        // fractionally below 2^rescale (same margin as the fuzz oracle's
+        // backend-fit gate).
+        let magnitude = intervals[id.index()].magnitude();
+        if magnitude > 0.0 && (!magnitude.is_finite() || magnitude.log2() + scale > budget - 1.0) {
+            findings.push(
+                Finding::new(
+                    "F001",
+                    Severity::Error,
+                    format!(
+                        "possible overflow at {id} ({}): slot magnitude may reach {magnitude:.3e}, \
+                         and {magnitude:.3e}·2^{scale:.0} exceeds the level-{level} modulus \
+                         budget 2^{:.0}",
+                        program.op(id).mnemonic(),
+                        budget - 1.0
+                    ),
+                )
+                .at(id),
+            );
+        }
+
+        // F004: a multiplication whose operand scales differ by ≥ R pins
+        // the lower-scale operand a whole level above what its own scale
+        // needs (the level-match rule forces it up).
+        if let Op::Mul(a, b) = program.op(id) {
+            if program.is_cipher(*a) && program.is_cipher(*b) {
+                let (sa, sb) = (map.scale_bits(*a).to_f64(), map.scale_bits(*b).to_f64());
+                if (sa - sb).abs() >= rescale {
+                    let poor = if sa < sb { *a } else { *b };
+                    findings.push(
+                        Finding::new(
+                            "F004",
+                            Severity::Warning,
+                            format!(
+                                "level imbalance at {id}: operand scales 2^{sa:.0} vs 2^{sb:.0} \
+                                 differ by a full rescale factor; {poor} is held a level higher \
+                                 than its scale needs"
+                            ),
+                        )
+                        .at(id),
+                    );
+                }
+            }
+        }
+
+        // Track the tightest slack for F005.
+        let slack = budget - scale;
+        if min_slack.is_none_or(|(_, s)| slack < s) {
+            min_slack = Some((id, slack));
+        }
+    }
+
+    // F005: if every live ciphertext keeps at least one whole limb of
+    // slack, shifting all levels down by one preserves every constraint
+    // (scale ≤ (l−1)·R follows from slack ≥ R; rescale/modswitch operands
+    // stay ≥ level 2 because their results' slack pins them ≥ 3).
+    if let Some((id, slack)) = min_slack {
+        if slack >= rescale {
+            findings.push(
+                Finding::new(
+                    "F005",
+                    Severity::Warning,
+                    format!(
+                        "over-provisioned modulus: every live ciphertext keeps ≥ {rescale:.0} \
+                         bits of slack (minimum {slack:.0} bits at {id}); the schedule fits \
+                         one level lower"
+                    ),
+                )
+                .at(id),
+            );
+        }
+    }
+
+    findings.sort_by_key(|f| (f.op, std::cmp::Reverse(f.severity)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::{CompileParams, Frac, InputSpec, Program, ValueId};
+
+    fn spec(scale: u32, level: u32) -> InputSpec {
+        InputSpec {
+            scale_bits: Frac::from(scale),
+            level,
+        }
+    }
+
+    fn lint(s: &ScheduledProgram) -> Vec<Finding> {
+        lint_scheduled(s, &LintOptions::default()).expect("valid schedule")
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn clean_single_input_is_finding_free() {
+        let mut p = Program::new("ok", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        p.set_outputs(vec![x]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1)],
+        };
+        assert!(lint(&s).is_empty());
+    }
+
+    #[test]
+    fn dead_rescale_fires_f002() {
+        let mut p = Program::new("dead", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let _dead = p.push(Op::Rescale(x));
+        p.set_outputs(vec![x]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(95, 2)],
+        };
+        let f = lint(&s);
+        assert_eq!(codes(&f), vec!["F002"]);
+        assert_eq!(f[0].op, Some(ValueId(1)));
+    }
+
+    #[test]
+    fn stacked_upscales_fire_f003() {
+        let mut p = Program::new("up", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let u1 = p.push(Op::Upscale(x, Frac::from(5)));
+        let u2 = p.push(Op::Upscale(u1, Frac::from(5)));
+        p.set_outputs(vec![u2]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1)],
+        };
+        let f = lint(&s);
+        assert_eq!(codes(&f), vec!["F003"]);
+        assert_eq!(f[0].op, Some(ValueId(1)));
+    }
+
+    #[test]
+    fn overflow_risk_fires_f001() {
+        // x·100 at scale 55, level 1: 100·2^55 > 2^59.
+        let mut p = Program::new("ovf", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let c = p.push(Op::Const {
+            value: 100.0.into(),
+        });
+        let m = p.push(Op::Mul(x, c));
+        p.set_outputs(vec![m]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(20),
+            inputs: vec![spec(35, 1)],
+        };
+        let f = lint(&s);
+        assert_eq!(codes(&f), vec!["F001"]);
+        assert_eq!(f[0].severity, Severity::Error);
+        assert_eq!(f[0].op, Some(ValueId(2)));
+    }
+
+    #[test]
+    fn scale_imbalanced_mul_fires_f004() {
+        // x at 100 bits, y at 35 bits, both level 2: diff 65 ≥ R = 60.
+        let mut p = Program::new("imb", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let y = p.push(Op::Input { name: "y".into() });
+        let m = p.push(Op::Mul(x, y));
+        p.set_outputs(vec![m]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(100, 3), spec(35, 3)],
+        };
+        let f = lint(&s);
+        assert!(codes(&f).contains(&"F004"), "{f:?}");
+    }
+
+    #[test]
+    fn uniform_slack_fires_f005() {
+        // A single input at scale 35, level 2: slack 85 ≥ 60 everywhere.
+        let mut p = Program::new("slack", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        p.set_outputs(vec![x]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 2)],
+        };
+        let f = lint(&s);
+        assert_eq!(codes(&f), vec!["F005"]);
+    }
+
+    #[test]
+    fn invalid_schedule_is_an_error_not_findings() {
+        let mut p = Program::new("bad", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        p.set_outputs(vec![x]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(10, 1)], // below waterline
+        };
+        assert!(lint_scheduled(&s, &LintOptions::default()).is_err());
+    }
+}

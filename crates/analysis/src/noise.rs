@@ -1,0 +1,154 @@
+//! The noise-budget domain: a per-value worst-case message-domain error
+//! bound for scheduled programs.
+//!
+//! This is the abstract-interpretation generalization of
+//! `fhe_runtime::error_est` (which now delegates here): every noisy
+//! operation — fresh encryption, relinearization, rotation key switching,
+//! rescale rounding — contributes `B / m` of message-domain error for a
+//! ciphertext at scale `m`, and multiplication amplifies operand errors by
+//! the operands' magnitudes. Magnitudes can be a single global `x_max`
+//! (the original `error_est` behaviour) or per-value bounds from the
+//! [`interval`](crate::interval) domain, which the fuzz oracle uses to get
+//! a bound it then checks dominates every observed encrypted error.
+
+use fhe_ir::{Op, ValueId};
+
+use crate::domain::{AbstractDomain, AnalysisCx};
+
+/// Where the `|x|` factors of the multiplication error rule come from.
+#[derive(Debug, Clone)]
+pub enum MagnitudeSource {
+    /// One global bound `x_max` for every value (Table 1's assumption).
+    Global(f64),
+    /// A per-value magnitude bound, indexed by [`ValueId::index`] — e.g.
+    /// `Interval::magnitude` of an interval analysis of the same program.
+    PerValue(Vec<f64>),
+}
+
+impl MagnitudeSource {
+    fn of(&self, id: ValueId) -> f64 {
+        match self {
+            MagnitudeSource::Global(m) => *m,
+            MagnitudeSource::PerValue(v) => v[id.index()],
+        }
+    }
+}
+
+/// The noise domain. Abstract values are worst-case absolute errors in the
+/// message domain (`0.0` for plaintext values, which are exact).
+#[derive(Debug, Clone)]
+pub struct NoiseDomain {
+    /// log₂ of the per-operation noise magnitude `B` (the runtime's
+    /// `NoiseModel::noise_bits`; 16 by default there).
+    pub noise_bits: f64,
+    /// Operand-magnitude bounds for the multiplication rule.
+    pub magnitudes: MagnitudeSource,
+}
+
+impl NoiseDomain {
+    /// Per-op message-domain noise `B / 2^scale` for ciphertext `id`.
+    fn op_noise(&self, cx: &AnalysisCx<'_>, id: ValueId) -> f64 {
+        let map = cx
+            .scales
+            .expect("noise domain requires a scheduled program's scale map");
+        2f64.powf(self.noise_bits) / 2f64.powf(map.scale_bits(id).to_f64())
+    }
+}
+
+impl AbstractDomain for NoiseDomain {
+    type Value = f64;
+
+    fn transfer(&self, cx: &AnalysisCx<'_>, id: ValueId, args: &[f64]) -> f64 {
+        let p = cx.program;
+        if p.is_plain(id) {
+            return 0.0;
+        }
+        match p.op(id) {
+            Op::Input { .. } => self.op_noise(cx, id),
+            Op::Const { .. } => 0.0,
+            Op::Add(..) | Op::Sub(..) => args[0] + args[1],
+            Op::Mul(a, b) => {
+                // |x·y − x̂·ŷ| ≤ |x|·e_y + |y|·e_x + e_x·e_y, plus
+                // relinearization noise for cipher×cipher products.
+                let (ma, mb) = (self.magnitudes.of(*a), self.magnitudes.of(*b));
+                let base = ma * args[1] + mb * args[0] + args[0] * args[1];
+                let relin = if p.is_cipher(*a) && p.is_cipher(*b) {
+                    self.op_noise(cx, id)
+                } else {
+                    0.0
+                };
+                base + relin
+            }
+            Op::Neg(_) => args[0],
+            Op::Rotate(..) | Op::Rescale(_) => args[0] + self.op_noise(cx, id),
+            Op::ModSwitch(_) | Op::Upscale(..) => args[0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::analyze;
+    use fhe_ir::{CompileParams, Frac, InputSpec, Op as IrOp, Program, ScheduledProgram};
+
+    fn one_mul_schedule() -> ScheduledProgram {
+        let mut p = Program::new("n", 4);
+        let x = p.push(IrOp::Input { name: "x".into() });
+        let y = p.push(IrOp::Input { name: "y".into() });
+        let m = p.push(IrOp::Mul(x, y));
+        p.set_outputs(vec![m]);
+        let spec = InputSpec {
+            scale_bits: Frac::from(40),
+            level: 2,
+        };
+        ScheduledProgram {
+            program: p,
+            params: CompileParams::new(20),
+            inputs: vec![spec, spec],
+        }
+    }
+
+    #[test]
+    fn per_value_magnitudes_tighten_the_global_bound() {
+        let s = one_mul_schedule();
+        let map = s.validate().unwrap();
+        let cx = AnalysisCx::scheduled(&s.program, &map);
+        let global = NoiseDomain {
+            noise_bits: 16.0,
+            magnitudes: MagnitudeSource::Global(1.0),
+        };
+        let tight = NoiseDomain {
+            noise_bits: 16.0,
+            magnitudes: MagnitudeSource::PerValue(vec![0.25, 0.25, 0.0625]),
+        };
+        let eg = analyze(&global, &cx);
+        let et = analyze(&tight, &cx);
+        let out = s.program.outputs()[0].index();
+        assert!(et[out] < eg[out]);
+        assert!(et[out] > 0.0);
+    }
+
+    #[test]
+    fn plain_values_carry_zero_error() {
+        let mut p = Program::new("pl", 4);
+        let c = p.push(IrOp::Const { value: 2.0.into() });
+        let d = p.push(IrOp::Const { value: 3.0.into() });
+        let m = p.push(IrOp::Mul(c, d));
+        p.set_outputs(vec![m]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(20),
+            inputs: vec![],
+        };
+        let map = s.validate().unwrap();
+        let errs = analyze(
+            &NoiseDomain {
+                noise_bits: 16.0,
+                magnitudes: MagnitudeSource::Global(1.0),
+            },
+            &AnalysisCx::scheduled(&s.program, &map),
+        );
+        assert_eq!(errs, vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Pipeline integration: [`LintPass`] and [`TranslationValidatePass`] plug
+//! the analyses into any compiler's [`PassManager`] sequence, recording
+//! findings and the TV verdict in the shared [`PassCx`] so they surface in
+//! the uniform `CompileReport`.
+//!
+//! [`PassManager`]: fhe_ir::pipeline::PassManager
+
+use fhe_ir::diag::{Finding, Severity, TvVerdict};
+use fhe_ir::pipeline::{Pass, PassCx, PassError, PassIr, PassKind};
+use fhe_ir::Program;
+
+use crate::lint::{lint_scheduled, LintOptions};
+use crate::tv;
+
+/// Lints the scheduled program and records findings in the context.
+///
+/// Never fails the pipeline: an invalid schedule is the `validate` pass's
+/// job to reject, so this pass notes the skip and moves on.
+#[derive(Debug, Clone, Default)]
+pub struct LintPass {
+    /// Input-range assumptions for the magnitude analysis.
+    pub options: LintOptions,
+}
+
+impl LintPass {
+    /// A lint pass with the given options.
+    pub fn new(options: LintOptions) -> Self {
+        LintPass { options }
+    }
+}
+
+impl Pass for LintPass {
+    fn name(&self) -> &str {
+        "lint"
+    }
+
+    fn kind(&self) -> PassKind {
+        PassKind::Analysis
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let scheduled = ir.try_scheduled("lint")?;
+        match lint_scheduled(&scheduled, &self.options) {
+            Ok(findings) => {
+                if !findings.is_empty() {
+                    cx.note(format!("{} finding(s)", findings.len()));
+                }
+                for f in findings {
+                    cx.finding(f);
+                }
+            }
+            Err(_) => cx.note("skipped: schedule does not validate"),
+        }
+        Ok(PassIr::Scheduled(scheduled))
+    }
+}
+
+/// Proves the scheduled program bisimulates the source modulo scale
+/// management, storing a [`TvVerdict`] artifact and — on mismatch — an
+/// `F000` error finding.
+///
+/// A mismatch does *not* abort compilation: the verdict is recorded so the
+/// fuzz oracle can observe it as a divergence and the lint CLI can render
+/// it as a diagnostic.
+#[derive(Debug, Clone)]
+pub struct TranslationValidatePass {
+    source: Program,
+}
+
+impl TranslationValidatePass {
+    /// A TV pass checking against `source` (the pre-compilation program).
+    pub fn new(source: Program) -> Self {
+        TranslationValidatePass { source }
+    }
+}
+
+impl Pass for TranslationValidatePass {
+    fn name(&self) -> &str {
+        "translation-validate"
+    }
+
+    fn kind(&self) -> PassKind {
+        PassKind::Check
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let scheduled = ir.try_scheduled("translation-validate")?;
+        match tv::validate(&self.source, &scheduled) {
+            Ok(report) => {
+                cx.note(format!(
+                    "bisimulation: {} op(s) matched, {} scale-management op(s) stripped",
+                    report.matched, report.scale_management_ops
+                ));
+                cx.put(TvVerdict::pass());
+            }
+            Err(mismatch) => {
+                cx.note(format!("MISMATCH: {mismatch}"));
+                let mut finding = Finding::new(
+                    "F000",
+                    Severity::Error,
+                    format!("translation validation failed: {mismatch}"),
+                );
+                if let Some(op) = mismatch.scheduled_op {
+                    finding = finding.at(op);
+                }
+                cx.finding(finding);
+                cx.put(TvVerdict::fail(mismatch.to_string()));
+            }
+        }
+        Ok(PassIr::Scheduled(scheduled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::pipeline::PassManager;
+    use fhe_ir::{Builder, CompileParams, CostModel, Frac, InputSpec, Op, ScheduledProgram};
+
+    fn source() -> Program {
+        let b = Builder::new("p", 4);
+        let x = b.input("x");
+        b.finish(vec![x.clone() * x])
+    }
+
+    fn schedule(rotate_bug: bool) -> ScheduledProgram {
+        let mut p = Program::new("p", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let x = if rotate_bug {
+            p.push(Op::Rotate(x, 1))
+        } else {
+            x
+        };
+        let m = p.push(Op::Mul(x, x));
+        p.set_outputs(vec![m]);
+        // Scale 45 at level 2: the mul lands at scale 90 with 30 bits of
+        // slack — below both the F001 threshold and the F005 trigger.
+        let spec = InputSpec {
+            scale_bits: Frac::from(45),
+            level: 2,
+        };
+        ScheduledProgram {
+            program: p,
+            params: CompileParams::new(30),
+            inputs: vec![spec],
+        }
+    }
+
+    fn run(s: ScheduledProgram) -> (PassCx, fhe_ir::pipeline::PipelineTrace) {
+        let mut cx = PassCx::new(CompileParams::new(30), CostModel::paper_table3());
+        let mut pm = PassManager::new()
+            .with(LintPass::default())
+            .with(TranslationValidatePass::new(source()));
+        let (_, trace) = pm.run(PassIr::Scheduled(s), &mut cx).unwrap();
+        (cx, trace)
+    }
+
+    #[test]
+    fn faithful_schedule_passes_both_passes() {
+        let (cx, trace) = run(schedule(false));
+        assert_eq!(cx.get::<TvVerdict>(), Some(&TvVerdict::pass()));
+        assert!(cx.findings().is_empty(), "{:?}", cx.findings());
+        let note = &trace.pass("translation-validate").unwrap().notes[0];
+        assert!(note.starts_with("bisimulation:"), "{note}");
+    }
+
+    #[test]
+    fn mismatch_records_f000_without_aborting() {
+        let (cx, _) = run(schedule(true));
+        let v = cx.get::<TvVerdict>().unwrap();
+        assert!(!v.validated);
+        assert_eq!(cx.findings().len(), 1);
+        assert_eq!(cx.findings()[0].code, "F000");
+        assert_eq!(cx.findings()[0].severity, Severity::Error);
+    }
+}

@@ -1,0 +1,174 @@
+//! Rustc-style rendering of findings and parse errors against textual IR.
+//!
+//! ```text
+//! warning[F002]: dead rescale: the result of %4 is never used
+//!   --> schedule.fhe:6:3
+//!    |
+//!  6 |   %4 = rescale %3
+//!    |   ^^^^^^^^^^^^^^^
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use fhe_ir::diag::Finding;
+use fhe_ir::text::ParseError;
+use fhe_ir::ValueId;
+
+/// Maps SSA values of a printed program to their defining line in the text.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    /// value -> (1-based line, 1-based column of the statement start,
+    /// statement length in bytes).
+    defs: HashMap<ValueId, (usize, usize, usize)>,
+    lines: Vec<String>,
+}
+
+impl SourceMap {
+    /// Scans IR text (as produced by `fhe_ir::text::print`, or hand-written
+    /// in the same format) for `%N = …` definition lines.
+    pub fn new(text: &str) -> Self {
+        let mut defs = HashMap::new();
+        let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        for (i, line) in lines.iter().enumerate() {
+            let trimmed = line.trim();
+            let Some(rest) = trimmed.strip_prefix('%') else {
+                continue;
+            };
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            if digits.is_empty() || !rest[digits.len()..].trim_start().starts_with('=') {
+                continue;
+            }
+            let Ok(n) = digits.parse::<u32>() else {
+                continue;
+            };
+            let indent = line.len() - line.trim_start().len();
+            defs.entry(ValueId(n))
+                .or_insert((i + 1, indent + 1, trimmed.len()));
+        }
+        SourceMap { defs, lines }
+    }
+
+    /// The (line, column, length) of the statement defining `id`, if found.
+    pub fn def(&self, id: ValueId) -> Option<(usize, usize, usize)> {
+        self.defs.get(&id).copied()
+    }
+}
+
+/// Renders one finding against the program text, rustc-style. Findings with
+/// no op anchor (or an op the map cannot locate) render header-only.
+pub fn render_finding(finding: &Finding, map: &SourceMap, file: &str) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}[{}]: {}",
+        finding.severity.label(),
+        finding.code,
+        finding.message
+    )
+    .unwrap();
+    let loc = finding.op.and_then(|id| map.def(id));
+    match loc {
+        Some((line, col, len)) => render_snippet(&mut out, map, file, line, col, len),
+        None => writeln!(out, "  --> {file}").unwrap(),
+    }
+    out
+}
+
+/// Renders a parse error with a single-caret span into the original source.
+pub fn render_parse_error(err: &ParseError, source: &str, file: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "error: {}", err.message).unwrap();
+    let lines: Vec<&str> = source.lines().collect();
+    if err.line >= 1 && err.line <= lines.len() {
+        let map = SourceMap {
+            defs: HashMap::new(),
+            lines: lines.iter().map(|l| (*l).to_owned()).collect(),
+        };
+        render_snippet(&mut out, &map, file, err.line, err.column, 1);
+    } else {
+        writeln!(out, "  --> {file}:{}:{}", err.line, err.column).unwrap();
+    }
+    out
+}
+
+fn render_snippet(
+    out: &mut String,
+    map: &SourceMap,
+    file: &str,
+    line: usize,
+    col: usize,
+    len: usize,
+) {
+    let text = map.lines.get(line - 1).map_or("", String::as_str);
+    let gutter = line.to_string().len();
+    writeln!(out, "{:gutter$}--> {file}:{line}:{col}", "  ").unwrap();
+    writeln!(out, "{:gutter$} |", "").unwrap();
+    writeln!(out, "{line:>gutter$} | {text}").unwrap();
+    writeln!(
+        out,
+        "{:gutter$} | {}{}",
+        "",
+        " ".repeat(col - 1),
+        "^".repeat(len.max(1))
+    )
+    .unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::diag::Severity;
+    use fhe_ir::text;
+    use fhe_ir::{Builder, Op};
+
+    fn sample() -> (fhe_ir::Program, String) {
+        let b = Builder::new("r", 4);
+        let x = b.input("x");
+        let p = b.finish(vec![x.clone() * x]);
+        let t = text::print(&p);
+        (p, t)
+    }
+
+    #[test]
+    fn source_map_locates_definitions() {
+        let (p, t) = sample();
+        let map = SourceMap::new(&t);
+        let (line, col, _) = map.def(p.outputs()[0]).expect("mul is mapped");
+        assert_eq!(line, 3); // header, %0, %1
+        assert_eq!(col, 3); // two spaces of indent
+        assert!(matches!(p.op(p.outputs()[0]), Op::Mul(..)));
+    }
+
+    #[test]
+    fn finding_renders_with_caret_under_the_statement() {
+        let (p, t) = sample();
+        let map = SourceMap::new(&t);
+        let f = Finding::new("F002", Severity::Warning, "dead rescale").at(p.outputs()[0]);
+        let r = render_finding(&f, &map, "demo.fhe");
+        assert!(r.starts_with("warning[F002]: dead rescale\n"), "{r}");
+        assert!(r.contains("--> demo.fhe:3:3"), "{r}");
+        assert!(r.contains("3 |   %1 = mul %0, %0"), "{r}");
+        assert!(r.contains("|   ^^^^^^^^^^^^^^^"), "{r}");
+    }
+
+    #[test]
+    fn program_level_finding_renders_header_only() {
+        let (_, t) = sample();
+        let map = SourceMap::new(&t);
+        let f = Finding::new("F005", Severity::Warning, "over-provisioned");
+        let r = render_finding(&f, &map, "demo.fhe");
+        assert_eq!(r, "warning[F005]: over-provisioned\n  --> demo.fhe\n");
+    }
+
+    #[test]
+    fn parse_error_renders_single_caret() {
+        let src = "program t(slots=4) {\n  %0 = frobnicate %0\n}\n";
+        let err = text::parse(src).unwrap_err();
+        let r = render_parse_error(&err, src, "bad.fhe");
+        assert!(r.contains("--> bad.fhe:2:8"), "{r}");
+        let caret_line = r.lines().last().unwrap();
+        assert!(caret_line.ends_with('^'), "{r}");
+        assert_eq!(caret_line.matches('^').count(), 1, "{r}");
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::time::Instant;
 
+use fhe_analysis::{LintPass, TranslationValidatePass};
 use fhe_ir::pipeline::{
     finish_compiled, CleanupPass, CompileError, Compiled, Pass, PassCx, PassError, PassIr,
     PassManager, ScaleCompiler,
@@ -44,6 +45,8 @@ pub fn compile(program: &Program, params: &CompileParams) -> Result<Compiled, Co
     let (ir, trace) = PassManager::new()
         .with(CleanupPass)
         .with(LegalizePass)
+        .with(LintPass::default())
+        .with(TranslationValidatePass::new(program.clone()))
         .run(PassIr::Source(program.clone()), &mut cx)
         .map_err(|e| CompileError::in_compiler(NAME, e))?;
     let scheduled = ir
@@ -93,7 +96,11 @@ mod tests {
             .iter()
             .map(|r| r.name.as_str())
             .collect();
-        assert_eq!(names, ["cleanup", "legalize"]);
+        assert_eq!(
+            names,
+            ["cleanup", "legalize", "lint", "translation-validate"]
+        );
+        assert_eq!(out.report.translation_validated, Some(true));
     }
 
     #[test]

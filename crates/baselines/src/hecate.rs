@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use fhe_analysis::{LintPass, TranslationValidatePass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -166,6 +167,8 @@ pub fn compile(
         .with(ExplorePass {
             options: options.clone(),
         })
+        .with(LintPass::default())
+        .with(TranslationValidatePass::new(program.clone()))
         .run(PassIr::Source(program.clone()), &mut cx)
         .map_err(|e| CompileError::in_compiler(NAME, e))?;
     let scheduled = ir

@@ -5,8 +5,8 @@
 //! `--json <path>` writes every compile report including per-pass traces.
 
 use fhe_bench::{
-    compile_all, fmt_ms, geomean, hecate_budget, json::Json, print_table, report_json,
-    standard_compilers, CliArgs,
+    compile_all, diagnostics_cell, fmt_ms, geomean, hecate_budget, json::Json, print_table,
+    report_json, standard_compilers, CliArgs,
 };
 
 fn main() {
@@ -27,6 +27,7 @@ fn main() {
         "Hecate SM (ms)",
         "This work SM (ms)",
         "SM Speedup",
+        "Lint/TV (EVA|Hec|ours)",
     ];
     let mut rows = Vec::new();
     let mut total_speedups = Vec::new();
@@ -55,6 +56,12 @@ fn main() {
             fmt_ms(hec.scale_management_time),
             fmt_ms(ours.scale_management_time),
             format!("{sm_speedup:.0}x"),
+            format!(
+                "{} | {} | {}",
+                diagnostics_cell(eva),
+                diagnostics_cell(hec),
+                diagnostics_cell(ours)
+            ),
         ]);
         json_rows.push(Json::obj([
             ("benchmark", Json::from(w.name)),

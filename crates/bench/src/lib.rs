@@ -153,8 +153,32 @@ impl CliArgs {
     }
 }
 
+/// A [`CompileReport`]'s lint findings and translation-validation verdict
+/// as a compact table cell: `"clean ✓"`, `"2 warn ✓"`, `"1 err ✗"`, …
+pub fn diagnostics_cell(report: &CompileReport) -> String {
+    let errors = report
+        .findings
+        .iter()
+        .filter(|f| f.severity >= fhe_ir::diag::Severity::Error)
+        .count();
+    let warnings = report.findings.len() - errors;
+    let lints = match (errors, warnings) {
+        (0, 0) => "clean".to_string(),
+        (0, w) => format!("{w} warn"),
+        (e, 0) => format!("{e} err"),
+        (e, w) => format!("{e} err {w} warn"),
+    };
+    let tv = match report.translation_validated {
+        Some(true) => "✓",
+        Some(false) => "✗",
+        None => "-",
+    };
+    format!("{lints} {tv}")
+}
+
 /// A [`CompileReport`] as a JSON object, including the per-pass trace
-/// (wall times in µs; level `null` before scheduling).
+/// (wall times in µs; level `null` before scheduling), the lint findings,
+/// and the translation-validation verdict.
 pub fn report_json(report: &CompileReport) -> Json {
     let trace: Vec<Json> = report
         .trace
@@ -201,6 +225,27 @@ pub fn report_json(report: &CompileReport) -> Json {
             Json::from(report.estimated_latency_us),
         ),
         ("max_level", Json::from(report.max_level)),
+        (
+            "findings",
+            Json::Array(
+                report
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("code", Json::from(f.code)),
+                            ("severity", Json::from(f.severity.label())),
+                            ("message", Json::from(f.message.as_str())),
+                            ("op", f.op.map_or(Json::Null, |o| Json::from(o.index()))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "translation_validated",
+            report.translation_validated.map_or(Json::Null, Json::Bool),
+        ),
         ("trace", Json::Array(trace)),
     ])
 }
@@ -289,5 +334,17 @@ mod tests {
         assert!(j.contains("\"compiler\":\"This work\""));
         assert!(j.contains("\"pass\":\"hoist\""));
         assert!(j.contains("\"max_level\":"));
+        assert!(j.contains("\"translation_validated\":true"), "{j}");
+        assert!(j.contains("\"findings\":"), "{j}");
+    }
+
+    #[test]
+    fn diagnostics_cell_reports_tv_and_findings() {
+        let w = &fhe_workloads::suite(Size::Test)[0];
+        let out = compile_all(&standard_compilers(30), &w.program, 25);
+        for o in &out {
+            let cell = diagnostics_cell(&o.report);
+            assert!(cell.ends_with('✓'), "{}: {cell}", o.report.compiler);
+        }
     }
 }

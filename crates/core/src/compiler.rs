@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use fhe_analysis::{LintPass, TranslationValidatePass};
 use fhe_ir::pipeline::{
     finish_compiled, CleanupPass, CompileError, CompileReport, Compiled as UnifiedCompiled, Pass,
     PassCx, PassError, PassIr, PassKind, PassManager, PipelineTrace, ScaleCompiler,
@@ -265,6 +266,8 @@ pub fn compile(program: &Program, options: &Options) -> Result<Compiled, Compile
     let t_total = Instant::now();
     let mut cx = PassCx::new(options.params, options.cost_model.clone());
     let (ir, trace) = pipeline_for(options)
+        .with(LintPass::default())
+        .with(TranslationValidatePass::new(program.clone()))
         .run(PassIr::Source(program.clone()), &mut cx)
         .map_err(|e| CompileError::in_compiler(label, e))?;
     let scheduled = ir
@@ -426,8 +429,18 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            ["cleanup", "order", "alloc", "typecheck", "place", "hoist"]
+            [
+                "cleanup",
+                "order",
+                "alloc",
+                "typecheck",
+                "place",
+                "hoist",
+                "lint",
+                "translation-validate"
+            ]
         );
+        assert_eq!(out.report.translation_validated, Some(true));
         let place = out.report.trace.pass("place").unwrap();
         assert!(
             place.ops_after > place.ops_before,

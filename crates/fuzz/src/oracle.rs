@@ -13,7 +13,16 @@
 //!    live cipher value of every schedule respects the waterline, stays
 //!    under the level's modulus budget (`scale ≤ level·R`), stays under
 //!    the key's max level, and never gains level across an op.
-//! 5. **Executor agreement** — `PlainExec` must reproduce the source
+//! 5. **Translation validation** — each compiler's schedule must
+//!    bisimulate its source program modulo inserted scale management
+//!    (`fhe_analysis::tv`), and the pipeline-recorded verdict must agree
+//!    with an independent re-run of the validator.
+//! 6. **Static-bound domination** — the interval analysis's per-value
+//!    magnitude bound must dominate the magnitude the plain executor
+//!    actually observes on every value of every schedule, and — on every
+//!    encrypted run — the static noise estimate (interval magnitudes fed
+//!    into the noise domain) must dominate the observed error.
+//! 7. **Executor agreement** — `PlainExec` must reproduce the source
 //!    program's reference bit-for-bit (scale management is semantically
 //!    transparent); `NoiseSimExec` and `CkksExec` must agree with the
 //!    reference — and pairwise with each other — within a tolerance
@@ -26,6 +35,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use fhe_analysis::{analyze, AnalysisCx, IntervalDomain, MagnitudeSource, NoiseDomain};
 use fhe_baselines::{EvaCompiler, HecateCompiler};
 use fhe_ir::{passes, CompileParams, Op, Program, ScaleCompiler, ScheduledProgram};
 use fhe_runtime::executor::{max_abs_diff, CkksExec, Executor, NoiseSimExec, PlainExec};
@@ -51,6 +61,10 @@ pub enum DivergenceKind {
     ExecError,
     /// Executor outputs disagreed beyond tolerance.
     OutputMismatch,
+    /// A schedule failed translation validation against its source.
+    TranslationValidation,
+    /// A static analysis bound was beaten by an observed value.
+    StaticBound,
 }
 
 impl DivergenceKind {
@@ -63,6 +77,8 @@ impl DivergenceKind {
             DivergenceKind::Invariant => "invariant",
             DivergenceKind::ExecError => "exec-error",
             DivergenceKind::OutputMismatch => "output-mismatch",
+            DivergenceKind::TranslationValidation => "tv",
+            DivergenceKind::StaticBound => "static-bound",
         }
     }
 }
@@ -112,6 +128,14 @@ pub struct OracleConfig {
     /// program, so cancellation-heavy programs are judged against their
     /// true dynamic range.
     pub rel_tol: f64,
+    /// Extra bits added to the per-op noise term of the *static-bound*
+    /// check (`NoiseModel::noise_bits` is calibrated against the noise
+    /// simulator; the real lattice backend's key-switching and encoding
+    /// noise run a few bits higher). The margin inflates every per-op
+    /// contribution uniformly, so the bound keeps the exact structural
+    /// growth of the noise domain — a scale-management bug still beats it
+    /// by many orders of magnitude.
+    pub static_noise_margin_bits: f64,
     /// Also run the reserve compiler's BA/RA ablation modes.
     pub include_ablations: bool,
 }
@@ -124,6 +148,7 @@ impl Default for OracleConfig {
             run_ckks: true,
             ckks_seed: 0xD1FF,
             rel_tol: 1e-2,
+            static_noise_margin_bits: 16.0,
             include_ablations: false,
         }
     }
@@ -265,10 +290,13 @@ pub fn check_program(program: &Program, cfg: &OracleConfig) -> Vec<Divergence> {
             Ok(Ok(c)) => c,
         };
         check_schedule_invariants(&compiled.scheduled, &params, name, &mut divs);
+        check_translation_validation(program, &compiled, name, &mut divs);
+        let magnitudes = check_interval_bounds(&compiled.scheduled, &inputs, name, &mut divs);
         check_executors(
             &compiled.scheduled,
             &inputs,
             &reference,
+            &magnitudes,
             tol,
             name,
             cfg,
@@ -276,6 +304,75 @@ pub fn check_program(program: &Program, cfg: &OracleConfig) -> Vec<Divergence> {
         );
     }
     divs
+}
+
+/// Independently re-proves the schedule bisimulates the source, and checks
+/// the pipeline's recorded verdict agrees with the re-run.
+fn check_translation_validation(
+    program: &Program,
+    compiled: &fhe_ir::pipeline::Compiled,
+    compiler: &str,
+    divs: &mut Vec<Divergence>,
+) {
+    let direct = fhe_analysis::validate(program, &compiled.scheduled);
+    if let Err(mismatch) = &direct {
+        divs.push(Divergence {
+            kind: DivergenceKind::TranslationValidation,
+            stage: compiler.into(),
+            detail: format!("schedule does not bisimulate source: {mismatch}"),
+        });
+    }
+    let recorded = compiled.report.translation_validated;
+    if recorded != Some(direct.is_ok()) {
+        divs.push(Divergence {
+            kind: DivergenceKind::TranslationValidation,
+            stage: format!("{compiler}:report"),
+            detail: format!(
+                "pipeline recorded translation_validated = {recorded:?}, re-run says {}",
+                direct.is_ok()
+            ),
+        });
+    }
+}
+
+/// Asserts the interval analysis dominates reality: for every live value of
+/// the schedule, the statically derived magnitude bound must be ≥ the
+/// magnitude the plain executor observes (IEEE rounding is monotone, so
+/// endpoint interval arithmetic is a true upper bound — any violation is an
+/// analysis bug). Returns the per-value magnitude bounds for the noise
+/// check.
+fn check_interval_bounds(
+    scheduled: &ScheduledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    compiler: &str,
+    divs: &mut Vec<Divergence>,
+) -> Vec<f64> {
+    let program = &scheduled.program;
+    let intervals = analyze(&IntervalDomain::default(), &AnalysisCx::source(program));
+    let magnitudes: Vec<f64> = intervals.iter().map(|iv| iv.magnitude()).collect();
+    let mut all = program.clone();
+    all.set_outputs(program.ids().collect());
+    let Ok(vals) = catching(|| plain::execute(&all, inputs)) else {
+        return magnitudes; // the executor checks report the panic
+    };
+    let live = fhe_ir::analysis::live(program);
+    for (id, slots) in program.ids().zip(&vals) {
+        if !live[id.index()] {
+            continue;
+        }
+        let observed = slots.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if observed > magnitudes[id.index()] {
+            divs.push(Divergence {
+                kind: DivergenceKind::StaticBound,
+                stage: format!("{compiler}:interval"),
+                detail: format!(
+                    "{id}: observed slot magnitude {observed:.6e} beats static bound {:.6e}",
+                    magnitudes[id.index()]
+                ),
+            });
+        }
+    }
+    magnitudes
 }
 
 fn check_roundtrip(program: &Program, divs: &mut Vec<Divergence>) {
@@ -487,6 +584,7 @@ fn check_executors(
     scheduled: &ScheduledProgram,
     inputs: &HashMap<String, Vec<f64>>,
     reference: &[Vec<f64>],
+    magnitudes: &[f64],
     tol: f64,
     compiler: &str,
     cfg: &OracleConfig,
@@ -541,12 +639,87 @@ fn check_executors(
             });
             continue;
         }
+        if exec_name == "ckks" {
+            check_noise_bound(
+                scheduled,
+                magnitudes,
+                &run.outputs,
+                reference,
+                compiler,
+                cfg,
+                divs,
+            );
+        }
         if allowed > 0.0 {
             noisy_outputs.push((exec_name.to_string(), run.outputs));
         }
     }
     // Pairwise agreement between the noisy executors (each is within
     // `tol` of the reference, so demand `2·tol` of each other).
+    check_pairwise(&noisy_outputs, tol, compiler, divs);
+}
+
+/// The static noise estimate — the noise domain fed with the interval
+/// analysis's per-value magnitudes — must dominate the error the encrypted
+/// backend actually produced on every output.
+#[allow(clippy::too_many_arguments)]
+fn check_noise_bound(
+    scheduled: &ScheduledProgram,
+    magnitudes: &[f64],
+    outputs: &[Vec<f64>],
+    reference: &[Vec<f64>],
+    compiler: &str,
+    cfg: &OracleConfig,
+    divs: &mut Vec<Divergence>,
+) {
+    let Ok(map) = scheduled.validate() else {
+        return; // invariant checks already flagged this
+    };
+    let model = fhe_runtime::NoiseModel::default();
+    let domain = NoiseDomain {
+        noise_bits: model.noise_bits + cfg.static_noise_margin_bits,
+        magnitudes: MagnitudeSource::PerValue(magnitudes.to_vec()),
+    };
+    let bounds = analyze(&domain, &AnalysisCx::scheduled(&scheduled.program, &map));
+    // Both the plain reference and the backend's encode/decode pipeline run
+    // in f64 and accumulate *different* roundings — up to ulp-scale
+    // differences per op. Allow `num_ops` ulps of the largest intermediate
+    // magnitude on top of the lattice-noise bound; still ~13 orders of
+    // magnitude below the O(1) error of a genuine scale-management bug.
+    let fp_slop = magnitudes.iter().copied().fold(1.0f64, f64::max)
+        * f64::EPSILON
+        * scheduled.program.num_ops() as f64;
+    for (k, (&out_id, (got, want))) in scheduled
+        .program
+        .outputs()
+        .iter()
+        .zip(outputs.iter().zip(reference))
+        .enumerate()
+    {
+        let observed = got
+            .iter()
+            .zip(want)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        let bound = bounds[out_id.index()] + fp_slop;
+        if observed > bound {
+            divs.push(Divergence {
+                kind: DivergenceKind::StaticBound,
+                stage: format!("{compiler}:noise"),
+                detail: format!(
+                    "output #{k}: observed encrypted error {observed:.6e} beats static \
+                     estimate {bound:.6e}"
+                ),
+            });
+        }
+    }
+}
+
+fn check_pairwise(
+    noisy_outputs: &[(String, Vec<Vec<f64>>)],
+    tol: f64,
+    compiler: &str,
+    divs: &mut Vec<Divergence>,
+) {
     for i in 0..noisy_outputs.len() {
         for j in i + 1..noisy_outputs.len() {
             let (ref a_name, ref a) = noisy_outputs[i];

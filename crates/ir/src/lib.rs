@@ -42,6 +42,7 @@
 pub mod analysis;
 mod builder;
 pub mod cost;
+pub mod diag;
 pub mod dsl;
 pub mod fold;
 mod frac;
@@ -55,6 +56,7 @@ pub mod text;
 
 pub use builder::{Builder, Expr};
 pub use cost::{CostModel, OpClass};
+pub use diag::{Finding, Severity, TvVerdict};
 pub use frac::Frac;
 pub use op::{ConstValue, Op, OperandIter, ValueId};
 pub use params::CompileParams;

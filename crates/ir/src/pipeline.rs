@@ -49,6 +49,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use crate::cost::CostModel;
+use crate::diag::{Finding, TvVerdict};
 use crate::params::CompileParams;
 use crate::program::Program;
 use crate::schedule::ScheduledProgram;
@@ -199,6 +200,7 @@ pub struct PassCx {
     /// Rescale hoists applied (reserve pipeline; 0 elsewhere).
     pub hoists: usize,
     notes: Vec<String>,
+    findings: Vec<Finding>,
     artifacts: HashMap<TypeId, Box<dyn Any>>,
 }
 
@@ -211,6 +213,7 @@ impl PassCx {
             iterations: 0,
             hoists: 0,
             notes: Vec::new(),
+            findings: Vec::new(),
             artifacts: HashMap::new(),
         }
     }
@@ -218,6 +221,17 @@ impl PassCx {
     /// Attaches a diagnostic note to the currently running pass's record.
     pub fn note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// Records a lint finding, surfaced in the final
+    /// [`CompileReport::findings`].
+    pub fn finding(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Findings recorded so far across all passes.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
     }
 
     /// Counts candidate plans evaluated by the current pass.
@@ -513,6 +527,13 @@ pub struct CompileReport {
     pub estimated_latency_us: f64,
     /// Modulus level required of fresh encryptions.
     pub max_level: u32,
+    /// Lint findings recorded by analysis passes (empty when the pipeline
+    /// runs no lints, or when the schedule is clean).
+    pub findings: Vec<Finding>,
+    /// Translation-validation verdict: `Some(true)` when the scheduled
+    /// program was proven equal to the source modulo scale management,
+    /// `Some(false)` on a mismatch, `None` when the pass did not run.
+    pub translation_validated: Option<bool>,
     /// Per-pass instrumentation.
     pub trace: PipelineTrace,
 }
@@ -610,6 +631,8 @@ pub fn finish_compiled(
         hoists: cx.hoists,
         estimated_latency_us,
         max_level: map.max_level(),
+        findings: cx.findings().to_vec(),
+        translation_validated: cx.get::<TvVerdict>().map(|v| v.validated),
         trace,
     };
     Ok(Compiled { scheduled, report })

@@ -63,11 +63,18 @@ pub fn print(program: &Program) -> String {
     out
 }
 
-/// A parse failure with a line number and message.
+/// A parse failure with a line number, column, and message.
+///
+/// The `Display` rendering intentionally omits the column (older tooling
+/// and tests match on the `parse error on line N: …` format); callers that
+/// want caret-style output feed the error and the original source through
+/// the diagnostics renderer in the `fhe-analysis` crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line of the failure.
     pub line: usize,
+    /// 1-based byte column within that line where parsing stopped.
+    pub column: usize,
     /// Human-readable description.
     pub message: String,
 }
@@ -82,13 +89,28 @@ impl std::error::Error for ParseError {}
 
 struct Parser<'a> {
     line_no: usize,
+    /// The original (untrimmed) line, for column reporting.
+    line: &'a str,
     rest: &'a str,
 }
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        self.err_back(0, message)
+    }
+
+    /// An error pointing `back` bytes before the current position — used
+    /// when the offending token was already consumed (e.g. an unknown
+    /// mnemonic).
+    fn err_back<T>(&self, back: usize, message: impl Into<String>) -> Result<T, ParseError> {
+        // `rest` is a suffix of the trimmed line: the failure column is the
+        // leading indentation plus however much of the line was consumed.
+        let trimmed = self.line.trim();
+        let indent = self.line.len() - self.line.trim_start().len();
+        let consumed = (trimmed.len() - self.rest.len()).saturating_sub(back);
         Err(ParseError {
             line: self.line_no,
+            column: indent + consumed + 1,
             message: message.into(),
         })
     }
@@ -205,16 +227,18 @@ fn truncate(s: &str) -> &str {
 /// Returns a [`ParseError`] with the offending line on malformed input,
 /// out-of-order ids, or forward references.
 pub fn parse(text: &str) -> Result<Program, ParseError> {
-    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
     let mut program: Option<Program> = None;
     let mut done = false;
 
-    for (line_no, line) in &mut lines {
+    for (line_no, raw) in &mut lines {
+        let line = raw.trim();
         if line.is_empty() || line.starts_with("//") {
             continue;
         }
         let mut p = Parser {
             line_no,
+            line: raw,
             rest: line,
         };
         if program.is_none() {
@@ -320,7 +344,7 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
                 p.expect(",")?;
                 Op::Upscale(a, p.frac()?)
             }
-            other => return p.err(format!("unknown op `{other}`")),
+            other => return p.err_back(other.len(), format!("unknown op `{other}`")),
         };
         if !p.at_end() {
             return p.err(format!("trailing input `{}`", truncate(p.rest)));
@@ -330,11 +354,13 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
 
     let prog = program.ok_or(ParseError {
         line: 1,
+        column: 1,
         message: "empty input".into(),
     })?;
     if !done {
         return Err(ParseError {
             line: text.lines().count(),
+            column: 1,
             message: "missing `}`".into(),
         });
     }
@@ -426,6 +452,26 @@ mod tests {
         let text = "program t(slots=4) {\n  %0 = input \"x\"\n  return %0\n";
         let err = parse(text).unwrap_err();
         assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // The unknown mnemonic starts at column 8 (two spaces of indent,
+        // then `%0 = `).
+        let text = "program t(slots=4) {\n  %0 = frobnicate %0\n  return %0\n}\n";
+        let err = parse(text).unwrap_err();
+        assert_eq!((err.line, err.column), (2, 8));
+        // A bad rotate offset: the column lands where the integer should be.
+        let text =
+            "program t(slots=4) {\n  %0 = input \"x\"\n  %1 = rotate %0, x\n  return %1\n}\n";
+        let err = parse(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.column >= 18, "column {} too early", err.column);
+        // Display stays backward-compatible (no column).
+        assert_eq!(
+            err.to_string(),
+            format!("parse error on line 3: {}", err.message)
+        );
     }
 
     #[test]

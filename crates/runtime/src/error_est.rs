@@ -7,10 +7,16 @@
 //! error for a ciphertext at scale `m`; arithmetic combines bounds
 //! conservatively assuming slot magnitudes ≤ `magnitude_bound`.
 //!
+//! The transfer rules live in `fhe_analysis::NoiseDomain` (this module is
+//! its [`MagnitudeSource::Global`](fhe_analysis::MagnitudeSource) instance);
+//! the fuzz oracle runs the same domain with per-value interval magnitudes
+//! for a tighter bound.
+//!
 //! The estimate upper-bounds the simulator's measured error and tracks its
 //! shape across waterlines, giving compilers a closed-form error signal.
 
-use fhe_ir::{Op, ScheduleError, ScheduledProgram, ValueId};
+use fhe_analysis::{analyze, AnalysisCx, MagnitudeSource, NoiseDomain};
+use fhe_ir::{ScheduleError, ScheduledProgram};
 
 use crate::noise_sim::NoiseModel;
 
@@ -44,44 +50,11 @@ pub fn estimate_error(
 ) -> Result<Vec<f64>, Vec<ScheduleError>> {
     let map = scheduled.validate()?;
     let program = &scheduled.program;
-    let live = fhe_ir::analysis::live(program);
-    let noise = 2f64.powf(options.model.noise_bits);
-    let xmax = options.magnitude_bound;
-
-    let mut err: Vec<f64> = vec![0.0; program.num_ops()];
-    let op_noise = |id: ValueId| -> f64 { noise / 2f64.powf(map.scale_bits(id).to_f64()) };
-
-    for id in program.ids() {
-        if !live[id.index()] || program.is_plain(id) {
-            continue;
-        }
-        let e = |v: ValueId| -> f64 {
-            if program.is_plain(v) {
-                0.0
-            } else {
-                err[v.index()]
-            }
-        };
-        err[id.index()] = match program.op(id) {
-            Op::Input { .. } => op_noise(id),
-            Op::Const { .. } => 0.0,
-            Op::Add(a, b) | Op::Sub(a, b) => e(*a) + e(*b),
-            Op::Mul(a, b) => {
-                // |x·y − x̂·ŷ| ≤ |x|·e_y + |y|·e_x + e_x·e_y (+ relin noise).
-                let base = xmax * e(*a) + xmax * e(*b) + e(*a) * e(*b);
-                let relin = if program.is_cipher(*a) && program.is_cipher(*b) {
-                    op_noise(id)
-                } else {
-                    0.0
-                };
-                base + relin
-            }
-            Op::Neg(a) => e(*a),
-            Op::Rotate(a, _) => e(*a) + op_noise(id),
-            Op::Rescale(a) => e(*a) + op_noise(id),
-            Op::ModSwitch(a) | Op::Upscale(a, _) => e(*a),
-        };
-    }
+    let domain = NoiseDomain {
+        noise_bits: options.model.noise_bits,
+        magnitudes: MagnitudeSource::Global(options.magnitude_bound),
+    };
+    let err = analyze(&domain, &AnalysisCx::scheduled(program, &map));
     Ok(program.outputs().iter().map(|&o| err[o.index()]).collect())
 }
 

@@ -1,0 +1,160 @@
+//! `lint` — static analysis and translation validation over textual IR
+//! files.
+//!
+//! Collects `.fhe` files, runs the `F001`…`F005` lints (and, for
+//! compiled-mode files, translation validation against each compiler's
+//! schedule), renders rustc-style diagnostics, and optionally writes a
+//! machine-readable report. See `fhe_reserve::lint` for the file modes and
+//! directives.
+//!
+//! ```sh
+//! cargo run --release --bin lint -- examples/programs tests/corpus
+//! cargo run --release --bin lint -- prog.fhe --json report.json --deny error
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fhe_reserve::lint::{collect_files, denied, lint_file, reports_json, LintRun};
+
+struct Cli {
+    paths: Vec<PathBuf>,
+    run: LintRun,
+    json: Option<PathBuf>,
+    deny: Vec<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut paths = Vec::new();
+    let mut run = LintRun::default();
+    let mut json = None;
+    let mut deny = Vec::new();
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--compiler" | "-c" => {
+                let value = args.next().ok_or("--compiler needs eva|hecate|reserve")?;
+                run.compilers = value.split(',').map(str::to_string).collect();
+                for name in &run.compilers {
+                    if !matches!(name.as_str(), "eva" | "hecate" | "reserve") {
+                        return Err(format!("unknown compiler `{name}` (eva|hecate|reserve)"));
+                    }
+                }
+            }
+            "--input-range" => {
+                run.input_magnitude = args
+                    .next()
+                    .ok_or("--input-range needs a magnitude")?
+                    .parse()
+                    .map_err(|e| format!("bad input range: {e}"))?;
+                if run.input_magnitude.is_nan() || run.input_magnitude <= 0.0 {
+                    return Err("input range must be positive".into());
+                }
+            }
+            "--json" => {
+                json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--deny" => {
+                deny.push(args.next().ok_or("--deny needs error|warning|<code>")?);
+            }
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: lint [paths...] [--compiler eva,hecate,reserve] \
+                            [--input-range M] [--json PATH] [--deny error|warning|CODE]... \
+                            [--quiet]\n\
+                            paths default to examples/programs and tests/corpus"
+                    .to_string())
+            }
+            other if !other.starts_with('-') => paths.push(PathBuf::from(other)),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if paths.is_empty() {
+        paths = vec![
+            PathBuf::from("examples/programs"),
+            PathBuf::from("tests/corpus"),
+        ];
+    }
+    Ok(Cli {
+        paths,
+        run,
+        json,
+        deny,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match collect_files(&cli.paths) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if files.is_empty() {
+        eprintln!("lint: no .fhe files under the given paths");
+        return ExitCode::FAILURE;
+    }
+
+    let mut reports = Vec::new();
+    let (mut total, mut denied_count, mut errors) = (0usize, 0usize, 0usize);
+    for path in &files {
+        let name = path.display().to_string();
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("lint: cannot read {name}: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        let report = lint_file(&name, &content, &cli.run);
+        if let Some(err) = &report.error {
+            eprint!("{err}");
+            errors += 1;
+        }
+        for target in &report.targets {
+            if let Some(err) = &target.error {
+                eprintln!("{name}@{}: {err}", target.target);
+                errors += 1;
+            }
+            total += target.findings.len();
+            denied_count += target
+                .findings
+                .iter()
+                .filter(|f| denied(&cli.deny, f))
+                .count();
+            if !cli.quiet && !target.rendered.is_empty() {
+                print!("{}", target.rendered);
+            }
+        }
+        reports.push(report);
+    }
+
+    if let Some(path) = &cli.json {
+        if let Err(e) = std::fs::write(path, format!("{}\n", reports_json(&reports))) {
+            eprintln!("lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "lint: {} file(s), {total} finding(s), {denied_count} denied, {errors} error(s)",
+        files.len()
+    );
+    if errors > 0 || denied_count > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

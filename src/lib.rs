@@ -11,6 +11,8 @@
 //!
 //! - [`ir`] (`fhe-ir`) — programs, the builder DSL, passes, validator, cost
 //!   model;
+//! - [`analysis`] (`fhe-analysis`) — abstract interpretation, the `F001`…
+//!   `F005` lints, and translation validation (see also the `lint` binary);
 //! - [`ckks`] (`fhe-ckks`) — the RNS-CKKS scheme;
 //! - [`compiler`] (`reserve-core`) — **the paper's contribution**: reserve
 //!   type system, backward reserve analysis, redistribution, rescale
@@ -49,12 +51,15 @@
 
 #![warn(missing_docs)]
 
+pub use fhe_analysis as analysis;
 pub use fhe_baselines as baselines;
 pub use fhe_ckks as ckks;
 pub use fhe_ir as ir;
 pub use fhe_runtime as runtime;
 pub use fhe_workloads as workloads;
 pub use reserve_core as compiler;
+
+pub mod lint;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -1,0 +1,487 @@
+//! Driver behind the `lint` binary: collects `.fhe` files, runs the
+//! abstract-interpretation lints and translation validation from
+//! [`fhe_analysis`] over each, and renders/serializes the results.
+//!
+//! A file is linted in one of two modes, selected by a `// lint-mode:`
+//! directive comment:
+//!
+//! - **compiled** (the default): the file holds a *source* program; every
+//!   requested compiler schedules it, and the lints plus translation
+//!   validation run on each resulting schedule, rendered against the
+//!   printed schedule text.
+//! - **scheduled**: the file holds an already-scheduled program (it may
+//!   contain `rescale`/`modswitch`/`upscale` ops); the lints run directly
+//!   on it, rendered with carets into the file's own text. Input encodings
+//!   come from `// lint-input-scale: N` and `// lint-input-level: N`
+//!   directives (defaults: the waterline, level 1).
+//!
+//! The fuzz-corpus directives (`// fuzz-waterline:` and friends, see
+//! [`fhe_fuzz::corpus`]) are honored for compile parameters, so reproducer
+//! files lint under the parameters their divergence was found with. When a
+//! file carries no explicit `// fuzz-output-reserve:`, the output reserve
+//! is derived statically from the interval analysis
+//! ([`required_output_reserve_bits`]), making Table 1's `m·x_max < Q`
+//! hypothesis hold by construction for in-range inputs.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use fhe_analysis::interval::required_output_reserve_bits;
+use fhe_analysis::{
+    lint_scheduled, render_finding, render_parse_error, validate, IntervalDomain, LintOptions,
+    SourceMap,
+};
+use fhe_baselines::{EvaCompiler, HecateCompiler};
+use fhe_bench::json::Json;
+use fhe_fuzz::corpus;
+use fhe_ir::diag::{Finding, Severity};
+use fhe_ir::pipeline::ScaleCompiler;
+use fhe_ir::{text, Frac, InputSpec, Op, Program, ScheduledProgram};
+use reserve_core::ReserveCompiler;
+
+/// Options for a lint run over files.
+#[derive(Debug, Clone)]
+pub struct LintRun {
+    /// Compilers scheduling compiled-mode files, by name
+    /// (`eva`/`hecate`/`reserve`), in report order.
+    pub compilers: Vec<String>,
+    /// Assumed input range `[-m, m]` for the magnitude analysis.
+    pub input_magnitude: f64,
+}
+
+impl Default for LintRun {
+    fn default() -> Self {
+        LintRun {
+            compilers: vec!["eva".into(), "hecate".into(), "reserve".into()],
+            input_magnitude: 1.0,
+        }
+    }
+}
+
+/// Lint results for one scheduled target of a file.
+#[derive(Debug)]
+pub struct TargetReport {
+    /// `"scheduled"` for directly-linted files, else the compiler name.
+    pub target: String,
+    /// The findings, including an `F000` error on a translation-validation
+    /// mismatch.
+    pub findings: Vec<Finding>,
+    /// Translation-validation verdict; `None` for scheduled-mode files
+    /// (there is no separate source to validate against).
+    pub translation_validated: Option<bool>,
+    /// Rustc-style rendering of the findings (empty when clean).
+    pub rendered: String,
+    /// A target-level failure (the compiler rejected the program, or the
+    /// hand-written schedule does not validate).
+    pub error: Option<String>,
+}
+
+/// All lint results for one file.
+#[derive(Debug)]
+pub struct FileReport {
+    /// The file, as given on the command line.
+    pub file: String,
+    /// One report per scheduled target.
+    pub targets: Vec<TargetReport>,
+    /// A file-level failure (unreadable or unparsable), already rendered
+    /// with a caret where possible.
+    pub error: Option<String>,
+}
+
+impl FileReport {
+    /// Total findings across all targets.
+    pub fn num_findings(&self) -> usize {
+        self.targets.iter().map(|t| t.findings.len()).sum()
+    }
+
+    /// True when any file- or target-level error occurred.
+    pub fn has_error(&self) -> bool {
+        self.error.is_some() || self.targets.iter().any(|t| t.error.is_some())
+    }
+}
+
+/// Recursively collects `.fhe` files under each root (a root that is
+/// itself a file is taken as-is), sorted for deterministic output.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than a missing root, which yields
+/// no files.
+pub fn collect_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
+    fn walk(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+        if path.is_file() {
+            out.push(path.to_path_buf());
+            return Ok(());
+        }
+        let entries = match fs::read_dir(path) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let mut children: Vec<PathBuf> = entries
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        children.sort();
+        for child in children {
+            if child.is_dir() {
+                walk(&child, out)?;
+            } else if child.extension().is_some_and(|x| x == "fhe") {
+                out.push(child);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    for root in roots {
+        walk(root, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+/// The `// lint-…` directives of a file.
+#[derive(Debug, Default)]
+struct Directives {
+    scheduled_mode: bool,
+    input_scale: Option<u32>,
+    input_level: Option<u32>,
+    has_explicit_reserve: bool,
+}
+
+fn parse_directives(comments: &[String]) -> Result<Directives, String> {
+    let mut d = Directives::default();
+    for comment in comments {
+        let Some((key, value)) = comment.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        let int = |what: &str| -> Result<u32, String> {
+            value.parse().map_err(|_| format!("bad {what} `{value}`"))
+        };
+        match key.trim() {
+            "lint-mode" => match value {
+                "scheduled" => d.scheduled_mode = true,
+                "compiled" => d.scheduled_mode = false,
+                other => return Err(format!("bad lint-mode `{other}` (scheduled|compiled)")),
+            },
+            "lint-input-scale" => d.input_scale = Some(int("lint-input-scale")?),
+            "lint-input-level" => d.input_level = Some(int("lint-input-level")?),
+            "fuzz-output-reserve" => d.has_explicit_reserve = true,
+            _ => {}
+        }
+    }
+    Ok(d)
+}
+
+fn num_inputs(program: &Program) -> usize {
+    program
+        .ids()
+        .filter(|&id| matches!(program.op(id), Op::Input { .. }))
+        .count()
+}
+
+fn render_findings(findings: &[Finding], map: &SourceMap, label: &str) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&render_finding(f, map, label));
+    }
+    out
+}
+
+/// Lints the schedule already written in the file itself.
+fn lint_scheduled_mode(
+    file: &str,
+    content: &str,
+    case: &corpus::CorpusCase,
+    directives: &Directives,
+    options: &LintOptions,
+) -> TargetReport {
+    let spec = InputSpec {
+        scale_bits: Frac::from(directives.input_scale.unwrap_or(case.params.waterline_bits)),
+        level: directives.input_level.unwrap_or(1),
+    };
+    let scheduled = ScheduledProgram {
+        program: case.program.clone(),
+        params: case.params,
+        inputs: vec![spec; num_inputs(&case.program)],
+    };
+    match lint_scheduled(&scheduled, options) {
+        Ok(findings) => {
+            let rendered = render_findings(&findings, &SourceMap::new(content), file);
+            TargetReport {
+                target: "scheduled".into(),
+                findings,
+                translation_validated: None,
+                rendered,
+                error: None,
+            }
+        }
+        Err(errors) => {
+            let joined = errors
+                .iter()
+                .map(|e| format!("  {e}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            TargetReport {
+                target: "scheduled".into(),
+                findings: Vec::new(),
+                translation_validated: None,
+                rendered: String::new(),
+                error: Some(format!("schedule does not validate:\n{joined}")),
+            }
+        }
+    }
+}
+
+/// Compiles the source program with one compiler and lints the schedule.
+fn lint_compiled_mode(
+    file: &str,
+    name: &str,
+    case: &corpus::CorpusCase,
+    directives: &Directives,
+    options: &LintOptions,
+) -> TargetReport {
+    let compiler: Box<dyn ScaleCompiler> = match name {
+        "eva" => Box::new(EvaCompiler),
+        "hecate" => Box::new(HecateCompiler::default()),
+        _ => Box::new(ReserveCompiler::full()),
+    };
+    let mut params = case.params;
+    if !directives.has_explicit_reserve {
+        params.output_reserve_bits = params.output_reserve_bits.max(required_output_reserve_bits(
+            &case.program,
+            &options.intervals,
+        ));
+    }
+    let compiled = match compiler.compile(&case.program, &params) {
+        Ok(c) => c,
+        Err(e) => {
+            return TargetReport {
+                target: name.into(),
+                findings: Vec::new(),
+                translation_validated: None,
+                rendered: String::new(),
+                error: Some(format!("{name}: {e}")),
+            }
+        }
+    };
+    let mut findings = lint_scheduled(&compiled.scheduled, options).unwrap_or_default();
+    let tv = validate(&case.program, &compiled.scheduled);
+    if let Err(m) = &tv {
+        let mut f = Finding::new(
+            "F000",
+            Severity::Error,
+            format!("translation validation failed: {m}"),
+        );
+        if let Some(op) = m.scheduled_op {
+            f = f.at(op);
+        }
+        findings.push(f);
+    }
+    let schedule_text = text::print(&compiled.scheduled.program);
+    let rendered = render_findings(
+        &findings,
+        &SourceMap::new(&schedule_text),
+        &format!("{file}@{name}"),
+    );
+    TargetReport {
+        target: name.into(),
+        findings,
+        translation_validated: Some(tv.is_ok()),
+        rendered,
+        error: None,
+    }
+}
+
+/// Lints one file's content. `file` is the display name used in
+/// diagnostics (typically the path as given).
+pub fn lint_file(file: &str, content: &str, run: &LintRun) -> FileReport {
+    let comments = match text::parse_with_comments(content) {
+        Ok((_, comments)) => comments,
+        Err(e) => {
+            return FileReport {
+                file: file.into(),
+                targets: Vec::new(),
+                error: Some(render_parse_error(&e, content, file)),
+            }
+        }
+    };
+    let (case, directives) = match (corpus::parse_case(content), parse_directives(&comments)) {
+        (Ok(c), Ok(d)) => (c, d),
+        (Err(e), _) | (_, Err(e)) => {
+            return FileReport {
+                file: file.into(),
+                targets: Vec::new(),
+                error: Some(format!("error: {e}\n  --> {file}\n")),
+            }
+        }
+    };
+    let options = LintOptions {
+        intervals: IntervalDomain::with_input_magnitude(run.input_magnitude),
+    };
+    let targets = if directives.scheduled_mode {
+        vec![lint_scheduled_mode(
+            file,
+            content,
+            &case,
+            &directives,
+            &options,
+        )]
+    } else {
+        run.compilers
+            .iter()
+            .map(|name| lint_compiled_mode(file, name, &case, &directives, &options))
+            .collect()
+    };
+    FileReport {
+        file: file.into(),
+        targets,
+        error: None,
+    }
+}
+
+/// True when `finding` matches any `--deny` selector: `error` and
+/// `warning` match by severity (at least that severe), anything else is an
+/// exact, case-insensitive code match.
+pub fn denied(deny: &[String], finding: &Finding) -> bool {
+    deny.iter().any(|d| match d.as_str() {
+        "error" => finding.severity >= Severity::Error,
+        "warning" => finding.severity >= Severity::Warning,
+        code => finding.code.eq_ignore_ascii_case(code),
+    })
+}
+
+fn finding_json(f: &Finding) -> Json {
+    Json::obj([
+        ("code", Json::from(f.code)),
+        ("severity", Json::from(f.severity.label())),
+        ("message", Json::from(f.message.as_str())),
+        ("op", f.op.map_or(Json::Null, |o| Json::from(o.index()))),
+    ])
+}
+
+/// Serializes the reports as the `--json` machine-readable form: an array
+/// of `{file, error, targets: [{target, error, translation_validated,
+/// findings}]}` objects.
+pub fn reports_json(reports: &[FileReport]) -> Json {
+    Json::Array(
+        reports
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("file", Json::from(r.file.as_str())),
+                    ("error", r.error.as_deref().map_or(Json::Null, Json::from)),
+                    (
+                        "targets",
+                        Json::Array(
+                            r.targets
+                                .iter()
+                                .map(|t| {
+                                    Json::obj([
+                                        ("target", Json::from(t.target.as_str())),
+                                        (
+                                            "error",
+                                            t.error.as_deref().map_or(Json::Null, Json::from),
+                                        ),
+                                        (
+                                            "translation_validated",
+                                            t.translation_validated.map_or(Json::Null, Json::Bool),
+                                        ),
+                                        (
+                                            "findings",
+                                            Json::Array(
+                                                t.findings.iter().map(finding_json).collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_reports_render_a_caret() {
+        let r = lint_file(
+            "bad.fhe",
+            "program t(slots=4) {\n  %0 = frob %0\n}\n",
+            &LintRun::default(),
+        );
+        assert!(r.has_error());
+        let err = r.error.expect("parse error");
+        assert!(err.contains("--> bad.fhe:2:8"), "{err}");
+        assert!(err.contains('^'), "{err}");
+    }
+
+    #[test]
+    fn scheduled_mode_lints_the_file_text_directly() {
+        let src = "// lint-mode: scheduled\n// lint-input-scale: 95\n// lint-input-level: 2\n\
+                   program d(slots=4) {\n  %0 = input \"x\"\n  %1 = rescale %0\n  return %0\n}\n";
+        let r = lint_file("d.fhe", src, &LintRun::default());
+        assert!(r.error.is_none());
+        assert_eq!(r.targets.len(), 1);
+        let t = &r.targets[0];
+        assert_eq!(t.target, "scheduled");
+        assert_eq!(t.translation_validated, None);
+        assert_eq!(t.findings.len(), 1);
+        assert_eq!(t.findings[0].code, "F002");
+        assert!(t.rendered.contains("--> d.fhe:6:3"), "{}", t.rendered);
+        assert!(t.rendered.contains("%1 = rescale %0"), "{}", t.rendered);
+    }
+
+    #[test]
+    fn compiled_mode_validates_translation_for_every_compiler() {
+        let src = "program q(slots=8) {\n  %0 = input \"x\"\n  %1 = input \"y\"\n  \
+                   %2 = mul %0, %0\n  %3 = mul %2, %0\n  %4 = mul %1, %1\n  \
+                   %5 = add %4, %1\n  %6 = mul %3, %5\n  return %6\n}\n";
+        let r = lint_file("q.fhe", src, &LintRun::default());
+        assert!(r.error.is_none());
+        assert_eq!(r.targets.len(), 3);
+        for t in &r.targets {
+            assert!(t.error.is_none(), "{}: {:?}", t.target, t.error);
+            assert_eq!(t.translation_validated, Some(true), "{}", t.target);
+            assert!(
+                t.findings.iter().all(|f| f.severity < Severity::Error),
+                "{}: {:?}",
+                t.target,
+                t.findings
+            );
+        }
+    }
+
+    #[test]
+    fn deny_selectors_match_severity_and_code() {
+        let warn = Finding::new("F002", Severity::Warning, "w");
+        let err = Finding::new("F001", Severity::Error, "e");
+        let deny = |s: &str| vec![s.to_string()];
+        assert!(denied(&deny("warning"), &warn));
+        assert!(denied(&deny("warning"), &err));
+        assert!(!denied(&deny("error"), &warn));
+        assert!(denied(&deny("error"), &err));
+        assert!(denied(&deny("f002"), &warn));
+        assert!(!denied(&deny("F002"), &err));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let src = "// lint-mode: scheduled\n// lint-input-scale: 95\n// lint-input-level: 2\n\
+                   program d(slots=4) {\n  %0 = input \"x\"\n  %1 = rescale %0\n  return %0\n}\n";
+        let r = lint_file("d.fhe", src, &LintRun::default());
+        let json = reports_json(&[r]).to_string();
+        assert!(json.contains("\"file\":\"d.fhe\""), "{json}");
+        assert!(json.contains("\"code\":\"F002\""), "{json}");
+        assert!(json.contains("\"translation_validated\":null"), "{json}");
+    }
+}
