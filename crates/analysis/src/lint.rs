@@ -8,12 +8,17 @@
 //! | `F003` | warning | redundant upscale: dead, or immediately re-upscaled (mergeable) |
 //! | `F004` | warning | level imbalance: a multiplication's operand scales differ by a whole rescale factor, pinning the smaller operand a level too high |
 //! | `F005` | warning | over-provisioned modulus: every live ciphertext keeps ≥ R bits of slack, so the whole schedule provably fits one level lower |
+//! | `F006` | warning | over-provisioned keys: rotation keys were requested for steps the schedule never rotates by |
 //!
 //! `F001` is the static form of the fuzz oracle's `schedule_fits_backend`
 //! gate: a lint-clean schedule under true input ranges cannot wrap in the
 //! encrypted backend. `F005` is a proof, not a heuristic: slack ≥ R on
 //! every live cipher value implies dropping every level by one preserves
-//! every validator constraint.
+//! every validator constraint. `F006` only runs when the caller supplies
+//! the deployment's requested key set
+//! ([`LintOptions::requested_rotation_steps`]); steps are compared modulo
+//! the slot count, since steps in the same residue class share one Galois
+//! key.
 
 use fhe_ir::diag::{Finding, Severity};
 use fhe_ir::{analysis, Op, ScheduleError, ScheduledProgram};
@@ -27,6 +32,11 @@ pub struct LintOptions {
     /// Input ranges assumed by the magnitude analysis (default `[-1, 1]`
     /// for every input).
     pub intervals: IntervalDomain,
+    /// Rotation steps the deployment provisions Galois keys for. When set,
+    /// `F006` warns if the schedule's rotation steps are a strict subset —
+    /// the surplus keys are pure key-switch-material waste. `None` (the
+    /// default) disables the check.
+    pub requested_rotation_steps: Option<Vec<i64>>,
 }
 
 /// Lints a scheduled program; returns all findings (empty = clean).
@@ -190,6 +200,64 @@ pub fn lint_scheduled(
         }
     }
 
+    // F006: requested rotation-key steps the schedule never uses. A Galois
+    // key is the dominant per-step memory term (2·L·(L+1) limbs of
+    // key-switch material), so provisioning keys for steps the schedule
+    // cannot rotate by is pure working-set waste. Steps are compared modulo
+    // the slot count: a residue class shares one key, and class 0 is the
+    // identity, which needs no key at all.
+    if let Some(requested) = &options.requested_rotation_steps {
+        let slots = program.slots() as i64;
+        let norm = |k: i64| k.rem_euclid(slots);
+        let mut used = std::collections::BTreeSet::new();
+        let mut anchor = None;
+        for id in program.ids() {
+            if let Op::Rotate(_, k) = program.op(id) {
+                if live[id.index()] && program.is_cipher(id) && norm(*k) != 0 {
+                    used.insert(norm(*k));
+                    anchor.get_or_insert(id);
+                }
+            }
+        }
+        let requested_classes: std::collections::BTreeSet<i64> = requested
+            .iter()
+            .map(|&k| norm(k))
+            .filter(|&k| k != 0)
+            .collect();
+        let unused: Vec<i64> = requested
+            .iter()
+            .copied()
+            .filter(|&k| norm(k) != 0 && !used.contains(&norm(k)))
+            .collect();
+        if !unused.is_empty() && used.is_subset(&requested_classes) {
+            let list = |steps: &mut dyn Iterator<Item = i64>| {
+                steps.map(|k| k.to_string()).collect::<Vec<_>>().join(", ")
+            };
+            let detail = if used.is_empty() {
+                "the schedule performs no rotations".to_string()
+            } else {
+                format!(
+                    "the schedule only rotates by steps {{{}}}",
+                    list(&mut used.iter().copied())
+                )
+            };
+            let mut f = Finding::new(
+                "F006",
+                Severity::Warning,
+                format!(
+                    "over-provisioned keys: rotation steps {{{}}} have keys requested but \
+                     are never used ({detail}); each unused step costs a full Galois key \
+                     of key-switch material",
+                    list(&mut unused.iter().copied())
+                ),
+            );
+            if let Some(id) = anchor {
+                f = f.at(id);
+            }
+            findings.push(f);
+        }
+    }
+
     findings.sort_by_key(|f| (f.op, std::cmp::Reverse(f.severity)));
     Ok(findings)
 }
@@ -311,6 +379,61 @@ mod tests {
         };
         let f = lint(&s);
         assert_eq!(codes(&f), vec!["F005"]);
+    }
+
+    #[test]
+    fn unused_requested_keys_fire_f006() {
+        let mut p = Program::new("keys", 8);
+        let x = p.push(Op::Input { name: "x".into() });
+        let r = p.push(Op::Rotate(x, 1));
+        p.set_outputs(vec![r]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1)],
+        };
+        let opts = LintOptions {
+            requested_rotation_steps: Some(vec![1, 2, 4]),
+            ..LintOptions::default()
+        };
+        let f = lint_scheduled(&s, &opts).expect("valid schedule");
+        assert_eq!(codes(&f), vec!["F006"]);
+        assert_eq!(f[0].op, Some(r), "anchored at the first live rotate");
+        assert!(f[0].message.contains("{2, 4}"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn f006_respects_step_residue_classes_and_stays_inert() {
+        let mut p = Program::new("keys", 8);
+        let x = p.push(Op::Input { name: "x".into() });
+        let r = p.push(Op::Rotate(x, 1));
+        p.set_outputs(vec![r]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1)],
+        };
+        // No requested set: the check never runs.
+        assert!(lint(&s).is_empty());
+        // 9 ≡ 1 and −7 ≡ 1 (mod 8): same Galois key, so nothing is unused.
+        let opts = LintOptions {
+            requested_rotation_steps: Some(vec![1, 9, -7]),
+            ..LintOptions::default()
+        };
+        assert!(lint_scheduled(&s, &opts).expect("valid").is_empty());
+        // Identity steps (0 mod slots) need no key and are never "unused".
+        let opts = LintOptions {
+            requested_rotation_steps: Some(vec![1, 0, 8]),
+            ..LintOptions::default()
+        };
+        assert!(lint_scheduled(&s, &opts).expect("valid").is_empty());
+        // A schedule rotating outside the requested set is a missing-key
+        // problem for the runtime, not over-provisioning: stay quiet.
+        let opts = LintOptions {
+            requested_rotation_steps: Some(vec![2]),
+            ..LintOptions::default()
+        };
+        assert!(lint_scheduled(&s, &opts).expect("valid").is_empty());
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Peak-memory microbenchmark: measures the runtime's working set under
+//! the four Galois-key provisioning policies on the suite's most
+//! rotation-heavy workload, against the compiler's static bound.
+//!
+//! ```text
+//! mem [--fast] [--json PATH] [--check-baseline PATH]
+//! ```
+//!
+//! Rows:
+//!
+//! - `eager-pow2` — the deployment-default baseline: keys for every
+//!   power-of-two step `±2^i` up front, whether the program uses them or
+//!   not.
+//! - `eager-program` — keys for exactly the program's rotation steps up
+//!   front.
+//! - `lazy` — keys generated on first use, cached without bound.
+//! - `lazy-budget` — lazy with the cache capped at `--budget` keys' bytes
+//!   (default 4).
+//!
+//! `--check-baseline BENCH_mem.json` re-runs and exits non-zero when the
+//! pool hit rate is zero, the lazy-budget peak regressed more than 20%
+//! over the committed record, or the headline reduction dropped below 2×
+//! — the CI `mem-smoke` gate.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fhe_bench::json::Json;
+use fhe_bench::print_table;
+use fhe_ir::pipeline::ScaleCompiler;
+use fhe_ir::{CompileParams, Op, Program, ScheduledProgram};
+use fhe_runtime::{execute_encrypted, ExecOptions, ExecReport, KeyPolicy};
+use fhe_workloads::{suite, Size};
+use reserve_core::ReserveCompiler;
+
+struct Args {
+    fast: bool,
+    json: Option<PathBuf>,
+    check_baseline: Option<PathBuf>,
+    workload: Option<String>,
+    budget_keys: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fast: false,
+        json: None,
+        check_baseline: None,
+        workload: None,
+        budget_keys: 4,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        let value = |iter: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--fast" => args.fast = true,
+            "--json" => args.json = Some(value(&mut iter, "--json").into()),
+            "--check-baseline" => {
+                args.check_baseline = Some(value(&mut iter, "--check-baseline").into())
+            }
+            "--workload" => args.workload = Some(value(&mut iter, "--workload")),
+            "--budget" => {
+                args.budget_keys = value(&mut iter, "--budget").parse().unwrap_or_else(|_| {
+                    eprintln!("--budget takes a key count");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (supported: --fast, --json <path>, \
+                     --check-baseline <path>, --workload <name>, --budget <keys>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Distinct Galois-key classes a program rotates by (`steps % slots != 0`,
+/// deduplicated by residue class).
+fn distinct_steps(program: &Program) -> usize {
+    let slots = program.slots() as i64;
+    program
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            Op::Rotate(_, k) if k.rem_euclid(slots) != 0 => Some(k.rem_euclid(slots)),
+            _ => None,
+        })
+        .collect::<BTreeSet<i64>>()
+        .len()
+}
+
+struct Row {
+    policy: &'static str,
+    report: ExecReport,
+}
+
+fn run_policy(
+    scheduled: &ScheduledProgram,
+    inputs: &std::collections::HashMap<String, Vec<f64>>,
+    policy: &'static str,
+    keys: KeyPolicy,
+) -> Row {
+    let options = ExecOptions {
+        poly_degree: scheduled.program.slots() * 2,
+        seed: 0xC0FFEE,
+        threads: 1,
+        keys,
+        rotation_hoisting: true,
+    };
+    let report = execute_encrypted(scheduled, inputs, &options)
+        .unwrap_or_else(|e| panic!("{policy}: {e:?}"));
+    assert!(
+        report.max_abs_error() < 1e-1,
+        "{policy}: error {} — key policy must not change results",
+        report.max_abs_error()
+    );
+    Row { policy, report }
+}
+
+fn row_json(row: &Row) -> Json {
+    let m = &row.report.mem;
+    Json::obj([
+        ("policy", Json::from(row.policy)),
+        ("peak_bytes", Json::from(m.peak_bytes as usize)),
+        ("live_bytes_end", Json::from(m.live_bytes as usize)),
+        ("key_bytes_peak", Json::from(m.key_bytes_peak as usize)),
+        ("allocations", Json::from(m.allocations as usize)),
+        ("pool_hit_rate", Json::from(m.pool_hit_rate())),
+        ("key_hits", Json::from(m.key_hits as usize)),
+        ("key_misses", Json::from(m.key_misses as usize)),
+        ("key_evictions", Json::from(m.key_evictions as usize)),
+        ("op_us", Json::from(row.report.op_time.as_secs_f64() * 1e6)),
+        (
+            "total_us",
+            Json::from(row.report.total_time.as_secs_f64() * 1e6),
+        ),
+    ])
+}
+
+/// Pulls `"key":<number>` out of a flat JSON record (the committed
+/// baseline) without a full parser.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = &text[at..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let size = if args.fast { Size::Test } else { Size::Paper };
+    let workload = match &args.workload {
+        Some(name) => suite(size)
+            .into_iter()
+            .find(|w| w.name.eq_ignore_ascii_case(name))
+            .unwrap_or_else(|| {
+                eprintln!("no workload named `{name}` in the suite");
+                std::process::exit(2);
+            }),
+        None => suite(size)
+            .into_iter()
+            .max_by_key(|w| distinct_steps(&w.program))
+            .expect("suite is non-empty"),
+    };
+    let slots = workload.program.slots();
+    let used_steps = distinct_steps(&workload.program);
+    eprintln!(
+        "workload {} ({slots} slots, {used_steps} distinct rotation steps)",
+        workload.name
+    );
+
+    let compiled = ReserveCompiler::full()
+        .compile(&workload.program, &CompileParams::new(25))
+        .expect("workload compiles");
+    let static_mem = compiled.report.memory.clone();
+
+    // The deployment-default baseline: the generic power-of-two ladder in
+    // both directions plus the application's own steps — provisioned up
+    // front whether each key ends up used or not.
+    let mut pow2 = Vec::new();
+    let mut step = 1i64;
+    while (step as usize) < slots {
+        pow2.push(step);
+        pow2.push(-step);
+        step *= 2;
+    }
+    for op in workload.program.ops() {
+        if let Op::Rotate(_, k) = op {
+            pow2.push(*k);
+        }
+    }
+
+    let budget_keys = args.budget_keys;
+    let n = slots * 2;
+    let level = compiled.report.max_level as usize;
+    let one_key = 2 * level * (level + 1) * n * 8;
+    let rows = [
+        run_policy(
+            &compiled.scheduled,
+            &workload.inputs,
+            "eager-pow2",
+            KeyPolicy::EagerSet(pow2.clone()),
+        ),
+        run_policy(
+            &compiled.scheduled,
+            &workload.inputs,
+            "eager-program",
+            KeyPolicy::EagerProgram,
+        ),
+        run_policy(
+            &compiled.scheduled,
+            &workload.inputs,
+            "lazy",
+            KeyPolicy::Lazy { budget_bytes: None },
+        ),
+        run_policy(
+            &compiled.scheduled,
+            &workload.inputs,
+            "lazy-budget",
+            KeyPolicy::Lazy {
+                budget_bytes: Some(budget_keys * one_key),
+            },
+        ),
+    ];
+
+    print_table(
+        &[
+            "policy", "peak MiB", "keys MiB", "hit rate", "evict", "op ms", "total ms",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                let m = &r.report.mem;
+                vec![
+                    r.policy.to_string(),
+                    format!("{:.2}", m.peak_bytes as f64 / (1 << 20) as f64),
+                    format!("{:.2}", m.key_bytes_peak as f64 / (1 << 20) as f64),
+                    format!("{:.2}", m.pool_hit_rate()),
+                    format!("{}", m.key_evictions),
+                    format!("{:.1}", r.report.op_time.as_secs_f64() * 1e3),
+                    format!("{:.1}", r.report.total_time.as_secs_f64() * 1e3),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    eprintln!(
+        "static bound: {:.2} MiB ({} Galois keys)",
+        static_mem.peak_bytes as f64 / (1 << 20) as f64,
+        static_mem.galois_keys
+    );
+
+    // Invariants the whole memory subsystem promises. The static bound
+    // only covers policies whose key set the model accounts for (the
+    // program's own steps) — eager-pow2 deliberately over-provisions past
+    // it; that gap is the point of the comparison.
+    let baseline = &rows[0];
+    let budgeted = &rows[3];
+    for row in &rows[1..] {
+        assert!(
+            row.report.mem.peak_bytes <= static_mem.peak_bytes,
+            "{}: measured peak {} beats static bound {}",
+            row.policy,
+            row.report.mem.peak_bytes,
+            static_mem.peak_bytes
+        );
+    }
+    for row in &rows {
+        assert!(
+            row.report.mem.pool_hit_rate() > 0.0,
+            "{}: pool never hit",
+            row.policy
+        );
+    }
+    let reduction = baseline.report.mem.peak_bytes as f64 / budgeted.report.mem.peak_bytes as f64;
+    let latency_ratio =
+        budgeted.report.total_time.as_secs_f64() / baseline.report.total_time.as_secs_f64();
+    eprintln!(
+        "peak reduction lazy-budget vs eager-pow2: {reduction:.2}x (latency {latency_ratio:.2}x)"
+    );
+
+    let json = Json::obj([
+        ("workload", Json::from(workload.name)),
+        ("slots", Json::from(slots)),
+        ("poly_degree", Json::from(n)),
+        ("used_rotation_steps", Json::from(used_steps)),
+        ("provisioned_pow2_steps", Json::from(pow2.len())),
+        (
+            "static",
+            Json::obj([
+                ("peak_bytes", Json::from(static_mem.peak_bytes as usize)),
+                (
+                    "poly_peak_bytes",
+                    Json::from(static_mem.poly_peak_bytes as usize),
+                ),
+                ("key_bytes", Json::from(static_mem.key_bytes as usize)),
+                ("galois_keys", Json::from(static_mem.galois_keys)),
+            ]),
+        ),
+        ("rows", Json::Array(rows.iter().map(row_json).collect())),
+        ("reduction_vs_eager_pow2", Json::from(reduction)),
+        ("latency_ratio_vs_eager_pow2", Json::from(latency_ratio)),
+        (
+            "lazy_budget_peak_bytes",
+            Json::from(budgeted.report.mem.peak_bytes as usize),
+        ),
+        (
+            "pool_hit_rate",
+            Json::from(budgeted.report.mem.pool_hit_rate()),
+        ),
+    ]);
+    if let Some(path) = &args.json {
+        std::fs::write(path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+
+    if let Some(baseline_path) = &args.check_baseline {
+        let committed = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", baseline_path.display()));
+        let committed_peak = json_number(&committed, "lazy_budget_peak_bytes")
+            .expect("baseline has lazy_budget_peak_bytes");
+        let peak = budgeted.report.mem.peak_bytes as f64;
+        if budgeted.report.mem.pool_hit_rate() <= 0.0 {
+            eprintln!("FAIL: pool hit rate is zero — the arena is not recycling");
+            return ExitCode::FAILURE;
+        }
+        if peak > committed_peak * 1.2 {
+            eprintln!(
+                "FAIL: lazy-budget peak {peak:.0} B regressed >20% over committed {committed_peak:.0} B"
+            );
+            return ExitCode::FAILURE;
+        }
+        if reduction < 2.0 {
+            eprintln!("FAIL: peak reduction {reduction:.2}x fell below the promised 2x");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("baseline check passed");
+    }
+    ExitCode::SUCCESS
+}

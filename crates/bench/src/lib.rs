@@ -226,6 +226,18 @@ pub fn report_json(report: &CompileReport) -> Json {
         ),
         ("max_level", Json::from(report.max_level)),
         (
+            "memory",
+            Json::obj([
+                ("peak_bytes", Json::from(report.memory.peak_bytes as usize)),
+                (
+                    "poly_peak_bytes",
+                    Json::from(report.memory.poly_peak_bytes as usize),
+                ),
+                ("key_bytes", Json::from(report.memory.key_bytes as usize)),
+                ("galois_keys", Json::from(report.memory.galois_keys)),
+            ]),
+        ),
+        (
             "findings",
             Json::Array(
                 report
@@ -336,6 +348,10 @@ mod tests {
         assert!(j.contains("\"max_level\":"));
         assert!(j.contains("\"translation_validated\":true"), "{j}");
         assert!(j.contains("\"findings\":"), "{j}");
+        assert!(j.contains("\"memory\":{\"peak_bytes\":"), "{j}");
+        let mem = &out[2].report.memory;
+        assert!(mem.peak_bytes >= mem.poly_peak_bytes + mem.key_bytes);
+        assert!(mem.peak_bytes > 0);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use crate::cipher::Ciphertext;
 use crate::context::CkksContext;
 use crate::encoding::{Encoder, Plaintext};
-use crate::keys::{rotation_to_galois, GaloisKeys, KswKey, RelinKey};
+use crate::keys::{rotation_to_galois, GaloisKeys, KeyCache, KswKey, RelinKey};
 use crate::par;
 use crate::poly::RnsPoly;
+use crate::pool::{PolyPool, PoolStats};
 
 /// Relative scale mismatch tolerated by additions. Two drift sources:
 /// chain primes are only approximately `2^modulus_bits` (parts in
@@ -16,13 +17,50 @@ use crate::poly::RnsPoly;
 /// 1e-4 keeps full discrimination.
 const SCALE_TOLERANCE: f64 = 1e-4;
 
+/// A rotation or conjugation needed a Galois key that is neither in the
+/// static key set nor derivable from a [`KeyCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingKeyError {
+    /// The Galois element of the missing key.
+    pub galois: usize,
+    /// The rotation step that required it (`None` for conjugation).
+    pub steps: Option<i64>,
+}
+
+impl std::fmt::Display for MissingKeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.steps {
+            Some(s) => write!(
+                f,
+                "missing Galois key for rotation {s} (element {})",
+                self.galois
+            ),
+            None => write!(
+                f,
+                "missing conjugation Galois key (element {})",
+                self.galois
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MissingKeyError {}
+
 /// Evaluator: executes homomorphic ops given the needed evaluation keys.
+///
+/// Hot-path temporaries and results draw their limb buffers from an
+/// internal [`PolyPool`]; callers that retire ciphertexts can return the
+/// buffers via [`RnsPoly::recycle`] against [`Evaluator::pool`], turning
+/// later allocations into pool hits. Galois keys resolve from the static
+/// key set first, then fall back to an optional lazy [`KeyCache`].
 #[derive(Debug)]
 pub struct Evaluator<'c> {
     ctx: &'c CkksContext,
     encoder: Encoder<'c>,
     relin: Option<RelinKey>,
     galois: GaloisKeys,
+    cache: Option<KeyCache>,
+    pool: PolyPool,
 }
 
 impl<'c> Evaluator<'c> {
@@ -34,7 +72,67 @@ impl<'c> Evaluator<'c> {
             encoder: Encoder::new(ctx),
             relin,
             galois,
+            cache: None,
+            pool: PolyPool::new(ctx.degree()),
         }
+    }
+
+    /// Attaches a lazy Galois-key cache consulted when a rotation's key is
+    /// absent from the static set.
+    pub fn with_key_cache(mut self, cache: KeyCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached key cache, if any.
+    pub fn key_cache(&self) -> Option<&KeyCache> {
+        self.cache.as_ref()
+    }
+
+    /// The evaluator's limb-buffer pool (for recycling retired ciphertexts
+    /// and reading allocation stats).
+    pub fn pool(&self) -> &PolyPool {
+        &self.pool
+    }
+
+    /// A snapshot of the pool's counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Returns a retired ciphertext's limb buffers to the pool, turning
+    /// later allocations at its level into pool hits. Safe on any
+    /// ciphertext (pooled or not); buffers of a foreign degree are dropped.
+    pub fn recycle_ct(&self, ct: Ciphertext) {
+        ct.c0.recycle(&self.pool);
+        ct.c1.recycle(&self.pool);
+    }
+
+    /// A pooled deep copy of a ciphertext.
+    fn clone_ct(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            c0: a.c0.clone_in(&self.pool),
+            c1: a.c1.clone_in(&self.pool),
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Resolves the key for Galois element `g` (static set first, then the
+    /// cache) and runs `f` with it.
+    fn with_galois_key<R>(
+        &self,
+        g: usize,
+        steps: Option<i64>,
+        f: impl FnOnce(&KswKey) -> R,
+    ) -> Result<R, MissingKeyError> {
+        if let Some(key) = self.galois.get(g) {
+            return Ok(f(key));
+        }
+        if let Some(cache) = &self.cache {
+            return Ok(cache.with_key(self.ctx, g, f));
+        }
+        Err(MissingKeyError { galois: g, steps })
     }
 
     /// The context.
@@ -62,7 +160,7 @@ impl<'c> Evaluator<'c> {
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.check_pair(a, b);
         self.check_scales(a.scale, b.scale);
-        let mut out = a.clone();
+        let mut out = self.clone_ct(a);
         out.c0.add_assign(self.ctx, &b.c0);
         out.c1.add_assign(self.ctx, &b.c1);
         out
@@ -72,7 +170,7 @@ impl<'c> Evaluator<'c> {
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.check_pair(a, b);
         self.check_scales(a.scale, b.scale);
-        let mut out = a.clone();
+        let mut out = self.clone_ct(a);
         out.c0.sub_assign(self.ctx, &b.c0);
         out.c1.sub_assign(self.ctx, &b.c1);
         out
@@ -80,7 +178,7 @@ impl<'c> Evaluator<'c> {
 
     /// −cipher.
     pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
-        let mut out = a.clone();
+        let mut out = self.clone_ct(a);
         out.c0.neg_assign(self.ctx);
         out.c1.neg_assign(self.ctx);
         out
@@ -91,7 +189,7 @@ impl<'c> Evaluator<'c> {
     pub fn add_plain(&self, a: &Ciphertext, p: &Plaintext) -> Ciphertext {
         assert_eq!(a.level, p.level, "plaintext level must match");
         self.check_scales(a.scale, p.scale);
-        let mut out = a.clone();
+        let mut out = self.clone_ct(a);
         out.c0.add_assign(self.ctx, &p.poly);
         out
     }
@@ -105,9 +203,9 @@ impl<'c> Evaluator<'c> {
     /// cipher × plain; the result scale is the product of scales.
     pub fn mul_plain(&self, a: &Ciphertext, p: &Plaintext) -> Ciphertext {
         assert_eq!(a.level, p.level, "plaintext level must match");
-        let mut out = a.clone();
-        out.c0 = out.c0.mul(self.ctx, &p.poly);
-        out.c1 = out.c1.mul(self.ctx, &p.poly);
+        let mut out = self.clone_ct(a);
+        out.c0.mul_assign(self.ctx, &p.poly);
+        out.c1.mul_assign(self.ctx, &p.poly);
         out.scale = a.scale * p.scale;
         out
     }
@@ -130,16 +228,23 @@ impl<'c> Evaluator<'c> {
             .as_ref()
             .expect("relinearization key required for mul");
         let ctx = self.ctx;
-        let d0 = a.c0.mul(ctx, &b.c0);
-        let mut d1 = a.c0.mul(ctx, &b.c1);
-        d1.add_assign(ctx, &a.c1.mul(ctx, &b.c0));
-        let d2 = a.c1.mul(ctx, &b.c1);
+        let pool = &self.pool;
+        let mut d0 = a.c0.clone_in(pool);
+        d0.mul_assign(ctx, &b.c0);
+        let mut d1 = a.c0.clone_in(pool);
+        d1.mul_assign(ctx, &b.c1);
+        // d1 += a.c1 ∘ b.c0, fused — no temporary product polynomial.
+        a.c1.mul_acc(ctx, &b.c0, &mut d1);
+        let mut d2 = a.c1.clone_in(pool);
+        d2.mul_assign(ctx, &b.c1);
         let (k0, k1) = self.key_switch(&d2, &relin.0);
-        let mut c0 = d0;
-        c0.add_assign(ctx, &k0);
+        d2.recycle(pool);
+        d0.add_assign(ctx, &k0);
+        k0.recycle(pool);
         d1.add_assign(ctx, &k1);
+        k1.recycle(pool);
         Ciphertext {
-            c0,
+            c0: d0,
             c1: d1,
             level: a.level,
             scale: a.scale * b.scale,
@@ -155,23 +260,40 @@ impl<'c> Evaluator<'c> {
     ///
     /// # Panics
     ///
-    /// Panics if the needed Galois key is missing.
+    /// Panics if the needed Galois key is missing; see
+    /// [`Evaluator::try_rotate`] for the fallible form.
     pub fn rotate(&self, a: &Ciphertext, steps: i64) -> Ciphertext {
+        self.try_rotate(a, steps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Rotates the slot vector by `steps`, reporting a missing Galois key
+    /// as a [`MissingKeyError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingKeyError`] when the needed key is neither in the
+    /// static set nor derivable from an attached [`KeyCache`].
+    pub fn try_rotate(&self, a: &Ciphertext, steps: i64) -> Result<Ciphertext, MissingKeyError> {
         let g = rotation_to_galois(self.ctx, steps);
         if g == 1 {
-            return a.clone();
+            return Ok(self.clone_ct(a));
         }
-        let key = self
-            .galois
-            .get(g)
-            .unwrap_or_else(|| panic!("missing Galois key for rotation {steps}"));
+        self.with_galois_key(g, Some(steps), |key| self.apply_galois(a, g, key))
+    }
+
+    /// The shared automorphism + key-switch body of rotation and
+    /// conjugation, with all temporaries drawn from the pool.
+    fn apply_galois(&self, a: &Ciphertext, g: usize, key: &KswKey) -> Ciphertext {
         let ctx = self.ctx;
-        let mut c0 = a.c0.clone();
-        c0.automorphism(ctx, g);
-        let mut c1 = a.c1.clone();
-        c1.automorphism(ctx, g);
+        let pool = &self.pool;
+        let mut c0 = a.c0.clone_in(pool);
+        c0.automorphism_in(ctx, g, pool);
+        let mut c1 = a.c1.clone_in(pool);
+        c1.automorphism_in(ctx, g, pool);
         let (k0, k1) = self.key_switch(&c1, key);
+        c1.recycle(pool);
         c0.add_assign(ctx, &k0);
+        k0.recycle(pool);
         Ciphertext {
             c0,
             c1: k1,
@@ -188,9 +310,9 @@ impl<'c> Evaluator<'c> {
     pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
         assert!(a.level >= 2, "cannot rescale at level 1");
         let dropped = self.ctx.moduli()[a.level - 1].value() as f64;
-        let mut out = a.clone();
-        out.c0.rescale_last(self.ctx);
-        out.c1.rescale_last(self.ctx);
+        let mut out = self.clone_ct(a);
+        out.c0.rescale_last_in(self.ctx, &self.pool);
+        out.c1.rescale_last_in(self.ctx, &self.pool);
         out.level -= 1;
         out.scale = a.scale / dropped;
         out
@@ -203,9 +325,9 @@ impl<'c> Evaluator<'c> {
     /// Panics at level 1.
     pub fn mod_switch(&self, a: &Ciphertext) -> Ciphertext {
         assert!(a.level >= 2, "cannot modswitch at level 1");
-        let mut out = a.clone();
-        out.c0.drop_to_level(a.level - 1);
-        out.c1.drop_to_level(a.level - 1);
+        let mut out = self.clone_ct(a);
+        out.c0.drop_to_level_in(a.level - 1, &self.pool);
+        out.c1.drop_to_level_in(a.level - 1, &self.pool);
         out.level -= 1;
         out
     }
@@ -227,7 +349,7 @@ impl<'c> Evaluator<'c> {
             "upscale factor must be >= 1"
         );
         let m = factor.round().max(1.0);
-        let mut out = a.clone();
+        let mut out = self.clone_ct(a);
         if m > 1.0 && m < 2f64.powi(53) {
             out.c0.mul_scalar_assign(self.ctx, m as u64);
             out.c1.mul_scalar_assign(self.ctx, m as u64);
@@ -247,28 +369,34 @@ impl<'c> Evaluator<'c> {
     /// front half of every key switch.
     fn decompose_lifted(&self, d: &RnsPoly) -> Vec<RnsPoly> {
         let ctx = self.ctx;
+        let pool = &self.pool;
         let l = d.level();
-        let mut dc = d.clone();
+        let mut dc = d.clone_in(pool);
         dc.to_coeff(ctx);
-        let dc = &dc;
-        // Each digit's lifted polynomial is built independently; fan the
-        // digits across the worker threads.
-        par::map_range(ctx.threads(), l, |j| {
-            let mut lifted = RnsPoly::zero(ctx, l, true, false);
-            for i in 0..l {
-                let m = ctx.moduli()[i];
-                let dst = lifted.limb_mut(i);
-                for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
-                    *d = m.reduce(src);
+        let out = {
+            let dc = &dc;
+            // Each digit's lifted polynomial is built independently; fan the
+            // digits across the worker threads. Every limb of every digit is
+            // fully overwritten below, so raw (unzeroed) checkouts suffice.
+            par::map_range(ctx.threads(), l, |j| {
+                let mut lifted = RnsPoly::zero_in(pool, ctx, l, true, false);
+                for i in 0..l {
+                    let m = ctx.moduli()[i];
+                    let dst = lifted.limb_mut(i);
+                    for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
+                        *d = m.reduce(src);
+                    }
                 }
-            }
-            let p = ctx.special();
-            let dst = lifted.special_limb_mut();
-            for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
-                *d = p.reduce(src);
-            }
-            lifted
-        })
+                let p = ctx.special();
+                let dst = lifted.special_limb_mut();
+                for (d, &src) in dst.iter_mut().zip(dc.limb(j)) {
+                    *d = p.reduce(src);
+                }
+                lifted
+            })
+        };
+        dc.recycle(pool);
+        out
     }
 
     /// The back half of a key switch: NTT the (possibly permuted) lifted
@@ -283,15 +411,19 @@ impl<'c> Evaluator<'c> {
         key: &KswKey,
     ) -> (RnsPoly, RnsPoly) {
         let ctx = self.ctx;
-        let mut acc0 = RnsPoly::zero(ctx, l, true, true);
-        let mut acc1 = RnsPoly::zero(ctx, l, true, true);
+        let pool = &self.pool;
+        let mut acc0 = RnsPoly::zero_in(pool, ctx, l, true, true);
+        let mut acc1 = RnsPoly::zero_in(pool, ctx, l, true, true);
         for (j, t) in lifted.iter_mut().enumerate() {
             t.to_ntt(ctx);
             t.mul_acc_restricted(ctx, &key.k0[j], &mut acc0);
             t.mul_acc_restricted(ctx, &key.k1[j], &mut acc1);
         }
-        acc0.rescale_special(ctx);
-        acc1.rescale_special(ctx);
+        for t in lifted {
+            t.recycle(pool);
+        }
+        acc0.rescale_special_in(ctx, pool);
+        acc1.rescale_special_in(ctx, pool);
         (acc0, acc1)
     }
 
@@ -312,44 +444,74 @@ impl<'c> Evaluator<'c> {
     ///
     /// # Panics
     ///
-    /// Panics if any needed Galois key is missing.
+    /// Panics if any needed Galois key is missing; see
+    /// [`Evaluator::try_rotate_hoisted`] for the fallible form.
     pub fn rotate_hoisted(&self, a: &Ciphertext, steps: &[i64]) -> Vec<Ciphertext> {
+        self.try_rotate_hoisted(a, steps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Hoisted multi-rotation (see [`Evaluator::rotate_hoisted`]) that
+    /// reports a missing Galois key instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingKeyError`] for the first rotation step whose key is
+    /// neither in the static set nor derivable from an attached
+    /// [`KeyCache`]; already-computed rotations are discarded.
+    pub fn try_rotate_hoisted(
+        &self,
+        a: &Ciphertext,
+        steps: &[i64],
+    ) -> Result<Vec<Ciphertext>, MissingKeyError> {
         let ctx = self.ctx;
+        let pool = &self.pool;
         let l = a.level;
         let lifted = self.decompose_lifted(&a.c1);
-        steps
-            .iter()
-            .map(|&step| {
-                let g = rotation_to_galois(ctx, step);
-                if g == 1 {
-                    return a.clone();
-                }
-                let key = self
-                    .galois
-                    .get(g)
-                    .unwrap_or_else(|| panic!("missing Galois key for rotation {step}"));
+        let mut out = Vec::with_capacity(steps.len());
+        for &step in steps {
+            let g = rotation_to_galois(ctx, step);
+            if g == 1 {
+                out.push(self.clone_ct(a));
+                continue;
+            }
+            let rotated = self.with_galois_key(g, Some(step), |key| {
                 // Decomposition commutes with the automorphism (both are
                 // coefficient-wise), so permute the shared lifted polys.
                 let permuted: Vec<RnsPoly> = lifted
                     .iter()
                     .map(|lp| {
-                        let mut t = lp.clone();
-                        t.automorphism(ctx, g);
+                        let mut t = lp.clone_in(pool);
+                        t.automorphism_in(ctx, g, pool);
                         t
                     })
                     .collect();
                 let (k0, k1) = self.key_switch_lifted(permuted, l, key);
-                let mut c0 = a.c0.clone();
-                c0.automorphism(ctx, g);
+                let mut c0 = a.c0.clone_in(pool);
+                c0.automorphism_in(ctx, g, pool);
                 c0.add_assign(ctx, &k0);
+                k0.recycle(pool);
                 Ciphertext {
                     c0,
                     c1: k1,
                     level: l,
                     scale: a.scale,
                 }
-            })
-            .collect()
+            });
+            match rotated {
+                Ok(ct) => out.push(ct),
+                Err(e) => {
+                    for lp in lifted {
+                        lp.recycle(pool);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for lp in lifted {
+            lp.recycle(pool);
+        }
+        Ok(out)
     }
 }
 
@@ -612,26 +774,22 @@ impl<'c> Evaluator<'c> {
     /// # Panics
     ///
     /// Panics if the conjugation Galois key is missing (generate it with
-    /// [`crate::KeyGenerator::galois_keys_with_conjugation`]).
+    /// [`crate::KeyGenerator::galois_keys_with_conjugation`]); see
+    /// [`Evaluator::try_conjugate`] for the fallible form.
     pub fn conjugate(&self, a: &Ciphertext) -> Ciphertext {
+        self.try_conjugate(a).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Complex conjugation (see [`Evaluator::conjugate`]) that reports a
+    /// missing conjugation key instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingKeyError`] when the conjugation key is neither in
+    /// the static set nor derivable from an attached [`KeyCache`].
+    pub fn try_conjugate(&self, a: &Ciphertext) -> Result<Ciphertext, MissingKeyError> {
         let g = 2 * self.ctx.degree() - 1;
-        let key = self
-            .galois
-            .get(g)
-            .unwrap_or_else(|| panic!("missing conjugation Galois key"));
-        let ctx = self.ctx;
-        let mut c0 = a.c0.clone();
-        c0.automorphism(ctx, g);
-        let mut c1 = a.c1.clone();
-        c1.automorphism(ctx, g);
-        let (k0, k1) = self.key_switch(&c1, key);
-        c0.add_assign(ctx, &k0);
-        Ciphertext {
-            c0,
-            c1: k1,
-            level: a.level,
-            scale: a.scale,
-        }
+        self.with_galois_key(g, None, |key| self.apply_galois(a, g, key))
     }
 }
 

@@ -7,7 +7,7 @@
 //! components, and dividing by `P` then yields an encryption of `d·t` with
 //! only additive noise `≈ Σ_j q_j·e_j / P`.
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::context::CkksContext;
 use crate::poly::RnsPoly;
@@ -16,6 +16,13 @@ use crate::poly::RnsPoly;
 #[derive(Debug, Clone)]
 pub struct SecretKey {
     pub(crate) s: RnsPoly,
+}
+
+impl SecretKey {
+    /// Heap bytes held by the key polynomial.
+    pub fn byte_size(&self) -> usize {
+        self.s.byte_size()
+    }
 }
 
 /// A public encryption key `(p0, p1) = (−a·s − e, a)` over `Q` (no `P`).
@@ -27,15 +34,30 @@ pub struct PublicKey {
 
 /// One key-switching key: per chain limb `j`, a pair over `Q·P` with
 /// `k0_j + k1_j·s = T_j·t + e_j`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KswKey {
     pub(crate) k0: Vec<RnsPoly>,
     pub(crate) k1: Vec<RnsPoly>,
 }
 
+impl KswKey {
+    /// Heap bytes held by the key polynomials
+    /// (`2 · L` digits × `L+1` limbs × `N` × 8).
+    pub fn byte_size(&self) -> usize {
+        self.k0.iter().chain(&self.k1).map(RnsPoly::byte_size).sum()
+    }
+}
+
 /// Relinearization key: switches `s²` back to `s` after multiplication.
 #[derive(Debug, Clone)]
 pub struct RelinKey(pub(crate) KswKey);
+
+impl RelinKey {
+    /// Heap bytes held by the key polynomials.
+    pub fn byte_size(&self) -> usize {
+        self.0.byte_size()
+    }
+}
 
 /// Galois keys: per Galois element `g`, switches `s(X^g)` back to `s`.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +74,11 @@ impl GaloisKeys {
     /// Galois elements covered by this key set.
     pub fn elements(&self) -> impl Iterator<Item = usize> + '_ {
         self.keys.keys().copied()
+    }
+
+    /// Heap bytes held across all keys in the set.
+    pub fn byte_size(&self) -> usize {
+        self.keys.values().map(KswKey::byte_size).sum()
     }
 }
 
@@ -114,36 +141,7 @@ impl<'c> KeyGenerator<'c> {
     /// Builds a key-switching key from source secret `t` to the main secret
     /// `s` (both over `Q·P`, NTT).
     fn ksw_key(&self, t: &RnsPoly, rng: &mut impl Rng) -> KswKey {
-        let ctx = self.ctx;
-        let l = ctx.max_level();
-        let p = ctx.special().value();
-        let mut k0 = Vec::with_capacity(l);
-        let mut k1 = Vec::with_capacity(l);
-        for j in 0..l {
-            let a = RnsPoly::uniform(ctx, l, true, rng);
-            let mut e = RnsPoly::gaussian(ctx, l, true, rng);
-            e.to_ntt(ctx);
-            // body = −a·s + e + T_j·t, where T_j has residue (P mod q_j) on
-            // limb j and 0 elsewhere (including the special limb).
-            let mut body = a.mul(ctx, &self.sk.s);
-            body.neg_assign(ctx);
-            body.add_assign(ctx, &e);
-            let tj = {
-                let qj = ctx.moduli()[j];
-                let factor = qj.reduce(p);
-                let factor_shoup = qj.shoup(factor);
-                // Zero on all limbs except j, where it is (P mod q_j)·t.
-                let mut tj = RnsPoly::zero(ctx, l, true, true);
-                for (dst, &src) in tj.limb_mut(j).iter_mut().zip(t.limb(j)) {
-                    *dst = qj.mul_shoup(src, factor, factor_shoup);
-                }
-                tj
-            };
-            body.add_assign(ctx, &tj);
-            k0.push(body);
-            k1.push(a);
-        }
-        KswKey { k0, k1 }
+        generate_ksw(self.ctx, &self.sk.s, t, rng)
     }
 
     /// Generates the relinearization key (switches `s²` to `s`).
@@ -190,6 +188,198 @@ impl<'c> KeyGenerator<'c> {
             self.ksw_key(&sg, rng)
         });
         keys
+    }
+}
+
+/// Builds a key-switching key from source secret `t` to main secret `s`
+/// (both over `Q·P`, NTT) — shared by [`KeyGenerator`] and the lazy
+/// [`KeyCache`].
+fn generate_ksw(ctx: &CkksContext, s: &RnsPoly, t: &RnsPoly, rng: &mut impl Rng) -> KswKey {
+    let l = ctx.max_level();
+    let p = ctx.special().value();
+    let mut k0 = Vec::with_capacity(l);
+    let mut k1 = Vec::with_capacity(l);
+    for j in 0..l {
+        let a = RnsPoly::uniform(ctx, l, true, rng);
+        let mut e = RnsPoly::gaussian(ctx, l, true, rng);
+        e.to_ntt(ctx);
+        // body = −a·s + e + T_j·t, where T_j has residue (P mod q_j) on
+        // limb j and 0 elsewhere (including the special limb).
+        let mut body = a.mul(ctx, s);
+        body.neg_assign(ctx);
+        body.add_assign(ctx, &e);
+        let tj = {
+            let qj = ctx.moduli()[j];
+            let factor = qj.reduce(p);
+            let factor_shoup = qj.shoup(factor);
+            // Zero on all limbs except j, where it is (P mod q_j)·t.
+            let mut tj = RnsPoly::zero(ctx, l, true, true);
+            for (dst, &src) in tj.limb_mut(j).iter_mut().zip(t.limb(j)) {
+                *dst = qj.mul_shoup(src, factor, factor_shoup);
+            }
+            tj
+        };
+        body.add_assign(ctx, &tj);
+        k0.push(body);
+        k1.push(a);
+    }
+    KswKey { k0, k1 }
+}
+
+/// SplitMix64 finalizer — decorrelates the per-element key-generation seeds
+/// derived from (cache seed, Galois element).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Counters describing a [`KeyCache`]'s traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that generated a key on demand.
+    pub misses: u64,
+    /// Keys evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes of key material currently cached (excluding the secret-key
+    /// handle the cache holds to regenerate keys).
+    pub bytes: usize,
+    /// High-water mark of [`KeyCacheStats::bytes`].
+    pub peak_bytes: usize,
+}
+
+struct CacheEntry {
+    key: KswKey,
+    /// Monotonic last-use tick for LRU eviction.
+    tick: u64,
+}
+
+/// Lazy Galois-key store: generates each key on first use from a retained
+/// secret-key handle and keeps it in an LRU cache under an optional byte
+/// budget.
+///
+/// Per-element generation is seeded by `(seed, g)` independently of access
+/// order, so an evicted key regenerates bit-identically — execution results
+/// do not depend on the budget. Interior mutability lets a shared
+/// [`crate::Evaluator`] populate the cache through `&self`.
+pub struct KeyCache {
+    sk: SecretKey,
+    seed: u64,
+    budget: Option<usize>,
+    inner: std::sync::Mutex<CacheInner>,
+}
+
+struct CacheInner {
+    entries: std::collections::HashMap<usize, CacheEntry>,
+    tick: u64,
+    stats: KeyCacheStats,
+}
+
+impl std::fmt::Debug for KeyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyCache")
+            .field("seed", &self.seed)
+            .field("budget", &self.budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl KeyCache {
+    /// A cache that generates keys on demand for `sk`'s context, evicting
+    /// least-recently-used keys once cached bytes exceed `budget_bytes`
+    /// (`None` = unbounded). The most recently requested key is never
+    /// evicted, so a budget smaller than one key still works (by
+    /// regenerating on every rotation).
+    pub fn new(sk: SecretKey, seed: u64, budget_bytes: Option<usize>) -> Self {
+        KeyCache {
+            sk,
+            seed,
+            budget: budget_bytes,
+            inner: std::sync::Mutex::new(CacheInner {
+                entries: std::collections::HashMap::new(),
+                tick: 0,
+                stats: KeyCacheStats::default(),
+            }),
+        }
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Heap bytes of the retained secret-key handle.
+    pub fn secret_key_bytes(&self) -> usize {
+        self.sk.byte_size()
+    }
+
+    /// A snapshot of the cache's counters.
+    pub fn stats(&self) -> KeyCacheStats {
+        self.inner.lock().expect("key cache lock").stats
+    }
+
+    /// Whether a key for Galois element `g` is currently cached (does not
+    /// touch LRU order).
+    pub fn contains(&self, g: usize) -> bool {
+        self.inner
+            .lock()
+            .expect("key cache lock")
+            .entries
+            .contains_key(&g)
+    }
+
+    /// The cached Galois elements, least recently used first.
+    pub fn cached_elements(&self) -> Vec<usize> {
+        let inner = self.inner.lock().expect("key cache lock");
+        let mut els: Vec<(u64, usize)> = inner.entries.iter().map(|(&g, e)| (e.tick, g)).collect();
+        els.sort_unstable();
+        els.into_iter().map(|(_, g)| g).collect()
+    }
+
+    /// Runs `f` with the key for Galois element `g`, generating (and
+    /// caching) it on first use. Never fails: any odd element can be
+    /// derived from the secret-key handle.
+    pub fn with_key<R>(&self, ctx: &CkksContext, g: usize, f: impl FnOnce(&KswKey) -> R) -> R {
+        let mut inner = self.inner.lock().expect("key cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&g) {
+            entry.tick = tick;
+            inner.stats.hits += 1;
+            // Mutex-guarded borrow: run `f` under the lock.
+            let entry = inner.entries.get(&g).expect("just updated");
+            return f(&entry.key);
+        }
+        inner.stats.misses += 1;
+        // Order-independent derivation: the same (seed, g) always produces
+        // the same key, so eviction and regeneration are bit-transparent.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(self.seed ^ g as u64));
+        let mut sg = self.sk.s.clone();
+        sg.automorphism(ctx, g);
+        let key = generate_ksw(ctx, &self.sk.s, &sg, &mut rng);
+        inner.stats.bytes += key.byte_size();
+        inner.entries.insert(g, CacheEntry { key, tick });
+        if let Some(budget) = self.budget {
+            while inner.stats.bytes > budget && inner.entries.len() > 1 {
+                let victim = inner
+                    .entries
+                    .iter()
+                    .filter(|(&el, _)| el != g)
+                    .min_by_key(|(_, e)| e.tick)
+                    .map(|(&el, _)| el)
+                    .expect("len > 1 leaves a victim");
+                let evicted = inner.entries.remove(&victim).expect("victim present");
+                inner.stats.bytes -= evicted.key.byte_size();
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.bytes);
+        let entry = inner.entries.get(&g).expect("just inserted");
+        f(&entry.key)
     }
 }
 
@@ -245,6 +435,64 @@ mod tests {
                 m.center(c)
             );
         }
+    }
+
+    #[test]
+    fn key_cache_generates_on_demand_and_counts_bytes() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(21);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let cache = KeyCache::new(kg.secret_key(), 0xFEED, None);
+        let one_key = 2 * ctx.max_level() * (ctx.max_level() + 1) * ctx.degree() * 8;
+        assert_eq!(cache.stats().bytes, 0);
+        let g = rotation_to_galois(&ctx, 1);
+        cache.with_key(&ctx, g, |_| ());
+        cache.with_key(&ctx, g, |_| ());
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.evictions), (1, 1, 0));
+        assert_eq!(s.bytes, one_key, "one cached key's bytes");
+        assert_eq!(s.peak_bytes, one_key);
+        assert!(cache.contains(g));
+    }
+
+    #[test]
+    fn key_cache_evicts_least_recently_used_within_budget() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(22);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let one_key = 2 * ctx.max_level() * (ctx.max_level() + 1) * ctx.degree() * 8;
+        let cache = KeyCache::new(kg.secret_key(), 0xFEED, Some(2 * one_key));
+        let g = |k: i64| rotation_to_galois(&ctx, k);
+        cache.with_key(&ctx, g(1), |_| ());
+        cache.with_key(&ctx, g(2), |_| ());
+        assert_eq!(cache.cached_elements(), vec![g(1), g(2)]);
+        // Third key exceeds the budget: g(1) is the LRU victim.
+        cache.with_key(&ctx, g(3), |_| ());
+        assert_eq!(cache.cached_elements(), vec![g(2), g(3)]);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().bytes, 2 * one_key);
+        // Touching g(2) promotes it, so the next insert evicts g(3).
+        cache.with_key(&ctx, g(2), |_| ());
+        cache.with_key(&ctx, g(1), |_| ());
+        assert_eq!(cache.cached_elements(), vec![g(2), g(1)]);
+        assert_eq!(cache.stats().peak_bytes, 2 * one_key);
+    }
+
+    #[test]
+    fn key_cache_regenerates_evicted_keys_bit_identically() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(23);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let one_key = 2 * ctx.max_level() * (ctx.max_level() + 1) * ctx.degree() * 8;
+        // Budget below one key: every rotation regenerates, results must
+        // not depend on the churn.
+        let cache = KeyCache::new(kg.secret_key(), 0xFEED, Some(one_key / 2));
+        let g = rotation_to_galois(&ctx, 1);
+        let first = cache.with_key(&ctx, g, KswKey::clone);
+        cache.with_key(&ctx, rotation_to_galois(&ctx, 2), |_| ());
+        assert!(!cache.contains(g), "tiny budget keeps only the newest key");
+        let again = cache.with_key(&ctx, g, KswKey::clone);
+        assert_eq!(first, again, "per-element seeding is order-independent");
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod modular;
 pub mod ntt;
 mod par;
 pub mod poly;
+pub mod pool;
 pub mod primes;
 pub mod security;
 pub mod serialize;
@@ -61,5 +62,9 @@ pub mod serialize;
 pub use cipher::{decrypt, encrypt_public, encrypt_symmetric, Ciphertext};
 pub use context::{CkksContext, CkksParams};
 pub use encoding::{Encoder, Plaintext};
-pub use eval::Evaluator;
-pub use keys::{rotation_to_galois, GaloisKeys, KeyGenerator, PublicKey, RelinKey, SecretKey};
+pub use eval::{Evaluator, MissingKeyError};
+pub use keys::{
+    rotation_to_galois, GaloisKeys, KeyCache, KeyCacheStats, KeyGenerator, PublicKey, RelinKey,
+    SecretKey,
+};
+pub use pool::{PolyPool, PoolStats};

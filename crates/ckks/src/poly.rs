@@ -6,6 +6,7 @@ use crate::context::CkksContext;
 use crate::modular::Modulus;
 use crate::ntt::NttTable;
 use crate::par;
+use crate::pool::PolyPool;
 
 /// A polynomial in RNS form: one residue vector (length `N`) per active
 /// modulus. The active basis is the first `level` chain primes, optionally
@@ -35,6 +36,52 @@ impl RnsPoly {
             ntt,
             limbs: vec![vec![0u64; n]; count],
         }
+    }
+
+    /// The all-zero polynomial with limb buffers checked out of `pool`
+    /// instead of freshly allocated — the hot-path twin of
+    /// [`RnsPoly::zero`], which stays allocation-honest for the reference
+    /// kernels.
+    pub fn zero_in(
+        pool: &PolyPool,
+        ctx: &CkksContext,
+        level: usize,
+        special: bool,
+        ntt: bool,
+    ) -> Self {
+        assert!(level >= 1 && level <= ctx.max_level(), "level out of range");
+        assert_eq!(pool.degree(), ctx.degree(), "pool sized for this context");
+        let count = level + usize::from(special);
+        RnsPoly {
+            level,
+            special,
+            ntt,
+            limbs: pool.take_zeroed(count),
+        }
+    }
+
+    /// A deep copy whose limb buffers come from `pool`.
+    pub fn clone_in(&self, pool: &PolyPool) -> Self {
+        let mut limbs = pool.take_raw(self.limbs.len());
+        for (dst, src) in limbs.iter_mut().zip(&self.limbs) {
+            dst.copy_from_slice(src);
+        }
+        RnsPoly {
+            level: self.level,
+            special: self.special,
+            ntt: self.ntt,
+            limbs,
+        }
+    }
+
+    /// Returns this polynomial's limb buffers to `pool`.
+    pub fn recycle(self, pool: &PolyPool) {
+        pool.put(self.limbs);
+    }
+
+    /// Heap bytes held by the limb buffers.
+    pub fn byte_size(&self) -> usize {
+        self.limbs.iter().map(|l| l.len() * 8).sum()
     }
 
     /// Number of active chain limbs.
@@ -280,6 +327,25 @@ impl RnsPoly {
         out
     }
 
+    /// Pointwise `self ∘= other` (both NTT, same basis) — the in-place
+    /// twin of [`RnsPoly::mul`] used by the pooled evaluator paths to
+    /// avoid materializing a product polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in coefficient domain.
+    pub fn mul_assign(&mut self, ctx: &CkksContext, other: &RnsPoly) {
+        self.check_compatible(other);
+        assert!(self.ntt, "polynomial product requires NTT domain");
+        let (special, count) = (self.special, self.limbs.len());
+        par::for_each(ctx.threads(), &mut self.limbs, |idx, limb| {
+            let m = Self::modulus_at(ctx, special, count, idx);
+            for (a, &b) in limb.iter_mut().zip(&other.limbs[idx]) {
+                *a = m.mul(*a, b);
+            }
+        });
+    }
+
     /// `self · other` accumulated into `acc` (`acc += self ∘ other`),
     /// fused into a single pass per limb — no temporary product polynomial
     /// is materialized.
@@ -337,6 +403,15 @@ impl RnsPoly {
         self.special = false;
     }
 
+    /// [`RnsPoly::drop_to_level`] with the truncated limb buffers returned
+    /// to `pool` instead of freed.
+    pub fn drop_to_level_in(&mut self, new_level: usize, pool: &PolyPool) {
+        assert!(new_level >= 1 && new_level <= self.level);
+        pool.put(self.limbs.drain(new_level..));
+        self.level = new_level;
+        self.special = false;
+    }
+
     /// Restricts a full-basis key polynomial to the first `level` chain
     /// limbs plus the special limb (key polys always carry `P`).
     pub fn restrict_for_keyswitch(&self, level: usize) -> RnsPoly {
@@ -362,6 +437,16 @@ impl RnsPoly {
     /// Panics if the poly is at level 1, carries the special limb, or is in
     /// coefficient domain.
     pub fn rescale_last(&mut self, ctx: &CkksContext) {
+        self.rescale_last_impl(ctx, None);
+    }
+
+    /// [`RnsPoly::rescale_last`] with the dropped limb buffer returned to
+    /// `pool` instead of freed.
+    pub fn rescale_last_in(&mut self, ctx: &CkksContext, pool: &PolyPool) {
+        self.rescale_last_impl(ctx, Some(pool));
+    }
+
+    fn rescale_last_impl(&mut self, ctx: &CkksContext, pool: Option<&PolyPool>) {
         assert!(self.level >= 2, "cannot rescale below level 1");
         assert!(!self.special, "rescale before dropping the special limb");
         assert!(self.ntt, "ciphertext polys live in NTT domain");
@@ -371,26 +456,31 @@ impl RnsPoly {
         ctx.table(j).inverse(&mut last);
         let qj = ctx.moduli()[j];
         let half = qj.value() / 2;
-        let last = &last;
-        par::for_each_with_scratch(ctx.threads(), &mut self.limbs, |i, limb, corr| {
-            let mi = ctx.moduli()[i];
-            // Centered lift of [x]_{q_j} reduced mod q_i, then NTT under q_i
-            // (built in the worker's reused scratch buffer).
-            corr.clear();
-            corr.extend(last.iter().map(|&v| {
-                // center to (−q_j/2, q_j/2] to keep the subtraction small
-                if v > half {
-                    mi.sub(0, mi.reduce(qj.value() - v))
-                } else {
-                    mi.reduce(v)
+        {
+            let last = &last;
+            par::for_each_with_scratch(ctx.threads(), &mut self.limbs, |i, limb, corr| {
+                let mi = ctx.moduli()[i];
+                // Centered lift of [x]_{q_j} reduced mod q_i, then NTT under
+                // q_i (built in the worker's reused scratch buffer).
+                corr.clear();
+                corr.extend(last.iter().map(|&v| {
+                    // center to (−q_j/2, q_j/2] to keep the subtraction small
+                    if v > half {
+                        mi.sub(0, mi.reduce(qj.value() - v))
+                    } else {
+                        mi.reduce(v)
+                    }
+                }));
+                ctx.table(i).forward(corr);
+                let (inv, inv_shoup) = ctx.rescale_inv(j, i);
+                for (a, &c) in limb.iter_mut().zip(corr.iter()) {
+                    *a = mi.mul_shoup(mi.sub(*a, c), inv, inv_shoup);
                 }
-            }));
-            ctx.table(i).forward(corr);
-            let (inv, inv_shoup) = ctx.rescale_inv(j, i);
-            for (a, &c) in limb.iter_mut().zip(corr.iter()) {
-                *a = mi.mul_shoup(mi.sub(*a, c), inv, inv_shoup);
-            }
-        });
+            });
+        }
+        if let Some(pool) = pool {
+            pool.put([last]);
+        }
         self.level = j;
     }
 
@@ -401,35 +491,60 @@ impl RnsPoly {
     ///
     /// Panics if the poly lacks the special limb or is in coefficient domain.
     pub fn rescale_special(&mut self, ctx: &CkksContext) {
+        self.rescale_special_impl(ctx, None);
+    }
+
+    /// [`RnsPoly::rescale_special`] with the dropped limb buffer returned
+    /// to `pool` instead of freed.
+    pub fn rescale_special_in(&mut self, ctx: &CkksContext, pool: &PolyPool) {
+        self.rescale_special_impl(ctx, Some(pool));
+    }
+
+    fn rescale_special_impl(&mut self, ctx: &CkksContext, pool: Option<&PolyPool>) {
         assert!(self.special, "no special limb to drop");
         assert!(self.ntt, "ciphertext polys live in NTT domain");
         let mut last = self.limbs.pop().expect("limb");
         ctx.special_table().inverse(&mut last);
         let p = ctx.special();
         let half = p.value() / 2;
-        let last = &last;
-        par::for_each_with_scratch(ctx.threads(), &mut self.limbs, |i, limb, corr| {
-            let mi = ctx.moduli()[i];
-            corr.clear();
-            corr.extend(last.iter().map(|&v| {
-                if v > half {
-                    mi.sub(0, mi.reduce(p.value() - v))
-                } else {
-                    mi.reduce(v)
+        {
+            let last = &last;
+            par::for_each_with_scratch(ctx.threads(), &mut self.limbs, |i, limb, corr| {
+                let mi = ctx.moduli()[i];
+                corr.clear();
+                corr.extend(last.iter().map(|&v| {
+                    if v > half {
+                        mi.sub(0, mi.reduce(p.value() - v))
+                    } else {
+                        mi.reduce(v)
+                    }
+                }));
+                ctx.table(i).forward(corr);
+                let (inv, inv_shoup) = ctx.special_inv(i);
+                for (a, &c) in limb.iter_mut().zip(corr.iter()) {
+                    *a = mi.mul_shoup(mi.sub(*a, c), inv, inv_shoup);
                 }
-            }));
-            ctx.table(i).forward(corr);
-            let (inv, inv_shoup) = ctx.special_inv(i);
-            for (a, &c) in limb.iter_mut().zip(corr.iter()) {
-                *a = mi.mul_shoup(mi.sub(*a, c), inv, inv_shoup);
-            }
-        });
+            });
+        }
+        if let Some(pool) = pool {
+            pool.put([last]);
+        }
         self.special = false;
     }
 
     /// Applies the Galois automorphism `X ↦ X^g` (odd `g`), in coefficient
     /// domain internally; preserves the input domain.
     pub fn automorphism(&mut self, ctx: &CkksContext, g: usize) {
+        self.automorphism_impl(ctx, g, None);
+    }
+
+    /// [`RnsPoly::automorphism`] with the per-limb target buffers checked
+    /// out of `pool` and the replaced source buffers returned to it.
+    pub fn automorphism_in(&mut self, ctx: &CkksContext, g: usize, pool: &PolyPool) {
+        self.automorphism_impl(ctx, g, Some(pool));
+    }
+
+    fn automorphism_impl(&mut self, ctx: &CkksContext, g: usize, pool: Option<&PolyPool>) {
         let n = ctx.degree();
         assert!(g % 2 == 1, "Galois element must be odd");
         let was_ntt = self.ntt;
@@ -437,7 +552,13 @@ impl RnsPoly {
         for idx in 0..self.limbs.len() {
             let m = self.modulus_of(ctx, idx);
             let src = &self.limbs[idx];
-            let mut dst = vec![0u64; n];
+            // For odd g the map i ↦ (i·g mod 2N) folded into 0..N is a
+            // bijection, so every slot of `dst` is written exactly once and
+            // an unzeroed pooled buffer is safe.
+            let mut dst = match pool {
+                Some(p) => p.take_raw(1).pop().expect("one buffer"),
+                None => vec![0u64; n],
+            };
             for (i, &coeff) in src.iter().enumerate() {
                 let target = (i * g) % (2 * n);
                 if target < n {
@@ -446,7 +567,10 @@ impl RnsPoly {
                     dst[target - n] = m.neg(coeff);
                 }
             }
-            self.limbs[idx] = dst;
+            let old = std::mem::replace(&mut self.limbs[idx], dst);
+            if let Some(p) = pool {
+                p.put([old]);
+            }
         }
         if was_ntt {
             self.to_ntt(ctx);

@@ -1,0 +1,225 @@
+//! A recycling arena for RNS limb buffers.
+//!
+//! Every limb of every [`crate::poly::RnsPoly`] is a `Vec<u64>` of length
+//! `N`, so one uniform free list serves polynomials at every level: a
+//! checkout for a level-`l` polynomial takes `l` (+1 with the special
+//! limb) buffers, and recycling a polynomial returns them. Buffers are
+//! ordinary `Vec`s — checkout/return is pure accounting, so a pooled
+//! polynomial that escapes (e.g. into a caller-held ciphertext) simply
+//! drops normally and only the pool's live-byte counter stays high until
+//! the owner recycles it.
+//!
+//! The pool is internally synchronized: the per-digit key-switch fan-out
+//! in [`crate::Evaluator`] checks buffers out from worker threads. Each
+//! checkout/return takes the lock once for the whole polynomial, not per
+//! limb.
+
+use std::sync::Mutex;
+
+/// Counters describing a [`PolyPool`]'s traffic. Byte figures cover only
+/// pool-managed buffers (checked-out or adopted); key material and encoder
+/// scratch are accounted separately by the runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from the free list.
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the free list.
+    pub returns: u64,
+    /// Foreign buffers adopted into the live accounting (e.g. fresh
+    /// encryptions produced outside the pool).
+    pub adopted: u64,
+    /// Bytes currently checked out (live polynomials).
+    pub live_bytes: u64,
+    /// High-water mark of [`PoolStats::live_bytes`].
+    pub peak_bytes: u64,
+    /// Bytes currently parked on the free list.
+    pub free_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of checkouts served from the free list (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct PoolInner {
+    free: Vec<Vec<u64>>,
+    stats: PoolStats,
+}
+
+/// A free list of `N`-length limb buffers shared by one evaluator (see the
+/// module docs for the accounting model).
+#[derive(Debug)]
+pub struct PolyPool {
+    degree: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for PoolInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolInner")
+            .field("free", &self.free.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PolyPool {
+    /// An empty pool for limb buffers of length `degree`.
+    pub fn new(degree: usize) -> Self {
+        PolyPool {
+            degree,
+            inner: Mutex::new(PoolInner {
+                free: Vec::new(),
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// The limb length this pool recycles.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Checks out `count` zeroed limb buffers.
+    pub fn take_zeroed(&self, count: usize) -> Vec<Vec<u64>> {
+        let mut limbs = self.take_raw(count);
+        for limb in &mut limbs {
+            limb.fill(0);
+        }
+        limbs
+    }
+
+    /// Checks out `count` limb buffers with unspecified contents — for
+    /// callers that overwrite every slot (clones, automorphism targets).
+    pub fn take_raw(&self, count: usize) -> Vec<Vec<u64>> {
+        let limb_bytes = (self.degree * 8) as u64;
+        let mut inner = self.inner.lock().expect("pool lock");
+        let reused = count.min(inner.free.len());
+        let mut limbs = Vec::with_capacity(count);
+        for _ in 0..reused {
+            limbs.push(inner.free.pop().expect("free buffer"));
+        }
+        inner.stats.hits += reused as u64;
+        inner.stats.free_bytes -= reused as u64 * limb_bytes;
+        let fresh = count - reused;
+        inner.stats.misses += fresh as u64;
+        inner.stats.live_bytes += count as u64 * limb_bytes;
+        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.live_bytes);
+        drop(inner);
+        for _ in 0..fresh {
+            limbs.push(vec![0u64; self.degree]);
+        }
+        limbs
+    }
+
+    /// Returns limb buffers to the free list. Buffers whose length differs
+    /// from the pool's degree are dropped (never resized in place).
+    pub fn put(&self, limbs: impl IntoIterator<Item = Vec<u64>>) {
+        let limb_bytes = (self.degree * 8) as u64;
+        let mut inner = self.inner.lock().expect("pool lock");
+        for limb in limbs {
+            inner.stats.live_bytes = inner.stats.live_bytes.saturating_sub(limb_bytes);
+            if limb.len() == self.degree {
+                inner.stats.returns += 1;
+                inner.stats.free_bytes += limb_bytes;
+                inner.free.push(limb);
+            }
+        }
+    }
+
+    /// Registers `limbs` buffers created outside the pool (e.g. a fresh
+    /// encryption) as live, so that recycling them later balances the
+    /// accounting and peak bytes cover all polynomial memory.
+    pub fn adopt(&self, limbs: usize) {
+        let bytes = (limbs * self.degree * 8) as u64;
+        let mut inner = self.inner.lock().expect("pool lock");
+        inner.stats.adopted += limbs as u64;
+        inner.stats.live_bytes += bytes;
+        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.live_bytes);
+    }
+
+    /// A snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().expect("pool lock").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_miss_then_hit() {
+        let pool = PolyPool::new(8);
+        let a = pool.take_zeroed(3);
+        assert_eq!(a.len(), 3);
+        let s = pool.stats();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.live_bytes, 3 * 64);
+        pool.put(a);
+        let s = pool.stats();
+        assert_eq!(s.returns, 3);
+        assert_eq!(s.live_bytes, 0);
+        assert_eq!(s.free_bytes, 3 * 64);
+        let b = pool.take_zeroed(2);
+        let s = pool.stats();
+        assert_eq!(s.hits, 2, "reuse must come from the free list");
+        assert_eq!(s.misses, 3);
+        assert!(b.iter().all(|l| l.iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn zeroed_checkout_clears_recycled_contents() {
+        let pool = PolyPool::new(4);
+        let mut a = pool.take_zeroed(1);
+        a[0][2] = 99;
+        pool.put(a);
+        let b = pool.take_zeroed(1);
+        assert_eq!(b[0], vec![0u64; 4]);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_and_adoption() {
+        let pool = PolyPool::new(8);
+        let a = pool.take_zeroed(2);
+        pool.adopt(3);
+        assert_eq!(pool.stats().live_bytes, 5 * 64);
+        assert_eq!(pool.stats().peak_bytes, 5 * 64);
+        pool.put(a);
+        // Adopted bytes stay live until their buffers are put back.
+        assert_eq!(pool.stats().live_bytes, 3 * 64);
+        assert_eq!(pool.stats().peak_bytes, 5 * 64);
+        assert_eq!(pool.stats().adopted, 3);
+    }
+
+    #[test]
+    fn wrong_length_buffers_are_dropped_not_pooled() {
+        let pool = PolyPool::new(8);
+        pool.adopt(1);
+        pool.put([vec![0u64; 4]]);
+        let s = pool.stats();
+        assert_eq!(s.returns, 0);
+        assert_eq!(s.free_bytes, 0);
+        assert_eq!(s.live_bytes, 0, "live accounting still balanced");
+    }
+
+    #[test]
+    fn hit_rate_reflects_traffic() {
+        let pool = PolyPool::new(8);
+        assert_eq!(pool.stats().hit_rate(), 0.0);
+        let a = pool.take_zeroed(1);
+        pool.put(a);
+        let _b = pool.take_zeroed(1);
+        assert!((pool.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -9,7 +9,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::cipher::Ciphertext;
 use crate::context::CkksContext;
 use crate::encoding::Plaintext;
-use crate::keys::SecretKey;
+use crate::keys::{GaloisKeys, KswKey, RelinKey, SecretKey};
 use crate::poly::RnsPoly;
 
 const MAGIC: u32 = 0x52_4E_53_43; // "RNSC"
@@ -232,6 +232,147 @@ pub fn secret_key_from_bytes(ctx: &CkksContext, data: &[u8]) -> Result<SecretKey
     Ok(SecretKey { s })
 }
 
+fn put_ksw(buf: &mut BytesMut, key: &KswKey, n: usize) {
+    buf.put_u32_le(key.k0.len() as u32);
+    for p in &key.k0 {
+        put_poly(buf, p, n);
+    }
+    for p in &key.k1 {
+        put_poly(buf, p, n);
+    }
+}
+
+fn get_ksw(buf: &mut Bytes, ctx: &CkksContext) -> Result<KswKey, DecodeError> {
+    if buf.remaining() < 4 {
+        return err("truncated key-switch key header");
+    }
+    let digits = buf.get_u32_le() as usize;
+    if digits != ctx.max_level() {
+        return err(format!(
+            "key-switch key has {digits} digits, context needs {}",
+            ctx.max_level()
+        ));
+    }
+    let mut half = |name: &str| -> Result<Vec<RnsPoly>, DecodeError> {
+        let mut polys = Vec::with_capacity(digits);
+        for _ in 0..digits {
+            let p = get_poly(buf, ctx)?;
+            if p.level() != ctx.max_level() || !p.has_special() || !p.is_ntt() {
+                return err(format!(
+                    "{name} digit must cover the full Q·P basis in NTT form"
+                ));
+            }
+            polys.push(p);
+        }
+        Ok(polys)
+    };
+    let k0 = half("k0")?;
+    let k1 = half("k1")?;
+    Ok(KswKey { k0, k1 })
+}
+
+/// Serializes a relinearization key. Evaluation keys are public material:
+/// the server needs them to run cipher×cipher multiplications.
+pub fn relin_key_to_bytes(ctx: &CkksContext, key: &RelinKey) -> Bytes {
+    let n = ctx.degree();
+    let mut buf = BytesMut::with_capacity(16 + key.byte_size());
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(3); // kind: relinearization key
+    buf.put_u32_le(n as u32);
+    put_ksw(&mut buf, &key.0, n);
+    buf.freeze()
+}
+
+/// Deserializes a relinearization key.
+///
+/// # Errors
+///
+/// Fails on wrong magic/version/kind, degree mismatch, truncation,
+/// unreduced residues, or key polynomials not over the full `Q·P` basis
+/// in NTT form.
+pub fn relin_key_from_bytes(ctx: &CkksContext, data: &[u8]) -> Result<RelinKey, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 10 {
+        return err("truncated header");
+    }
+    if buf.get_u32_le() != MAGIC {
+        return err("bad magic");
+    }
+    if buf.get_u8() != VERSION {
+        return err("unsupported version");
+    }
+    if buf.get_u8() != 3 {
+        return err("not a relinearization-key blob");
+    }
+    if buf.get_u32_le() as usize != ctx.degree() {
+        return err("polynomial degree mismatch");
+    }
+    Ok(RelinKey(get_ksw(&mut buf, ctx)?))
+}
+
+/// Serializes a Galois key set. Entries are written sorted by Galois
+/// element so equal sets produce identical bytes.
+pub fn galois_keys_to_bytes(ctx: &CkksContext, keys: &GaloisKeys) -> Bytes {
+    let n = ctx.degree();
+    let mut buf = BytesMut::with_capacity(16 + keys.byte_size());
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(4); // kind: Galois key set
+    buf.put_u32_le(n as u32);
+    let mut elements: Vec<usize> = keys.keys.keys().copied().collect();
+    elements.sort_unstable();
+    buf.put_u32_le(elements.len() as u32);
+    for g in elements {
+        buf.put_u64_le(g as u64);
+        put_ksw(&mut buf, &keys.keys[&g], n);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a Galois key set.
+///
+/// # Errors
+///
+/// Fails on wrong magic/version/kind, degree mismatch, truncation,
+/// unreduced residues, an invalid or duplicate Galois element, or key
+/// polynomials not over the full `Q·P` basis in NTT form.
+pub fn galois_keys_from_bytes(ctx: &CkksContext, data: &[u8]) -> Result<GaloisKeys, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 14 {
+        return err("truncated header");
+    }
+    if buf.get_u32_le() != MAGIC {
+        return err("bad magic");
+    }
+    if buf.get_u8() != VERSION {
+        return err("unsupported version");
+    }
+    if buf.get_u8() != 4 {
+        return err("not a Galois-key blob");
+    }
+    if buf.get_u32_le() as usize != ctx.degree() {
+        return err("polynomial degree mismatch");
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut keys = std::collections::HashMap::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return err("truncated Galois element");
+        }
+        let g = buf.get_u64_le() as usize;
+        // Valid automorphism exponents are odd and in (1, 2N).
+        if g.is_multiple_of(2) || g <= 1 || g >= 2 * ctx.degree() {
+            return err(format!("invalid Galois element {g}"));
+        }
+        let key = get_ksw(&mut buf, ctx)?;
+        if keys.insert(g, key).is_some() {
+            return err(format!("duplicate Galois element {g}"));
+        }
+    }
+    Ok(GaloisKeys { keys })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +479,136 @@ mod tests {
                 v * v
             );
         }
+    }
+
+    #[test]
+    fn relin_key_roundtrips_and_multiplies() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(21);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let blob = relin_key_to_bytes(&ctx, &relin);
+        let back = relin_key_from_bytes(&ctx, &blob).expect("roundtrip");
+        assert_eq!(back.0, relin.0);
+        // The deserialized key relinearizes: square at the fresh level,
+        // rescale, and square again at the dropped level — both products
+        // must decode correctly.
+        let ev = crate::eval::Evaluator::new(&ctx, Some(back), crate::keys::GaloisKeys::default());
+        let values: Vec<f64> = (0..8).map(|i| (i as f64 - 3.0) * 0.2).collect();
+        // Scale 2^30 leaves headroom for a second square at level 1
+        // (rescaled scale ≈ 2^15, squared ≈ 2^30 < q0 ≈ 2^45).
+        let pt = ev.encoder().encode(&values, 2f64.powi(30), 2);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let fresh_sq = ev.rescale(&ev.square(&ct));
+        assert_eq!(fresh_sq.level, 1);
+        let decoded = ev.encoder().decode(&decrypt(&ctx, &sk, &fresh_sq));
+        for (i, &v) in values.iter().enumerate() {
+            assert!(
+                (decoded[i] - v * v).abs() < 1e-2,
+                "fresh slot {i}: {} vs {}",
+                decoded[i],
+                v * v
+            );
+        }
+        // At the rescaled level the key's full-basis digits are consumed
+        // through the restricted inner product — exercise that path too.
+        let low_sq = ev.square(&fresh_sq);
+        let d = ev.encoder().decode(&decrypt(&ctx, &sk, &low_sq));
+        for (i, &v) in values.iter().take(4).enumerate() {
+            let expect = (v * v) * (v * v);
+            assert!(
+                (d[i] - expect).abs() < 1e-2,
+                "rescaled slot {i}: {} vs {expect}",
+                d[i]
+            );
+        }
+        // Kind bytes cross-reject against the other key kinds.
+        assert!(secret_key_from_bytes(&ctx, &blob).is_err());
+        assert!(galois_keys_from_bytes(&ctx, &blob).is_err());
+    }
+
+    #[test]
+    fn galois_keys_roundtrip_and_rotate() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(22);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let gk = kg.galois_keys([1i64, 5], &mut rng);
+        let blob = galois_keys_to_bytes(&ctx, &gk);
+        let back = galois_keys_from_bytes(&ctx, &blob).expect("roundtrip");
+        let mut want: Vec<usize> = gk.elements().collect();
+        let mut got: Vec<usize> = back.elements().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        for g in want {
+            assert_eq!(back.get(g), gk.get(g));
+        }
+        // Serialization is canonical: equal sets → identical bytes.
+        assert_eq!(blob, galois_keys_to_bytes(&ctx, &back));
+        // The deserialized set rotates at the fresh level...
+        let ev = crate::eval::Evaluator::new(&ctx, Some(relin), back);
+        let values: Vec<f64> = (0..ctx.slots()).map(|i| i as f64 * 0.1).collect();
+        let pt = ev.encoder().encode(&values, 2f64.powi(40), 2);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        let r = ev.rotate(&ct, 1);
+        let d = ev.encoder().decode(&decrypt(&ctx, &sk, &r));
+        let slots = ctx.slots();
+        for i in 0..8 {
+            let expect = values[(i + 1) % slots];
+            assert!(
+                (d[i] - expect).abs() < 1e-2,
+                "slot {i}: {} vs {expect}",
+                d[i]
+            );
+        }
+        // ...and at a rescaled level, where the restricted key inner
+        // product runs over fewer limbs than the serialized full basis.
+        let low = ev.rescale(&ev.square(&ct));
+        assert_eq!(low.level, 1);
+        let rl = ev.rotate(&low, 5);
+        let dl = ev.encoder().decode(&decrypt(&ctx, &sk, &rl));
+        for i in 0..8 {
+            let v = values[(i + 5) % slots];
+            let expect = v * v;
+            assert!(
+                (dl[i] - expect).abs() < 1e-2,
+                "rescaled slot {i}: {} vs {expect}",
+                dl[i]
+            );
+        }
+        // Kind bytes cross-reject.
+        assert!(relin_key_from_bytes(&ctx, &blob).is_err());
+        assert!(ciphertext_from_bytes(&ctx, &blob).is_err());
+    }
+
+    #[test]
+    fn key_blobs_reject_corruption() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(23);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let relin = kg.relin_key(&mut rng);
+        let blob = relin_key_to_bytes(&ctx, &relin).to_vec();
+        // Wrong magic.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(relin_key_from_bytes(&ctx, &bad).is_err());
+        // Truncated mid-polynomial.
+        assert!(relin_key_from_bytes(&ctx, &blob[..blob.len() / 2]).is_err());
+        // Unreduced residue in the last limb word.
+        let mut bad = blob.clone();
+        let off = blob.len() - 8;
+        bad[off..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(relin_key_from_bytes(&ctx, &bad).is_err());
+        // A Galois set with a tampered (even) element is rejected.
+        let gk = kg.galois_keys([2i64], &mut rng);
+        let gblob = galois_keys_to_bytes(&ctx, &gk).to_vec();
+        let mut bad = gblob.clone();
+        // Element is the u64 right after the 14-byte header.
+        bad[14] &= 0xFE;
+        assert!(galois_keys_from_bytes(&ctx, &bad).is_err());
     }
 
     #[test]

@@ -65,6 +65,27 @@ pub enum OrderingStrategy {
     ReverseTopological,
 }
 
+/// Latency-vs-working-set preference, recorded in the compile report's
+/// static memory estimate and honored by the encrypted runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkingSet {
+    /// Favor latency: the runtime may hoist rotation groups, sharing one
+    /// key-switch decomposition at the cost of holding every group output
+    /// live at once (default).
+    #[default]
+    Latency,
+    /// Favor a compact working set: rotation hoisting is disabled, so the
+    /// static peak (and the runtime's measured peak) stays lower.
+    Compact,
+}
+
+impl WorkingSet {
+    /// Whether rotation-group hoisting is permitted under this preference.
+    pub fn hoist_rotations(self) -> bool {
+        matches!(self, WorkingSet::Latency)
+    }
+}
+
 /// Options for [`compile`].
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -78,6 +99,8 @@ pub struct Options {
     pub cleanup: bool,
     /// Allocation-order strategy (ablation of §6.1).
     pub ordering: OrderingStrategy,
+    /// Latency-vs-working-set preference for the memory model.
+    pub working_set: WorkingSet,
 }
 
 impl Options {
@@ -89,6 +112,7 @@ impl Options {
             mode: Mode::Full,
             cleanup: true,
             ordering: OrderingStrategy::CostPriority,
+            working_set: WorkingSet::default(),
         }
     }
 
@@ -265,6 +289,9 @@ pub fn compile(program: &Program, options: &Options) -> Result<Compiled, Compile
     let label = options.mode.label();
     let t_total = Instant::now();
     let mut cx = PassCx::new(options.params, options.cost_model.clone());
+    cx.put(fhe_ir::MemoryModelConfig {
+        hoist_rotations: options.working_set.hoist_rotations(),
+    });
     let (ir, trace) = pipeline_for(options)
         .with(LintPass::default())
         .with(TranslationValidatePass::new(program.clone()))
@@ -299,6 +326,8 @@ pub struct ReserveCompiler {
     pub cleanup: bool,
     /// Allocation-order strategy.
     pub ordering: OrderingStrategy,
+    /// Latency-vs-working-set preference for the memory model.
+    pub working_set: WorkingSet,
 }
 
 impl ReserveCompiler {
@@ -314,6 +343,7 @@ impl ReserveCompiler {
             cost_model: CostModel::paper_table3(),
             cleanup: true,
             ordering: OrderingStrategy::CostPriority,
+            working_set: WorkingSet::default(),
         }
     }
 
@@ -324,6 +354,7 @@ impl ReserveCompiler {
             mode: self.mode,
             cleanup: self.cleanup,
             ordering: self.ordering,
+            working_set: self.working_set,
         }
     }
 }

@@ -297,6 +297,7 @@ pub fn check_program(program: &Program, cfg: &OracleConfig) -> Vec<Divergence> {
             &inputs,
             &reference,
             &magnitudes,
+            &compiled.report.memory,
             tol,
             name,
             cfg,
@@ -585,6 +586,7 @@ fn check_executors(
     inputs: &HashMap<String, Vec<f64>>,
     reference: &[Vec<f64>],
     magnitudes: &[f64],
+    static_mem: &fhe_ir::MemoryEstimate,
     tol: f64,
     compiler: &str,
     cfg: &OracleConfig,
@@ -603,6 +605,7 @@ fn check_executors(
                     poly_degree: scheduled.program.slots() * 2,
                     seed: cfg.ckks_seed,
                     threads: 1,
+                    ..ExecOptions::default()
                 },
             }),
             tol,
@@ -649,6 +652,22 @@ fn check_executors(
                 cfg,
                 divs,
             );
+            // The compiler's static working-set estimate must dominate the
+            // peak the runtime's pool + key accounting actually measured
+            // (both sides exclude encoder scratch).
+            if run.trace.mem.peak_bytes > static_mem.peak_bytes {
+                divs.push(Divergence {
+                    kind: DivergenceKind::StaticBound,
+                    stage: format!("{compiler}:memory"),
+                    detail: format!(
+                        "measured peak {} bytes beats static bound {} bytes (poly {} + keys {})",
+                        run.trace.mem.peak_bytes,
+                        static_mem.peak_bytes,
+                        static_mem.poly_peak_bytes,
+                        static_mem.key_bytes
+                    ),
+                });
+            }
         }
         if allowed > 0.0 {
             noisy_outputs.push((exec_name.to_string(), run.outputs));

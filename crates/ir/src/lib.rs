@@ -46,6 +46,7 @@ pub mod diag;
 pub mod dsl;
 pub mod fold;
 mod frac;
+pub mod memory;
 mod op;
 mod params;
 pub mod passes;
@@ -58,6 +59,7 @@ pub use builder::{Builder, Expr};
 pub use cost::{CostModel, OpClass};
 pub use diag::{Finding, Severity, TvVerdict};
 pub use frac::Frac;
+pub use memory::{estimate_memory, MemoryEstimate, MemoryModelConfig};
 pub use op::{ConstValue, Op, OperandIter, ValueId};
 pub use params::CompileParams;
 pub use pipeline::{

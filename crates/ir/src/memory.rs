@@ -1,0 +1,279 @@
+//! Static memory estimation of scheduled programs.
+//!
+//! Mirrors the runtime's allocation discipline — pooled temporaries per
+//! op, last-use freeing of dead ciphertexts, hoisted rotation groups —
+//! and produces a peak-bytes bound that must dominate every measured
+//! `ExecTrace` peak (the fuzz oracle asserts this). All polynomial
+//! figures are counted in *limbs* (one limb = `N × 8` bytes) and
+//! converted at the end; key material is counted from the closed forms
+//! (`SecretKey`/`KswKey` byte sizes in `fhe-ckks`).
+
+use std::collections::HashMap;
+
+use crate::op::{Op, ValueId};
+use crate::schedule::{ScaleMap, ScheduledProgram};
+
+/// Flat per-op slack, in limbs, covering small transients the walk does
+/// not model individually (automorphism double-buffers, rescale scratch).
+const OP_MARGIN_LIMBS: u64 = 16;
+
+/// Pipeline artifact configuring the static memory model (set by the
+/// reserve compiler's working-set knob; defaults apply elsewhere).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModelConfig {
+    /// Whether the runtime may hoist rotation groups (shares one key-switch
+    /// decomposition across rotations of the same ciphertext — faster, but
+    /// the whole group's outputs are live at once).
+    pub hoist_rotations: bool,
+}
+
+impl Default for MemoryModelConfig {
+    fn default() -> Self {
+        MemoryModelConfig {
+            hoist_rotations: true,
+        }
+    }
+}
+
+/// Static per-program memory bound (see [`estimate_memory`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryEstimate {
+    /// Total peak bytes: polynomial peak plus key material.
+    pub peak_bytes: u64,
+    /// Peak bytes held in ciphertext polynomials and pooled temporaries.
+    pub poly_peak_bytes: u64,
+    /// Bytes of key material: secret key, relinearization key, and one
+    /// key-switching key per distinct Galois element the program rotates by.
+    pub key_bytes: u64,
+    /// Distinct Galois elements needing keys (rotations with
+    /// `steps % slots != 0`, deduplicated).
+    pub galois_keys: usize,
+    /// The op at which the polynomial peak occurs, if any.
+    pub peak_op: Option<ValueId>,
+}
+
+/// Computes a static peak-memory bound for a scheduled program.
+///
+/// The walk visits ops in schedule order, materializes each result into a
+/// live set, adds a per-op transient bound for the pooled temporaries the
+/// backend checks out (key-switch digit decompositions dominate), records
+/// the high-water mark, and frees each ciphertext after its last use —
+/// exactly the discipline of the encrypted executor. `poly_degree` is the
+/// backend's `N` (the runtime requires `N = 2 × slots`); `hoist_rotations`
+/// must match the execution-side setting, since hoisting a rotation group
+/// makes every member's output live at the first member.
+pub fn estimate_memory(
+    scheduled: &ScheduledProgram,
+    map: &ScaleMap,
+    poly_degree: usize,
+    hoist_rotations: bool,
+) -> MemoryEstimate {
+    let program = &scheduled.program;
+    let live = crate::analysis::live(program);
+    let limb_bytes = (poly_degree * 8) as u64;
+
+    // Last schedule position at which each value is consumed; outputs are
+    // pinned (never freed).
+    let mut last_use: Vec<usize> = vec![0; program.num_ops()];
+    for id in program.ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        for a in program.op(id).operands() {
+            last_use[a.index()] = id.index();
+        }
+    }
+    for &o in program.outputs() {
+        last_use[o.index()] = usize::MAX;
+    }
+
+    // Rotation groups the runtime hoists: ≥2 live cipher rotations of one
+    // source share a decomposition, and all outputs materialize when the
+    // first member executes.
+    let mut groups: HashMap<ValueId, Vec<ValueId>> = HashMap::new();
+    if hoist_rotations {
+        for id in program.ids() {
+            if let Op::Rotate(a, _) = program.op(id) {
+                if live[id.index()] && program.is_cipher(id) {
+                    groups.entry(*a).or_default().push(id);
+                }
+            }
+        }
+        groups.retain(|_, g| g.len() >= 2);
+    }
+    let mut pending: Vec<bool> = vec![false; program.num_ops()];
+
+    let mut live_limbs: u64 = 0;
+    let mut poly_peak: u64 = 0;
+    let mut peak_op = None;
+    for id in program.ids() {
+        if !live[id.index()] || !program.is_cipher(id) {
+            continue;
+        }
+        let l = u64::from(map.level(id));
+        // Per-op pooled transients, in limbs, over-approximating the
+        // backend: a relinearizing multiply or key-switched rotation holds
+        // the lifted digit decomposition (`l` digits × `l+1` limbs), two
+        // special-basis accumulators, and two scratch polynomials at once.
+        let ksw = l * (l + 1) + 2 * (l + 1) + 2 * l;
+        let (result_limbs, transient) = match program.op(id) {
+            _ if pending[id.index()] => (0, 0),
+            Op::Mul(a, b) if program.is_cipher(*a) && program.is_cipher(*b) => (2 * l, ksw),
+            Op::Rotate(a, _) => match groups.get(a) {
+                Some(group) => {
+                    // First member: every group output materializes now,
+                    // and the shared + permuted decompositions coexist.
+                    for &m in group {
+                        if m != id {
+                            pending[m.index()] = true;
+                        }
+                    }
+                    let outputs: u64 = group.iter().map(|&m| 2 * u64::from(map.level(m))).sum();
+                    (outputs, 2 * l * (l + 1) + 2 * (l + 1) + l)
+                }
+                None => (2 * l, ksw),
+            },
+            Op::Rescale(_) | Op::ModSwitch(_) => (2 * l, 4),
+            // Input (encrypt), add/sub/neg, plain mul, upscale: one pooled
+            // (or adopted) result, no key switch.
+            _ => (2 * l, 0),
+        };
+        live_limbs += result_limbs;
+        let op_peak = live_limbs + transient + OP_MARGIN_LIMBS;
+        if op_peak > poly_peak {
+            poly_peak = op_peak;
+            peak_op = Some(id);
+        }
+        let mut prev = None;
+        for a in program.op(id).operands() {
+            if prev == Some(a) {
+                continue; // squares consume one ciphertext twice
+            }
+            prev = Some(a);
+            if program.is_cipher(a) && live[a.index()] && last_use[a.index()] == id.index() {
+                live_limbs -= 2 * u64::from(map.level(a));
+            }
+        }
+    }
+
+    // Key material: rotations by a multiple of the slot count are the
+    // identity automorphism and need no key; everything else needs one
+    // key-switching key per distinct Galois element. The count covers all
+    // scheduled rotations (not just live ones) so it also bounds an eager
+    // whole-program keygen.
+    let slots = program.slots() as i64;
+    let mut elements: Vec<i64> = program
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            Op::Rotate(_, k) if k.rem_euclid(slots) != 0 => Some(k.rem_euclid(slots)),
+            _ => None,
+        })
+        .collect();
+    elements.sort_unstable();
+    elements.dedup();
+    let galois_keys = elements.len();
+
+    let big_l = u64::from(map.max_level());
+    let sk_bytes = (big_l + 1) * limb_bytes;
+    let one_key = 2 * big_l * (big_l + 1) * limb_bytes;
+    let key_bytes = sk_bytes + one_key + galois_keys as u64 * one_key;
+    let poly_peak_bytes = poly_peak * limb_bytes;
+    MemoryEstimate {
+        peak_bytes: poly_peak_bytes + key_bytes,
+        poly_peak_bytes,
+        key_bytes,
+        galois_keys,
+        peak_op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::params::CompileParams;
+
+    fn scheduled(p: crate::program::Program) -> ScheduledProgram {
+        ScheduledProgram {
+            params: CompileParams::new(30),
+            inputs: p
+                .inputs()
+                .iter()
+                .map(|_| crate::schedule::InputSpec {
+                    scale_bits: crate::frac::Frac::from(30u32),
+                    level: 1,
+                })
+                .collect(),
+            program: p,
+        }
+    }
+
+    #[test]
+    fn keys_counted_once_per_distinct_element() {
+        let b = Builder::new("t", 8);
+        let x = b.input("x");
+        // Steps 1, 9 (≡1 mod 8), 2, and 0 → two distinct elements.
+        let e = x.clone().rotate(1) + x.clone().rotate(9) + x.clone().rotate(2) + x.rotate(0);
+        let p = b.finish(vec![e]);
+        let s = scheduled(p);
+        let map = s.validate().expect("valid");
+        let est = estimate_memory(&s, &map, 16, true);
+        assert_eq!(est.galois_keys, 2);
+        assert!(est.key_bytes > 0);
+        assert_eq!(est.peak_bytes, est.poly_peak_bytes + est.key_bytes);
+    }
+
+    #[test]
+    fn peak_grows_with_live_width_and_shrinks_with_freeing() {
+        // A chain (each value dies immediately) must peak lower than a
+        // fan-out that keeps every intermediate alive for a final sum.
+        let chain = {
+            let b = Builder::new("chain", 8);
+            let mut x = b.input("x");
+            for _ in 0..6 {
+                x = x.clone() + x;
+            }
+            b.finish(vec![x])
+        };
+        let fan = {
+            let b = Builder::new("fan", 8);
+            let x = b.input("x");
+            let parts: Vec<_> = (0..6).map(|_| x.clone() + x.clone()).collect();
+            let sum = parts.into_iter().reduce(|a, c| a + c).expect("nonempty");
+            b.finish(vec![sum])
+        };
+        let sc = scheduled(chain);
+        let sf = scheduled(fan);
+        let mc = sc.validate().expect("valid");
+        let mf = sf.validate().expect("valid");
+        let pc = estimate_memory(&sc, &mc, 16, true).poly_peak_bytes;
+        let pf = estimate_memory(&sf, &mf, 16, true).poly_peak_bytes;
+        assert!(
+            pf > pc,
+            "fan-out peak {pf} must exceed freeing chain peak {pc}"
+        );
+    }
+
+    #[test]
+    fn hoisting_raises_the_static_peak() {
+        let build = || {
+            let b = Builder::new("rots", 8);
+            let x = b.input("x");
+            let e = x.clone().rotate(1) + x.clone().rotate(2) + x.clone().rotate(3) + x.rotate(4);
+            b.finish(vec![e])
+        };
+        let s = scheduled(build());
+        let map = s.validate().expect("valid");
+        let hoisted = estimate_memory(&s, &map, 16, true);
+        let compact = estimate_memory(&s, &map, 16, false);
+        assert!(
+            hoisted.poly_peak_bytes > compact.poly_peak_bytes,
+            "hoisted {} vs compact {}",
+            hoisted.poly_peak_bytes,
+            compact.poly_peak_bytes
+        );
+        // Key bytes are policy-independent.
+        assert_eq!(hoisted.key_bytes, compact.key_bytes);
+    }
+}

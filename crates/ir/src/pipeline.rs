@@ -534,6 +534,10 @@ pub struct CompileReport {
     /// program was proven equal to the source modulo scale management,
     /// `Some(false)` on a mismatch, `None` when the pass did not run.
     pub translation_validated: Option<bool>,
+    /// Static peak-memory bound of the scheduled program (assuming the
+    /// runtime convention `N = 2 × slots`). The fuzz oracle asserts this
+    /// dominates every measured execution peak.
+    pub memory: crate::memory::MemoryEstimate,
     /// Per-pass instrumentation.
     pub trace: PipelineTrace,
 }
@@ -621,6 +625,16 @@ pub fn finish_compiled(
         }
     };
     let estimated_latency_us = cx.cost_model.program_cost(&scheduled.program, &map);
+    let mem_cfg = cx
+        .get::<crate::memory::MemoryModelConfig>()
+        .copied()
+        .unwrap_or_default();
+    let memory = crate::memory::estimate_memory(
+        &scheduled,
+        &map,
+        2 * scheduled.program.slots(),
+        mem_cfg.hoist_rotations,
+    );
     let report = CompileReport {
         compiler,
         scale_management_time: trace.scale_management_time(),
@@ -633,6 +647,7 @@ pub fn finish_compiled(
         max_level: map.max_level(),
         findings: cx.findings().to_vec(),
         translation_validated: cx.get::<TvVerdict>().map(|v| v.validated),
+        memory,
         trace,
     };
     Ok(Compiled { scheduled, report })

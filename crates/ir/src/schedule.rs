@@ -144,6 +144,14 @@ pub enum ScheduleError {
         /// The offending op.
         op: ValueId,
     },
+    /// A rotation needed a Galois key the runtime could neither find nor
+    /// generate (e.g. an explicit key set that omits a scheduled step).
+    MissingKey {
+        /// The offending rotation op.
+        op: ValueId,
+        /// The rotation step whose key was unavailable.
+        steps: i64,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -186,6 +194,9 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::NonPositiveUpscale { op } => {
                 write!(f, "upscale by a non-positive amount at {op}")
+            }
+            ScheduleError::MissingKey { op, steps } => {
+                write!(f, "missing Galois key for rotation by {steps} at {op}")
             }
         }
     }

@@ -9,11 +9,43 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fhe_ckks::{
-    decrypt, encrypt_symmetric, Ciphertext, CkksContext, CkksParams, Evaluator, KeyGenerator,
+    decrypt, encrypt_symmetric, Ciphertext, CkksContext, CkksParams, Evaluator, GaloisKeys,
+    KeyCache, KeyGenerator,
 };
 use fhe_ir::{CostModel, Op, OpClass, ScheduleError, ScheduledProgram, ValueId};
 
+use crate::executor::MemStats;
 use crate::plain;
+
+/// Domain separator so the lazy key cache's per-element RNG streams never
+/// collide with the main keygen/encryption stream at the same seed.
+const KEY_CACHE_SEED_TWEAK: u64 = 0x517C_C1B7_2722_0A95;
+
+/// How the executor provisions Galois keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyPolicy {
+    /// Generate each rotation key on first use and hold it in an LRU
+    /// [`KeyCache`], optionally bounded to a byte budget. Evicted keys
+    /// regenerate bit-identically, so outputs are independent of the
+    /// budget (default, with no budget).
+    Lazy {
+        /// Byte budget for cached keys (`None` = unbounded). The cache
+        /// always retains at least the key in use.
+        budget_bytes: Option<usize>,
+    },
+    /// Generate keys for every rotation step of the program up front
+    /// (the deployment-style eager whole-set provisioning).
+    EagerProgram,
+    /// Generate keys for exactly this step set up front. A scheduled
+    /// rotation outside the set fails with [`ScheduleError::MissingKey`].
+    EagerSet(Vec<i64>),
+}
+
+impl Default for KeyPolicy {
+    fn default() -> Self {
+        KeyPolicy::Lazy { budget_bytes: None }
+    }
+}
 
 /// Options for encrypted execution.
 #[derive(Debug, Clone)]
@@ -27,6 +59,13 @@ pub struct ExecOptions {
     /// [`CkksParams::threads`]): `0` = auto-detect, `1` = serial. Results
     /// are bit-identical for every value.
     pub threads: usize,
+    /// Galois-key provisioning policy.
+    pub keys: KeyPolicy,
+    /// Share one key-switch decomposition across rotations of the same
+    /// ciphertext (faster, but the whole group's outputs are live at
+    /// once). Disable to minimize the working set — must match the
+    /// compiler's `WorkingSet` knob for the static memory bound to apply.
+    pub rotation_hoisting: bool,
 }
 
 impl Default for ExecOptions {
@@ -35,6 +74,8 @@ impl Default for ExecOptions {
             poly_degree: 1 << 12,
             seed: 0xC0FFEE,
             threads: 0,
+            keys: KeyPolicy::default(),
+            rotation_hoisting: true,
         }
     }
 }
@@ -56,6 +97,11 @@ pub struct ExecReport {
     /// Wall time and op count per Table 3 op class (fresh encryptions are
     /// counted in [`ExecReport::ops_executed`] but have no class).
     pub per_class: Vec<(OpClass, Duration, usize)>,
+    /// Whole-run memory counters (pool + key material).
+    pub mem: MemStats,
+    /// Per-op-class memory counters (summed deltas; byte peaks are the
+    /// high-water mark at the end of any op of the class).
+    pub per_class_mem: Vec<(OpClass, MemStats)>,
 }
 
 impl ExecReport {
@@ -107,16 +153,34 @@ pub fn execute(
     let kg = KeyGenerator::new(&ctx, &mut rng);
     let sk = kg.secret_key();
     let relin = kg.relin_key(&mut rng);
-    let steps: Vec<i64> = program
-        .ops()
-        .iter()
-        .filter_map(|op| match op {
-            Op::Rotate(_, k) => Some(*k),
-            _ => None,
-        })
-        .collect();
-    let galois = kg.galois_keys(steps, &mut rng);
-    let ev = Evaluator::new(&ctx, Some(relin), galois);
+    let (galois, cache) = match &options.keys {
+        KeyPolicy::Lazy { budget_bytes } => {
+            let cache = KeyCache::new(
+                kg.secret_key(),
+                options.seed ^ KEY_CACHE_SEED_TWEAK,
+                *budget_bytes,
+            );
+            (GaloisKeys::default(), Some(cache))
+        }
+        KeyPolicy::EagerProgram => {
+            let steps: Vec<i64> = program
+                .ops()
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Rotate(_, k) => Some(*k),
+                    _ => None,
+                })
+                .collect();
+            (kg.galois_keys(steps, &mut rng), None)
+        }
+        KeyPolicy::EagerSet(steps) => (kg.galois_keys(steps.iter().copied(), &mut rng), None),
+    };
+    let static_key_bytes = galois.byte_size() as u64;
+    let fixed_key_bytes = (sk.byte_size() + relin.byte_size()) as u64;
+    let mut ev = Evaluator::new(&ctx, Some(relin), galois);
+    if let Some(cache) = cache {
+        ev = ev.with_key_cache(cache);
+    }
 
     // Plaintext sub-values are evaluated in the clear and encoded on demand.
     let slots = program.slots();
@@ -137,12 +201,35 @@ pub fn execute(
         }
     }
     rotation_groups.retain(|_, group| group.len() >= 2);
+    if !options.rotation_hoisting {
+        rotation_groups.clear();
+    }
     let mut hoisted_results: HashMap<ValueId, Ciphertext> = HashMap::new();
+
+    // Last-use positions drive eager freeing: a ciphertext whose final
+    // consumer has executed is recycled into the pool. Outputs stay live
+    // until decryption.
+    let mut last_use: Vec<usize> = vec![0; program.num_ops()];
+    let mut is_output = vec![false; program.num_ops()];
+    for &o in program.outputs() {
+        is_output[o.index()] = true;
+    }
+    for id in program.ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        for a in program.op(id).operands() {
+            last_use[a.index()] = id.index();
+        }
+    }
 
     let mut op_time = Duration::ZERO;
     let mut ops_executed = 0usize;
     let mut by_class: [(Duration, usize); OpClass::ALL.len()] =
         [(Duration::ZERO, 0); OpClass::ALL.len()];
+    let mut by_class_mem: [MemStats; OpClass::ALL.len()] =
+        [MemStats::default(); OpClass::ALL.len()];
+    let mut prev_mem = mem_snapshot(&ev, fixed_key_bytes, static_key_bytes);
     let mut input_iter = scheduled.inputs.iter();
 
     for id in program.ids() {
@@ -166,9 +253,6 @@ pub fn execute(
             continue;
         }
 
-        let cget = |vals: &Vec<Option<Ciphertext>>, v: ValueId| -> Ciphertext {
-            vals[v.index()].clone().expect("cipher operand evaluated")
-        };
         let t0 = Instant::now();
         let ct = match program.op(id) {
             Op::Input { name } => {
@@ -178,92 +262,134 @@ pub fn execute(
                     .unwrap_or_else(|| panic!("missing input binding `{name}`"));
                 let scale = 2f64.powf(spec.scale_bits.to_f64());
                 let pt = ev.encoder().encode(data, scale, spec.level as usize);
-                encrypt_symmetric(&ctx, &sk, &pt, &mut rng)
+                let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+                // Fresh encryptions allocate outside the pool; adopt their
+                // limbs so live/peak accounting covers them.
+                ev.pool().adopt(2 * ct.level);
+                ct
             }
             Op::Add(a, b) | Op::Sub(a, b) => {
                 let sub = matches!(program.op(id), Op::Sub(..));
                 match (program.is_cipher(*a), program.is_cipher(*b)) {
                     (true, true) => {
-                        let ca = cget(&cipher_vals, *a);
-                        let cb = cget(&cipher_vals, *b);
+                        let ca = cref(&cipher_vals, *a);
+                        let cb = cref(&cipher_vals, *b);
                         if sub {
-                            ev.sub(&ca, &cb)
+                            ev.sub(ca, cb)
                         } else {
-                            ev.add(&ca, &cb)
+                            ev.add(ca, cb)
                         }
                     }
                     (true, false) => {
-                        let ca = cget(&cipher_vals, *a);
-                        let pv = get(&plain_vals, *b).clone();
-                        let pv = if sub {
+                        let ca = cref(&cipher_vals, *a);
+                        let pv = get(&plain_vals, *b);
+                        let pv: Vec<f64> = if sub {
                             pv.iter().map(|x| -x).collect()
                         } else {
-                            pv
+                            pv.clone()
                         };
                         let pt = ev.encoder().encode(&pv, ca.scale, ca.level);
-                        ev.add_plain(&ca, &pt)
+                        ev.add_plain(ca, &pt)
                     }
                     (false, true) => {
-                        // plain ± cipher: a + b, or a − b = (−b) + a.
-                        let cb = cget(&cipher_vals, *b);
-                        let base = if sub { ev.neg(&cb) } else { cb };
-                        let pt = ev
-                            .encoder()
-                            .encode(get(&plain_vals, *a), base.scale, base.level);
-                        ev.add_plain(&base, &pt)
+                        // plain ± cipher: a + b, or a − b = (−b) + a. The
+                        // negated temporary goes straight back to the pool.
+                        let cb = cref(&cipher_vals, *b);
+                        let pv = get(&plain_vals, *a);
+                        if sub {
+                            let neg = ev.neg(cb);
+                            let pt = ev.encoder().encode(pv, neg.scale, neg.level);
+                            let out = ev.add_plain(&neg, &pt);
+                            ev.recycle_ct(neg);
+                            out
+                        } else {
+                            let pt = ev.encoder().encode(pv, cb.scale, cb.level);
+                            ev.add_plain(cb, &pt)
+                        }
                     }
                     (false, false) => unreachable!(),
                 }
             }
             Op::Mul(a, b) => match (program.is_cipher(*a), program.is_cipher(*b)) {
-                (true, true) => {
-                    let ca = cget(&cipher_vals, *a);
-                    let cb = cget(&cipher_vals, *b);
-                    ev.mul(&ca, &cb)
-                }
+                (true, true) => ev.mul(cref(&cipher_vals, *a), cref(&cipher_vals, *b)),
                 (true, false) | (false, true) => {
                     let (c, p) = if program.is_cipher(*a) {
                         (*a, *b)
                     } else {
                         (*b, *a)
                     };
-                    let cc = cget(&cipher_vals, c);
+                    let cc = cref(&cipher_vals, c);
                     let pt = ev
                         .encoder()
                         .encode(get(&plain_vals, p), waterline, cc.level);
-                    ev.mul_plain(&cc, &pt)
+                    ev.mul_plain(cc, &pt)
                 }
                 (false, false) => unreachable!(),
             },
-            Op::Neg(a) => ev.neg(&cget(&cipher_vals, *a)),
+            Op::Neg(a) => ev.neg(cref(&cipher_vals, *a)),
             Op::Rotate(a, k) => {
                 if let Some(ct) = hoisted_results.remove(&id) {
                     ct
                 } else if let Some(group) = rotation_groups.get(a) {
-                    let ca = cget(&cipher_vals, *a);
+                    let ca = cref(&cipher_vals, *a);
                     let steps: Vec<i64> = group.iter().map(|&(_, s)| s).collect();
-                    let outs = ev.rotate_hoisted(&ca, &steps);
-                    let mut mine = None;
-                    for (&(gid, _), out) in group.iter().zip(outs) {
-                        if gid == id {
-                            mine = Some(out);
-                        } else {
-                            hoisted_results.insert(gid, out);
+                    match ev.try_rotate_hoisted(ca, &steps) {
+                        Ok(outs) => {
+                            let mut mine = None;
+                            for (&(gid, _), out) in group.iter().zip(outs) {
+                                if gid == id {
+                                    mine = Some(out);
+                                } else {
+                                    hoisted_results.insert(gid, out);
+                                }
+                            }
+                            mine.expect("group contains the current op")
+                        }
+                        Err(e) => {
+                            return Err(vec![ScheduleError::MissingKey {
+                                op: id,
+                                steps: e.steps.unwrap_or(*k),
+                            }])
                         }
                     }
-                    mine.expect("group contains the current op")
                 } else {
-                    ev.rotate(&cget(&cipher_vals, *a), *k)
+                    match ev.try_rotate(cref(&cipher_vals, *a), *k) {
+                        Ok(ct) => ct,
+                        Err(_) => {
+                            return Err(vec![ScheduleError::MissingKey { op: id, steps: *k }])
+                        }
+                    }
                 }
             }
-            Op::Rescale(a) => ev.rescale(&cget(&cipher_vals, *a)),
-            Op::ModSwitch(a) => ev.mod_switch(&cget(&cipher_vals, *a)),
-            Op::Upscale(a, delta) => ev.upscale(&cget(&cipher_vals, *a), 2f64.powf(delta.to_f64())),
+            Op::Rescale(a) => ev.rescale(cref(&cipher_vals, *a)),
+            Op::ModSwitch(a) => ev.mod_switch(cref(&cipher_vals, *a)),
+            Op::Upscale(a, delta) => ev.upscale(cref(&cipher_vals, *a), 2f64.powf(delta.to_f64())),
             Op::Const { .. } => unreachable!("consts are plain"),
         };
         let elapsed = t0.elapsed();
         op_time += elapsed;
         ops_executed += 1;
+        debug_assert_eq!(
+            ct.level as u32,
+            map.level(id),
+            "backend level tracks schedule"
+        );
+        cipher_vals[id.index()] = Some(ct);
+        // Recycle operands whose last consumer just ran (a squared operand
+        // appears twice but is freed once).
+        let mut seen = None;
+        for a in program.op(id).operands() {
+            if seen == Some(a) {
+                continue;
+            }
+            seen = Some(a);
+            if program.is_cipher(a) && last_use[a.index()] == id.index() && !is_output[a.index()] {
+                if let Some(dead) = cipher_vals[a.index()].take() {
+                    ev.recycle_ct(dead);
+                }
+            }
+        }
+        let cur = mem_snapshot(&ev, fixed_key_bytes, static_key_bytes);
         if let Some(class) = CostModel::classify(program, id) {
             let slot = OpClass::ALL
                 .iter()
@@ -271,13 +397,18 @@ pub fn execute(
                 .expect("class in ALL");
             by_class[slot].0 += elapsed;
             by_class[slot].1 += 1;
+            let m = &mut by_class_mem[slot];
+            m.allocations += cur.allocations - prev_mem.allocations;
+            m.pool_hits += cur.pool_hits - prev_mem.pool_hits;
+            m.pool_misses += cur.pool_misses - prev_mem.pool_misses;
+            m.key_hits += cur.key_hits - prev_mem.key_hits;
+            m.key_misses += cur.key_misses - prev_mem.key_misses;
+            m.key_evictions += cur.key_evictions - prev_mem.key_evictions;
+            m.peak_bytes = m.peak_bytes.max(cur.live_bytes);
+            m.live_bytes = cur.live_bytes;
+            m.key_bytes_peak = m.key_bytes_peak.max(cur.key_bytes_peak);
         }
-        debug_assert_eq!(
-            ct.level as u32,
-            map.level(id),
-            "backend level tracks schedule"
-        );
-        cipher_vals[id.index()] = Some(ct);
+        prev_mem = cur;
     }
 
     let outputs = program
@@ -289,8 +420,8 @@ pub fn execute(
             if program.is_plain(o) {
                 return get(&plain_vals, o).clone();
             }
-            let ct = cipher_vals[o.index()].clone().expect("output evaluated");
-            let mut v = ev.encoder().decode(&decrypt(&ctx, &sk, &ct));
+            let ct = cipher_vals[o.index()].as_ref().expect("output evaluated");
+            let mut v = ev.encoder().decode(&decrypt(&ctx, &sk, ct));
             v.truncate(slots);
             v
         })
@@ -302,6 +433,14 @@ pub fn execute(
         .filter(|(_, (_, n))| *n > 0)
         .map(|(&c, (d, n))| (c, d, n))
         .collect();
+    let per_class_mem = OpClass::ALL
+        .iter()
+        .zip(by_class_mem)
+        .zip(by_class.iter())
+        .filter(|(_, t)| t.1 > 0)
+        .map(|((&c, m), _)| (c, m))
+        .collect();
+    let mem = mem_snapshot(&ev, fixed_key_bytes, static_key_bytes);
     Ok(ExecReport {
         outputs,
         reference,
@@ -309,7 +448,46 @@ pub fn execute(
         total_time: t_total.elapsed(),
         ops_executed,
         per_class,
+        mem,
+        per_class_mem,
     })
+}
+
+fn cref(vals: &[Option<Ciphertext>], id: ValueId) -> &Ciphertext {
+    vals[id.index()].as_ref().expect("cipher operand evaluated")
+}
+
+/// Total memory picture at one instant: pool-tracked polynomial bytes plus
+/// the fixed key material (secret + relin) plus Galois keys (cached bytes
+/// under a lazy policy, the whole static set under an eager one). Encoder
+/// scratch is invisible here and in the static model alike, so the static
+/// bound stays comparable.
+fn mem_snapshot(ev: &Evaluator<'_>, fixed_key_bytes: u64, static_key_bytes: u64) -> MemStats {
+    let p = ev.pool_stats();
+    let (kh, km, ke, kb, kp) = match ev.key_cache() {
+        Some(c) => {
+            let s = c.stats();
+            (
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.bytes as u64,
+                s.peak_bytes as u64,
+            )
+        }
+        None => (0, 0, 0, static_key_bytes, static_key_bytes),
+    };
+    MemStats {
+        peak_bytes: p.peak_bytes + fixed_key_bytes + kp,
+        live_bytes: p.live_bytes + fixed_key_bytes + kb,
+        allocations: p.misses + p.adopted,
+        pool_hits: p.hits,
+        pool_misses: p.misses,
+        key_hits: kh,
+        key_misses: km,
+        key_evictions: ke,
+        key_bytes_peak: kp,
+    }
 }
 
 fn get(vals: &[Option<Vec<f64>>], id: ValueId) -> &Vec<f64> {
@@ -342,6 +520,7 @@ mod tests {
             poly_degree: 256,
             seed: 3,
             threads: 1,
+            ..ExecOptions::default()
         }
     }
 
@@ -415,6 +594,77 @@ mod tests {
         let xs: Vec<f64> = (0..slots).map(|i| i as f64 * 0.01).collect();
         let report = execute(&compiled.scheduled, &inputs(&[("x", xs)]), &opts()).unwrap();
         assert!(report.outputs[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn key_policies_agree_and_eager_set_reports_missing_keys() {
+        let slots = 128;
+        let b = Builder::new("keypol", slots);
+        let x = b.input("x");
+        let e = x.clone().rotate(1) + x.clone().rotate(3) + x;
+        let p = b.finish(vec![e]);
+        let mut options = Options::new(30);
+        options.params.output_reserve_bits = 2;
+        let compiled = reserve_core::compile(&p, &options).unwrap();
+        let xs: Vec<f64> = (0..slots).map(|i| i as f64 * 0.001).collect();
+        let ins = inputs(&[("x", xs)]);
+
+        let lazy = execute(&compiled.scheduled, &ins, &opts()).unwrap();
+        assert!(lazy.max_abs_error() < 1e-2, "err {}", lazy.max_abs_error());
+        assert!(
+            lazy.mem.key_misses >= 2,
+            "two distinct steps generate lazily"
+        );
+        assert!(lazy.mem.peak_bytes > 0);
+
+        // A one-byte budget forces an eviction after every use; per-element
+        // key RNG streams make regenerated keys bit-identical, so outputs
+        // are independent of the budget.
+        let budgeted = execute(
+            &compiled.scheduled,
+            &ins,
+            &ExecOptions {
+                keys: KeyPolicy::Lazy {
+                    budget_bytes: Some(1),
+                },
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            lazy.outputs, budgeted.outputs,
+            "budget must not change results"
+        );
+        assert!(budgeted.mem.key_evictions > 0);
+        assert!(budgeted.mem.key_bytes_peak <= lazy.mem.key_bytes_peak);
+
+        let eager = execute(
+            &compiled.scheduled,
+            &ins,
+            &ExecOptions {
+                keys: KeyPolicy::EagerProgram,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert!(eager.max_abs_error() < 1e-2);
+        assert_eq!(eager.mem.key_evictions, 0);
+
+        // A provisioned set without the schedule's step 3 is a structured
+        // error, not a panic — even on the hoisted-group path.
+        let err = execute(
+            &compiled.scheduled,
+            &ins,
+            &ExecOptions {
+                keys: KeyPolicy::EagerSet(vec![1]),
+                ..opts()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err[0], ScheduleError::MissingKey { steps: 3, .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -18,6 +18,46 @@ use crate::ckks_exec::{self, ExecOptions};
 use crate::noise_sim::{self, NoiseModel};
 use crate::plain;
 
+/// Memory counters of one execution (encrypted backend only; the
+/// plaintext backends report zeros). Byte figures cover the backend's
+/// polynomial pool (live ciphertexts + pooled temporaries + adopted
+/// encryptions) plus key material; encoder scratch is excluded on both the
+/// measured and the static side, so the compiler's static bound remains
+/// comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemStats {
+    /// High-water mark of polynomial + key bytes.
+    pub peak_bytes: u64,
+    /// Polynomial + key bytes live at the end of the window.
+    pub live_bytes: u64,
+    /// Fresh limb-buffer allocations (pool misses + adopted encryptions).
+    pub allocations: u64,
+    /// Pool checkouts served from the free list.
+    pub pool_hits: u64,
+    /// Pool checkouts that allocated.
+    pub pool_misses: u64,
+    /// Galois-key lookups served from the static set or cache.
+    pub key_hits: u64,
+    /// Galois-key lookups that generated a key on demand.
+    pub key_misses: u64,
+    /// Galois keys evicted under the cache's byte budget.
+    pub key_evictions: u64,
+    /// High-water mark of Galois-key bytes (cached or static set).
+    pub key_bytes_peak: u64,
+}
+
+impl MemStats {
+    /// Fraction of pool checkouts served from the free list (0 when idle).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Timing breakdown of one execution.
 #[derive(Debug, Clone, Default)]
 pub struct ExecTrace {
@@ -32,6 +72,12 @@ pub struct ExecTrace {
     /// per op only on the encrypted backend; the plaintext backends report
     /// counts with zero durations (their per-op cost is not meaningful).
     pub per_class: Vec<(OpClass, Duration, usize)>,
+    /// Whole-run memory counters (encrypted backend; zeros elsewhere).
+    pub mem: MemStats,
+    /// Per-op-class memory counters: counter fields are summed deltas over
+    /// the class's ops, byte peaks are the high-water mark observed at the
+    /// end of any op of the class.
+    pub per_class_mem: Vec<(OpClass, MemStats)>,
 }
 
 /// Result of running a scheduled program through any [`Executor`].
@@ -164,6 +210,7 @@ impl Executor for PlainExec {
                 op_time: wall,
                 ops_executed,
                 per_class,
+                ..ExecTrace::default()
             },
         })
     }
@@ -200,6 +247,7 @@ impl Executor for NoiseSimExec {
                 op_time: wall,
                 ops_executed,
                 per_class,
+                ..ExecTrace::default()
             },
         })
     }
@@ -232,6 +280,8 @@ impl Executor for CkksExec {
                 op_time: report.op_time,
                 ops_executed: report.ops_executed,
                 per_class: report.per_class,
+                mem: report.mem,
+                per_class_mem: report.per_class_mem,
             },
         })
     }
@@ -298,6 +348,7 @@ mod tests {
                     poly_degree: 256,
                     seed: 3,
                     threads: 1,
+                    ..ExecOptions::default()
                 },
             }),
         ];
@@ -317,6 +368,7 @@ mod tests {
                 poly_degree: 256,
                 seed: 3,
                 threads: 1,
+                ..ExecOptions::default()
             },
         }
         .execute(&s, &binds)
@@ -324,6 +376,12 @@ mod tests {
         let timed: Duration = run.trace.per_class.iter().map(|&(_, d, _)| d).sum();
         assert!(timed > Duration::ZERO);
         assert!(timed <= run.trace.op_time);
+        // Memory accounting is live on the encrypted backend: a nonzero
+        // peak, recycled buffers producing pool hits, and per-class stats
+        // covering the timed classes.
+        assert!(run.trace.mem.peak_bytes > 0);
+        assert!(run.trace.mem.pool_hit_rate() > 0.0);
+        assert_eq!(run.trace.per_class_mem.len(), run.trace.per_class.len());
     }
 
     #[test]

@@ -33,10 +33,11 @@ pub mod microbench;
 pub mod noise_sim;
 pub mod plain;
 
-pub use ckks_exec::{execute as execute_encrypted, ExecOptions, ExecReport};
+pub use ckks_exec::{execute as execute_encrypted, ExecOptions, ExecReport, KeyPolicy};
 pub use error_est::{estimate_error, select_waterline, ErrorEstimateOptions};
 pub use estimate::{estimate, LatencyBreakdown};
 pub use executor::{
-    max_abs_diff, outputs_close, CkksExec, ExecTrace, Execution, Executor, NoiseSimExec, PlainExec,
+    max_abs_diff, outputs_close, CkksExec, ExecTrace, Execution, Executor, MemStats, NoiseSimExec,
+    PlainExec,
 };
 pub use noise_sim::{simulate, NoiseModel, NoisyRun};

@@ -74,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             poly_degree: 256,
             seed: 5,
             threads: 1,
+            ..runtime::ExecOptions::default()
         },
     )
     .unwrap();

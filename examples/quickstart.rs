@@ -67,6 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             poly_degree: 2 * slots,
             seed: 42,
             threads: 1,
+            ..runtime::ExecOptions::default()
         },
     )
     .unwrap();

@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             poly_degree: 2 * n,
             seed: 77,
             threads: 1,
+            ..runtime::ExecOptions::default()
         },
     )
     .unwrap();

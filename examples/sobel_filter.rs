@@ -78,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             poly_degree: 2 * width * width,
             seed: 3,
             threads: 1,
+            ..runtime::ExecOptions::default()
         },
     )
     .unwrap();

@@ -59,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             poly_degree: 2 * slots,
             seed: 8,
             threads: 1,
+            ..runtime::ExecOptions::default()
         },
     )
     .unwrap();

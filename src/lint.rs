@@ -15,6 +15,9 @@
 //!   come from `// lint-input-scale: N` and `// lint-input-level: N`
 //!   directives (defaults: the waterline, level 1).
 //!
+//! Either mode honors `// lint-keys: 1,2,4` — the deployment's provisioned
+//! rotation-key steps — which arms the `F006` over-provisioned-keys check.
+//!
 //! The fuzz-corpus directives (`// fuzz-waterline:` and friends, see
 //! [`fhe_fuzz::corpus`]) are honored for compile parameters, so reproducer
 //! files lint under the parameters their divergence was found with. When a
@@ -150,6 +153,7 @@ struct Directives {
     input_scale: Option<u32>,
     input_level: Option<u32>,
     has_explicit_reserve: bool,
+    requested_keys: Option<Vec<i64>>,
 }
 
 fn parse_directives(comments: &[String]) -> Result<Directives, String> {
@@ -170,6 +174,14 @@ fn parse_directives(comments: &[String]) -> Result<Directives, String> {
             },
             "lint-input-scale" => d.input_scale = Some(int("lint-input-scale")?),
             "lint-input-level" => d.input_level = Some(int("lint-input-level")?),
+            "lint-keys" => {
+                let steps = value
+                    .split(',')
+                    .map(|s| s.trim().parse())
+                    .collect::<Result<Vec<i64>, _>>()
+                    .map_err(|_| format!("bad lint-keys `{value}` (comma-separated steps)"))?;
+                d.requested_keys = Some(steps);
+            }
             "fuzz-output-reserve" => d.has_explicit_reserve = true,
             _ => {}
         }
@@ -322,6 +334,7 @@ pub fn lint_file(file: &str, content: &str, run: &LintRun) -> FileReport {
     };
     let options = LintOptions {
         intervals: IntervalDomain::with_input_magnitude(run.input_magnitude),
+        requested_rotation_steps: directives.requested_keys.clone(),
     };
     let targets = if directives.scheduled_mode {
         vec![lint_scheduled_mode(

@@ -13,6 +13,7 @@ fn exec() -> CkksExec {
             poly_degree: 256,
             seed: 99,
             threads: 1,
+            ..ExecOptions::default()
         },
     }
 }
@@ -32,6 +33,7 @@ fn encrypted_sobel_matches_reference() {
             poly_degree: 128,
             seed: 1,
             threads: 1,
+            ..ExecOptions::default()
         },
     };
     let inputs = fhe_reserve::workloads::image::image_inputs(8, 5);
@@ -107,6 +109,7 @@ fn encrypted_tiny_lenet_runs_all_eleven_levels() {
             poly_degree: 256,
             seed: 4,
             threads: 1,
+            ..ExecOptions::default()
         },
     };
     let run = ckks.execute(&compiled.scheduled, &inputs).unwrap();

@@ -40,6 +40,21 @@ fn dead_rescale_diagnostic_matches_golden() {
 }
 
 #[test]
+fn over_provisioned_keys_diagnostic_matches_golden() {
+    const KEYS_CASE: &str = "tests/corpus/lint/over_provisioned_keys.fhe";
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(KEYS_CASE);
+    let content = std::fs::read_to_string(path).expect("demo corpus case exists");
+    let report = lint_file(KEYS_CASE, &content, &LintRun::default());
+    assert!(report.error.is_none(), "{:?}", report.error);
+    assert_eq!(report.targets.len(), 1);
+    let target = &report.targets[0];
+    assert!(target.error.is_none(), "{:?}", target.error);
+    assert_eq!(target.findings.len(), 1, "{:?}", target.findings);
+    assert_eq!(target.findings[0].code, "F006");
+    check("lint_over_provisioned_keys.txt", &target.rendered);
+}
+
+#[test]
 fn shipped_corpus_and_examples_are_lint_clean() {
     // The same gate CI runs: every shipped `.fhe` file parses and
     // compiles, every compiled schedule translation-validates, and the

@@ -1,0 +1,111 @@
+//! Property tests for the memory subsystem: pooled buffer reuse and lazy
+//! key-cache eviction must be invisible in the outputs.
+//!
+//! Over a rotation-heavy fuzz op mix, the encrypted executor runs each
+//! schedule under several Galois-key budgets. Evicted keys regenerate from
+//! per-element RNG streams, so every budget must produce *bit-identical*
+//! outputs — any divergence means the pool handed out a stale buffer or
+//! the cache regenerated a different key. (The eager policies draw keys
+//! from the main RNG stream and are compared against the plaintext
+//! reference instead, not bitwise.)
+//!
+//! The workspace builds offline (no proptest): deterministic seeded loops,
+//! every case reproducible from its printed seed.
+
+use fhe_fuzz::{generate, input_data, schedule_fits_backend, GenConfig, OpMix};
+use fhe_reserve::compiler as reserve;
+use fhe_reserve::runtime::{execute_encrypted, ExecOptions, KeyPolicy};
+
+#[test]
+fn key_budgets_and_pool_reuse_are_bit_exact() {
+    let cfg = GenConfig {
+        opmix: OpMix {
+            rotate: 8,
+            ..OpMix::default()
+        },
+        max_ops: 30,
+        ..GenConfig::default()
+    };
+    // Most generated rotate-heavy programs overflow the waterline-35
+    // modulus budget or pick fractional upscale factors the backend can't
+    // realise; ~8% survive `schedule_fits_backend`, so 300 seeds yields a
+    // stable 20+ exercised programs.
+    let mut checked = 0usize;
+    for seed in 0..300u64 {
+        let program = generate(seed, &cfg);
+        let inputs = input_data(&program);
+        let Ok(compiled) = reserve::compile(&program, &reserve::Options::new(35)) else {
+            continue;
+        };
+        if !schedule_fits_backend(&compiled.scheduled, &inputs) {
+            continue;
+        }
+        let opts = |keys: KeyPolicy, hoist: bool| ExecOptions {
+            poly_degree: program.slots() * 2,
+            seed: 0xF00D,
+            threads: 1,
+            keys,
+            rotation_hoisting: hoist,
+        };
+        let unbounded = execute_encrypted(
+            &compiled.scheduled,
+            &inputs,
+            &opts(KeyPolicy::Lazy { budget_bytes: None }, true),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        // A one-byte budget evicts after every use; a mid-size budget
+        // churns; both must regenerate bit-identical keys.
+        for budget in [1usize, 200_000] {
+            let run = execute_encrypted(
+                &compiled.scheduled,
+                &inputs,
+                &opts(
+                    KeyPolicy::Lazy {
+                        budget_bytes: Some(budget),
+                    },
+                    true,
+                ),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert_eq!(
+                unbounded.outputs, run.outputs,
+                "seed {seed}: key budget {budget} changed outputs"
+            );
+        }
+        // Re-running identical options must be deterministic even though
+        // the pool's hit/miss pattern differs between cold and warm paths
+        // across ops.
+        let again = execute_encrypted(
+            &compiled.scheduled,
+            &inputs,
+            &opts(KeyPolicy::Lazy { budget_bytes: None }, true),
+        )
+        .unwrap();
+        assert_eq!(
+            unbounded.outputs, again.outputs,
+            "seed {seed}: not deterministic"
+        );
+        // Disabling hoisting changes the key-switch evaluation order, so
+        // compare against the plaintext reference, not bitwise.
+        let compact = execute_encrypted(
+            &compiled.scheduled,
+            &inputs,
+            &opts(KeyPolicy::Lazy { budget_bytes: None }, false),
+        )
+        .unwrap();
+        assert!(
+            compact.max_abs_error() < 1e-1,
+            "seed {seed}: unhoisted error {}",
+            compact.max_abs_error()
+        );
+        assert!(
+            unbounded.mem.peak_bytes > 0 && unbounded.mem.pool_hit_rate() >= 0.0,
+            "seed {seed}: memory counters missing"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 20,
+        "only {checked} programs exercised the backend"
+    );
+}
