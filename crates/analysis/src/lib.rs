@@ -22,9 +22,13 @@
 //!   [`ScheduledProgram`](fhe_ir::ScheduledProgram) equals its source
 //!   [`Program`](fhe_ir::Program) modulo inserted scale-management ops,
 //!   by structural bisimulation over the DAG; and
-//! - [`passes`] plugging both into the `fhe_ir::pipeline` so every
-//!   compiler's [`CompileReport`](fhe_ir::CompileReport) carries findings
-//!   and a verdict.
+//! - a [`parallel`]-safety checker proving — over the dependence DAG of
+//!   `fhe_ir::depgraph` — that any topological-order-respecting parallel
+//!   execution is race-free under the runtime's last-use freeing and pool
+//!   recycling; and
+//! - [`passes`] plugging all of it into the `fhe_ir::pipeline` so every
+//!   compiler's [`CompileReport`](fhe_ir::CompileReport) carries findings,
+//!   a TV verdict, and a parallelism profile.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,14 +37,16 @@ pub mod domain;
 pub mod interval;
 pub mod lint;
 pub mod noise;
+pub mod parallel;
 pub mod passes;
 pub mod render;
 pub mod tv;
 
 pub use domain::{analyze, AbstractDomain, AnalysisCx};
 pub use interval::{Interval, IntervalDomain};
-pub use lint::{lint_scheduled, LintOptions};
+pub use lint::{explain, lint_scheduled, registry, LintInfo, LintOptions};
 pub use noise::{MagnitudeSource, NoiseDomain};
-pub use passes::{LintPass, TranslationValidatePass};
+pub use parallel::{SafetyReport, Violation};
+pub use passes::{DepGraphPass, LintPass, TranslationValidatePass};
 pub use render::{render_finding, render_parse_error, SourceMap};
 pub use tv::{validate, TvMismatch, TvReport};

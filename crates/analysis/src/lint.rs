@@ -9,6 +9,8 @@
 //! | `F004` | warning | level imbalance: a multiplication's operand scales differ by a whole rescale factor, pinning the smaller operand a level too high |
 //! | `F005` | warning | over-provisioned modulus: every live ciphertext keeps ≥ R bits of slack, so the whole schedule provably fits one level lower |
 //! | `F006` | warning | over-provisioned keys: rotation keys were requested for steps the schedule never rotates by |
+//! | `F007` | warning | serialized critical path: an associative add/mul chain whose balanced reassociation provably cuts the span by ≥ 2× |
+//! | `F008` | error   | premature free: the last-use table frees a value a later scheduled op still reads — a static use-after-free |
 //!
 //! `F001` is the static form of the fuzz oracle's `schedule_fits_backend`
 //! gate: a lint-clean schedule under true input ranges cannot wrap in the
@@ -18,13 +20,146 @@
 //! the deployment's requested key set
 //! ([`LintOptions::requested_rotation_steps`]); steps are compared modulo
 //! the slot count, since steps in the same residue class share one Galois
-//! key.
+//! key. `F007` reads the schedule through the dependence-DAG lens
+//! (`fhe_ir::depgraph`): a left-leaning spine of `n` single-use associative
+//! ops is a depth-`n` critical path that a balanced tree replaces with
+//! depth `⌈log₂(n+1)⌉`. `F008` is the static form of a use-after-free: the
+//! runtime recycles a ciphertext's buffer at its last *live* use, so a
+//! later scheduled reader (necessarily dead code) would observe a recycled
+//! buffer if executed.
+//!
+//! The machine-readable face of the table above is [`registry`]; the `lint`
+//! CLI's `--explain` flag is backed by it, and a test asserts the two stay
+//! in sync.
 
 use fhe_ir::diag::{Finding, Severity};
 use fhe_ir::{analysis, Op, ScheduleError, ScheduledProgram};
 
 use crate::domain::{analyze, AnalysisCx};
 use crate::interval::IntervalDomain;
+
+/// One registry entry: everything the `lint` CLI needs to list and explain
+/// a lint code.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// The lint code (`"F001"` … `"F008"`).
+    pub code: &'static str,
+    /// The severity the lint fires at.
+    pub severity: Severity,
+    /// One-line summary — kept in sync with the doc table at the top of
+    /// this file (asserted by a test).
+    pub summary: &'static str,
+    /// Longer `--explain` text: what the lint proves, why it matters, and
+    /// how to fix a finding.
+    pub explanation: &'static str,
+}
+
+/// The lint registry, in code order. The doc table at the top of this file
+/// is the human-readable face of this slice; a test asserts they agree.
+pub fn registry() -> &'static [LintInfo] {
+    &[
+        LintInfo {
+            code: "F001",
+            severity: Severity::Error,
+            summary: "possible overflow: the static magnitude bound times the scale may exceed \
+                      the level's modulus budget (`m·x_max < Q` unprovable)",
+            explanation: "The RNS-CKKS soundness hypothesis is m·x_max < Q: the slot magnitude \
+                          times the encoding scale must fit the coefficient modulus. The \
+                          interval analysis bounds every op's slot magnitude from the declared \
+                          input ranges; F001 fires where bound·2^scale exceeds the level's \
+                          modulus budget (minus one bit of margin), i.e. where encrypted \
+                          evaluation may silently wrap. Fix: raise the level, lower the scale, \
+                          rescale earlier, or tighten the declared input ranges.",
+        },
+        LintInfo {
+            code: "F002",
+            severity: Severity::Warning,
+            summary: "dead rescale/modswitch: the result of a level-dropping op is never used",
+            explanation: "A rescale or modswitch whose result has no users burns a level-N NTT \
+                          pass (Table 3's most expensive rows after keyed ops) for nothing. \
+                          These typically survive from a scale-management plan that was later \
+                          rewritten. Fix: delete the op, or re-point consumers at its result.",
+        },
+        LintInfo {
+            code: "F003",
+            severity: Severity::Warning,
+            summary: "redundant upscale: dead, or immediately re-upscaled (mergeable)",
+            explanation: "An upscale multiplies by an encoded identity, so a dead upscale is a \
+                          wasted cipher×plain multiply, and an upscale consumed only by another \
+                          upscale is two multiplies where one (with the summed scale delta) \
+                          suffices. Fix: delete or merge the upscales.",
+        },
+        LintInfo {
+            code: "F004",
+            severity: Severity::Warning,
+            summary: "level imbalance: a multiplication's operand scales differ by a whole \
+                      rescale factor, pinning the smaller operand a level too high",
+            explanation: "The level-match rule forces both multiplication operands to the same \
+                          level. When their scales differ by ≥ R bits, the smaller-scale \
+                          operand is held a whole level above what its own scale needs, which \
+                          inflates every op on its def-use chain (cost grows with level). Fix: \
+                          rescale the larger operand before the multiply, or rebalance the \
+                          producing expressions.",
+        },
+        LintInfo {
+            code: "F005",
+            severity: Severity::Warning,
+            summary: "over-provisioned modulus: every live ciphertext keeps ≥ R bits of slack, \
+                      so the whole schedule provably fits one level lower",
+            explanation: "If every live ciphertext keeps at least one whole rescale factor of \
+                          slack between its scale and its level's modulus budget, shifting all \
+                          levels down by one preserves every validator constraint — a proof, \
+                          not a heuristic. One level less means smaller keys, cheaper ops, and \
+                          a smaller working set. Fix: compile with max_level − 1 or drop the \
+                          fresh-encryption level by one.",
+        },
+        LintInfo {
+            code: "F006",
+            severity: Severity::Warning,
+            summary: "over-provisioned keys: rotation keys were requested for steps the \
+                      schedule never rotates by",
+            explanation: "Each requested rotation step costs a full Galois key of key-switch \
+                          material (2·L·(L+1) limbs), the dominant per-step memory term. F006 \
+                          compares the requested step set against the schedule's rotations \
+                          modulo the slot count (a residue class shares one key; class 0 is \
+                          the identity and needs none) and warns on surplus keys. Fix: prune \
+                          the requested key set to the steps actually used.",
+        },
+        LintInfo {
+            code: "F007",
+            severity: Severity::Warning,
+            summary: "serialized critical path: an associative add/mul chain whose balanced \
+                      reassociation provably cuts the span by ≥ 2×",
+            explanation: "A left-leaning spine of n single-use cipher adds (or muls) is a \
+                          depth-n critical path: no DAG-parallel runtime can finish it in \
+                          fewer than n dependent steps. Reassociating the same combine into a \
+                          balanced tree has depth ⌈log₂(n+1)⌉ over the identical leaves, so \
+                          when n ≥ 2·⌈log₂(n+1)⌉ the rewrite provably at least halves the \
+                          chain's span without changing the result (the work is unchanged). \
+                          Fix: rewrite the reduction as a balanced tree, e.g. \
+                          ((t₀+t₁)+(t₂+t₃))+… instead of (((t₀+t₁)+t₂)+t₃)+… .",
+        },
+        LintInfo {
+            code: "F008",
+            severity: Severity::Error,
+            summary: "premature free: the last-use table frees a value a later scheduled op \
+                      still reads — a static use-after-free",
+            explanation: "The runtime recycles a ciphertext's buffer into the pool at its \
+                          last *live* use (the discipline the static memory model and the \
+                          dependence DAG encode). A schedule in which a later op still reads \
+                          that value — necessarily dead code, since a live reader would have \
+                          moved the free point — would observe a recycled buffer if executed: \
+                          a use-after-free caught statically instead of at runtime. Fix: \
+                          delete the dead reader, or add its result to the outputs so \
+                          liveness keeps the operand alive.",
+        },
+    ]
+}
+
+/// Looks up a lint code (`"F001"` … `"F008"`) in the [`registry`].
+pub fn explain(code: &str) -> Option<&'static LintInfo> {
+    registry().iter().find(|info| info.code == code)
+}
 
 /// Knobs for the lint run.
 #[derive(Debug, Clone, Default)]
@@ -258,6 +393,132 @@ pub fn lint_scheduled(
         }
     }
 
+    // F007: serialized associative chains. A spine op extends a chain when
+    // one operand is a live, single-use, non-output cipher op of the same
+    // associative kind — exactly the shape a balanced-tree reassociation
+    // can rewrite without changing the result or the work.
+    {
+        let n = program.num_ops();
+        let mut live_uses = vec![0usize; n];
+        for id in program.ids() {
+            if live[id.index()] {
+                for a in program.op(id).operands() {
+                    live_uses[a.index()] += 1;
+                }
+            }
+        }
+        let chain_kind = |id: fhe_ir::ValueId| -> Option<u8> {
+            if !live[id.index()] || !program.is_cipher(id) {
+                return None;
+            }
+            match program.op(id) {
+                Op::Add(..) => Some(0),
+                Op::Mul(..) => Some(1),
+                _ => None,
+            }
+        };
+        let mut chain = vec![0usize; n];
+        let mut consumed = vec![false; n];
+        for id in program.ids() {
+            let Some(kind) = chain_kind(id) else { continue };
+            let mut best: Option<fhe_ir::ValueId> = None;
+            for a in program.op(id).operands() {
+                if chain_kind(a) == Some(kind)
+                    && live_uses[a.index()] == 1
+                    && !program.outputs().contains(&a)
+                    && chain[a.index()] > best.map_or(0, |b| chain[b.index()])
+                {
+                    best = Some(a);
+                }
+            }
+            chain[id.index()] = 1 + best.map_or(0, |b| chain[b.index()]);
+            if let Some(b) = best {
+                consumed[b.index()] = true;
+            }
+        }
+        for id in program.ids() {
+            let len = chain[id.index()];
+            if consumed[id.index()] || len < 2 {
+                continue;
+            }
+            // len ops combine len + 1 leaves; a balanced tree over the same
+            // leaves has depth ⌈log₂(len + 1)⌉.
+            let leaves = len + 1;
+            let depth = (usize::BITS - (leaves - 1).leading_zeros()) as usize;
+            if len >= 2 * depth {
+                let op_name = match program.op(id) {
+                    Op::Mul(..) => "mul",
+                    _ => "add",
+                };
+                findings.push(
+                    Finding::new(
+                        "F007",
+                        Severity::Warning,
+                        format!(
+                            "serialized critical path: {len} chained cipher {op_name}s end at \
+                             {id}, a depth-{len} spine; a balanced reassociation tree over the \
+                             same {leaves} leaves has depth {depth}, cutting this chain's span \
+                             {:.1}× — rewrite as ((t0 {s} t1) {s} (t2 {s} t3)) {s} …",
+                            len as f64 / depth as f64,
+                            s = if op_name == "mul" { "*" } else { "+" },
+                        ),
+                    )
+                    .at(id),
+                );
+            }
+        }
+    }
+
+    // F008: premature free. The runtime returns a ciphertext's buffer to
+    // the pool at its last live use; a later scheduled reader (necessarily
+    // dead code — a live reader would be the last use) would read a
+    // recycled buffer if executed. Outputs are pinned and never freed.
+    {
+        let mut freed_at: Vec<Option<fhe_ir::ValueId>> = vec![None; program.num_ops()];
+        for id in program.ids() {
+            if !live[id.index()] {
+                continue;
+            }
+            for a in program.op(id).operands() {
+                if live[a.index()] && program.is_cipher(a) {
+                    freed_at[a.index()] = Some(id);
+                }
+            }
+        }
+        for &o in program.outputs() {
+            freed_at[o.index()] = None; // pinned
+        }
+        for id in program.ids() {
+            if live[id.index()] {
+                continue;
+            }
+            let mut prev = None;
+            for a in program.op(id).operands() {
+                if prev == Some(a) {
+                    continue;
+                }
+                prev = Some(a);
+                if let Some(f) = freed_at[a.index()] {
+                    if id.index() > f.index() {
+                        findings.push(
+                            Finding::new(
+                                "F008",
+                                Severity::Error,
+                                format!(
+                                    "premature free: {id} reads {a}, but the last-use table \
+                                     frees {a} at {f}; executing {id} would read a recycled \
+                                     buffer (static use-after-free) — delete the dead op or \
+                                     keep {a} live by making {id} reachable from an output"
+                                ),
+                            )
+                            .at(id),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     findings.sort_by_key(|f| (f.op, std::cmp::Reverse(f.severity)));
     Ok(findings)
 }
@@ -434,6 +695,171 @@ mod tests {
             ..LintOptions::default()
         };
         assert!(lint_scheduled(&s, &opts).expect("valid").is_empty());
+    }
+
+    #[test]
+    fn serialized_reduction_fires_f007_with_rewrite_hint() {
+        // acc = ((((((x+x1)+x2)+x3)+x4)+x5)+x6): a 6-op spine; a balanced
+        // tree over the 7 leaves has depth 3 → 2× span cut.
+        let mut p = Program::new("serial", 8);
+        let x = p.push(Op::Input { name: "x".into() });
+        let mut acc = x;
+        let mut head = x;
+        for i in 0..6 {
+            let xi = p.push(Op::Input {
+                name: format!("x{i}"),
+            });
+            head = p.push(Op::Add(acc, xi));
+            acc = head;
+        }
+        p.set_outputs(vec![head]);
+        let inputs = vec![spec(35, 1); 7];
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs,
+        };
+        let f = lint(&s);
+        assert_eq!(codes(&f), vec!["F007"]);
+        assert_eq!(f[0].op, Some(head));
+        assert!(
+            f[0].message.contains("balanced reassociation"),
+            "{}",
+            f[0].message
+        );
+        assert!(f[0].message.contains("2.0×"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn balanced_and_short_reductions_stay_quiet() {
+        // Balanced 8-leaf tree: longest same-kind spine is 3 < 2·depth.
+        let mut p = Program::new("tree", 8);
+        let leaves: Vec<_> = (0..8)
+            .map(|i| {
+                p.push(Op::Input {
+                    name: format!("x{i}"),
+                })
+            })
+            .collect();
+        let mut layer = leaves;
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| p.push(Op::Add(pair[0], pair[1])))
+                .collect();
+        }
+        let root = layer[0];
+        p.set_outputs(vec![root]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1); 8],
+        };
+        assert!(lint(&s).is_empty(), "{:?}", lint(&s));
+
+        // A 5-op spine cuts span only 5/3 < 2×: stays quiet.
+        let mut p = Program::new("short", 8);
+        let x = p.push(Op::Input { name: "x".into() });
+        let mut acc = x;
+        for i in 0..5 {
+            let xi = p.push(Op::Input {
+                name: format!("x{i}"),
+            });
+            acc = p.push(Op::Add(acc, xi));
+        }
+        p.set_outputs(vec![acc]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1); 6],
+        };
+        assert!(lint(&s).is_empty(), "{:?}", lint(&s));
+    }
+
+    #[test]
+    fn premature_free_fires_f008() {
+        // a = x + y is x's and y's last live use; the dead sub scheduled
+        // after it reads both after their free points.
+        let mut p = Program::new("uaf", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let y = p.push(Op::Input { name: "y".into() });
+        let a = p.push(Op::Add(x, y));
+        let dead = p.push(Op::Sub(x, y));
+        p.set_outputs(vec![a]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1), spec(35, 1)],
+        };
+        let f = lint(&s);
+        assert_eq!(codes(&f), vec!["F008", "F008"]);
+        assert!(f.iter().all(|f| f.severity == Severity::Error));
+        assert_eq!(f[0].op, Some(dead));
+        assert!(f[0].message.contains("use-after-free"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn f008_spares_pinned_outputs_and_reads_before_the_free() {
+        // x is an output: pinned, never freed, so the dead reader is safe.
+        let mut p = Program::new("pinned", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let y = p.push(Op::Input { name: "y".into() });
+        let a = p.push(Op::Add(x, y));
+        let _dead = p.push(Op::Neg(x));
+        p.set_outputs(vec![a, x]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1), spec(35, 1)],
+        };
+        assert!(lint(&s).is_empty(), "{:?}", lint(&s));
+
+        // The dead reader runs before y's last live use: no hazard.
+        let mut p = Program::new("before", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let y = p.push(Op::Input { name: "y".into() });
+        let _dead = p.push(Op::Neg(y));
+        let a = p.push(Op::Add(x, y));
+        p.set_outputs(vec![a, x]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(35),
+            inputs: vec![spec(35, 1), spec(35, 1)],
+        };
+        assert!(lint(&s).is_empty(), "{:?}", lint(&s));
+    }
+
+    #[test]
+    fn registry_matches_the_doc_table() {
+        // The doc table at the top of this file is the human-readable face
+        // of `registry()`: same codes, same severities, same summaries.
+        let source = include_str!("lint.rs");
+        let mut table = Vec::new();
+        for line in source.lines() {
+            let line = line.trim_start();
+            let Some(rest) = line.strip_prefix("//! | `F") else {
+                continue;
+            };
+            let mut cells = rest.split('|').map(str::trim);
+            let code = format!("F{}", cells.next().unwrap().trim_end_matches('`').trim());
+            let severity = cells.next().unwrap().to_string();
+            let meaning = cells.next().unwrap().to_string();
+            table.push((code, severity, meaning));
+        }
+        let registry = super::registry();
+        assert_eq!(
+            table.len(),
+            registry.len(),
+            "doc table rows vs registry entries"
+        );
+        for ((code, severity, meaning), info) in table.iter().zip(registry) {
+            assert_eq!(code, info.code);
+            assert_eq!(severity, info.severity.label(), "{code} severity");
+            let collapse = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+            assert_eq!(collapse(meaning), collapse(info.summary), "{code} summary");
+        }
+        assert!(super::explain("F007").is_some());
+        assert!(super::explain("F999").is_none());
     }
 
     #[test]

@@ -1,15 +1,18 @@
-//! Pipeline integration: [`LintPass`] and [`TranslationValidatePass`] plug
-//! the analyses into any compiler's [`PassManager`] sequence, recording
-//! findings and the TV verdict in the shared [`PassCx`] so they surface in
-//! the uniform `CompileReport`.
+//! Pipeline integration: [`DepGraphPass`], [`LintPass`] and
+//! [`TranslationValidatePass`] plug the analyses into any compiler's
+//! [`PassManager`] sequence, recording findings, the parallelism profile,
+//! and the TV verdict in the shared [`PassCx`] so they surface in the
+//! uniform `CompileReport`.
 //!
 //! [`PassManager`]: fhe_ir::pipeline::PassManager
 
+use fhe_ir::depgraph::DepGraph;
 use fhe_ir::diag::{Finding, Severity, TvVerdict};
 use fhe_ir::pipeline::{Pass, PassCx, PassError, PassIr, PassKind};
-use fhe_ir::Program;
+use fhe_ir::{MemoryModelConfig, Program};
 
 use crate::lint::{lint_scheduled, LintOptions};
+use crate::parallel;
 use crate::tv;
 
 /// Lints the scheduled program and records findings in the context.
@@ -50,6 +53,73 @@ impl Pass for LintPass {
                 }
             }
             Err(_) => cx.note("skipped: schedule does not validate"),
+        }
+        Ok(PassIr::Scheduled(scheduled))
+    }
+}
+
+/// Builds the dependence DAG of the schedule, notes its work/span/width
+/// profile, and proves the schedule race-free for topological-order
+/// parallel execution via [`parallel::check`].
+///
+/// Never fails the pipeline: the profile is informative and a safety
+/// violation is surfaced as an `F008` error finding (the parallel form of
+/// the premature-free lint) for the fuzz oracle and the lint CLI to gate
+/// on. The hoisting discipline follows the [`MemoryModelConfig`] artifact
+/// if an earlier pass stored one, matching what the memory model and the
+/// runtime will do.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraphPass;
+
+impl Pass for DepGraphPass {
+    fn name(&self) -> &str {
+        "depgraph"
+    }
+
+    fn kind(&self) -> PassKind {
+        PassKind::Analysis
+    }
+
+    fn run(&mut self, ir: PassIr, cx: &mut PassCx) -> Result<PassIr, PassError> {
+        let scheduled = ir.try_scheduled("depgraph")?;
+        let Ok(map) = scheduled.validate() else {
+            cx.note("skipped: schedule does not validate");
+            return Ok(PassIr::Scheduled(scheduled));
+        };
+        let hoist = cx
+            .get::<MemoryModelConfig>()
+            .cloned()
+            .unwrap_or_default()
+            .hoist_rotations;
+        let graph = DepGraph::build(&scheduled, &map, &cx.cost_model, hoist);
+        let est = graph.estimate();
+        cx.note(format!(
+            "work {:.1}us, span {:.1}us, parallelism {:.2}x, max width {}",
+            est.work_us,
+            est.span_us,
+            est.parallelism(),
+            est.max_width
+        ));
+        let safety = parallel::check(&scheduled, &graph, hoist);
+        if safety.race_free() {
+            cx.note(format!(
+                "parallel-safety: proved race-free ({} obligation(s), {} freed value(s))",
+                safety.obligations, safety.freed_values
+            ));
+        } else {
+            cx.note(format!(
+                "parallel-safety: {} unordered hazard(s)",
+                safety.violations.len()
+            ));
+            for v in &safety.violations {
+                let at = match v {
+                    parallel::Violation::ReadAfterFree { reader, .. } => *reader,
+                    parallel::Violation::UnorderedGroupWriter { member, .. } => *member,
+                };
+                cx.finding(
+                    Finding::new("F008", Severity::Error, format!("parallel hazard: {v}")).at(at),
+                );
+            }
         }
         Ok(PassIr::Scheduled(scheduled))
     }
@@ -172,5 +242,42 @@ mod tests {
         assert_eq!(cx.findings().len(), 1);
         assert_eq!(cx.findings()[0].code, "F000");
         assert_eq!(cx.findings()[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn depgraph_pass_notes_the_profile_and_proves_safety() {
+        let mut cx = PassCx::new(CompileParams::new(30), CostModel::paper_table3());
+        let mut pm = PassManager::new().with(DepGraphPass);
+        let (_, trace) = pm.run(PassIr::Scheduled(schedule(false)), &mut cx).unwrap();
+        assert!(cx.findings().is_empty(), "{:?}", cx.findings());
+        let notes = &trace.pass("depgraph").unwrap().notes;
+        assert!(notes[0].starts_with("work "), "{notes:?}");
+        assert!(
+            notes.iter().any(|n| n.contains("proved race-free")),
+            "{notes:?}"
+        );
+    }
+
+    #[test]
+    fn depgraph_pass_skips_an_invalid_schedule() {
+        // Mismatched add scales: validation fails, the pass notes the skip.
+        let mut p = Program::new("bad", 4);
+        let x = p.push(Op::Input { name: "x".into() });
+        let m = p.push(Op::Mul(x, x));
+        let a = p.push(Op::Add(x, m));
+        p.set_outputs(vec![a]);
+        let s = ScheduledProgram {
+            program: p,
+            params: CompileParams::new(30),
+            inputs: vec![InputSpec {
+                scale_bits: Frac::from(45),
+                level: 2,
+            }],
+        };
+        let mut cx = PassCx::new(CompileParams::new(30), CostModel::paper_table3());
+        let mut pm = PassManager::new().with(DepGraphPass);
+        let (_, trace) = pm.run(PassIr::Scheduled(s), &mut cx).unwrap();
+        let notes = &trace.pass("depgraph").unwrap().notes;
+        assert_eq!(notes[0], "skipped: schedule does not validate");
     }
 }

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use fhe_analysis::{LintPass, TranslationValidatePass};
+use fhe_analysis::{DepGraphPass, LintPass, TranslationValidatePass};
 use fhe_ir::pipeline::{
     finish_compiled, CleanupPass, CompileError, Compiled, Pass, PassCx, PassError, PassIr,
     PassManager, ScaleCompiler,
@@ -45,6 +45,7 @@ pub fn compile(program: &Program, params: &CompileParams) -> Result<Compiled, Co
     let (ir, trace) = PassManager::new()
         .with(CleanupPass)
         .with(LegalizePass)
+        .with(DepGraphPass)
         .with(LintPass::default())
         .with(TranslationValidatePass::new(program.clone()))
         .run(PassIr::Source(program.clone()), &mut cx)
@@ -98,7 +99,13 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            ["cleanup", "legalize", "lint", "translation-validate"]
+            [
+                "cleanup",
+                "legalize",
+                "depgraph",
+                "lint",
+                "translation-validate"
+            ]
         );
         assert_eq!(out.report.translation_validated, Some(true));
     }

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use fhe_analysis::{LintPass, TranslationValidatePass};
+use fhe_analysis::{DepGraphPass, LintPass, TranslationValidatePass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -167,6 +167,7 @@ pub fn compile(
         .with(ExplorePass {
             options: options.clone(),
         })
+        .with(DepGraphPass)
         .with(LintPass::default())
         .with(TranslationValidatePass::new(program.clone()))
         .run(PassIr::Source(program.clone()), &mut cx)

@@ -7,9 +7,11 @@
 //! grows with level, and `mul cc ≫ rotate ≫ rescale ≫ mul cp ≫ adds ≫
 //! modswitch`, as in the paper. `--json <path>` writes the measured matrix.
 
-use fhe_bench::{json::Json, print_table, CliArgs};
+use fhe_bench::{json::Json, print_table, standard_compilers, CliArgs};
 use fhe_ckks::CkksParams;
+use fhe_ir::CostModel;
 use fhe_runtime::microbench;
+use fhe_workloads::Size;
 
 fn main() {
     let args = CliArgs::parse();
@@ -54,6 +56,42 @@ fn main() {
     }
     print_table(&headers, &table);
 
+    // Critical-path profile of the golden workloads under the measured
+    // (not paper) cost model: what the depgraph analyzer predicts a
+    // DAG-parallel executor could reach on *this* machine.
+    let calibrated = CostModel::from_rows(rows.clone());
+    let ours = &standard_compilers(1)[2];
+    let mut cp_rows = Vec::new();
+    let mut cp_json = Vec::new();
+    println!("\nCritical path under the measured cost model (this work's schedules):");
+    for w in &fhe_workloads::suite(Size::Test) {
+        let Ok(out) = ours.compile(&w.program, &fhe_ir::CompileParams::new(30)) else {
+            continue;
+        };
+        let map = out
+            .scheduled
+            .validate()
+            .expect("compiled schedules validate");
+        let est = fhe_ir::depgraph::analyze(&out.scheduled, &map, &calibrated, true);
+        cp_rows.push(vec![
+            w.name.to_string(),
+            format!("{:.0}", est.work_us),
+            format!("{:.0}", est.span_us),
+            format!("{:.2}x", est.parallelism()),
+            est.max_width.to_string(),
+        ]);
+        cp_json.push(Json::obj([
+            ("benchmark", Json::from(w.name)),
+            ("work_us", Json::from(est.work_us)),
+            ("critical_path_us", Json::from(est.span_us)),
+            ("max_width", Json::from(est.max_width)),
+        ]));
+    }
+    print_table(
+        &["Benchmark", "Work (us)", "CP (us)", "Parallelism", "Width"],
+        &cp_rows,
+    );
+
     // Shape checks mirroring the paper's ordering claims.
     let get = |name: &str| -> &Vec<f64> {
         &rows
@@ -94,5 +132,6 @@ fn main() {
                     .collect(),
             ),
         ),
+        ("critical_path", Json::Array(cp_json)),
     ]));
 }

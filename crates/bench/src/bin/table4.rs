@@ -27,6 +27,8 @@ fn main() {
         "Hecate SM (ms)",
         "This work SM (ms)",
         "SM Speedup",
+        "CP (us)",
+        "Width",
         "Lint/TV (EVA|Hec|ours)",
     ];
     let mut rows = Vec::new();
@@ -56,6 +58,8 @@ fn main() {
             fmt_ms(hec.scale_management_time),
             fmt_ms(ours.scale_management_time),
             format!("{sm_speedup:.0}x"),
+            format!("{:.0}", ours.parallelism.span_us),
+            ours.parallelism.max_width.to_string(),
             format!(
                 "{} | {} | {}",
                 diagnostics_cell(eva),
@@ -66,6 +70,8 @@ fn main() {
         json_rows.push(Json::obj([
             ("benchmark", Json::from(w.name)),
             ("ops", Json::from(w.program.num_ops())),
+            ("critical_path_us", Json::from(ours.parallelism.span_us)),
+            ("max_width", Json::from(ours.parallelism.max_width)),
             (
                 "reports",
                 Json::Array(outs.iter().map(|o| report_json(&o.report)).collect()),

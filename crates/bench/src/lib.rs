@@ -238,6 +238,27 @@ pub fn report_json(report: &CompileReport) -> Json {
             ]),
         ),
         (
+            "parallelism",
+            Json::obj([
+                ("work_us", Json::from(report.parallelism.work_us)),
+                ("span_us", Json::from(report.parallelism.span_us)),
+                ("max_width", Json::from(report.parallelism.max_width)),
+                (
+                    "t_of_k",
+                    Json::Array(
+                        report
+                            .parallelism
+                            .t_of_k
+                            .iter()
+                            .map(|&(k, t)| {
+                                Json::obj([("k", Json::from(k)), ("t_us", Json::from(t))])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
             "findings",
             Json::Array(
                 report
@@ -352,6 +373,10 @@ mod tests {
         let mem = &out[2].report.memory;
         assert!(mem.peak_bytes >= mem.poly_peak_bytes + mem.key_bytes);
         assert!(mem.peak_bytes > 0);
+        assert!(j.contains("\"parallelism\":{\"work_us\":"), "{j}");
+        let par = &out[2].report.parallelism;
+        assert!(par.span_us <= par.work_us + 1e-9);
+        assert!(par.max_width >= 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use fhe_analysis::{LintPass, TranslationValidatePass};
+use fhe_analysis::{DepGraphPass, LintPass, TranslationValidatePass};
 use fhe_ir::pipeline::{
     finish_compiled, CleanupPass, CompileError, CompileReport, Compiled as UnifiedCompiled, Pass,
     PassCx, PassError, PassIr, PassKind, PassManager, PipelineTrace, ScaleCompiler,
@@ -293,6 +293,7 @@ pub fn compile(program: &Program, options: &Options) -> Result<Compiled, Compile
         hoist_rotations: options.working_set.hoist_rotations(),
     });
     let (ir, trace) = pipeline_for(options)
+        .with(DepGraphPass)
         .with(LintPass::default())
         .with(TranslationValidatePass::new(program.clone()))
         .run(PassIr::Source(program.clone()), &mut cx)
@@ -467,6 +468,7 @@ mod tests {
                 "typecheck",
                 "place",
                 "hoist",
+                "depgraph",
                 "lint",
                 "translation-validate"
             ]

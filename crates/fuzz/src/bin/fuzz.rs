@@ -33,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--seed S] [--count N] [--opmix k=w,…] [--json PATH]
             [--ckks-every K] [--no-ckks] [--waterline BITS] [--max-ops N]
-            [--slots N] [--hecate-iters N] [--ablations]
+            [--slots N] [--width-stress N] [--hecate-iters N] [--ablations]
             [--shrunk-dir DIR] [--no-shrink] [--quiet]
 
 Generates N seeded programs and cross-checks Reserve/EVA/Hecate schedules
@@ -83,6 +83,9 @@ fn parse_args() -> Args {
             }
             "--max-ops" => args.gen_cfg.max_ops = parse_or_usage(&value(&mut it, "--max-ops")),
             "--slots" => args.gen_cfg.slots = parse_or_usage(&value(&mut it, "--slots")),
+            "--width-stress" => {
+                args.gen_cfg.width_stress = parse_or_usage(&value(&mut it, "--width-stress"))
+            }
             "--hecate-iters" => {
                 args.oracle_cfg.hecate_iterations =
                     parse_or_usage(&value(&mut it, "--hecate-iters"))

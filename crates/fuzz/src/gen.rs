@@ -139,6 +139,13 @@ pub struct GenConfig {
     /// Pool of rotation offsets (may exceed `slots` to exercise cyclic
     /// wrap-around, and may be negative).
     pub rotate_offsets: Vec<i64>,
+    /// Width stress: seed the DAG with this many mutually independent
+    /// rotations of the inputs, reduced by a balanced add-tree that is
+    /// pinned as an output. `0` disables it. With `n > 0` the dependence
+    /// DAG's `max_width` is at least about `n/2` (the tree's first rank),
+    /// so sweeps exercise the depgraph analyzer's wide schedules instead
+    /// of the narrow DAGs the default random growth tends to produce.
+    pub width_stress: usize,
 }
 
 impl Default for GenConfig {
@@ -153,6 +160,7 @@ impl Default for GenConfig {
             magnitude_cap: 64.0,
             opmix: OpMix::default(),
             rotate_offsets: vec![-31, -17, -5, -3, -2, -1, 1, 2, 3, 5, 8, 16, 33, 67],
+            width_stress: 0,
         }
     }
 }
@@ -205,6 +213,38 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
         });
     }
 
+    // Width stress: a rank of independent rotations spread over the
+    // inputs, folded by a balanced add-tree whose root is pinned as an
+    // output below, keeping the whole wide rank live.
+    let mut width_root = None;
+    if cfg.width_stress > 0 {
+        let mut rank: Vec<ValueId> = Vec::with_capacity(cfg.width_stress);
+        for j in 0..cfg.width_stress {
+            let a = ValueId((j % n_inputs) as u32);
+            let id = program.push(Op::Rotate(a, j as i64 + 1));
+            info.push(info[a.index()]);
+            rank.push(id);
+        }
+        while rank.len() > 1 {
+            let mut next = Vec::with_capacity(rank.len().div_ceil(2));
+            for pair in rank.chunks(2) {
+                if let [a, b] = *pair {
+                    let id = program.push(Op::Add(a, b));
+                    let (ia, ib) = (info[a.index()], info[b.index()]);
+                    info.push(ValueInfo {
+                        depth: ia.depth.max(ib.depth),
+                        magnitude: ia.magnitude + ib.magnitude,
+                    });
+                    next.push(id);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            rank = next;
+        }
+        width_root = Some(rank[0]);
+    }
+
     for _ in 0..n_ops {
         let mut placed = false;
         for _attempt in 0..16 {
@@ -245,6 +285,11 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
     }
     if outputs.is_empty() {
         outputs.push(*cipher.last().expect("inputs are cipher"));
+    }
+    if let Some(root) = width_root {
+        if !outputs.contains(&root) {
+            outputs.push(root);
+        }
     }
     program.set_outputs(outputs);
     program
@@ -407,6 +452,36 @@ mod tests {
         assert!(OpMix::parse("bogus=1").is_err());
         assert!(OpMix::parse("add").is_err());
         assert!(OpMix::parse("add=0,sub=0,mul=0,mul_const=0,rotate=0,neg=0").is_err());
+    }
+
+    #[test]
+    fn width_stress_yields_wide_live_dags() {
+        use fhe_ir::ScaleCompiler;
+        let cfg = GenConfig {
+            width_stress: 24,
+            ..GenConfig::default()
+        };
+        for seed in 0..5 {
+            let p = generate(seed, &cfg);
+            let live = fhe_ir::analysis::live(&p);
+            let live_rotations = p
+                .ids()
+                .filter(|&id| live[id.index()] && matches!(p.op(id), Op::Rotate(..)))
+                .count();
+            assert!(live_rotations >= 24, "seed {seed}: {live_rotations}");
+        }
+        // The compiled schedule's dependence DAG is wide, not just the
+        // source: this is what the sweep relies on to exercise
+        // `max_width > 8`.
+        let p = generate(0, &cfg);
+        let compiled = reserve_core::ReserveCompiler::full()
+            .compile(&p, &fhe_ir::CompileParams::new(35))
+            .expect("compiles");
+        assert!(
+            compiled.report.parallelism.max_width > 8,
+            "width {}",
+            compiled.report.parallelism.max_width
+        );
     }
 
     #[test]

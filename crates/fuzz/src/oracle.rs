@@ -37,7 +37,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use fhe_analysis::{analyze, AnalysisCx, IntervalDomain, MagnitudeSource, NoiseDomain};
 use fhe_baselines::{EvaCompiler, HecateCompiler};
-use fhe_ir::{passes, CompileParams, Op, Program, ScaleCompiler, ScheduledProgram};
+use fhe_ir::{passes, CompileParams, Op, Program, ScaleCompiler, ScheduledProgram, ValueId};
 use fhe_runtime::executor::{max_abs_diff, CkksExec, Executor, NoiseSimExec, PlainExec};
 use fhe_runtime::{plain, ExecOptions};
 use rand::rngs::StdRng;
@@ -65,6 +65,10 @@ pub enum DivergenceKind {
     TranslationValidation,
     /// A static analysis bound was beaten by an observed value.
     StaticBound,
+    /// The depgraph parallelism profile is inconsistent (span > work,
+    /// non-monotone `T(k)`) or the measured single-threaded latency fails
+    /// to dominate the statically predicted span under a calibrated model.
+    SpanBound,
 }
 
 impl DivergenceKind {
@@ -79,6 +83,7 @@ impl DivergenceKind {
             DivergenceKind::OutputMismatch => "output-mismatch",
             DivergenceKind::TranslationValidation => "tv",
             DivergenceKind::StaticBound => "static-bound",
+            DivergenceKind::SpanBound => "span-bound",
         }
     }
 }
@@ -138,6 +143,15 @@ pub struct OracleConfig {
     pub static_noise_margin_bits: f64,
     /// Also run the reserve compiler's BA/RA ablation modes.
     pub include_ablations: bool,
+    /// Check the depgraph span bound: the parallelism profile must be
+    /// internally consistent on every compile (span ≤ work, `T(k)`
+    /// monotone), and on every encrypted run the measured single-threaded
+    /// latency — times [`OracleConfig::span_margin`] — must dominate the
+    /// span predicted by a backend-calibrated cost model.
+    pub check_span_bound: bool,
+    /// Multiplier on the measured latency in the span-bound check,
+    /// absorbing calibration and timing jitter on tiny fuzz programs.
+    pub span_margin: f64,
 }
 
 impl Default for OracleConfig {
@@ -150,6 +164,8 @@ impl Default for OracleConfig {
             rel_tol: 1e-2,
             static_noise_margin_bits: 16.0,
             include_ablations: false,
+            check_span_bound: true,
+            span_margin: 1.5,
         }
     }
 }
@@ -291,6 +307,9 @@ pub fn check_program(program: &Program, cfg: &OracleConfig) -> Vec<Divergence> {
         };
         check_schedule_invariants(&compiled.scheduled, &params, name, &mut divs);
         check_translation_validation(program, &compiled, name, &mut divs);
+        if cfg.check_span_bound {
+            check_parallelism_profile(&compiled.report, name, &mut divs);
+        }
         let magnitudes = check_interval_bounds(&compiled.scheduled, &inputs, name, &mut divs);
         check_executors(
             &compiled.scheduled,
@@ -652,6 +671,9 @@ fn check_executors(
                 cfg,
                 divs,
             );
+            if cfg.check_span_bound {
+                check_span_bound(scheduled, run.trace.op_time, compiler, cfg, divs);
+            }
             // The compiler's static working-set estimate must dominate the
             // peak the runtime's pool + key accounting actually measured
             // (both sides exclude encoder scratch).
@@ -676,6 +698,130 @@ fn check_executors(
     // Pairwise agreement between the noisy executors (each is within
     // `tol` of the reference, so demand `2·tol` of each other).
     check_pairwise(&noisy_outputs, tol, compiler, divs);
+}
+
+/// Internal consistency of the parallelism profile every compile report
+/// now carries: span never exceeds work, `T(1)` equals work, `T(k)` is
+/// nonincreasing in `k`, and every `T(k)` is bracketed by span and work.
+fn check_parallelism_profile(
+    report: &fhe_ir::pipeline::CompileReport,
+    compiler: &str,
+    divs: &mut Vec<Divergence>,
+) {
+    let p = &report.parallelism;
+    let mut push = |detail: String| {
+        divs.push(Divergence {
+            kind: DivergenceKind::SpanBound,
+            stage: format!("{compiler}:profile"),
+            detail,
+        });
+    };
+    let eps = 1e-6 + p.work_us * 1e-9;
+    if p.span_us > p.work_us + eps {
+        push(format!(
+            "span {:.3}us exceeds work {:.3}us",
+            p.span_us, p.work_us
+        ));
+    }
+    if let Some(&(k1, t1)) = p.t_of_k.first() {
+        if k1 != 1 || (t1 - p.work_us).abs() > eps {
+            push(format!(
+                "T({k1}) = {t1:.3}us but the profile must start at T(1) = work = {:.3}us",
+                p.work_us
+            ));
+        }
+    }
+    let mut prev = f64::INFINITY;
+    for &(k, t) in &p.t_of_k {
+        if t > prev + eps {
+            push(format!("T(k) is not monotone: T({k}) = {t:.3}us rises"));
+        }
+        if t + eps < p.span_us || t > p.work_us + eps {
+            push(format!(
+                "T({k}) = {t:.3}us outside [span {:.3}, work {:.3}]",
+                p.span_us, p.work_us
+            ));
+        }
+        prev = t;
+    }
+}
+
+/// The measured single-threaded encrypted latency must dominate the span a
+/// backend-calibrated cost model predicts: the span is the latency floor a
+/// DAG-parallel executor could reach, so a serial run beating it means the
+/// static analysis under-costs the schedule. The margin absorbs timing
+/// jitter, and hoisted rotation-group members (which the backend computes
+/// with a shared decomposition, cheaper than the calibrated lone rotation)
+/// are credited back explicitly.
+fn check_span_bound(
+    scheduled: &ScheduledProgram,
+    op_time: std::time::Duration,
+    compiler: &str,
+    cfg: &OracleConfig,
+    divs: &mut Vec<Divergence>,
+) {
+    use fhe_ir::OpClass;
+    use std::sync::{Mutex, OnceLock};
+
+    let Ok(map) = scheduled.validate() else {
+        return; // invariant checks already flagged this
+    };
+    let slots = scheduled.program.slots();
+    let levels = map.max_level() as usize;
+    let rescale_bits = scheduled.params.rescale_bits;
+
+    type CalibrationCache = Mutex<HashMap<(usize, u32, usize), fhe_ir::CostModel>>;
+    static CACHE: OnceLock<CalibrationCache> = OnceLock::new();
+    let model = {
+        let mut cache = CACHE
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("calibration cache poisoned");
+        cache
+            .entry((slots, rescale_bits, levels))
+            .or_insert_with(|| {
+                fhe_runtime::microbench::calibrate_backend(slots, rescale_bits, levels, 3, 0xCA1B)
+            })
+            .clone()
+    };
+
+    let graph = fhe_ir::DepGraph::build(scheduled, &map, &model, true);
+    let est = graph.estimate();
+
+    // Credit for hoisted rotation groups: every non-leader member runs on
+    // a shared decomposition, so its real cost can undercut the calibrated
+    // lone-rotation cost by up to the full rotation latency.
+    let program = &scheduled.program;
+    let live = fhe_ir::analysis::live(program);
+    let mut group_sizes: HashMap<ValueId, (usize, f64)> = HashMap::new();
+    for id in program.ids() {
+        if live[id.index()] && program.is_cipher(id) {
+            if let Op::Rotate(a, _) = program.op(id) {
+                let e = group_sizes.entry(*a).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += model.at_level(OpClass::Rotate, map.level(id));
+            }
+        }
+    }
+    let hoist_credit_us: f64 = group_sizes
+        .values()
+        .filter(|&&(n, _)| n >= 2)
+        .map(|&(n, total)| total * (n - 1) as f64 / n as f64)
+        .sum();
+
+    let measured_us = op_time.as_secs_f64() * 1e6;
+    let allowed = measured_us * cfg.span_margin + hoist_credit_us + 200.0;
+    if est.span_us > allowed {
+        divs.push(Divergence {
+            kind: DivergenceKind::SpanBound,
+            stage: format!("{compiler}:measured"),
+            detail: format!(
+                "calibrated span {:.1}us exceeds measured single-thread latency {:.1}us \
+                 (margin x{:.2} + hoist credit {:.1}us)",
+                est.span_us, measured_us, cfg.span_margin, hoist_credit_us
+            ),
+        });
+    }
 }
 
 /// The static noise estimate — the noise domain fed with the interval
@@ -786,6 +932,38 @@ mod tests {
             let divs = check_program(&p, &oracle);
             assert!(divs.is_empty(), "seed {seed}: {divs:?}");
         }
+    }
+
+    #[test]
+    fn span_bound_holds_on_encrypted_runs() {
+        // Small rings keep the encrypted backend and its calibration fast;
+        // width stress makes the span/work gap nontrivial.
+        let cfg = GenConfig {
+            slots: 16,
+            width_stress: 6,
+            ..GenConfig::default()
+        };
+        let oracle = OracleConfig::default();
+        for seed in 300..303 {
+            let p = generate(seed, &cfg);
+            let divs = check_program(&p, &oracle);
+            assert!(divs.is_empty(), "seed {seed}: {divs:?}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_profile_is_flagged() {
+        let p = generate(7, &GenConfig::default());
+        let compiled = reserve_core::ReserveCompiler::full()
+            .compile(&p, &CompileParams::new(35))
+            .expect("compiles");
+        let mut report = compiled.report;
+        report.parallelism.span_us = report.parallelism.work_us * 2.0 + 1.0;
+        let mut divs = Vec::new();
+        super::check_parallelism_profile(&report, "reserve", &mut divs);
+        assert!(divs
+            .iter()
+            .any(|d| d.kind == DivergenceKind::SpanBound && d.detail.contains("exceeds work")));
     }
 
     #[test]

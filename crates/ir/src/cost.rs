@@ -109,6 +109,57 @@ impl CostModel {
         model
     }
 
+    /// Builds a calibrated model from a measured-latency JSON record — the
+    /// shape the `table3` bench binary writes (and `table3_measured.json`
+    /// ships): an `"ops"` array of `{"op": <row name>, "latency_us":
+    /// [<level-1 µs>, <level-2 µs>, …]}` objects whose `"op"` strings match
+    /// [`OpClass::name`]. Rows absent from the record keep the paper's
+    /// Table 3 values.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON, unknown row names, rows with fewer than two
+    /// levels, and non-positive or non-finite latencies.
+    pub fn from_bench_json(text: &str) -> Result<Self, String> {
+        let doc = mini_json::parse(text)?;
+        let ops = doc
+            .get("ops")
+            .and_then(mini_json::Value::as_arr)
+            .ok_or_else(|| "missing \"ops\" array".to_string())?;
+        let mut rows = Vec::new();
+        for entry in ops {
+            let name = entry
+                .get("op")
+                .and_then(mini_json::Value::as_str)
+                .ok_or_else(|| "op entry missing \"op\" name".to_string())?;
+            let class = *OpClass::ALL
+                .iter()
+                .find(|c| c.name() == name)
+                .ok_or_else(|| format!("unknown Table 3 row {name:?}"))?;
+            let lat: Vec<f64> = entry
+                .get("latency_us")
+                .and_then(mini_json::Value::as_arr)
+                .ok_or_else(|| format!("row {name:?} missing \"latency_us\" array"))?
+                .iter()
+                .map(|v| {
+                    v.as_num()
+                        .ok_or_else(|| format!("row {name:?} has a non-numeric latency"))
+                })
+                .collect::<Result<_, _>>()?;
+            if lat.len() < 2 {
+                return Err(format!("row {name:?} needs >= 2 levels, got {}", lat.len()));
+            }
+            if lat.iter().any(|x| !x.is_finite() || *x <= 0.0) {
+                return Err(format!("row {name:?} has a non-positive latency"));
+            }
+            rows.push((class, lat));
+        }
+        if rows.is_empty() {
+            return Err("empty \"ops\" array".to_string());
+        }
+        Ok(Self::from_rows(rows))
+    }
+
     /// Latency (µs) of `class` at integer `level` (≥ 1), extrapolating
     /// linearly beyond the table.
     pub fn at_level(&self, class: OpClass, level: u32) -> f64 {
@@ -123,9 +174,13 @@ impl CostModel {
         let max_idx = row.len() - 1; // index of the last tabulated level
         let pos = level - 1.0; // 0-based position in the row
         if pos >= max_idx as f64 {
-            // Extrapolate with the last segment's slope.
+            // Extrapolate with the last segment's slope. Measured rows are
+            // not guaranteed monotone: a decreasing last segment would
+            // extrapolate through zero into negative latencies, so the
+            // result is clamped at the cheapest tabulated latency.
             let slope = row[max_idx] - row[max_idx - 1];
-            return row[max_idx] + slope * (pos - max_idx as f64);
+            let cheapest = row.iter().copied().fold(f64::INFINITY, f64::min);
+            return (row[max_idx] + slope * (pos - max_idx as f64)).max(cheapest);
         }
         let lo = pos.floor() as usize;
         let t = pos - lo as f64;
@@ -205,6 +260,232 @@ impl Default for CostModel {
     }
 }
 
+/// Minimal JSON reader for calibration records. Kept private to this crate
+/// (the workspace's `fhe-bench` serializer is write-only, and `fhe-ir`
+/// cannot depend on it): a recursive-descent parser covering the full JSON
+/// grammar minus surrogate-pair escapes, which the bench records never
+/// emit.
+mod mini_json {
+    pub(super) enum Value {
+        Null,
+        Bool(#[allow(dead_code)] bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_num(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+    }
+
+    pub(super) fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        at: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.at).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.at += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.at += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.at))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.lit("true", Value::Bool(true)),
+                Some(b'f') => self.lit("false", Value::Bool(false)),
+                Some(b'n') => self.lit("null", Value::Null),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".to_string()),
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.at..].starts_with(word.as_bytes()) {
+                self.at += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.at))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.eat(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.at += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                fields.push((key, self.value()?));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.at += 1,
+                    Some(b'}') => {
+                        self.at += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.at += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.at += 1,
+                    Some(b']') => {
+                        self.at += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.at += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.at += 1;
+                        let esc = self
+                            .peek()
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        self.at += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.at..self.at + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .and_then(char::from_u32)
+                                    .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
+                                self.at += 4;
+                                out.push(hex);
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.at)),
+                        }
+                    }
+                    Some(_) => {
+                        let start = self.at;
+                        while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                            self.at += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.at])
+                                .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                        );
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.at;
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.at += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.at])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +523,56 @@ mod tests {
         assert_eq!(l6 - l5, slope);
         assert_eq!(l7 - l6, slope);
         assert!(m.at_level(OpClass::Rescale, 11) > m.at_level(OpClass::Rescale, 10));
+    }
+
+    #[test]
+    fn extrapolation_clamps_at_the_cheapest_row() {
+        // Regression: a measured row whose last segment decreases used to
+        // extrapolate through zero into negative latencies.
+        let m = CostModel::from_rows([(OpClass::ModSwitch, vec![100.0, 60.0])]);
+        assert_eq!(m.at_level(OpClass::ModSwitch, 2), 60.0);
+        // Unclamped level 3 would be 20, level 5 would be −60.
+        assert_eq!(m.at_level(OpClass::ModSwitch, 3), 60.0);
+        assert_eq!(m.at_level(OpClass::ModSwitch, 5), 60.0);
+        assert!(m.at_fractional_level(OpClass::ModSwitch, 7.3) > 0.0);
+    }
+
+    #[test]
+    fn from_bench_json_calibrates_named_rows() {
+        let text = r#"{
+            "table": "table3", "poly_degree": 128, "levels": 2, "reps": 1,
+            "ops": [
+                {"op": "rotate (cipher)", "latency_us": [10.5, 20.25]},
+                {"op": "cipher x cipher", "latency_us": [30.0, 60.0, 90.0]}
+            ]
+        }"#;
+        let m = CostModel::from_bench_json(text).expect("parses");
+        assert_eq!(m.at_level(OpClass::Rotate, 2), 20.25);
+        assert_eq!(m.at_level(OpClass::MulCipher, 3), 90.0);
+        // Rows absent from the record keep the paper values.
+        assert_eq!(m.at_level(OpClass::Rescale, 1), 1926.0);
+    }
+
+    #[test]
+    fn from_bench_json_loads_the_shipped_measurement() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../table3_measured.json");
+        let text = std::fs::read_to_string(path).expect("table3_measured.json ships in the repo");
+        let m = CostModel::from_bench_json(&text).expect("shipped record parses");
+        for class in OpClass::ALL {
+            assert!(m.at_level(class, 1) > 0.0, "{class:?} calibrated");
+        }
+    }
+
+    #[test]
+    fn from_bench_json_rejects_malformed_records() {
+        assert!(CostModel::from_bench_json("{").is_err());
+        assert!(CostModel::from_bench_json("{\"ops\": []}").is_err());
+        let unknown = r#"{"ops": [{"op": "bogus row", "latency_us": [1.0, 2.0]}]}"#;
+        assert!(CostModel::from_bench_json(unknown).is_err());
+        let short = r#"{"ops": [{"op": "cipher + plain", "latency_us": [1.0]}]}"#;
+        assert!(CostModel::from_bench_json(short).is_err());
+        let negative = r#"{"ops": [{"op": "cipher + plain", "latency_us": [1.0, -2.0]}]}"#;
+        assert!(CostModel::from_bench_json(negative).is_err());
     }
 
     #[test]

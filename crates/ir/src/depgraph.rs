@@ -1,0 +1,727 @@
+//! Static dependence DAG and parallel-performance analysis of scheduled
+//! programs.
+//!
+//! The cost model (Table 3) prices each op in isolation; this module prices
+//! the *structure*: which ops could run concurrently, and what latency a
+//! DAG-parallel runtime could reach. [`DepGraph::build`] constructs the
+//! dependence DAG of a [`ScheduledProgram`] — true (read-after-write)
+//! dependences plus the anti and output dependences induced by the
+//! runtime's last-use ciphertext freeing and hoisted rotation groups (the
+//! same discipline as [`crate::memory::estimate_memory`]). From the DAG and
+//! a [`CostModel`] it derives:
+//!
+//! - **work** — total µs of all live ops (equals the sequential
+//!   `estimated_latency_us`),
+//! - **span** — the critical path, the latency floor at unbounded width,
+//! - **`max_width`** — the peak number of concurrently running costed ops
+//!   under an unbounded-width earliest-start schedule, and
+//! - **`T(k)`** — a per-width latency profile from greedy critical-path
+//!   list scheduling with `k` workers (`T(1)` = work, `T(∞)` → span).
+//!
+//! The result is packaged as a [`ParallelismEstimate`] carried by every
+//! `CompileReport`, and the DAG itself is what the parallel-safety checker
+//! in `fhe-analysis` proves race-freedom over: every reader of a ciphertext
+//! is an ancestor of the op that frees it, so *any* topological-order-
+//! respecting parallel execution observes the free after the last read.
+
+use std::collections::HashMap;
+
+use crate::cost::{CostModel, OpClass};
+use crate::op::{Op, ValueId};
+use crate::schedule::{ScaleMap, ScheduledProgram};
+
+/// The kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write: the consumer reads the producer's result.
+    True,
+    /// Write-after-read: the op performing a value's last use returns its
+    /// buffer to the pool, and must therefore run after every other reader.
+    Anti,
+    /// Write-after-write: members of a hoisted rotation group share the
+    /// decomposition the group leader writes, so they are ordered after it.
+    Output,
+}
+
+impl DepKind {
+    /// Short label used in DOT exports and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            DepKind::True => "true",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+        }
+    }
+}
+
+/// One node of the dependence DAG: a live op of the schedule with its
+/// statically priced latency.
+#[derive(Debug, Clone)]
+pub struct DepNode {
+    /// The op this node represents.
+    pub id: ValueId,
+    /// Its Table 3 class (`None` for zero-cost ops: inputs, constants,
+    /// plaintext arithmetic).
+    pub class: Option<OpClass>,
+    /// Its latency under the model the graph was built with (µs).
+    pub cost_us: f64,
+}
+
+/// Static parallelism profile of a compiled program, reported next to the
+/// memory estimate in every `CompileReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelismEstimate {
+    /// Total latency of all live ops (µs) — the one-worker execution time.
+    pub work_us: f64,
+    /// Critical-path latency (µs) — the unbounded-width floor.
+    pub span_us: f64,
+    /// Peak number of concurrently running costed ops under an
+    /// unbounded-width earliest-start schedule.
+    pub max_width: usize,
+    /// Greedy list-schedule latency at power-of-two worker counts:
+    /// `(k, T(k) µs)` pairs with `k = 1, 2, 4, …` up to the first power of
+    /// two at or above `max_width`.
+    pub t_of_k: Vec<(usize, f64)>,
+}
+
+impl Default for ParallelismEstimate {
+    fn default() -> Self {
+        ParallelismEstimate {
+            work_us: 0.0,
+            span_us: 0.0,
+            max_width: 0,
+            t_of_k: vec![(1, 0.0)],
+        }
+    }
+}
+
+impl ParallelismEstimate {
+    /// Ideal parallelism `work / span` (1.0 for empty or serial programs).
+    pub fn parallelism(&self) -> f64 {
+        if self.span_us > 0.0 {
+            self.work_us / self.span_us
+        } else {
+            1.0
+        }
+    }
+
+    /// Speedup of the `k`-worker schedule over one worker, from the
+    /// profile's largest tabulated width at or below `k`.
+    pub fn speedup_at(&self, k: usize) -> f64 {
+        let t1 = match self.t_of_k.first() {
+            Some(&(_, t)) if t > 0.0 => t,
+            _ => return 1.0,
+        };
+        let tk = self
+            .t_of_k
+            .iter()
+            .filter(|&&(w, _)| w <= k)
+            .map(|&(_, t)| t)
+            .fold(t1, f64::min);
+        if tk > 0.0 {
+            t1 / tk
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The dependence DAG of a scheduled program. Node order (ascending
+/// [`ValueId`]) is a topological order: true edges run producer→consumer,
+/// anti edges run reader→last-reader, and output edges run group
+/// leader→later member, all of which point from lower to higher ids.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    nodes: Vec<DepNode>,
+    node_of: Vec<Option<usize>>,
+    preds: Vec<Vec<(usize, DepKind)>>,
+    succs: Vec<Vec<(usize, DepKind)>>,
+    free_at: Vec<Option<ValueId>>,
+}
+
+impl DepGraph {
+    /// Builds the dependence DAG of `scheduled` under `model`.
+    ///
+    /// `hoist_rotations` must match the memory model / runtime setting: a
+    /// hoisted rotation group executes at its first member, which orders
+    /// the group (output dependences) and keeps its source live until the
+    /// group's last scheduled member.
+    pub fn build(
+        scheduled: &ScheduledProgram,
+        map: &ScaleMap,
+        model: &CostModel,
+        hoist_rotations: bool,
+    ) -> Self {
+        Self::build_inner(scheduled, map, model, hoist_rotations, true)
+    }
+
+    /// Builds the DAG from true dependences only — the ordering a
+    /// freeing-unaware runtime would enforce. Free points are still
+    /// computed, so the parallel-safety checker can demonstrate the races
+    /// this graph leaves open; [`DepGraph::build`] adds the anti/output
+    /// edges that repair them.
+    pub fn build_true_deps(
+        scheduled: &ScheduledProgram,
+        map: &ScaleMap,
+        model: &CostModel,
+    ) -> Self {
+        Self::build_inner(scheduled, map, model, false, false)
+    }
+
+    fn build_inner(
+        scheduled: &ScheduledProgram,
+        map: &ScaleMap,
+        model: &CostModel,
+        hoist_rotations: bool,
+        hazard_edges: bool,
+    ) -> Self {
+        let program = &scheduled.program;
+        let live = crate::analysis::live(program);
+        let n_vals = program.num_ops();
+
+        let mut nodes = Vec::new();
+        let mut node_of: Vec<Option<usize>> = vec![None; n_vals];
+        for id in program.ids() {
+            if !live[id.index()] {
+                continue;
+            }
+            let class = CostModel::classify(program, id);
+            let cost_us = model.op_cost(program, id, map);
+            node_of[id.index()] = Some(nodes.len());
+            nodes.push(DepNode { id, class, cost_us });
+        }
+
+        let n = nodes.len();
+        let mut preds: Vec<Vec<(usize, DepKind)>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<(usize, DepKind)>> = vec![Vec::new(); n];
+        let add_edge = |preds: &mut Vec<Vec<(usize, DepKind)>>,
+                        succs: &mut Vec<Vec<(usize, DepKind)>>,
+                        from: usize,
+                        to: usize,
+                        kind: DepKind| {
+            if from == to || succs[from].iter().any(|&(t, k)| t == to && k == kind) {
+                return;
+            }
+            succs[from].push((to, kind));
+            preds[to].push((from, kind));
+        };
+
+        // True dependences: operand → user, between live nodes.
+        for &DepNode { id, .. } in &nodes {
+            let to = node_of[id.index()].expect("node exists");
+            for a in program.op(id).operands() {
+                if let Some(from) = node_of[a.index()] {
+                    add_edge(&mut preds, &mut succs, from, to, DepKind::True);
+                }
+            }
+        }
+
+        // Last live user of every value (the op whose completion frees the
+        // value's buffer); outputs are pinned and never freed.
+        let mut last_use: Vec<Option<ValueId>> = vec![None; n_vals];
+        let mut users: Vec<Vec<ValueId>> = vec![Vec::new(); n_vals];
+        for &DepNode { id, .. } in &nodes {
+            for a in program.op(id).operands() {
+                if node_of[a.index()].is_some() {
+                    last_use[a.index()] = Some(id);
+                    if users[a.index()].last() != Some(&id) {
+                        users[a.index()].push(id);
+                    }
+                }
+            }
+        }
+        let mut free_at = last_use.clone();
+        for &o in program.outputs() {
+            free_at[o.index()] = None; // pinned
+        }
+
+        // Anti dependences: every other reader of a ciphertext must finish
+        // before the op that frees it (write-after-read on the pool slot).
+        for id in program.ids() {
+            if !hazard_edges || !program.is_cipher(id) {
+                continue;
+            }
+            if let Some(f) = free_at[id.index()] {
+                let fi = node_of[f.index()].expect("freeing op is live");
+                for &u in &users[id.index()] {
+                    if u != f {
+                        let ui = node_of[u.index()].expect("user is live");
+                        add_edge(&mut preds, &mut succs, ui, fi, DepKind::Anti);
+                    }
+                }
+            }
+        }
+
+        // Output dependences: a hoisted rotation group (≥2 live cipher
+        // rotations of one source) materializes every member's output when
+        // the leader executes; later members are ordered after it.
+        if hoist_rotations {
+            let mut groups: HashMap<ValueId, Vec<ValueId>> = HashMap::new();
+            for &DepNode { id, .. } in &nodes {
+                if let Op::Rotate(a, _) = program.op(id) {
+                    if program.is_cipher(id) {
+                        groups.entry(*a).or_default().push(id);
+                    }
+                }
+            }
+            for group in groups.values() {
+                if group.len() < 2 {
+                    continue;
+                }
+                let leader = node_of[group[0].index()].expect("leader is live");
+                for &m in &group[1..] {
+                    let mi = node_of[m.index()].expect("member is live");
+                    add_edge(&mut preds, &mut succs, leader, mi, DepKind::Output);
+                }
+            }
+        }
+
+        DepGraph {
+            nodes,
+            node_of,
+            preds,
+            succs,
+            free_at,
+        }
+    }
+
+    /// The DAG's nodes, in topological (schedule) order.
+    pub fn nodes(&self) -> &[DepNode] {
+        &self.nodes
+    }
+
+    /// The node index of a live op, if it is in the graph.
+    pub fn node(&self, id: ValueId) -> Option<usize> {
+        self.node_of.get(id.index()).copied().flatten()
+    }
+
+    /// Predecessors (dependences) of a node.
+    pub fn preds(&self, node: usize) -> &[(usize, DepKind)] {
+        &self.preds[node]
+    }
+
+    /// Successors (dependents) of a node.
+    pub fn succs(&self, node: usize) -> &[(usize, DepKind)] {
+        &self.succs[node]
+    }
+
+    /// The op whose completion frees `id`'s ciphertext buffer, or `None`
+    /// when `id` is a program output (pinned), plain, or dead.
+    pub fn free_at(&self, id: ValueId) -> Option<ValueId> {
+        self.free_at.get(id.index()).copied().flatten()
+    }
+
+    /// Total work: the summed cost of all nodes (µs).
+    pub fn work_us(&self) -> f64 {
+        self.nodes.iter().map(|n| n.cost_us).sum()
+    }
+
+    /// Earliest finish time of every node under unbounded width (the
+    /// longest-path DP; the maximum entry is the span).
+    fn earliest_finish(&self) -> Vec<f64> {
+        let mut finish = vec![0.0f64; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            let start = self.preds[i]
+                .iter()
+                .map(|&(p, _)| finish[p])
+                .fold(0.0, f64::max);
+            finish[i] = start + self.nodes[i].cost_us;
+        }
+        finish
+    }
+
+    /// Span: the cost of the critical path (µs). Zero for empty programs.
+    pub fn span_us(&self) -> f64 {
+        self.earliest_finish().iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// The ops of one critical path, in execution order.
+    pub fn critical_path(&self) -> Vec<ValueId> {
+        let finish = self.earliest_finish();
+        let Some((mut cur, _)) = finish
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .filter(|&(_, &f)| f > 0.0)
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![self.nodes[cur].id];
+        loop {
+            let target = finish[cur] - self.nodes[cur].cost_us;
+            let Some(&(p, _)) = self.preds[cur]
+                .iter()
+                .filter(|&&(p, _)| finish[p] > 0.0)
+                .max_by(|a, b| finish[a.0].total_cmp(&finish[b.0]))
+                .filter(|&&(p, _)| finish[p] >= target - 1e-9)
+            else {
+                break;
+            };
+            cur = p;
+            path.push(self.nodes[cur].id);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Peak number of concurrently running costed ops under the
+    /// unbounded-width earliest-start schedule.
+    pub fn max_width(&self) -> usize {
+        let finish = self.earliest_finish();
+        // Sweep (time, delta) events; at equal times process departures
+        // before arrivals so back-to-back ops do not count as overlapping.
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.cost_us > 0.0 {
+                events.push((finish[i] - node.cost_us, 1));
+                events.push((finish[i], -1));
+            }
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut cur = 0i32;
+        let mut peak = 0i32;
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
+    }
+
+    /// Latency of a greedy critical-path list schedule with `k` workers
+    /// (µs). `T(1)` equals [`DepGraph::work_us`]; `T(k)` is nonincreasing
+    /// in `k` and bounded below by [`DepGraph::span_us`].
+    pub fn t_of_k(&self, k: usize) -> f64 {
+        let k = k.max(1);
+        let n = self.nodes.len();
+        if n == 0 {
+            return 0.0;
+        }
+        // Priority: bottom level (longest path to an exit, own cost
+        // included) — the classic critical-path heuristic.
+        let mut bottom = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let below = self.succs[i]
+                .iter()
+                .map(|&(s, _)| bottom[s])
+                .fold(0.0, f64::max);
+            bottom[i] = below + self.nodes[i].cost_us;
+        }
+        let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut ready_time = vec![0.0f64; n];
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut workers = vec![0.0f64; k];
+        let mut makespan = 0.0f64;
+        for _ in 0..n {
+            let (w, &wt) = workers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("k >= 1");
+            // Among ready nodes, prefer those startable at the worker's
+            // free time; then highest bottom level; then schedule order.
+            let pick = ready
+                .iter()
+                .enumerate()
+                .min_by(|&(_, &a), &(_, &b)| {
+                    let (ra, rb) = (ready_time[a].max(wt), ready_time[b].max(wt));
+                    ra.total_cmp(&rb)
+                        .then(bottom[b].total_cmp(&bottom[a]))
+                        .then(a.cmp(&b))
+                })
+                .map(|(slot, _)| slot)
+                .expect("ready nonempty while nodes remain");
+            let node = ready.swap_remove(pick);
+            let start = ready_time[node].max(wt);
+            let fin = start + self.nodes[node].cost_us;
+            workers[w] = fin;
+            makespan = makespan.max(fin);
+            for &(s, _) in &self.succs[node] {
+                ready_time[s] = ready_time[s].max(fin);
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        makespan
+    }
+
+    /// Packages work, span, width and the `T(k)` profile into the report
+    /// artifact.
+    pub fn estimate(&self) -> ParallelismEstimate {
+        let work_us = self.work_us();
+        let span_us = self.span_us();
+        let max_width = self.max_width();
+        let mut t_of_k = vec![(1, self.t_of_k(1))];
+        let mut k = 2;
+        while k / 2 < max_width {
+            t_of_k.push((k, self.t_of_k(k)));
+            k *= 2;
+        }
+        ParallelismEstimate {
+            work_us,
+            span_us,
+            max_width,
+            t_of_k,
+        }
+    }
+
+    /// Graphviz DOT rendering: true dependences solid, anti dependences
+    /// dashed, output dependences dotted; critical-path nodes doubled.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write;
+        let critical: Vec<bool> = {
+            let path = self.critical_path();
+            let mut on = vec![false; self.node_of.len()];
+            for id in path {
+                on[id.index()] = true;
+            }
+            on
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for node in &self.nodes {
+            let label = match node.class {
+                Some(c) => format!("%{} {} {:.0}us", node.id.index(), c.name(), node.cost_us),
+                None => format!("%{}", node.id.index()),
+            };
+            let extra = if critical[node.id.index()] {
+                ", peripheries=2, color=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\"{}];",
+                node.id.index(),
+                label,
+                extra
+            );
+        }
+        for (i, succs) in self.succs.iter().enumerate() {
+            for &(t, kind) in succs {
+                let style = match kind {
+                    DepKind::True => "solid",
+                    DepKind::Anti => "dashed",
+                    DepKind::Output => "dotted",
+                };
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [style={}, tooltip=\"{}\"];",
+                    self.nodes[i].id.index(),
+                    self.nodes[t].id.index(),
+                    style,
+                    kind.label()
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Convenience: builds the DAG and returns its [`ParallelismEstimate`].
+pub fn analyze(
+    scheduled: &ScheduledProgram,
+    map: &ScaleMap,
+    model: &CostModel,
+    hoist_rotations: bool,
+) -> ParallelismEstimate {
+    DepGraph::build(scheduled, map, model, hoist_rotations).estimate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::params::CompileParams;
+    use crate::program::Program;
+    use crate::schedule::InputSpec;
+    use crate::Frac;
+
+    fn scheduled(p: Program) -> ScheduledProgram {
+        ScheduledProgram {
+            params: CompileParams::new(30),
+            inputs: p
+                .inputs()
+                .iter()
+                .map(|_| InputSpec {
+                    scale_bits: Frac::from(30u32),
+                    level: 1,
+                })
+                .collect(),
+            program: p,
+        }
+    }
+
+    fn graph(p: Program) -> DepGraph {
+        let s = scheduled(p);
+        let map = s.validate().expect("valid schedule");
+        DepGraph::build(&s, &map, &CostModel::paper_table3(), true)
+    }
+
+    #[test]
+    fn chain_is_serial_fanout_is_parallel() {
+        // Chain: span == work, width 1.
+        let chain = {
+            let b = Builder::new("chain", 8);
+            let mut x = b.input("x");
+            for _ in 0..4 {
+                x = x.clone() + x;
+            }
+            b.finish(vec![x])
+        };
+        let g = graph(chain);
+        let est = g.estimate();
+        assert!((est.span_us - est.work_us).abs() < 1e-9);
+        assert_eq!(est.max_width, 1);
+        assert!((est.parallelism() - 1.0).abs() < 1e-9);
+
+        // Fan-out: four independent squares of one input then a sum tree —
+        // real width, span strictly below work.
+        let fan = {
+            let b = Builder::new("fan", 8);
+            let x = b.input("x");
+            let parts: Vec<_> = (0..4i64).map(|i| x.clone().rotate(i) + x.clone()).collect();
+            let sum = parts.into_iter().reduce(|a, c| a + c).expect("nonempty");
+            b.finish(vec![sum])
+        };
+        let g = graph(fan);
+        let est = g.estimate();
+        assert!(est.span_us < est.work_us);
+        assert!(est.max_width >= 2, "width {}", est.max_width);
+    }
+
+    #[test]
+    fn span_bounded_by_work_and_t_of_k_is_monotone() {
+        let b = Builder::new("t", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let e = x.clone() * x.clone()
+            + y.clone() * y.clone()
+            + x.clone() * y.clone()
+            + x.clone().rotate(1) * y.clone()
+            + y.rotate(2) * x;
+        let p = b.finish(vec![e]);
+        let g = graph(p);
+        let est = g.estimate();
+        assert!(est.span_us <= est.work_us + 1e-9);
+        assert!((est.t_of_k[0].1 - est.work_us).abs() < 1e-9, "T(1) == work");
+        let mut prev = f64::INFINITY;
+        for &(_, t) in &est.t_of_k {
+            assert!(t <= prev + 1e-9, "T(k) nonincreasing: {:?}", est.t_of_k);
+            assert!(t >= est.span_us - 1e-9, "T(k) >= span");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn anti_edges_order_readers_before_the_free() {
+        // x is read by three ops; the last one (by schedule order) frees
+        // it, so both earlier readers must be its ancestors.
+        let mut p = Program::new("t", 8);
+        let x = p.push(Op::Input { name: "x".into() });
+        let y = p.push(Op::Input { name: "y".into() });
+        let r1 = p.push(Op::Add(x, y));
+        let r2 = p.push(Op::Sub(x, y));
+        let r3 = p.push(Op::Add(x, x)); // frees x
+        let s1 = p.push(Op::Add(r1, r2));
+        let out = p.push(Op::Add(s1, r3));
+        p.set_outputs(vec![out]);
+        let g = graph(p);
+        let f = g.free_at(x).expect("x is freed");
+        assert_eq!(f, r3, "last reader frees");
+        let fi = g.node(r3).unwrap();
+        let anti: Vec<ValueId> = g
+            .preds(fi)
+            .iter()
+            .filter(|&&(_, k)| k == DepKind::Anti)
+            .map(|&(pn, _)| g.nodes()[pn].id)
+            .collect();
+        assert!(anti.contains(&r1) && anti.contains(&r2), "{anti:?}");
+        // Outputs are pinned.
+        assert_eq!(g.free_at(out), None);
+    }
+
+    #[test]
+    fn hoisted_rotation_groups_are_ordered_after_their_leader() {
+        let b = Builder::new("rots", 8);
+        let x = b.input("x");
+        let e = x.clone().rotate(1) + x.clone().rotate(2) + x.rotate(3);
+        let p = b.finish(vec![e]);
+        let s = scheduled(p);
+        let map = s.validate().expect("valid");
+        let hoisted = DepGraph::build(&s, &map, &CostModel::paper_table3(), true);
+        let flat = DepGraph::build(&s, &map, &CostModel::paper_table3(), false);
+        let count = |g: &DepGraph| -> usize {
+            (0..g.nodes().len())
+                .map(|i| {
+                    g.preds(i)
+                        .iter()
+                        .filter(|&&(_, k)| k == DepKind::Output)
+                        .count()
+                })
+                .sum()
+        };
+        assert_eq!(count(&hoisted), 2, "two members follow the leader");
+        assert_eq!(count(&flat), 0);
+        // Hoisting serializes the group: span must not shrink.
+        assert!(hoisted.span_us() >= flat.span_us() - 1e-9);
+    }
+
+    #[test]
+    fn critical_path_costs_sum_to_span() {
+        let b = Builder::new("t", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        // Critical path: rotate → add → rotate → add; the (x + y) side arm
+        // is cheap and off-path.
+        let e = (x.clone().rotate(1) + y.clone()).rotate(2) + (x + y);
+        let p = b.finish(vec![e]);
+        let s = scheduled(p);
+        let map = s.validate().expect("valid");
+        let model = CostModel::paper_table3();
+        let g = DepGraph::build(&s, &map, &model, true);
+        let path = g.critical_path();
+        let total: f64 = path
+            .iter()
+            .map(|&id| model.op_cost(&s.program, id, &map))
+            .sum();
+        assert!(
+            (total - g.span_us()).abs() < 1e-6,
+            "path {total} vs span {}",
+            g.span_us()
+        );
+    }
+
+    #[test]
+    fn dot_export_mentions_nodes_and_edge_styles() {
+        let b = Builder::new("t", 8);
+        let x = b.input("x");
+        let sq = x.clone() * x.clone();
+        let rots = x.clone().rotate(1) + x.rotate(2);
+        let p = b.finish(vec![sq, rots]);
+        let g = graph(p);
+        let dot = g.to_dot("t");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.contains("style=dotted"), "hoist group edges: {dot}");
+        assert!(dot.contains("cipher x cipher"));
+    }
+
+    #[test]
+    fn empty_program_yields_default_estimate() {
+        let mut p = Program::new("empty", 8);
+        let x = p.push(Op::Input { name: "x".into() });
+        p.set_outputs(vec![x]);
+        let g = graph(p);
+        let est = g.estimate();
+        assert_eq!(est.work_us, 0.0);
+        assert_eq!(est.span_us, 0.0);
+        assert_eq!(est.max_width, 0);
+        assert_eq!(est.t_of_k, vec![(1, 0.0)]);
+        assert_eq!(est.parallelism(), 1.0);
+    }
+}

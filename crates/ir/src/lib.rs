@@ -42,6 +42,7 @@
 pub mod analysis;
 mod builder;
 pub mod cost;
+pub mod depgraph;
 pub mod diag;
 pub mod dsl;
 pub mod fold;
@@ -57,6 +58,7 @@ pub mod text;
 
 pub use builder::{Builder, Expr};
 pub use cost::{CostModel, OpClass};
+pub use depgraph::{DepGraph, DepKind, DepNode, ParallelismEstimate};
 pub use diag::{Finding, Severity, TvVerdict};
 pub use frac::Frac;
 pub use memory::{estimate_memory, MemoryEstimate, MemoryModelConfig};

@@ -538,6 +538,11 @@ pub struct CompileReport {
     /// runtime convention `N = 2 × slots`). The fuzz oracle asserts this
     /// dominates every measured execution peak.
     pub memory: crate::memory::MemoryEstimate,
+    /// Static parallelism profile of the schedule's dependence DAG:
+    /// work/span, maximum width, and the `T(k)` latency-at-width curve.
+    /// The fuzz oracle asserts span ≤ work and that a single-threaded
+    /// measured run dominates the calibrated span.
+    pub parallelism: crate::depgraph::ParallelismEstimate,
     /// Per-pass instrumentation.
     pub trace: PipelineTrace,
 }
@@ -635,6 +640,8 @@ pub fn finish_compiled(
         2 * scheduled.program.slots(),
         mem_cfg.hoist_rotations,
     );
+    let parallelism =
+        crate::depgraph::analyze(&scheduled, &map, &cx.cost_model, mem_cfg.hoist_rotations);
     let report = CompileReport {
         compiler,
         scale_management_time: trace.scale_management_time(),
@@ -648,6 +655,7 @@ pub fn finish_compiled(
         findings: cx.findings().to_vec(),
         translation_validated: cx.get::<TvVerdict>().map(|v| v.validated),
         memory,
+        parallelism,
         trace,
     };
     Ok(Compiled { scheduled, report })

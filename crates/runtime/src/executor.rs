@@ -385,6 +385,57 @@ mod tests {
     }
 
     #[test]
+    fn per_class_mem_counters_sum_to_the_global_trace() {
+        // Rotate-heavy program: four distinct steps drive the lazy
+        // Galois-key cache, and the mul/rescale churn exercises the pool.
+        let b = Builder::new("rotsum", 64);
+        let x = b.input("x");
+        let y = b.input("y");
+        let mut acc = x.clone() * y.clone();
+        for k in [1i64, 2, 4, 8] {
+            acc = acc.rotate(k) + x.clone().rotate(-k) * y.clone();
+        }
+        let p = b.finish(vec![acc]);
+        let s = reserve_core::compile(&p, &Options::new(30))
+            .unwrap()
+            .scheduled;
+        let xs: Vec<f64> = (0..64).map(|i| ((i % 5) as f64 - 2.0) * 0.2).collect();
+        let ys: Vec<f64> = (0..64).map(|i| ((i % 3) as f64) * 0.3).collect();
+        let run = CkksExec {
+            options: ExecOptions {
+                poly_degree: 128,
+                seed: 9,
+                threads: 1,
+                ..ExecOptions::default()
+            },
+        }
+        .execute(&s, &inputs(&[("x", xs), ("y", ys)]))
+        .unwrap();
+        let t = &run.trace;
+        assert!(t
+            .per_class_mem
+            .iter()
+            .any(|&(c, m)| c == OpClass::Rotate && m.key_hits + m.key_misses > 0));
+        // Counter fields are deltas attributed to the executing op, so the
+        // per-class totals must reconstruct the whole-run counters exactly.
+        let sum = |f: fn(&MemStats) -> u64| t.per_class_mem.iter().map(|(_, m)| f(m)).sum::<u64>();
+        assert_eq!(sum(|m| m.pool_hits), t.mem.pool_hits);
+        assert_eq!(sum(|m| m.pool_misses), t.mem.pool_misses);
+        assert_eq!(sum(|m| m.key_hits), t.mem.key_hits);
+        assert_eq!(sum(|m| m.key_misses), t.mem.key_misses);
+        assert_eq!(sum(|m| m.key_evictions), t.mem.key_evictions);
+        // Fresh input encryptions adopt buffers outside any op class, so
+        // the global allocation count strictly exceeds the per-class sum.
+        assert!(sum(|m| m.allocations) < t.mem.allocations);
+        // Byte fields are high-water marks, bounded by the run's peak.
+        for &(class, m) in &t.per_class_mem {
+            assert!(m.peak_bytes <= t.mem.peak_bytes, "{class:?}");
+            assert!(m.live_bytes <= m.peak_bytes, "{class:?}");
+            assert!(m.key_bytes_peak <= t.mem.key_bytes_peak, "{class:?}");
+        }
+    }
+
+    #[test]
     fn diff_check_reports_the_gap() {
         let err = outputs_close(&[vec![1.0, 2.0]], &[vec![1.0, 2.5]], 0.1).unwrap_err();
         assert!(err.contains("5.000e-1"), "got: {err}");

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fhe_ckks::{encrypt_symmetric, Ciphertext, CkksContext, CkksParams, Evaluator, KeyGenerator};
-use fhe_ir::OpClass;
+use fhe_ir::{CostModel, OpClass};
 
 /// One measured row: the op class and its mean latency (µs) per level
 /// `1..=levels`.
@@ -84,6 +84,44 @@ pub fn measure(params: CkksParams, levels: usize, reps: usize, seed: u64) -> Vec
     rows
 }
 
+/// Measures the backend under `params` and returns a [`CostModel`]
+/// calibrated to *this machine*, replacing the paper's Table 3 numbers.
+///
+/// This is what makes static span/work predictions comparable to measured
+/// single-threaded latency (the fuzz oracle's span-bound check and the
+/// golden-workload parallelism tests): the paper model describes a
+/// different machine at `N = 2^15`, while the fuzzer and tests run tiny
+/// rings where the cost ratios differ.
+pub fn calibrate(params: CkksParams, levels: usize, reps: usize, seed: u64) -> CostModel {
+    CostModel::from_rows(measure(params, levels, reps, seed))
+}
+
+/// [`calibrate`] with parameters derived exactly like
+/// [`crate::ckks_exec`] derives them for a scheduled program: `N = 2 ×
+/// slots`, modulus = the schedule's rescale bits, serial execution. Use
+/// this to compare static depgraph predictions against what
+/// [`crate::executor::CkksExec`] will actually measure.
+pub fn calibrate_backend(
+    slots: usize,
+    rescale_bits: u32,
+    levels: usize,
+    reps: usize,
+    seed: u64,
+) -> CostModel {
+    // `from_rows` interpolates, so it needs at least two tabulated levels
+    // even for a depth-one schedule.
+    let levels = levels.max(2);
+    let params = CkksParams {
+        poly_degree: slots * 2,
+        max_level: levels + 1,
+        modulus_bits: rescale_bits,
+        special_bits: rescale_bits.min(60) + 1,
+        error_std: 3.2,
+        threads: 1,
+    };
+    calibrate(params, levels, reps, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +153,24 @@ mod tests {
         assert!(mul[2] > rs[2], "mul {} > rescale {}", mul[2], rs[2]);
         assert!(rot[2] > rs[2], "rotate {} > rescale {}", rot[2], rs[2]);
         assert!(rs[2] > add[2], "rescale {} > add {}", rs[2], add[2]);
+    }
+
+    #[test]
+    fn calibrate_yields_a_usable_cost_model() {
+        let params = CkksParams {
+            poly_degree: 1 << 10,
+            max_level: 3,
+            modulus_bits: 40,
+            special_bits: 41,
+            error_std: 3.2,
+            threads: 1,
+        };
+        let model = calibrate(params, 2, 1, 7);
+        for &class in OpClass::ALL.iter() {
+            for level in 1..=2usize {
+                let us = model.at_level(class, level as u32);
+                assert!(us.is_finite() && us > 0.0, "{class:?} level {level}: {us}");
+            }
+        }
     }
 }

@@ -1,39 +1,69 @@
 //! `lint` — static analysis and translation validation over textual IR
 //! files.
 //!
-//! Collects `.fhe` files, runs the `F001`…`F005` lints (and, for
+//! Collects `.fhe` files, runs the `F001`…`F008` lints (and, for
 //! compiled-mode files, translation validation against each compiler's
 //! schedule), renders rustc-style diagnostics, and optionally writes a
 //! machine-readable report. See `fhe_reserve::lint` for the file modes and
 //! directives.
 //!
+//! A `depgraph` mode profiles each schedule's dependence DAG instead of
+//! linting it: work, critical path (span), asymptotic parallelism and
+//! maximum achievable width under a cost model — the paper's Table 3 by
+//! default, or a measured `table3 --json` profile via `--profile`.
+//! `--dot DIR` additionally writes one Graphviz file per schedule (or
+//! `--dot -` streams them to stdout).
+//!
 //! ```sh
 //! cargo run --release --bin lint -- examples/programs tests/corpus
 //! cargo run --release --bin lint -- prog.fhe --json report.json --deny error
+//! cargo run --release --bin lint -- --explain F007
+//! cargo run --release --bin lint -- depgraph prog.fhe --profile table3.json --dot out/
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fhe_reserve::lint::{collect_files, denied, lint_file, reports_json, LintRun};
+use fhe_ir::CostModel;
+use fhe_reserve::lint::{collect_files, denied, depgraph_file, lint_file, reports_json, LintRun};
+
+enum Mode {
+    Lint,
+    DepGraph,
+}
 
 struct Cli {
+    mode: Mode,
     paths: Vec<PathBuf>,
     run: LintRun,
     json: Option<PathBuf>,
     deny: Vec<String>,
     quiet: bool,
+    explain: Vec<String>,
+    profile: Option<PathBuf>,
+    dot: Option<PathBuf>,
 }
 
+const USAGE: &str = "usage: lint [depgraph] [paths...] [--compiler eva,hecate,reserve] \
+                     [--input-range M] [--json PATH] [--deny error|warning|CODE]... \
+                     [--explain CODE]... [--profile TABLE3_JSON] [--dot DIR|-] [--quiet]\n\
+                     paths default to examples/programs and tests/corpus;\n\
+                     `depgraph` profiles work/span/width instead of linting";
+
 fn parse_args() -> Result<Cli, String> {
+    let mut mode = Mode::Lint;
     let mut paths = Vec::new();
     let mut run = LintRun::default();
     let mut json = None;
     let mut deny = Vec::new();
     let mut quiet = false;
+    let mut explain = Vec::new();
+    let mut profile = None;
+    let mut dot = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "depgraph" if paths.is_empty() && matches!(mode, Mode::Lint) => mode = Mode::DepGraph,
             "--compiler" | "-c" => {
                 let value = args.next().ok_or("--compiler needs eva|hecate|reserve")?;
                 run.compilers = value.split(',').map(str::to_string).collect();
@@ -59,14 +89,21 @@ fn parse_args() -> Result<Cli, String> {
             "--deny" => {
                 deny.push(args.next().ok_or("--deny needs error|warning|<code>")?);
             }
-            "--quiet" | "-q" => quiet = true,
-            "--help" | "-h" => {
-                return Err("usage: lint [paths...] [--compiler eva,hecate,reserve] \
-                            [--input-range M] [--json PATH] [--deny error|warning|CODE]... \
-                            [--quiet]\n\
-                            paths default to examples/programs and tests/corpus"
-                    .to_string())
+            "--explain" => {
+                explain.push(args.next().ok_or("--explain needs a lint code")?);
             }
+            "--profile" => {
+                profile = Some(PathBuf::from(
+                    args.next().ok_or("--profile needs a table3 json path")?,
+                ));
+            }
+            "--dot" => {
+                dot = Some(PathBuf::from(
+                    args.next().ok_or("--dot needs a directory (or `-`)")?,
+                ));
+            }
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
             other if !other.starts_with('-') => paths.push(PathBuf::from(other)),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -78,12 +115,152 @@ fn parse_args() -> Result<Cli, String> {
         ];
     }
     Ok(Cli {
+        mode,
         paths,
         run,
         json,
         deny,
         quiet,
+        explain,
+        profile,
+        dot,
     })
+}
+
+/// Prints the registry entry of every `--explain` code; exits non-zero on
+/// an unknown code.
+fn run_explain(codes: &[String]) -> ExitCode {
+    let mut ok = true;
+    for (i, code) in codes.iter().enumerate() {
+        let canonical = code.to_ascii_uppercase();
+        match fhe_analysis::explain(&canonical) {
+            Some(info) => {
+                if i > 0 {
+                    println!();
+                }
+                println!("{} ({})", info.code, info.severity.label());
+                println!("  {}", info.summary);
+                println!();
+                for line in info.explanation.split(". ") {
+                    let line = line.trim();
+                    if !line.is_empty() {
+                        let dot = if line.ends_with('.') { "" } else { "." };
+                        println!("  {line}{dot}");
+                    }
+                }
+            }
+            None => {
+                let known: Vec<&str> = fhe_analysis::registry().iter().map(|i| i.code).collect();
+                eprintln!(
+                    "lint: unknown lint code `{code}` (known: {})",
+                    known.join(", ")
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+/// The `depgraph` mode: profile each schedule's dependence DAG.
+fn run_depgraph(cli: &Cli, files: &[PathBuf]) -> ExitCode {
+    let model = match &cli.profile {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("lint: cannot read profile {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match CostModel::from_bench_json(&text) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("lint: bad profile {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => CostModel::paper_table3(),
+    };
+    let dot_to_stdout = cli.dot.as_deref() == Some(std::path::Path::new("-"));
+    if let Some(dir) = &cli.dot {
+        if !dot_to_stdout {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("lint: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut errors = 0usize;
+    for path in files {
+        let name = path.display().to_string();
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("lint: cannot read {name}: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        let report = depgraph_file(&name, &content, &cli.run, &model, cli.dot.is_some());
+        if let Some(err) = &report.error {
+            eprint!("{err}");
+            errors += 1;
+        }
+        for target in &report.targets {
+            match (&target.estimate, &target.error) {
+                (Some(est), _) => {
+                    if !cli.quiet {
+                        println!(
+                            "{name}@{}: work {:.1}us, span {:.1}us, parallelism {:.2}x, width {}",
+                            target.target,
+                            est.work_us,
+                            est.span_us,
+                            est.parallelism(),
+                            est.max_width
+                        );
+                    }
+                }
+                (None, Some(err)) => {
+                    eprintln!("{name}@{}: {err}", target.target);
+                    errors += 1;
+                }
+                (None, None) => {}
+            }
+            if let Some(dot) = &target.dot {
+                if dot_to_stdout {
+                    print!("{dot}");
+                } else if let Some(dir) = &cli.dot {
+                    let stem = path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "schedule".into());
+                    let out = dir.join(format!("{stem}@{}.dot", target.target));
+                    if let Err(e) = std::fs::write(&out, dot) {
+                        eprintln!("lint: cannot write {}: {e}", out.display());
+                        errors += 1;
+                    } else if !cli.quiet {
+                        println!("  wrote {}", out.display());
+                    }
+                }
+            }
+        }
+    }
+    eprintln!(
+        "lint: depgraph over {} file(s), {errors} error(s)",
+        files.len()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -94,6 +271,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if !cli.explain.is_empty() {
+        return run_explain(&cli.explain);
+    }
     let files = match collect_files(&cli.paths) {
         Ok(f) => f,
         Err(e) => {
@@ -104,6 +284,9 @@ fn main() -> ExitCode {
     if files.is_empty() {
         eprintln!("lint: no .fhe files under the given paths");
         return ExitCode::FAILURE;
+    }
+    if matches!(cli.mode, Mode::DepGraph) {
+        return run_depgraph(&cli, &files);
     }
 
     let mut reports = Vec::new();

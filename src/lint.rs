@@ -357,6 +357,130 @@ pub fn lint_file(file: &str, content: &str, run: &LintRun) -> FileReport {
     }
 }
 
+/// One analysis target of `depgraph` mode: the schedule's parallelism
+/// profile and (on request) its DOT rendering.
+#[derive(Debug)]
+pub struct DepTarget {
+    /// `"scheduled"` for directly-analyzed files, else the compiler name.
+    pub target: String,
+    /// Work/span/width profile of the schedule's dependence DAG.
+    pub estimate: Option<fhe_ir::ParallelismEstimate>,
+    /// Graphviz rendering (critical path highlighted), when requested.
+    pub dot: Option<String>,
+    /// A target-level failure (compile error, invalid schedule).
+    pub error: Option<String>,
+}
+
+/// `depgraph`-mode results for one file.
+#[derive(Debug)]
+pub struct DepFileReport {
+    /// The file, as given on the command line.
+    pub file: String,
+    /// One entry per analyzed schedule.
+    pub targets: Vec<DepTarget>,
+    /// A file-level failure (unreadable or unparsable).
+    pub error: Option<String>,
+}
+
+/// Builds the dependence DAG of every schedule of `file` (the file's own
+/// schedule in scheduled mode, one per requested compiler otherwise) and
+/// profiles it under `model` — the paper's Table 3 by default, or a
+/// measured profile via the CLI's `--profile`.
+pub fn depgraph_file(
+    file: &str,
+    content: &str,
+    run: &LintRun,
+    model: &fhe_ir::CostModel,
+    want_dot: bool,
+) -> DepFileReport {
+    let comments = match text::parse_with_comments(content) {
+        Ok((_, comments)) => comments,
+        Err(e) => {
+            return DepFileReport {
+                file: file.into(),
+                targets: Vec::new(),
+                error: Some(render_parse_error(&e, content, file)),
+            }
+        }
+    };
+    let (case, directives) = match (corpus::parse_case(content), parse_directives(&comments)) {
+        (Ok(c), Ok(d)) => (c, d),
+        (Err(e), _) | (_, Err(e)) => {
+            return DepFileReport {
+                file: file.into(),
+                targets: Vec::new(),
+                error: Some(format!("error: {e}\n  --> {file}\n")),
+            }
+        }
+    };
+
+    let analyze_schedule = |target: &str, scheduled: &ScheduledProgram| -> DepTarget {
+        match scheduled.validate() {
+            Ok(map) => {
+                let graph = fhe_ir::DepGraph::build(scheduled, &map, model, true);
+                DepTarget {
+                    target: target.into(),
+                    estimate: Some(graph.estimate()),
+                    dot: want_dot
+                        .then(|| graph.to_dot(&format!("{}_{target}", scheduled.program.name()))),
+                    error: None,
+                }
+            }
+            Err(errors) => {
+                let joined = errors
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                DepTarget {
+                    target: target.into(),
+                    estimate: None,
+                    dot: None,
+                    error: Some(format!("schedule does not validate: {joined}")),
+                }
+            }
+        }
+    };
+
+    let targets = if directives.scheduled_mode {
+        let spec = InputSpec {
+            scale_bits: Frac::from(directives.input_scale.unwrap_or(case.params.waterline_bits)),
+            level: directives.input_level.unwrap_or(1),
+        };
+        let scheduled = ScheduledProgram {
+            program: case.program.clone(),
+            params: case.params,
+            inputs: vec![spec; num_inputs(&case.program)],
+        };
+        vec![analyze_schedule("scheduled", &scheduled)]
+    } else {
+        run.compilers
+            .iter()
+            .map(|name| {
+                let compiler: Box<dyn ScaleCompiler> = match name.as_str() {
+                    "eva" => Box::new(EvaCompiler),
+                    "hecate" => Box::new(HecateCompiler::default()),
+                    _ => Box::new(ReserveCompiler::full()),
+                };
+                match compiler.compile(&case.program, &case.params) {
+                    Ok(c) => analyze_schedule(name, &c.scheduled),
+                    Err(e) => DepTarget {
+                        target: name.clone(),
+                        estimate: None,
+                        dot: None,
+                        error: Some(format!("{name}: {e}")),
+                    },
+                }
+            })
+            .collect()
+    };
+    DepFileReport {
+        file: file.into(),
+        targets,
+        error: None,
+    }
+}
+
 /// True when `finding` matches any `--deny` selector: `error` and
 /// `warning` match by severity (at least that severe), anything else is an
 /// exact, case-insensitive code match.
@@ -485,6 +609,41 @@ mod tests {
         assert!(denied(&deny("error"), &err));
         assert!(denied(&deny("f002"), &warn));
         assert!(!denied(&deny("F002"), &err));
+    }
+
+    #[test]
+    fn depgraph_mode_profiles_every_compiler_target() {
+        let src = "program q(slots=8) {\n  %0 = input \"x\"\n  %1 = input \"y\"\n  \
+                   %2 = mul %0, %0\n  %3 = mul %2, %0\n  %4 = mul %1, %1\n  \
+                   %5 = add %4, %1\n  %6 = mul %3, %5\n  return %6\n}\n";
+        let model = fhe_ir::CostModel::paper_table3();
+        let r = depgraph_file("q.fhe", src, &LintRun::default(), &model, true);
+        assert!(r.error.is_none());
+        assert_eq!(r.targets.len(), 3);
+        for t in &r.targets {
+            assert!(t.error.is_none(), "{}: {:?}", t.target, t.error);
+            let est = t.estimate.as_ref().expect("estimate");
+            assert!(est.span_us > 0.0 && est.span_us <= est.work_us + 1e-9);
+            assert!(est.max_width >= 1);
+            assert_eq!(est.t_of_k.first().map(|&(k, _)| k), Some(1));
+            let dot = t.dot.as_ref().expect("dot requested");
+            assert!(dot.starts_with("digraph"), "{dot}");
+        }
+    }
+
+    #[test]
+    fn depgraph_mode_analyzes_a_scheduled_file_directly() {
+        let src = "// lint-mode: scheduled\n// lint-input-scale: 95\n// lint-input-level: 2\n\
+                   program d(slots=4) {\n  %0 = input \"x\"\n  %1 = rescale %0\n  return %0\n}\n";
+        let model = fhe_ir::CostModel::paper_table3();
+        let r = depgraph_file("d.fhe", src, &LintRun::default(), &model, false);
+        assert!(r.error.is_none());
+        assert_eq!(r.targets.len(), 1);
+        assert_eq!(r.targets[0].target, "scheduled");
+        assert!(r.targets[0].dot.is_none());
+        let est = r.targets[0].estimate.as_ref().expect("estimate");
+        // A straight-line schedule has span == work.
+        assert!((est.span_us - est.work_us).abs() < 1e-9, "{est:?}");
     }
 
     #[test]

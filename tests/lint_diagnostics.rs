@@ -55,6 +55,46 @@ fn over_provisioned_keys_diagnostic_matches_golden() {
 }
 
 #[test]
+fn serialized_reduction_diagnostic_matches_golden() {
+    const CHAIN_CASE: &str = "tests/corpus/lint/serialized_reduction.fhe";
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(CHAIN_CASE);
+    let content = std::fs::read_to_string(path).expect("demo corpus case exists");
+    let report = lint_file(CHAIN_CASE, &content, &LintRun::default());
+    assert!(report.error.is_none(), "{:?}", report.error);
+    assert_eq!(report.targets.len(), 1);
+    let target = &report.targets[0];
+    assert!(target.error.is_none(), "{:?}", target.error);
+    assert_eq!(target.findings.len(), 1, "{:?}", target.findings);
+    assert_eq!(target.findings[0].code, "F007");
+    assert_eq!(
+        target.findings[0].severity,
+        fhe_reserve::ir::diag::Severity::Warning
+    );
+    check("lint_serialized_reduction.txt", &target.rendered);
+}
+
+#[test]
+fn premature_free_diagnostic_matches_golden() {
+    // Error severity, so the case lives outside tests/corpus — CI's
+    // `--deny error` sweep over the shipped corpus must stay clean.
+    const FREE_CASE: &str = "tests/lint_cases/premature_free.fhe";
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(FREE_CASE);
+    let content = std::fs::read_to_string(path).expect("crafted case exists");
+    let report = lint_file(FREE_CASE, &content, &LintRun::default());
+    assert!(report.error.is_none(), "{:?}", report.error);
+    assert_eq!(report.targets.len(), 1);
+    let target = &report.targets[0];
+    assert!(target.error.is_none(), "{:?}", target.error);
+    assert_eq!(target.findings.len(), 1, "{:?}", target.findings);
+    assert_eq!(target.findings[0].code, "F008");
+    assert_eq!(
+        target.findings[0].severity,
+        fhe_reserve::ir::diag::Severity::Error
+    );
+    check("lint_premature_free.txt", &target.rendered);
+}
+
+#[test]
 fn shipped_corpus_and_examples_are_lint_clean() {
     // The same gate CI runs: every shipped `.fhe` file parses and
     // compiles, every compiled schedule translation-validates, and the
