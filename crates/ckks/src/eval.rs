@@ -256,6 +256,26 @@ impl<'c> Evaluator<'c> {
         self.mul(a, a)
     }
 
+    /// Fused cipher × cipher + relinearize + rescale: one pass over the
+    /// product limbs with the rescale applied to the relinearized pair in
+    /// place. Bit-identical to `rescale(&mul(a, b))` — the fusion skips
+    /// the full-level intermediate that `rescale`'s ciphertext clone
+    /// would materialize (two level-`l` polynomials), not any arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no relinearization key was provided or `a` is at level 1.
+    pub fn mul_rescale(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert!(a.level >= 2, "cannot rescale at level 1");
+        let mut out = self.mul(a, b);
+        let dropped = self.ctx.moduli()[out.level - 1].value() as f64;
+        out.c0.rescale_last_in(self.ctx, &self.pool);
+        out.c1.rescale_last_in(self.ctx, &self.pool);
+        out.level -= 1;
+        out.scale /= dropped;
+        out
+    }
+
     /// Rotates the slot vector by `steps` (positive = towards slot 0).
     ///
     /// # Panics
@@ -378,7 +398,8 @@ impl<'c> Evaluator<'c> {
             // Each digit's lifted polynomial is built independently; fan the
             // digits across the worker threads. Every limb of every digit is
             // fully overwritten below, so raw (unzeroed) checkouts suffice.
-            par::map_range(ctx.threads(), l, |j| {
+            let est = par::cost::POINTWISE * (ctx.degree() * (l + 1)) as u64;
+            par::map_range(ctx.threads(), est, l, |j| {
                 let mut lifted = RnsPoly::zero_in(pool, ctx, l, true, false);
                 for i in 0..l {
                     let m = ctx.moduli()[i];
@@ -596,6 +617,29 @@ mod tests {
                 d[i],
                 a[i] * b[i]
             );
+        }
+    }
+
+    #[test]
+    fn fused_mul_rescale_is_bit_identical_to_the_sequence() {
+        let f = fixture(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let kg = KeyGenerator::new(&f.ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let ev = Evaluator::new(&f.ctx, Some(relin), GaloisKeys::default());
+        let a = vals(&f.ctx, |i| ((i % 9) as f64 - 4.0) * 0.2);
+        let b = vals(&f.ctx, |i| ((i % 4) as f64) * 0.3);
+        let scale = 2f64.powi(40);
+        let ca = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&a, scale, 3), &mut rng);
+        let cb = encrypt_symmetric(&f.ctx, &sk, &ev.encoder().encode(&b, scale, 3), &mut rng);
+        let seq = ev.rescale(&ev.mul(&ca, &cb));
+        let fused = ev.mul_rescale(&ca, &cb);
+        assert_eq!(fused.level, seq.level);
+        assert_eq!(fused.scale.to_bits(), seq.scale.to_bits());
+        for i in 0..fused.level {
+            assert_eq!(fused.c0.limb(i), seq.c0.limb(i), "c0 limb {i}");
+            assert_eq!(fused.c1.limb(i), seq.c1.limb(i), "c1 limb {i}");
         }
     }
 

@@ -52,7 +52,7 @@ mod eval;
 mod keys;
 pub mod modular;
 pub mod ntt;
-mod par;
+pub mod par;
 pub mod poly;
 pub mod pool;
 pub mod primes;
@@ -67,4 +67,5 @@ pub use keys::{
     rotation_to_galois, GaloisKeys, KeyCache, KeyCacheStats, KeyGenerator, PublicKey, RelinKey,
     SecretKey,
 };
+pub use par::Pool;
 pub use pool::{PolyPool, PoolStats};

@@ -238,7 +238,8 @@ impl RnsPoly {
             return;
         }
         let (special, count) = (self.special, self.limbs.len());
-        par::for_each(ctx.threads(), &mut self.limbs, |idx, limb| {
+        let est = par::cost::NTT * ctx.degree() as u64;
+        par::for_each(ctx.threads(), est, &mut self.limbs, |idx, limb| {
             Self::table_at(ctx, special, count, idx).forward(limb);
         });
         self.ntt = true;
@@ -251,7 +252,8 @@ impl RnsPoly {
             return;
         }
         let (special, count) = (self.special, self.limbs.len());
-        par::for_each(ctx.threads(), &mut self.limbs, |idx, limb| {
+        let est = par::cost::NTT * ctx.degree() as u64;
+        par::for_each(ctx.threads(), est, &mut self.limbs, |idx, limb| {
             Self::table_at(ctx, special, count, idx).inverse(limb);
         });
         self.ntt = false;
@@ -318,7 +320,8 @@ impl RnsPoly {
         assert!(self.ntt, "polynomial product requires NTT domain");
         let mut out = self.clone();
         let (special, count) = (out.special, out.limbs.len());
-        par::for_each(ctx.threads(), &mut out.limbs, |idx, limb| {
+        let est = par::cost::POINTWISE * ctx.degree() as u64;
+        par::for_each(ctx.threads(), est, &mut out.limbs, |idx, limb| {
             let m = Self::modulus_at(ctx, special, count, idx);
             for (a, &b) in limb.iter_mut().zip(&other.limbs[idx]) {
                 *a = m.mul(*a, b);
@@ -338,7 +341,8 @@ impl RnsPoly {
         self.check_compatible(other);
         assert!(self.ntt, "polynomial product requires NTT domain");
         let (special, count) = (self.special, self.limbs.len());
-        par::for_each(ctx.threads(), &mut self.limbs, |idx, limb| {
+        let est = par::cost::POINTWISE * ctx.degree() as u64;
+        par::for_each(ctx.threads(), est, &mut self.limbs, |idx, limb| {
             let m = Self::modulus_at(ctx, special, count, idx);
             for (a, &b) in limb.iter_mut().zip(&other.limbs[idx]) {
                 *a = m.mul(*a, b);
@@ -354,7 +358,8 @@ impl RnsPoly {
         self.check_compatible(acc);
         assert!(self.ntt, "polynomial product requires NTT domain");
         let (special, count) = (acc.special, acc.limbs.len());
-        par::for_each(ctx.threads(), &mut acc.limbs, |idx, limb| {
+        let est = par::cost::POINTWISE * ctx.degree() as u64;
+        par::for_each(ctx.threads(), est, &mut acc.limbs, |idx, limb| {
             let m = Self::modulus_at(ctx, special, count, idx);
             for ((a, &x), &y) in limb.iter_mut().zip(&self.limbs[idx]).zip(&other.limbs[idx]) {
                 *a = m.add(*a, m.mul(x, y));
@@ -380,7 +385,8 @@ impl RnsPoly {
         assert_eq!(key.level, ctx.max_level(), "key polys carry the full basis");
         assert!(self.level <= key.level);
         let (special, count) = (acc.special, acc.limbs.len());
-        par::for_each(ctx.threads(), &mut acc.limbs, |idx, limb| {
+        let est = par::cost::POINTWISE * ctx.degree() as u64;
+        par::for_each(ctx.threads(), est, &mut acc.limbs, |idx, limb| {
             let m = Self::modulus_at(ctx, special, count, idx);
             let key_limb = if special && idx == count - 1 {
                 key.limbs.last().expect("special limb")
@@ -458,7 +464,8 @@ impl RnsPoly {
         let half = qj.value() / 2;
         {
             let last = &last;
-            par::for_each_with_scratch(ctx.threads(), &mut self.limbs, |i, limb, corr| {
+            let est = par::cost::NTT * ctx.degree() as u64;
+            par::for_each_with_scratch(ctx.threads(), est, &mut self.limbs, |i, limb, corr| {
                 let mi = ctx.moduli()[i];
                 // Centered lift of [x]_{q_j} reduced mod q_i, then NTT under
                 // q_i (built in the worker's reused scratch buffer).
@@ -509,7 +516,8 @@ impl RnsPoly {
         let half = p.value() / 2;
         {
             let last = &last;
-            par::for_each_with_scratch(ctx.threads(), &mut self.limbs, |i, limb, corr| {
+            let est = par::cost::NTT * ctx.degree() as u64;
+            par::for_each_with_scratch(ctx.threads(), est, &mut self.limbs, |i, limb, corr| {
                 let mi = ctx.moduli()[i];
                 corr.clear();
                 corr.extend(last.iter().map(|&v| {

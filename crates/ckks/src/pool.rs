@@ -9,12 +9,39 @@
 //! drops normally and only the pool's live-byte counter stays high until
 //! the owner recycles it.
 //!
-//! The pool is internally synchronized: the per-digit key-switch fan-out
-//! in [`crate::Evaluator`] checks buffers out from worker threads. Each
-//! checkout/return takes the lock once for the whole polynomial, not per
-//! limb.
+//! The pool is built for concurrent traffic: the op-level DAG executor
+//! checks polynomials out from every pool worker at once, on top of the
+//! per-digit key-switch fan-out. The free list is sharded (each thread
+//! has a home shard, falling back to its siblings when empty) so
+//! checkouts don't serialize on one lock, and every counter is an atomic
+//! whose value stays *exact* under contention — hit-rate and peak-byte
+//! metering feed the memory model, so approximate counters would poison
+//! the calibration. Peak tracking relies on the post-increment value of
+//! `live_bytes`: the thread whose increment produces the high-water mark
+//! observes that exact value and publishes it with `fetch_max`.
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Number of free-list shards. A small power of two: enough to spread
+/// the handful of pool workers, cheap to scan when a home shard is dry.
+const SHARDS: usize = 8;
+
+/// Hands each thread a home shard, round-robin across all threads that
+/// ever touch a pool.
+fn home_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HOME: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    HOME.with(|h| {
+        if h.get() == usize::MAX {
+            h.set(NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS);
+        }
+        h.get()
+    })
+}
 
 /// Counters describing a [`PolyPool`]'s traffic. Byte figures cover only
 /// pool-managed buffers (checked-out or adopted); key material and encoder
@@ -50,26 +77,26 @@ impl PoolStats {
     }
 }
 
-struct PoolInner {
-    free: Vec<Vec<u64>>,
-    stats: PoolStats,
+/// The atomic twins of [`PoolStats`]; every update is exact (no sampled
+/// or racy-read-modify-write counters).
+#[derive(Debug, Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    adopted: AtomicU64,
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
+    free_bytes: AtomicU64,
 }
 
-/// A free list of `N`-length limb buffers shared by one evaluator (see the
-/// module docs for the accounting model).
+/// A sharded free list of `N`-length limb buffers shared by one evaluator
+/// (see the module docs for the accounting and concurrency model).
 #[derive(Debug)]
 pub struct PolyPool {
     degree: usize,
-    inner: Mutex<PoolInner>,
-}
-
-impl std::fmt::Debug for PoolInner {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PoolInner")
-            .field("free", &self.free.len())
-            .field("stats", &self.stats)
-            .finish()
-    }
+    shards: Vec<Mutex<Vec<Vec<u64>>>>,
+    stats: StatCells,
 }
 
 impl PolyPool {
@@ -77,10 +104,8 @@ impl PolyPool {
     pub fn new(degree: usize) -> Self {
         PolyPool {
             degree,
-            inner: Mutex::new(PoolInner {
-                free: Vec::new(),
-                stats: PoolStats::default(),
-            }),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            stats: StatCells::default(),
         }
     }
 
@@ -102,19 +127,37 @@ impl PolyPool {
     /// callers that overwrite every slot (clones, automorphism targets).
     pub fn take_raw(&self, count: usize) -> Vec<Vec<u64>> {
         let limb_bytes = (self.degree * 8) as u64;
-        let mut inner = self.inner.lock().expect("pool lock");
-        let reused = count.min(inner.free.len());
         let mut limbs = Vec::with_capacity(count);
-        for _ in 0..reused {
-            limbs.push(inner.free.pop().expect("free buffer"));
+        let home = home_shard();
+        // Drain the home shard first, then siblings; no lock is held
+        // across shards, so concurrent checkouts interleave freely.
+        for i in 0..self.shards.len() {
+            if limbs.len() == count {
+                break;
+            }
+            let mut shard = self.shards[(home + i) % self.shards.len()]
+                .lock()
+                .expect("pool shard lock");
+            while limbs.len() < count {
+                match shard.pop() {
+                    Some(buf) => limbs.push(buf),
+                    None => break,
+                }
+            }
         }
-        inner.stats.hits += reused as u64;
-        inner.stats.free_bytes -= reused as u64 * limb_bytes;
-        let fresh = count - reused;
-        inner.stats.misses += fresh as u64;
-        inner.stats.live_bytes += count as u64 * limb_bytes;
-        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.live_bytes);
-        drop(inner);
+        let reused = limbs.len() as u64;
+        let fresh = count as u64 - reused;
+        self.stats.hits.fetch_add(reused, Ordering::Relaxed);
+        self.stats
+            .free_bytes
+            .fetch_sub(reused * limb_bytes, Ordering::Relaxed);
+        self.stats.misses.fetch_add(fresh, Ordering::Relaxed);
+        let live = self
+            .stats
+            .live_bytes
+            .fetch_add(count as u64 * limb_bytes, Ordering::Relaxed)
+            + count as u64 * limb_bytes;
+        self.stats.peak_bytes.fetch_max(live, Ordering::Relaxed);
         for _ in 0..fresh {
             limbs.push(vec![0u64; self.degree]);
         }
@@ -125,14 +168,35 @@ impl PolyPool {
     /// from the pool's degree are dropped (never resized in place).
     pub fn put(&self, limbs: impl IntoIterator<Item = Vec<u64>>) {
         let limb_bytes = (self.degree * 8) as u64;
-        let mut inner = self.inner.lock().expect("pool lock");
+        let mut kept = Vec::new();
+        let mut total = 0u64;
         for limb in limbs {
-            inner.stats.live_bytes = inner.stats.live_bytes.saturating_sub(limb_bytes);
+            total += 1;
             if limb.len() == self.degree {
-                inner.stats.returns += 1;
-                inner.stats.free_bytes += limb_bytes;
-                inner.free.push(limb);
+                kept.push(limb);
             }
+        }
+        if total == 0 {
+            return;
+        }
+        let returned = kept.len() as u64;
+        // Live bytes saturate rather than wrap if a caller returns more
+        // than it checked out or adopted (mirrors the serial accounting).
+        let _ = self
+            .stats
+            .live_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(total * limb_bytes))
+            });
+        self.stats.returns.fetch_add(returned, Ordering::Relaxed);
+        self.stats
+            .free_bytes
+            .fetch_add(returned * limb_bytes, Ordering::Relaxed);
+        if !kept.is_empty() {
+            self.shards[home_shard()]
+                .lock()
+                .expect("pool shard lock")
+                .append(&mut kept);
         }
     }
 
@@ -141,15 +205,26 @@ impl PolyPool {
     /// accounting and peak bytes cover all polynomial memory.
     pub fn adopt(&self, limbs: usize) {
         let bytes = (limbs * self.degree * 8) as u64;
-        let mut inner = self.inner.lock().expect("pool lock");
-        inner.stats.adopted += limbs as u64;
-        inner.stats.live_bytes += bytes;
-        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.live_bytes);
+        self.stats
+            .adopted
+            .fetch_add(limbs as u64, Ordering::Relaxed);
+        let live = self.stats.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.stats.peak_bytes.fetch_max(live, Ordering::Relaxed);
     }
 
-    /// A snapshot of the pool's counters.
+    /// A snapshot of the pool's counters. Each counter is individually
+    /// exact; under concurrent traffic the fields are read one at a time,
+    /// so cross-field invariants are only guaranteed at quiescence.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().expect("pool lock").stats
+        PoolStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            returns: self.stats.returns.load(Ordering::Relaxed),
+            adopted: self.stats.adopted.load(Ordering::Relaxed),
+            live_bytes: self.stats.live_bytes.load(Ordering::Relaxed),
+            peak_bytes: self.stats.peak_bytes.load(Ordering::Relaxed),
+            free_bytes: self.stats.free_bytes.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -221,5 +296,62 @@ mod tests {
         pool.put(a);
         let _b = pool.take_zeroed(1);
         assert!((pool.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sibling_shards_are_drained_when_the_home_shard_is_dry() {
+        let pool = PolyPool::new(8);
+        // Park buffers from this thread (one home shard), then demand more
+        // than any single shard batch from a different home shard.
+        let a = pool.take_zeroed(5);
+        pool.put(a);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let b = pool.take_raw(5);
+                assert_eq!(b.len(), 5);
+                assert_eq!(pool.stats().hits, 5, "all five reused across shards");
+                pool.put(b);
+            });
+        });
+    }
+
+    #[test]
+    fn contended_counters_stay_exact() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 200;
+        let pool = PolyPool::new(32);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for r in 0..ROUNDS {
+                        let take = 1 + (t + r) % 4;
+                        let bufs = pool.take_zeroed(take);
+                        assert_eq!(bufs.len(), take);
+                        pool.put(bufs);
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        let checkouts: u64 = (0..THREADS)
+            .flat_map(|t| (0..ROUNDS).map(move |r| (1 + (t + r) % 4) as u64))
+            .sum();
+        assert_eq!(s.hits + s.misses, checkouts, "every checkout counted once");
+        assert_eq!(s.returns, checkouts, "every buffer returned exactly once");
+        assert_eq!(s.live_bytes, 0, "balanced take/put leaves nothing live");
+        assert_eq!(
+            s.free_bytes,
+            (s.returns - s.hits) * 32 * 8,
+            "parked bytes equal net returns"
+        );
+        assert!(
+            s.peak_bytes >= 4 * 32 * 8,
+            "peak saw at least one full take"
+        );
+        assert!(
+            s.peak_bytes <= checkouts * 32 * 8,
+            "peak never exceeds total traffic"
+        );
     }
 }

@@ -26,7 +26,10 @@
 //!    program's reference bit-for-bit (scale management is semantically
 //!    transparent); `NoiseSimExec` and `CkksExec` must agree with the
 //!    reference — and pairwise with each other — within a tolerance
-//!    scaled to the program's dynamic range.
+//!    scaled to the program's dynamic range; and the DAG-parallel
+//!    `ParCkksExec` must reproduce `CkksExec`'s decrypted outputs
+//!    *bit-for-bit* (the parallel walk, fusion and hoisting are all
+//!    byte-transparent by design).
 //!
 //! Anything that trips becomes a [`Divergence`] with a stable
 //! [`Divergence::label`] the shrinker uses to preserve failure identity
@@ -38,8 +41,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use fhe_analysis::{analyze, AnalysisCx, IntervalDomain, MagnitudeSource, NoiseDomain};
 use fhe_baselines::{EvaCompiler, HecateCompiler};
 use fhe_ir::{passes, CompileParams, Op, Program, ScaleCompiler, ScheduledProgram, ValueId};
-use fhe_runtime::executor::{max_abs_diff, CkksExec, Executor, NoiseSimExec, PlainExec};
-use fhe_runtime::{plain, ExecOptions};
+use fhe_runtime::executor::{
+    max_abs_diff, CkksExec, Executor, NoiseSimExec, ParCkksExec, PlainExec,
+};
+use fhe_runtime::{plain, ExecOptions, ParOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reserve_core::{Mode, ReserveCompiler};
@@ -617,19 +622,40 @@ fn check_executors(
         ("noise-sim", Box::new(NoiseSimExec::default()), tol),
     ];
     if cfg.run_ckks && schedule_fits_backend(scheduled, inputs) {
+        let backend = ExecOptions {
+            poly_degree: scheduled.program.slots() * 2,
+            seed: cfg.ckks_seed,
+            threads: 1,
+            ..ExecOptions::default()
+        };
         executors.push((
             "ckks",
             Box::new(CkksExec {
-                options: ExecOptions {
-                    poly_degree: scheduled.program.slots() * 2,
-                    seed: cfg.ckks_seed,
-                    threads: 1,
-                    ..ExecOptions::default()
+                options: backend.clone(),
+            }),
+            tol,
+        ));
+        // The DAG-parallel executor at the same backend options: checked
+        // against the reference like the others, and bit-for-bit against
+        // the serial backend below.
+        executors.push((
+            "ckks-par",
+            Box::new(ParCkksExec {
+                options: ParOptions {
+                    exec: backend,
+                    workers: 4,
+                    fusion: true,
                 },
             }),
             tol,
         ));
     }
+    let mut ckks_bits: Option<Vec<Vec<u64>>> = None;
+    let to_bits = |outs: &[Vec<f64>]| -> Vec<Vec<u64>> {
+        outs.iter()
+            .map(|v| v.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    };
     for (exec_name, executor, allowed) in executors {
         let stage = format!("{compiler}:{exec_name}");
         let run = match catching(|| executor.execute(scheduled, inputs)) {
@@ -660,6 +686,23 @@ fn check_executors(
                 detail: format!("max |Δ| vs reference = {worst:.3e} > {allowed:.3e}"),
             });
             continue;
+        }
+        if exec_name == "ckks" {
+            ckks_bits = Some(to_bits(&run.outputs));
+        }
+        // Parallel walk, fusion and hoisting must be byte-transparent:
+        // the parallel backend reproduces the serial backend exactly, not
+        // merely within tolerance.
+        if exec_name == "ckks-par" {
+            if let Some(serial) = &ckks_bits {
+                if *serial != to_bits(&run.outputs) {
+                    divs.push(Divergence {
+                        kind: DivergenceKind::OutputMismatch,
+                        stage: format!("{compiler}:ckks~ckks-par:bits"),
+                        detail: "parallel executor diverges bitwise from serial backend".into(),
+                    });
+                }
+            }
         }
         if exec_name == "ckks" {
             check_noise_bound(

@@ -522,6 +522,70 @@ impl DepGraph {
     }
 }
 
+/// Incremental topological consumption of a [`DepGraph`] — the API a
+/// DAG-parallel executor drives. Tracks the in-degree of every node;
+/// [`DepConsumer::pop_ready`] hands out runnable nodes and
+/// [`DepConsumer::complete`] retires one, unlocking its successors. The
+/// consumer is purely sequential state: a parallel runtime wraps it in
+/// its own lock and calls it from every runner.
+#[derive(Debug, Clone)]
+pub struct DepConsumer {
+    indeg: Vec<usize>,
+    ready: Vec<usize>,
+    remaining: usize,
+}
+
+impl DepConsumer {
+    /// Starts consuming `graph`: every node with no dependences is ready.
+    pub fn new(graph: &DepGraph) -> Self {
+        let indeg: Vec<usize> = (0..graph.nodes().len())
+            .map(|i| graph.preds(i).len())
+            .collect();
+        let ready = (0..indeg.len()).filter(|&i| indeg[i] == 0).collect();
+        DepConsumer {
+            remaining: indeg.len(),
+            indeg,
+            ready,
+        }
+    }
+
+    /// Takes one ready node (lowest schedule order last — the frontier is
+    /// LIFO, which keeps runners near the schedule's locality), or `None`
+    /// when nothing is currently runnable.
+    pub fn pop_ready(&mut self) -> Option<usize> {
+        self.ready.pop()
+    }
+
+    /// Retires a node whose execution finished, decrementing successor
+    /// in-degrees and enqueueing any that become ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a successor's in-degree underflows — i.e. `node` is
+    /// completed twice.
+    pub fn complete(&mut self, graph: &DepGraph, node: usize) {
+        self.remaining -= 1;
+        for &(s, _) in graph.succs(node) {
+            self.indeg[s] = self.indeg[s]
+                .checked_sub(1)
+                .expect("node completed at most once");
+            if self.indeg[s] == 0 {
+                self.ready.push(s);
+            }
+        }
+    }
+
+    /// Nodes not yet retired by [`DepConsumer::complete`].
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether every node has been retired.
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
 /// Convenience: builds the DAG and returns its [`ParallelismEstimate`].
 pub fn analyze(
     scheduled: &ScheduledProgram,
@@ -709,6 +773,30 @@ mod tests {
         assert!(dot.contains("style=solid"));
         assert!(dot.contains("style=dotted"), "hoist group edges: {dot}");
         assert!(dot.contains("cipher x cipher"));
+    }
+
+    #[test]
+    fn consumer_retires_every_node_in_topological_order() {
+        let b = Builder::new("t", 8);
+        let x = b.input("x");
+        let y = b.input("y");
+        let prod = x.clone() * y.clone();
+        let rot = (x + y).rotate(1);
+        let p = b.finish(vec![prod, rot]);
+        let g = graph(p);
+        let mut consumer = DepConsumer::new(&g);
+        assert_eq!(consumer.remaining(), g.nodes().len());
+        let mut done = vec![false; g.nodes().len()];
+        while let Some(node) = consumer.pop_ready() {
+            // Every dependence retired before its dependent runs.
+            for &(p, _) in g.preds(node) {
+                assert!(done[p], "pred of node {node} not yet complete");
+            }
+            done[node] = true;
+            consumer.complete(&g, node);
+        }
+        assert!(consumer.is_done());
+        assert!(done.iter().all(|&d| d), "every node retired");
     }
 
     #[test]

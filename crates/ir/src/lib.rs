@@ -47,6 +47,7 @@ pub mod diag;
 pub mod dsl;
 pub mod fold;
 mod frac;
+pub mod fusion;
 pub mod memory;
 mod op;
 mod params;
@@ -58,9 +59,10 @@ pub mod text;
 
 pub use builder::{Builder, Expr};
 pub use cost::{CostModel, OpClass};
-pub use depgraph::{DepGraph, DepKind, DepNode, ParallelismEstimate};
+pub use depgraph::{DepConsumer, DepGraph, DepKind, DepNode, ParallelismEstimate};
 pub use diag::{Finding, Severity, TvVerdict};
 pub use frac::Frac;
+pub use fusion::{BlockedFusion, Blocker, FusionPlan};
 pub use memory::{estimate_memory, MemoryEstimate, MemoryModelConfig};
 pub use op::{ConstValue, Op, OperandIter, ValueId};
 pub use params::CompileParams;

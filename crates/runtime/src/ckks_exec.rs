@@ -19,7 +19,7 @@ use crate::plain;
 
 /// Domain separator so the lazy key cache's per-element RNG streams never
 /// collide with the main keygen/encryption stream at the same seed.
-const KEY_CACHE_SEED_TWEAK: u64 = 0x517C_C1B7_2722_0A95;
+pub(crate) const KEY_CACHE_SEED_TWEAK: u64 = 0x517C_C1B7_2722_0A95;
 
 /// How the executor provisions Galois keys.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -462,7 +462,11 @@ fn cref(vals: &[Option<Ciphertext>], id: ValueId) -> &Ciphertext {
 /// under a lazy policy, the whole static set under an eager one). Encoder
 /// scratch is invisible here and in the static model alike, so the static
 /// bound stays comparable.
-fn mem_snapshot(ev: &Evaluator<'_>, fixed_key_bytes: u64, static_key_bytes: u64) -> MemStats {
+pub(crate) fn mem_snapshot(
+    ev: &Evaluator<'_>,
+    fixed_key_bytes: u64,
+    static_key_bytes: u64,
+) -> MemStats {
     let p = ev.pool_stats();
     let (kh, km, ke, kb, kp) = match ev.key_cache() {
         Some(c) => {
@@ -490,11 +494,16 @@ fn mem_snapshot(ev: &Evaluator<'_>, fixed_key_bytes: u64, static_key_bytes: u64)
     }
 }
 
-fn get(vals: &[Option<Vec<f64>>], id: ValueId) -> &Vec<f64> {
+pub(crate) fn get(vals: &[Option<Vec<f64>>], id: ValueId) -> &Vec<f64> {
     vals[id.index()].as_ref().expect("plain operand evaluated")
 }
 
-fn bin(vals: &[Option<Vec<f64>>], a: ValueId, b: ValueId, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+pub(crate) fn bin(
+    vals: &[Option<Vec<f64>>],
+    a: ValueId,
+    b: ValueId,
+    f: impl Fn(f64, f64) -> f64,
+) -> Vec<f64> {
     get(vals, a)
         .iter()
         .zip(get(vals, b))

@@ -16,6 +16,7 @@ use fhe_ir::{CostModel, OpClass, ScheduleError, ScheduledProgram};
 
 use crate::ckks_exec::{self, ExecOptions};
 use crate::noise_sim::{self, NoiseModel};
+use crate::par_exec::{self, ParOptions};
 use crate::plain;
 
 /// Memory counters of one execution (encrypted backend only; the
@@ -282,6 +283,45 @@ impl Executor for CkksExec {
                 per_class: report.per_class,
                 mem: report.mem,
                 per_class_mem: report.per_class_mem,
+            },
+        })
+    }
+}
+
+/// Real encrypted execution through the DAG-parallel executor
+/// ([`par_exec`]): op-level parallelism on the persistent work-stealing
+/// pool, with fused mul·relin·rescale and hoisted rotations. Outputs are
+/// byte-identical to [`CkksExec`] at the same backend options.
+#[derive(Debug, Clone, Default)]
+pub struct ParCkksExec {
+    /// Backend + walk configuration (workers, fusion toggle).
+    pub options: ParOptions,
+}
+
+impl Executor for ParCkksExec {
+    fn name(&self) -> &str {
+        "ckks-par"
+    }
+
+    fn execute(
+        &self,
+        scheduled: &ScheduledProgram,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> Result<Execution, Vec<ScheduleError>> {
+        let report = par_exec::execute_parallel(scheduled, inputs, &self.options)?;
+        Ok(Execution {
+            outputs: report.outputs,
+            reference: report.reference,
+            trace: ExecTrace {
+                total_time: report.total_time,
+                op_time: report.op_time,
+                ops_executed: report.ops_executed,
+                per_class: report.per_class,
+                mem: report.mem,
+                // Per-class memory attribution diffs whole-pool snapshots
+                // between consecutive ops — meaningless under concurrent
+                // runners, so the parallel backend reports none.
+                per_class_mem: Vec::new(),
             },
         })
     }

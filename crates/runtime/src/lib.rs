@@ -31,6 +31,7 @@ pub mod estimate;
 pub mod executor;
 pub mod microbench;
 pub mod noise_sim;
+pub mod par_exec;
 pub mod plain;
 
 pub use ckks_exec::{execute as execute_encrypted, ExecOptions, ExecReport, KeyPolicy};
@@ -38,6 +39,7 @@ pub use error_est::{estimate_error, select_waterline, ErrorEstimateOptions};
 pub use estimate::{estimate, LatencyBreakdown};
 pub use executor::{
     max_abs_diff, outputs_close, CkksExec, ExecTrace, Execution, Executor, MemStats, NoiseSimExec,
-    PlainExec,
+    ParCkksExec, PlainExec,
 };
 pub use noise_sim::{simulate, NoiseModel, NoisyRun};
+pub use par_exec::{execute_parallel, ParOptions, ParReport};

@@ -1,0 +1,858 @@
+//! DAG-parallel encrypted execution on the persistent work-stealing pool.
+//!
+//! [`execute_parallel`] runs the same RNS-CKKS backend as
+//! [`crate::ckks_exec`], but instead of walking the schedule serially it
+//! consumes the schedule's dependence DAG ([`fhe_ir::DepGraph`], including
+//! the anti edges from pool freeing and the output edges from rotation
+//! hoisting) with `k` runners on the process-wide [`fhe_ckks::Pool`]. Each
+//! runner pops ready ops from a shared [`fhe_ir::DepConsumer`] frontier,
+//! executes them against one shared [`Evaluator`], and retires them,
+//! unlocking successors — op-level parallelism layered on top of the same
+//! pool the per-limb kernel fan-out uses (nested batches make progress
+//! because every submitter participates in its own batch).
+//!
+//! Three invariants make the walk sound and bit-exact:
+//!
+//! 1. **Safety is proven, not assumed.** Before going wide the executor
+//!    runs [`fhe_analysis::parallel::check`] over the very DAG it is about
+//!    to consume and refuses (panics) on any unordered read/free or
+//!    group-writer hazard. The DAG's anti/output edges discharge exactly
+//!    those obligations, so a schedule that builds a full DAG always
+//!    passes; the assertion guards against future divergence between the
+//!    graph builder and the runtime's freeing discipline.
+//! 2. **Determinism is confined to the serial prologue.** Key generation
+//!    and input encryption consume the seeded RNG in schedule order before
+//!    any parallelism starts; lazily generated Galois keys come from
+//!    per-element RNG streams, so their generation order cannot change
+//!    results. Every homomorphic op is a deterministic function of its
+//!    operand bytes, so outputs are byte-identical to the serial executor
+//!    for every worker count.
+//! 3. **Fusion never changes bytes.** When a cipher×cipher mul's sole
+//!    consumer is its rescale, the pair runs as one fused
+//!    [`Evaluator::mul_rescale`] kernel (the relinearized full-level
+//!    product is rescaled in place, never materialized). The fused kernel
+//!    is bit-identical to the mul→rescale sequence; fusion only deletes
+//!    the intermediate ciphertext and one scheduling round-trip.
+//!
+//! Hoisted rotation groups execute at their leader (the DAG's output
+//! edges order members after it), sharing one key-switch decomposition
+//! across the group exactly as in the serial executor.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fhe_ckks::{
+    decrypt, encrypt_symmetric, Ciphertext, CkksContext, CkksParams, Evaluator, GaloisKeys,
+    KeyCache, KeyGenerator, Pool,
+};
+use fhe_ir::{
+    CostModel, DepConsumer, DepGraph, FusionPlan, Op, OpClass, ScheduleError, ScheduledProgram,
+    ValueId,
+};
+
+use crate::ckks_exec::{bin, get, mem_snapshot, ExecOptions, KeyPolicy, KEY_CACHE_SEED_TWEAK};
+use crate::executor::MemStats;
+use crate::plain;
+
+/// Options for DAG-parallel encrypted execution.
+#[derive(Debug, Clone)]
+pub struct ParOptions {
+    /// Backend configuration shared with the serial executor (degree,
+    /// seed, key policy, per-limb threads, rotation hoisting).
+    pub exec: ExecOptions,
+    /// Op-level runners walking the DAG: `0` = auto (the global pool's
+    /// worker count), `1` = serial DAG walk on the calling thread.
+    /// Results are bit-identical for every value.
+    pub workers: usize,
+    /// Execute fusible mul→rescale pairs as one fused mul·relin·rescale
+    /// kernel. Bit-identical either way; fusion skips materializing the
+    /// full-level product.
+    pub fusion: bool,
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        ParOptions {
+            exec: ExecOptions::default(),
+            workers: 0,
+            fusion: true,
+        }
+    }
+}
+
+/// Result of a DAG-parallel encrypted execution: the serial executor's
+/// report plus the walk's parallel-specific telemetry.
+#[derive(Debug, Clone)]
+pub struct ParReport {
+    /// Decrypted program outputs.
+    pub outputs: Vec<Vec<f64>>,
+    /// Plaintext reference outputs.
+    pub reference: Vec<Vec<f64>>,
+    /// Wall-clock time of the homomorphic phase: the serial prologue
+    /// (input encryption) plus the parallel DAG walk.
+    pub op_time: Duration,
+    /// Wall-clock time of the parallel DAG walk alone — the measured
+    /// `T(k)` the depgraph's prediction is validated against.
+    pub walk_time: Duration,
+    /// End-to-end time including keygen/encrypt/decrypt.
+    pub total_time: Duration,
+    /// Number of homomorphic ops executed (inputs included).
+    pub ops_executed: usize,
+    /// CPU time and op count per Table 3 op class, summed across runners
+    /// (under parallelism the durations sum past `op_time`). A fused
+    /// mul·relin·rescale charges its whole latency to the mul's class and
+    /// counts the rescale with zero duration.
+    pub per_class: Vec<(OpClass, Duration, usize)>,
+    /// Whole-run memory counters (pool + key material); exact under
+    /// contention thanks to the pool's atomic accounting. Per-class memory
+    /// attribution is inherently serial (it diffs whole-pool snapshots
+    /// between consecutive ops) and is not reported here.
+    pub mem: MemStats,
+    /// Per-node wall latency `(op, duration)` in retirement order — the
+    /// measured per-op costs a virtual-time replay of the walk uses.
+    pub node_times: Vec<(ValueId, Duration)>,
+    /// Runners the walk used after resolving `workers = 0`.
+    pub workers: usize,
+    /// mul→rescale pairs executed fused.
+    pub fused: usize,
+    /// Hoisted rotation groups executed at their leader.
+    pub hoisted_groups: usize,
+    /// Read/free and group-writer orderings the safety proof discharged
+    /// before the walk went wide.
+    pub safety_obligations: usize,
+}
+
+impl ParReport {
+    /// Maximum absolute slot error vs the reference.
+    pub fn max_abs_error(&self) -> f64 {
+        self.outputs
+            .iter()
+            .zip(&self.reference)
+            .flat_map(|(o, r)| o.iter().zip(r).map(|(a, b)| (a - b).abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The DAG walk's shared frontier: the consumer plus the first error any
+/// runner hit (runners drain and exit once it is set).
+struct Walk {
+    consumer: DepConsumer,
+    error: Option<Vec<ScheduleError>>,
+}
+
+/// Executes a scheduled program under real RNS-CKKS encryption by
+/// consuming its dependence DAG with `options.workers` runners.
+///
+/// Outputs are byte-identical to [`crate::ckks_exec::execute`] at the
+/// same [`ExecOptions`], for every worker count and fusion setting.
+///
+/// # Errors
+///
+/// Returns the schedule's validation errors if it is illegal, or a
+/// [`ScheduleError::MissingKey`] if a rotation lacks its Galois key under
+/// an eager key policy.
+///
+/// # Panics
+///
+/// Panics if the program's slot count differs from `poly_degree / 2`, or
+/// if the parallel-safety proof finds an unordered hazard in the DAG —
+/// the executor never goes wide on a schedule it cannot prove race-free.
+pub fn execute_parallel(
+    scheduled: &ScheduledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    options: &ParOptions,
+) -> Result<ParReport, Vec<ScheduleError>> {
+    let map = scheduled.validate()?;
+    let program = &scheduled.program;
+    assert_eq!(
+        program.slots(),
+        options.exec.poly_degree / 2,
+        "program slots must match N/2 for rotation semantics"
+    );
+
+    let t_total = Instant::now();
+    let ckks_params = CkksParams {
+        poly_degree: options.exec.poly_degree,
+        max_level: map.max_level() as usize,
+        modulus_bits: scheduled.params.rescale_bits,
+        special_bits: scheduled.params.rescale_bits.min(60) + 1,
+        error_std: 3.2,
+        threads: options.exec.threads,
+    };
+    let ctx = CkksContext::new(ckks_params);
+    let mut rng = StdRng::seed_from_u64(options.exec.seed);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let sk = kg.secret_key();
+    let relin = kg.relin_key(&mut rng);
+    let (galois, cache) = match &options.exec.keys {
+        KeyPolicy::Lazy { budget_bytes } => {
+            let cache = KeyCache::new(
+                kg.secret_key(),
+                options.exec.seed ^ KEY_CACHE_SEED_TWEAK,
+                *budget_bytes,
+            );
+            (GaloisKeys::default(), Some(cache))
+        }
+        KeyPolicy::EagerProgram => {
+            let steps: Vec<i64> = program
+                .ops()
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Rotate(_, k) => Some(*k),
+                    _ => None,
+                })
+                .collect();
+            (kg.galois_keys(steps, &mut rng), None)
+        }
+        KeyPolicy::EagerSet(steps) => (kg.galois_keys(steps.iter().copied(), &mut rng), None),
+    };
+    let static_key_bytes = galois.byte_size() as u64;
+    let fixed_key_bytes = (sk.byte_size() + relin.byte_size()) as u64;
+    let mut ev = Evaluator::new(&ctx, Some(relin), galois);
+    if let Some(cache) = cache {
+        ev = ev.with_key_cache(cache);
+    }
+    let ev = &ev;
+
+    // The DAG this executor consumes, and the proof that consuming it in
+    // any topological order is race-free under the freeing discipline.
+    let hoisting = options.exec.rotation_hoisting;
+    let graph = DepGraph::build(scheduled, &map, &CostModel::paper_table3(), hoisting);
+    let safety = fhe_analysis::parallel::check(scheduled, &graph, hoisting);
+    assert!(
+        safety.race_free(),
+        "schedule failed the parallel-safety proof: {:?}",
+        safety.violations
+    );
+
+    let slots_n = program.slots();
+    let live = fhe_ir::analysis::live(program);
+    let waterline = 2f64.powi(scheduled.params.waterline_bits as i32);
+
+    // Rotation groups sharing one hoisted decomposition, as in the serial
+    // executor; the DAG's output edges order members after their leader.
+    let mut rotation_groups: HashMap<ValueId, Vec<(ValueId, i64)>> = HashMap::new();
+    for id in program.ids() {
+        if let Op::Rotate(a, k) = program.op(id) {
+            if live[id.index()] && program.is_cipher(id) {
+                rotation_groups.entry(*a).or_default().push((id, *k));
+            }
+        }
+    }
+    rotation_groups.retain(|_, group| group.len() >= 2);
+    if !hoisting {
+        rotation_groups.clear();
+    }
+    let hoisted_groups = rotation_groups.len();
+
+    // Fusion plan, demoted per pair unless the DAG confirms the rescale
+    // depends on nothing but its mul (so completing the mul is the only
+    // event that can make it ready, and the fused result is in place by
+    // then). A full DAG always confirms a planned pair; the check guards
+    // against the graph builder growing new edge kinds.
+    let mut rescale_of: Vec<Option<ValueId>> = vec![None; program.num_ops()];
+    let mut fused_at: Vec<Option<ValueId>> = vec![None; program.num_ops()];
+    let mut fused = 0usize;
+    if options.fusion {
+        let plan = FusionPlan::plan(scheduled);
+        for &(m, r) in plan.pairs() {
+            let (Some(mn), Some(rn)) = (graph.node(m), graph.node(r)) else {
+                continue;
+            };
+            if graph.preds(rn).iter().all(|&(p, _)| p == mn) {
+                rescale_of[m.index()] = Some(r);
+                fused_at[r.index()] = Some(m);
+                fused += 1;
+            }
+        }
+    }
+
+    // Last-use positions drive eager freeing, exactly as in the serial
+    // executor; the DAG's anti edges order every other reader before the
+    // freeing op, so a take() here can never race a read.
+    let mut last_use: Vec<usize> = vec![0; program.num_ops()];
+    let mut is_output = vec![false; program.num_ops()];
+    for &o in program.outputs() {
+        is_output[o.index()] = true;
+    }
+    for id in program.ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        for a in program.op(id).operands() {
+            last_use[a.index()] = id.index();
+        }
+    }
+
+    // Serial prologue: plaintext sub-values and input encryption consume
+    // the seeded RNG in schedule order, so the ciphertext bytes entering
+    // the walk match the serial executor's exactly.
+    let mut plain_vals: Vec<Option<Vec<f64>>> = vec![None; program.num_ops()];
+    let cipher_slots: Vec<RwLock<Option<Ciphertext>>> =
+        (0..program.num_ops()).map(|_| RwLock::new(None)).collect();
+    let mut input_iter = scheduled.inputs.iter();
+    let mut encrypted_inputs = 0usize;
+    let t_ops = Instant::now();
+    for id in program.ids() {
+        if !live[id.index()] {
+            if matches!(program.op(id), Op::Input { .. }) {
+                let _ = input_iter.next();
+            }
+            continue;
+        }
+        if program.is_plain(id) {
+            let v = match program.op(id) {
+                Op::Const { value } => value.to_vec(slots_n),
+                Op::Add(a, b) => bin(&plain_vals, *a, *b, |x, y| x + y),
+                Op::Sub(a, b) => bin(&plain_vals, *a, *b, |x, y| x - y),
+                Op::Mul(a, b) => bin(&plain_vals, *a, *b, |x, y| x * y),
+                Op::Neg(a) => get(&plain_vals, *a).iter().map(|x| -x).collect(),
+                Op::Rotate(a, k) => plain::rotate(get(&plain_vals, *a), *k),
+                other => unreachable!("plain {other:?}"),
+            };
+            plain_vals[id.index()] = Some(v);
+            continue;
+        }
+        if let Op::Input { name } = program.op(id) {
+            let spec = input_iter.next().expect("input specs match inputs");
+            let data = inputs
+                .get(name)
+                .unwrap_or_else(|| panic!("missing input binding `{name}`"));
+            let scale = 2f64.powf(spec.scale_bits.to_f64());
+            let pt = ev.encoder().encode(data, scale, spec.level as usize);
+            let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+            ev.pool().adopt(2 * ct.level);
+            *cipher_slots[id.index()].write().expect("slot lock") = Some(ct);
+            encrypted_inputs += 1;
+        }
+    }
+
+    // The parallel walk. Runners share the frontier under one mutex; the
+    // condvar wakes idle runners whenever a completion readies new nodes.
+    let workers = if options.workers == 0 {
+        Pool::global().workers().max(1)
+    } else {
+        options.workers
+    };
+    let walk = Mutex::new(Walk {
+        consumer: DepConsumer::new(&graph),
+        error: None,
+    });
+    let ready_cv = Condvar::new();
+    let hoisted: Mutex<HashMap<ValueId, Ciphertext>> = Mutex::new(HashMap::new());
+    let by_class: Mutex<[(Duration, usize); OpClass::ALL.len()]> =
+        Mutex::new([(Duration::ZERO, 0); OpClass::ALL.len()]);
+    let node_times: Mutex<Vec<(ValueId, Duration)>> = Mutex::new(Vec::new());
+    let cipher_ops = AtomicUsize::new(0);
+
+    let charge = |class: Option<OpClass>, elapsed: Duration| {
+        if let Some(class) = class {
+            let slot = OpClass::ALL
+                .iter()
+                .position(|c| *c == class)
+                .expect("class in ALL");
+            let mut by = by_class.lock().expect("class lock");
+            by[slot].0 += elapsed;
+            by[slot].1 += 1;
+        }
+    };
+
+    let runner = |_worker: usize| loop {
+        let node = {
+            let mut w = walk.lock().expect("walk lock");
+            loop {
+                if w.error.is_some() || w.consumer.is_done() {
+                    return;
+                }
+                if let Some(n) = w.consumer.pop_ready() {
+                    break n;
+                }
+                w = ready_cv.wait(w).expect("walk lock");
+            }
+        };
+        let id = graph.nodes()[node].id;
+        let result = run_node(
+            RunCx {
+                program,
+                map: &map,
+                ev,
+                plain_vals: &plain_vals,
+                cipher_slots: &cipher_slots,
+                rotation_groups: &rotation_groups,
+                hoisted: &hoisted,
+                rescale_of: &rescale_of,
+                fused_at: &fused_at,
+                last_use: &last_use,
+                is_output: &is_output,
+                waterline,
+            },
+            id,
+        );
+        match result {
+            Ok(executed) => {
+                for (vid, class, elapsed) in executed {
+                    charge(class, elapsed);
+                    node_times.lock().expect("times lock").push((vid, elapsed));
+                    cipher_ops.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut w = walk.lock().expect("walk lock");
+                w.consumer.complete(&graph, node);
+                drop(w);
+                ready_cv.notify_all();
+            }
+            Err(e) => {
+                walk.lock().expect("walk lock").error = Some(e);
+                ready_cv.notify_all();
+                return;
+            }
+        }
+    };
+
+    let t_walk = Instant::now();
+    Pool::global().run(workers, workers, &runner);
+    let walk_time = t_walk.elapsed();
+    let op_time = t_ops.elapsed();
+
+    {
+        let w = walk.into_inner().expect("walk lock");
+        if let Some(e) = w.error {
+            return Err(e);
+        }
+        assert!(w.consumer.is_done(), "walk retired every node");
+    }
+
+    let outputs = program
+        .outputs()
+        .iter()
+        .map(|&o| {
+            if program.is_plain(o) {
+                return get(&plain_vals, o).clone();
+            }
+            let guard = cipher_slots[o.index()].read().expect("slot lock");
+            let ct = guard.as_ref().expect("output evaluated");
+            let mut v = ev.encoder().decode(&decrypt(&ctx, &sk, ct));
+            v.truncate(slots_n);
+            v
+        })
+        .collect();
+    let reference = plain::execute(program, inputs);
+    let by = by_class.into_inner().expect("class lock");
+    let per_class = OpClass::ALL
+        .iter()
+        .zip(by)
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(&c, (d, n))| (c, d, n))
+        .collect();
+    let mem = mem_snapshot(ev, fixed_key_bytes, static_key_bytes);
+    Ok(ParReport {
+        outputs,
+        reference,
+        op_time,
+        walk_time,
+        total_time: t_total.elapsed(),
+        ops_executed: encrypted_inputs + cipher_ops.load(Ordering::Relaxed),
+        per_class,
+        mem,
+        node_times: node_times.into_inner().expect("times lock"),
+        workers,
+        fused,
+        hoisted_groups,
+        safety_obligations: safety.obligations,
+    })
+}
+
+/// Everything a runner needs to execute one DAG node, borrowed from the
+/// walk's shared state.
+struct RunCx<'a, 'c> {
+    program: &'a fhe_ir::Program,
+    map: &'a fhe_ir::ScaleMap,
+    ev: &'a Evaluator<'c>,
+    plain_vals: &'a [Option<Vec<f64>>],
+    cipher_slots: &'a [RwLock<Option<Ciphertext>>],
+    rotation_groups: &'a HashMap<ValueId, Vec<(ValueId, i64)>>,
+    hoisted: &'a Mutex<HashMap<ValueId, Ciphertext>>,
+    rescale_of: &'a [Option<ValueId>],
+    fused_at: &'a [Option<ValueId>],
+    last_use: &'a [usize],
+    is_output: &'a [bool],
+    waterline: f64,
+}
+
+impl RunCx<'_, '_> {
+    /// Reads a cipher operand slot. The DAG's true edges guarantee the
+    /// producer wrote it, and the anti edges guarantee no concurrent
+    /// free, so the read lock is never contended by a writer.
+    fn cipher(&self, id: ValueId) -> std::sync::RwLockReadGuard<'_, Option<Ciphertext>> {
+        self.cipher_slots[id.index()].read().expect("slot lock")
+    }
+
+    /// Recycles `id`'s operands whose last consumer just ran (a squared
+    /// operand appears twice but is freed once) — the parallel form of
+    /// the serial executor's eager freeing, sound because this op is the
+    /// value's anti-edge sink.
+    fn recycle_operands(&self, id: ValueId) {
+        let mut seen = None;
+        for a in self.program.op(id).operands() {
+            if seen == Some(a) {
+                continue;
+            }
+            seen = Some(a);
+            if self.program.is_cipher(a)
+                && self.last_use[a.index()] == id.index()
+                && !self.is_output[a.index()]
+            {
+                if let Some(dead) = self.cipher_slots[a.index()]
+                    .write()
+                    .expect("slot lock")
+                    .take()
+                {
+                    self.ev.recycle_ct(dead);
+                }
+            }
+        }
+    }
+}
+
+/// Executed-op record: the value produced, its cost class, and its wall
+/// latency. A fused pair yields two records from one kernel call.
+type Executed = Vec<(ValueId, Option<OpClass>, Duration)>;
+
+/// Executes the op behind one DAG node. Plain ops and inputs were
+/// evaluated in the serial prologue and retire for free; fused rescales
+/// find their value already in place and retire for free too.
+fn run_node(cx: RunCx<'_, '_>, id: ValueId) -> Result<Executed, Vec<ScheduleError>> {
+    let program = cx.program;
+    let ev = cx.ev;
+    if program.is_plain(id) || matches!(program.op(id), Op::Input { .. }) {
+        return Ok(Vec::new());
+    }
+    // A rescale fused into its mul: the kernel at the mul already stored
+    // this value (and charged its class); only the bookkeeping remains.
+    if cx.fused_at[id.index()].is_some() {
+        cx.recycle_operands(id);
+        return Ok(vec![(id, CostModel::classify(program, id), Duration::ZERO)]);
+    }
+
+    let t0 = Instant::now();
+    let (store_id, ct) = match program.op(id) {
+        Op::Mul(a, b) if program.is_cipher(*a) && program.is_cipher(*b) => {
+            let ga = cx.cipher(*a);
+            let gb = cx.cipher(*b);
+            let ca = ga.as_ref().expect("cipher operand evaluated");
+            let cb = gb.as_ref().expect("cipher operand evaluated");
+            match cx.rescale_of[id.index()] {
+                // Fused mul·relin·rescale: the result lands under the
+                // rescale's id; the mul's full-level product never exists.
+                Some(r) => (r, ev.mul_rescale(ca, cb)),
+                None => (id, ev.mul(ca, cb)),
+            }
+        }
+        Op::Mul(a, b) => {
+            let (c, p) = if program.is_cipher(*a) {
+                (*a, *b)
+            } else {
+                (*b, *a)
+            };
+            let gc = cx.cipher(c);
+            let cc = gc.as_ref().expect("cipher operand evaluated");
+            let pt = ev
+                .encoder()
+                .encode(get(cx.plain_vals, p), cx.waterline, cc.level);
+            (id, ev.mul_plain(cc, &pt))
+        }
+        Op::Add(a, b) | Op::Sub(a, b) => {
+            let sub = matches!(program.op(id), Op::Sub(..));
+            let out = match (program.is_cipher(*a), program.is_cipher(*b)) {
+                (true, true) => {
+                    let ga = cx.cipher(*a);
+                    let gb = cx.cipher(*b);
+                    let ca = ga.as_ref().expect("cipher operand evaluated");
+                    let cb = gb.as_ref().expect("cipher operand evaluated");
+                    if sub {
+                        ev.sub(ca, cb)
+                    } else {
+                        ev.add(ca, cb)
+                    }
+                }
+                (true, false) => {
+                    let ga = cx.cipher(*a);
+                    let ca = ga.as_ref().expect("cipher operand evaluated");
+                    let pv = get(cx.plain_vals, *b);
+                    let pv: Vec<f64> = if sub {
+                        pv.iter().map(|x| -x).collect()
+                    } else {
+                        pv.clone()
+                    };
+                    let pt = ev.encoder().encode(&pv, ca.scale, ca.level);
+                    ev.add_plain(ca, &pt)
+                }
+                (false, true) => {
+                    let gb = cx.cipher(*b);
+                    let cb = gb.as_ref().expect("cipher operand evaluated");
+                    let pv = get(cx.plain_vals, *a);
+                    if sub {
+                        let neg = ev.neg(cb);
+                        let pt = ev.encoder().encode(pv, neg.scale, neg.level);
+                        let out = ev.add_plain(&neg, &pt);
+                        ev.recycle_ct(neg);
+                        out
+                    } else {
+                        let pt = ev.encoder().encode(pv, cb.scale, cb.level);
+                        ev.add_plain(cb, &pt)
+                    }
+                }
+                (false, false) => unreachable!(),
+            };
+            (id, out)
+        }
+        Op::Neg(a) => {
+            let ga = cx.cipher(*a);
+            (id, ev.neg(ga.as_ref().expect("cipher operand evaluated")))
+        }
+        Op::Rotate(a, k) => {
+            let ready = cx.hoisted.lock().expect("hoisted lock").remove(&id);
+            let out = if let Some(ct) = ready {
+                ct
+            } else if let Some(group) = cx.rotation_groups.get(a) {
+                // This op is the group leader (output edges order every
+                // other member after it): compute the whole group off one
+                // shared decomposition and park the siblings' results.
+                let ga = cx.cipher(*a);
+                let ca = ga.as_ref().expect("cipher operand evaluated");
+                let steps: Vec<i64> = group.iter().map(|&(_, s)| s).collect();
+                match ev.try_rotate_hoisted(ca, &steps) {
+                    Ok(outs) => {
+                        let mut mine = None;
+                        let mut park = cx.hoisted.lock().expect("hoisted lock");
+                        for (&(gid, _), out) in group.iter().zip(outs) {
+                            if gid == id {
+                                mine = Some(out);
+                            } else {
+                                park.insert(gid, out);
+                            }
+                        }
+                        mine.expect("group contains the current op")
+                    }
+                    Err(e) => {
+                        return Err(vec![ScheduleError::MissingKey {
+                            op: id,
+                            steps: e.steps.unwrap_or(*k),
+                        }])
+                    }
+                }
+            } else {
+                let ga = cx.cipher(*a);
+                let ca = ga.as_ref().expect("cipher operand evaluated");
+                match ev.try_rotate(ca, *k) {
+                    Ok(ct) => ct,
+                    Err(_) => return Err(vec![ScheduleError::MissingKey { op: id, steps: *k }]),
+                }
+            };
+            (id, out)
+        }
+        Op::Rescale(a) => {
+            let ga = cx.cipher(*a);
+            (
+                id,
+                ev.rescale(ga.as_ref().expect("cipher operand evaluated")),
+            )
+        }
+        Op::ModSwitch(a) => {
+            let ga = cx.cipher(*a);
+            (
+                id,
+                ev.mod_switch(ga.as_ref().expect("cipher operand evaluated")),
+            )
+        }
+        Op::Upscale(a, delta) => {
+            let ga = cx.cipher(*a);
+            let ca = ga.as_ref().expect("cipher operand evaluated");
+            (id, ev.upscale(ca, 2f64.powf(delta.to_f64())))
+        }
+        Op::Const { .. } | Op::Input { .. } => unreachable!("handled in the prologue"),
+    };
+    let elapsed = t0.elapsed();
+    debug_assert_eq!(
+        ct.level as u32,
+        cx.map.level(store_id),
+        "backend level tracks schedule"
+    );
+    *cx.cipher_slots[store_id.index()]
+        .write()
+        .expect("slot lock") = Some(ct);
+    cx.recycle_operands(id);
+    // Fused pairs report only the mul here (charged the full kernel); the
+    // rescale node retires itself with zero duration when it is popped.
+    Ok(vec![(id, CostModel::classify(program, id), elapsed)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::Builder;
+    use reserve_core::Options;
+
+    fn inputs(pairs: &[(&str, Vec<f64>)]) -> HashMap<String, Vec<f64>> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn exec_opts() -> ExecOptions {
+        ExecOptions {
+            poly_degree: 256,
+            seed: 3,
+            threads: 1,
+            ..ExecOptions::default()
+        }
+    }
+
+    fn bits(outputs: &[Vec<f64>]) -> Vec<Vec<u64>> {
+        outputs
+            .iter()
+            .map(|v| v.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    }
+
+    fn fig2a() -> ScheduledProgram {
+        let slots = 128;
+        let b = Builder::new("fig2a", slots);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        let p = b.finish(vec![q]);
+        reserve_core::compile(&p, &Options::new(30))
+            .unwrap()
+            .scheduled
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial_at_every_width() {
+        let s = fig2a();
+        let xs: Vec<f64> = (0..128).map(|i| ((i % 5) as f64 - 2.0) * 0.3).collect();
+        let ys: Vec<f64> = (0..128).map(|i| ((i % 7) as f64) * 0.1).collect();
+        let binds = inputs(&[("x", xs), ("y", ys)]);
+        let serial = crate::ckks_exec::execute(&s, &binds, &exec_opts()).unwrap();
+        for workers in [1usize, 2, 3, 8] {
+            let par = execute_parallel(
+                &s,
+                &binds,
+                &ParOptions {
+                    exec: exec_opts(),
+                    workers,
+                    fusion: true,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                bits(&par.outputs),
+                bits(&serial.outputs),
+                "workers = {workers}"
+            );
+            assert_eq!(par.ops_executed, serial.ops_executed);
+            assert!(par.fused > 0, "fig2a has fusible mul→rescale chains");
+            assert!(par.safety_obligations > 0);
+        }
+    }
+
+    #[test]
+    fn fusion_toggle_does_not_change_bytes() {
+        let s = fig2a();
+        let binds = inputs(&[("x", vec![0.5; 128]), ("y", vec![0.25; 128])]);
+        let mk = |fusion| ParOptions {
+            exec: exec_opts(),
+            workers: 2,
+            fusion,
+        };
+        let on = execute_parallel(&s, &binds, &mk(true)).unwrap();
+        let off = execute_parallel(&s, &binds, &mk(false)).unwrap();
+        assert!(on.fused > 0);
+        assert_eq!(off.fused, 0);
+        assert_eq!(bits(&on.outputs), bits(&off.outputs));
+    }
+
+    #[test]
+    fn hoisted_rotation_groups_execute_at_the_leader() {
+        let slots = 128;
+        let b = Builder::new("rotgrp", slots);
+        let x = b.input("x");
+        let e = x.clone().rotate(1) + x.clone().rotate(2) + x.clone().rotate(3) + x;
+        let p = b.finish(vec![e]);
+        let mut options = Options::new(30);
+        options.params.output_reserve_bits = 2;
+        let s = reserve_core::compile(&p, &options).unwrap().scheduled;
+        let xs: Vec<f64> = (0..slots).map(|i| i as f64 * 0.001).collect();
+        let binds = inputs(&[("x", xs)]);
+        let serial = crate::ckks_exec::execute(&s, &binds, &exec_opts()).unwrap();
+        let par = execute_parallel(
+            &s,
+            &binds,
+            &ParOptions {
+                exec: exec_opts(),
+                workers: 4,
+                fusion: true,
+            },
+        )
+        .unwrap();
+        assert!(par.hoisted_groups > 0);
+        assert_eq!(bits(&par.outputs), bits(&serial.outputs));
+    }
+
+    #[test]
+    fn missing_keys_surface_as_schedule_errors_not_panics() {
+        let slots = 128;
+        let b = Builder::new("missing", slots);
+        let x = b.input("x");
+        let e = x.clone().rotate(1) + x.clone().rotate(3) + x;
+        let p = b.finish(vec![e]);
+        let mut options = Options::new(30);
+        options.params.output_reserve_bits = 2;
+        let s = reserve_core::compile(&p, &options).unwrap().scheduled;
+        let xs: Vec<f64> = (0..slots).map(|i| i as f64 * 0.001).collect();
+        let err = execute_parallel(
+            &s,
+            &inputs(&[("x", xs)]),
+            &ParOptions {
+                exec: ExecOptions {
+                    keys: KeyPolicy::EagerSet(vec![1]),
+                    ..exec_opts()
+                },
+                workers: 4,
+                fusion: true,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err[0], ScheduleError::MissingKey { steps: 3, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn walk_telemetry_covers_every_cipher_op() {
+        let s = fig2a();
+        let binds = inputs(&[("x", vec![0.5; 128]), ("y", vec![0.25; 128])]);
+        let par = execute_parallel(
+            &s,
+            &binds,
+            &ParOptions {
+                exec: exec_opts(),
+                workers: 2,
+                fusion: true,
+            },
+        )
+        .unwrap();
+        let class_count: usize = par.per_class.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(par.node_times.len(), class_count);
+        assert!(par.walk_time <= par.op_time);
+        assert!(par.op_time <= par.total_time);
+        assert!(par.max_abs_error() < 1e-2);
+        assert!(par.mem.peak_bytes > 0);
+    }
+}
