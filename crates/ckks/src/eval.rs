@@ -1,5 +1,7 @@
 //! Homomorphic evaluation: the RNS-CKKS operations of Table 2.
 
+use std::sync::Arc;
+
 use crate::cipher::Ciphertext;
 use crate::context::CkksContext;
 use crate::encoding::{Encoder, Plaintext};
@@ -53,40 +55,78 @@ impl std::error::Error for MissingKeyError {}
 /// buffers via [`RnsPoly::recycle`] against [`Evaluator::pool`], turning
 /// later allocations into pool hits. Galois keys resolve from the static
 /// key set first, then fall back to an optional lazy [`KeyCache`].
+///
+/// Keys, cache and pool are held behind [`Arc`] handles so a serving layer
+/// can share one set of session keys (and one global pool) across many
+/// short-lived evaluators without cloning key material; the plain
+/// constructors wrap their arguments and behave exactly as before.
 #[derive(Debug)]
 pub struct Evaluator<'c> {
     ctx: &'c CkksContext,
     encoder: Encoder<'c>,
-    relin: Option<RelinKey>,
-    galois: GaloisKeys,
-    cache: Option<KeyCache>,
-    pool: PolyPool,
+    relin: Option<Arc<RelinKey>>,
+    galois: Arc<GaloisKeys>,
+    cache: Option<Arc<KeyCache>>,
+    pool: Arc<PolyPool>,
 }
 
 impl<'c> Evaluator<'c> {
     /// Creates an evaluator. `relin` is needed for cipher×cipher
     /// multiplication; `galois` for rotations.
     pub fn new(ctx: &'c CkksContext, relin: Option<RelinKey>, galois: GaloisKeys) -> Self {
+        Self::new_shared(ctx, relin.map(Arc::new), Arc::new(galois))
+    }
+
+    /// Creates an evaluator from shared key handles, so one relin/Galois key
+    /// set can back many evaluators (e.g. one per request in a server).
+    pub fn new_shared(
+        ctx: &'c CkksContext,
+        relin: Option<Arc<RelinKey>>,
+        galois: Arc<GaloisKeys>,
+    ) -> Self {
         Evaluator {
             ctx,
             encoder: Encoder::new(ctx),
             relin,
             galois,
             cache: None,
-            pool: PolyPool::new(ctx.degree()),
+            pool: Arc::new(PolyPool::new(ctx.degree())),
         }
     }
 
     /// Attaches a lazy Galois-key cache consulted when a rotation's key is
     /// absent from the static set.
-    pub fn with_key_cache(mut self, cache: KeyCache) -> Self {
+    pub fn with_key_cache(self, cache: KeyCache) -> Self {
+        self.with_key_cache_handle(Arc::new(cache))
+    }
+
+    /// Attaches a *shared* lazy Galois-key cache (see
+    /// [`Evaluator::with_key_cache`]); the cache and its stats outlive this
+    /// evaluator.
+    pub fn with_key_cache_handle(mut self, cache: Arc<KeyCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Replaces the evaluator's limb-buffer pool with a shared one, so many
+    /// evaluators (sessions) recycle through one global free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's buffer degree differs from the context's.
+    pub fn with_pool(mut self, pool: Arc<PolyPool>) -> Self {
+        assert_eq!(
+            pool.degree(),
+            self.ctx.degree(),
+            "pool degree must match the context degree"
+        );
+        self.pool = pool;
         self
     }
 
     /// The attached key cache, if any.
     pub fn key_cache(&self) -> Option<&KeyCache> {
-        self.cache.as_ref()
+        self.cache.as_deref()
     }
 
     /// The evaluator's limb-buffer pool (for recycling retired ciphertexts

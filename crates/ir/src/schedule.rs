@@ -363,6 +363,150 @@ impl ScheduledProgram {
     }
 }
 
+/// Incremental FNV-1a (64-bit) over a byte stream: tiny, deterministic
+/// across platforms, and dependency-free. Collisions are harmless in the
+/// serve compile cache (the full key is compared on lookup); the hash is a
+/// cheap fingerprint for bucketing and structural-identity assertions.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn i128(&mut self, v: i128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn frac(&mut self, v: Frac) {
+        self.i128(v.numer());
+        self.i128(v.denom());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+}
+
+impl Program {
+    /// A 64-bit content hash of the program *structure*: slot count, op
+    /// kinds, operand wiring, rotation steps, upscale deltas, constant bit
+    /// patterns, input names, and the output list. The program name is
+    /// deliberately ignored — two programs that compute the same DAG hash
+    /// equal regardless of what they are called.
+    ///
+    /// Two programs with equal [`text::print`](crate::text::print) output
+    /// hash equal; the converse holds up to FNV collisions.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.slots() as u64);
+        h.u64(self.num_ops() as u64);
+        for id in self.ids() {
+            match self.op(id) {
+                Op::Input { name } => {
+                    h.u64(0);
+                    h.str(name);
+                }
+                Op::Const { value } => {
+                    h.u64(1);
+                    match value {
+                        crate::ConstValue::Scalar(v) => {
+                            h.u64(0);
+                            h.u64(v.to_bits());
+                        }
+                        crate::ConstValue::Vector(v) => {
+                            h.u64(1);
+                            h.u64(v.len() as u64);
+                            for x in v.iter() {
+                                h.u64(x.to_bits());
+                            }
+                        }
+                    }
+                }
+                Op::Add(a, b) => {
+                    h.u64(2);
+                    h.u64(a.0 as u64);
+                    h.u64(b.0 as u64);
+                }
+                Op::Sub(a, b) => {
+                    h.u64(3);
+                    h.u64(a.0 as u64);
+                    h.u64(b.0 as u64);
+                }
+                Op::Mul(a, b) => {
+                    h.u64(4);
+                    h.u64(a.0 as u64);
+                    h.u64(b.0 as u64);
+                }
+                Op::Neg(a) => {
+                    h.u64(5);
+                    h.u64(a.0 as u64);
+                }
+                Op::Rotate(a, k) => {
+                    h.u64(6);
+                    h.u64(a.0 as u64);
+                    h.i128(*k as i128);
+                }
+                Op::Rescale(a) => {
+                    h.u64(7);
+                    h.u64(a.0 as u64);
+                }
+                Op::ModSwitch(a) => {
+                    h.u64(8);
+                    h.u64(a.0 as u64);
+                }
+                Op::Upscale(a, d) => {
+                    h.u64(9);
+                    h.u64(a.0 as u64);
+                    h.frac(*d);
+                }
+            }
+        }
+        h.u64(self.outputs().len() as u64);
+        for &o in self.outputs() {
+            h.u64(o.0 as u64);
+        }
+        h.0
+    }
+}
+
+impl ScheduledProgram {
+    /// A 64-bit content hash of the *schedule*: the
+    /// [structural program hash](Program::structural_hash) combined with the
+    /// compile parameters and every input's scale/level assignment. Two
+    /// schedules with equal hashes execute identically (up to FNV
+    /// collisions); the serve-layer compile cache uses this to assert that
+    /// an evicted-and-recompiled entry is structurally identical to the
+    /// original.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.program.structural_hash());
+        h.u64(self.params.rescale_bits as u64);
+        h.u64(self.params.waterline_bits as u64);
+        h.u64(self.params.max_level as u64);
+        h.u64(self.params.output_reserve_bits as u64);
+        h.u64(self.inputs.len() as u64);
+        for spec in &self.inputs {
+            h.frac(spec.scale_bits);
+            h.u64(spec.level as u64);
+        }
+        h.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,5 +726,38 @@ mod tests {
                 actual: 0
             }
         ));
+    }
+
+    #[test]
+    fn structural_hash_ignores_name_but_not_structure() {
+        let a = fig2b();
+        let mut b = fig2b();
+        assert_eq!(a.structural_hash(), b.structural_hash());
+
+        // Renaming the program does not change the hash.
+        let mut renamed = Program::new("other-name", a.program.slots());
+        for id in a.program.ids() {
+            renamed.push(a.program.op(id).clone());
+        }
+        renamed.set_outputs(a.program.outputs().to_vec());
+        assert_eq!(a.program.structural_hash(), renamed.structural_hash());
+
+        // Changing an input level changes the schedule hash.
+        b.inputs[0].level = 3;
+        assert_ne!(a.structural_hash(), b.structural_hash());
+
+        // Changing params changes the schedule hash.
+        let mut c = fig2b();
+        c.params.waterline_bits = 21;
+        assert_ne!(a.structural_hash(), c.structural_hash());
+
+        // Changing a rotation step or a constant changes the program hash.
+        let mut p1 = Program::new("r", 8);
+        let x1 = p1.push(Op::Input { name: "x".into() });
+        p1.push(Op::Rotate(x1, 1));
+        let mut p2 = Program::new("r", 8);
+        let x2 = p2.push(Op::Input { name: "x".into() });
+        p2.push(Op::Rotate(x2, 2));
+        assert_ne!(p1.structural_hash(), p2.structural_hash());
     }
 }

@@ -3,6 +3,7 @@
 //! and error experiments.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -10,9 +11,9 @@ use rand::SeedableRng;
 
 use fhe_ckks::{
     decrypt, encrypt_symmetric, Ciphertext, CkksContext, CkksParams, Evaluator, GaloisKeys,
-    KeyCache, KeyGenerator,
+    KeyCache, KeyGenerator, PolyPool, RelinKey, SecretKey,
 };
-use fhe_ir::{CostModel, Op, OpClass, ScheduleError, ScheduledProgram, ValueId};
+use fhe_ir::{CostModel, Op, OpClass, ScaleMap, ScheduleError, ScheduledProgram, ValueId};
 
 use crate::executor::MemStats;
 use crate::plain;
@@ -78,6 +79,156 @@ impl Default for ExecOptions {
             rotation_hoisting: true,
         }
     }
+}
+
+/// Reusable per-session key material: one context, secret/relin/Galois
+/// keys and (under a lazy policy) a key cache, generated once and shared
+/// by any number of [`execute_with_keys`] /
+/// [`execute_parallel_with_keys`](crate::par_exec::execute_parallel_with_keys)
+/// calls. This is what a serving layer amortizes across requests — the
+/// context's NTT tables and the keygen RNG work are paid once per session
+/// shape instead of once per request.
+///
+/// The RNG stream is the same as [`execute`]'s prologue (keygen from
+/// `options.seed`, key cache from `seed ^ KEY_CACHE_SEED_TWEAK`), so a
+/// session's keys are a pure function of `(options, shape)`.
+#[derive(Debug, Clone)]
+pub struct SessionKeys {
+    ctx: Arc<CkksContext>,
+    sk: SecretKey,
+    relin: Arc<RelinKey>,
+    galois: Arc<GaloisKeys>,
+    cache: Option<Arc<KeyCache>>,
+    fixed_key_bytes: u64,
+    static_key_bytes: u64,
+}
+
+impl SessionKeys {
+    /// Generates key material for programs of the given shape: polynomial
+    /// degree and per-limb threads come from `options`, the modulus chain
+    /// from `(max_level, modulus_bits)`. Under [`KeyPolicy::EagerProgram`]
+    /// the static Galois set covers `rotation_steps` (callers pass the
+    /// union of rotation steps the sessions' programs use); the other
+    /// policies ignore it.
+    pub fn generate(
+        options: &ExecOptions,
+        max_level: usize,
+        modulus_bits: u32,
+        rotation_steps: &[i64],
+    ) -> SessionKeys {
+        let ctx = Arc::new(CkksContext::new(CkksParams {
+            poly_degree: options.poly_degree,
+            max_level,
+            modulus_bits,
+            special_bits: modulus_bits.min(60) + 1,
+            error_std: 3.2,
+            threads: options.threads,
+        }));
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key();
+        let relin = kg.relin_key(&mut rng);
+        let (galois, cache) = match &options.keys {
+            KeyPolicy::Lazy { budget_bytes } => {
+                let cache = KeyCache::new(
+                    kg.secret_key(),
+                    options.seed ^ KEY_CACHE_SEED_TWEAK,
+                    *budget_bytes,
+                );
+                (GaloisKeys::default(), Some(Arc::new(cache)))
+            }
+            KeyPolicy::EagerProgram => (
+                kg.galois_keys(rotation_steps.iter().copied(), &mut rng),
+                None,
+            ),
+            KeyPolicy::EagerSet(steps) => (kg.galois_keys(steps.iter().copied(), &mut rng), None),
+        };
+        let static_key_bytes = galois.byte_size() as u64;
+        let fixed_key_bytes = (sk.byte_size() + relin.byte_size()) as u64;
+        SessionKeys {
+            ctx,
+            sk,
+            relin: Arc::new(relin),
+            galois: Arc::new(galois),
+            cache,
+            fixed_key_bytes,
+            static_key_bytes,
+        }
+    }
+
+    /// Generates key material sized for one schedule: validates it, sizes
+    /// the modulus chain to its level requirement, and (under
+    /// [`KeyPolicy::EagerProgram`]) provisions its rotation steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule's validation errors if it is illegal.
+    pub fn for_schedule(
+        scheduled: &ScheduledProgram,
+        options: &ExecOptions,
+    ) -> Result<SessionKeys, Vec<ScheduleError>> {
+        let map = scheduled.validate()?;
+        Ok(SessionKeys::generate(
+            options,
+            map.max_level() as usize,
+            scheduled.params.rescale_bits,
+            &rotation_steps(&scheduled.program),
+        ))
+    }
+
+    /// The shared backend context.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    /// The session's secret key (encryption + decryption).
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+
+    /// Shared handle to the relinearization key.
+    pub fn relin_handle(&self) -> Arc<RelinKey> {
+        self.relin.clone()
+    }
+
+    /// Shared handle to the static Galois key set.
+    pub fn galois_handle(&self) -> Arc<GaloisKeys> {
+        self.galois.clone()
+    }
+
+    /// Shared handle to the lazy key cache, if the policy was
+    /// [`KeyPolicy::Lazy`].
+    pub fn cache_handle(&self) -> Option<Arc<KeyCache>> {
+        self.cache.clone()
+    }
+
+    /// The lazy Galois-key cache, if the policy was [`KeyPolicy::Lazy`].
+    pub fn key_cache(&self) -> Option<&KeyCache> {
+        self.cache.as_deref()
+    }
+
+    /// Bytes of the always-resident key material (secret + relin key).
+    pub fn fixed_key_bytes(&self) -> u64 {
+        self.fixed_key_bytes
+    }
+
+    /// Bytes of the static Galois key set (zero under a lazy policy).
+    pub fn static_key_bytes(&self) -> u64 {
+        self.static_key_bytes
+    }
+}
+
+/// The rotation steps a program uses, in schedule order (duplicates kept —
+/// [`fhe_ckks::KeyGenerator::galois_keys`] deduplicates).
+pub fn rotation_steps(program: &fhe_ir::Program) -> Vec<i64> {
+    program
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            Op::Rotate(_, k) => Some(*k),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Result of an encrypted execution.
@@ -162,17 +313,7 @@ pub fn execute(
             );
             (GaloisKeys::default(), Some(cache))
         }
-        KeyPolicy::EagerProgram => {
-            let steps: Vec<i64> = program
-                .ops()
-                .iter()
-                .filter_map(|op| match op {
-                    Op::Rotate(_, k) => Some(*k),
-                    _ => None,
-                })
-                .collect();
-            (kg.galois_keys(steps, &mut rng), None)
-        }
+        KeyPolicy::EagerProgram => (kg.galois_keys(rotation_steps(program), &mut rng), None),
         KeyPolicy::EagerSet(steps) => (kg.galois_keys(steps.iter().copied(), &mut rng), None),
     };
     let static_key_bytes = galois.byte_size() as u64;
@@ -181,7 +322,119 @@ pub fn execute(
     if let Some(cache) = cache {
         ev = ev.with_key_cache(cache);
     }
+    run_schedule(
+        scheduled,
+        &map,
+        inputs,
+        options.rotation_hoisting,
+        &ev,
+        &ctx,
+        &sk,
+        &mut rng,
+        fixed_key_bytes,
+        static_key_bytes,
+        t_total,
+    )
+}
 
+/// Executes a scheduled program against pre-generated [`SessionKeys`],
+/// optionally drawing limb buffers from a shared [`PolyPool`] — the
+/// request path of a serving layer: compile once, generate keys once per
+/// session, execute many times.
+///
+/// Encryption randomness comes from `enc_seed` alone (keygen randomness
+/// was consumed when the keys were generated), so a request's output bytes
+/// are a pure function of `(schedule, inputs, keys, enc_seed)` — byte
+/// identical whether requests run serially or interleaved with other
+/// sessions.
+///
+/// The report's [`MemStats`] counters (`allocations`, `pool_*`, `key_*`)
+/// are **deltas** over this call; byte figures (`peak_bytes`,
+/// `live_bytes`, `key_bytes_peak`) are absolute high-water/end values of
+/// the (possibly shared) pool and cache. Counter deltas are exact when
+/// requests sharing a pool run serially; under concurrent execution they
+/// attribute contended traffic approximately, while the *global* pool
+/// counters remain exact.
+///
+/// # Errors
+///
+/// Returns the schedule's validation errors if it is illegal.
+///
+/// # Panics
+///
+/// Panics if the program's slot count differs from the session context's
+/// `N/2`, the schedule needs more levels than the context provides, its
+/// rescaling factor differs from the context's chain-prime size, or an
+/// input binding is missing.
+pub fn execute_with_keys(
+    scheduled: &ScheduledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    options: &ExecOptions,
+    keys: &SessionKeys,
+    pool: Option<Arc<PolyPool>>,
+    enc_seed: u64,
+) -> Result<ExecReport, Vec<ScheduleError>> {
+    let map = scheduled.validate()?;
+    let ctx = &keys.ctx;
+    assert_eq!(
+        scheduled.program.slots(),
+        ctx.degree() / 2,
+        "program slots must match the session context's N/2"
+    );
+    assert!(
+        map.max_level() as usize <= ctx.max_level(),
+        "schedule needs level {} but the session context provides {}",
+        map.max_level(),
+        ctx.max_level()
+    );
+    assert_eq!(
+        scheduled.params.rescale_bits as usize,
+        ctx.params().modulus_bits as usize,
+        "schedule rescale bits must match the session context's chain primes"
+    );
+
+    let t_total = Instant::now();
+    let mut ev = Evaluator::new_shared(ctx, Some(keys.relin.clone()), keys.galois.clone());
+    if let Some(cache) = &keys.cache {
+        ev = ev.with_key_cache_handle(cache.clone());
+    }
+    if let Some(pool) = pool {
+        ev = ev.with_pool(pool);
+    }
+    let mut rng = StdRng::seed_from_u64(enc_seed);
+    run_schedule(
+        scheduled,
+        &map,
+        inputs,
+        options.rotation_hoisting,
+        &ev,
+        ctx,
+        &keys.sk,
+        &mut rng,
+        keys.fixed_key_bytes,
+        keys.static_key_bytes,
+        t_total,
+    )
+}
+
+/// The shared post-keygen body of [`execute`] and [`execute_with_keys`]:
+/// walks the schedule serially against an already-constructed evaluator,
+/// with `rng` supplying encryption randomness in schedule order.
+#[allow(clippy::too_many_arguments)]
+fn run_schedule(
+    scheduled: &ScheduledProgram,
+    map: &ScaleMap,
+    inputs: &HashMap<String, Vec<f64>>,
+    rotation_hoisting: bool,
+    ev: &Evaluator<'_>,
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    rng: &mut StdRng,
+    fixed_key_bytes: u64,
+    static_key_bytes: u64,
+    t_total: Instant,
+) -> Result<ExecReport, Vec<ScheduleError>> {
+    let program = &scheduled.program;
     // Plaintext sub-values are evaluated in the clear and encoded on demand.
     let slots = program.slots();
     let live = fhe_ir::analysis::live(program);
@@ -201,7 +454,7 @@ pub fn execute(
         }
     }
     rotation_groups.retain(|_, group| group.len() >= 2);
-    if !options.rotation_hoisting {
+    if !rotation_hoisting {
         rotation_groups.clear();
     }
     let mut hoisted_results: HashMap<ValueId, Ciphertext> = HashMap::new();
@@ -229,7 +482,8 @@ pub fn execute(
         [(Duration::ZERO, 0); OpClass::ALL.len()];
     let mut by_class_mem: [MemStats; OpClass::ALL.len()] =
         [MemStats::default(); OpClass::ALL.len()];
-    let mut prev_mem = mem_snapshot(&ev, fixed_key_bytes, static_key_bytes);
+    let start_mem = mem_snapshot(ev, fixed_key_bytes, static_key_bytes);
+    let mut prev_mem = start_mem;
     let mut input_iter = scheduled.inputs.iter();
 
     for id in program.ids() {
@@ -262,7 +516,7 @@ pub fn execute(
                     .unwrap_or_else(|| panic!("missing input binding `{name}`"));
                 let scale = 2f64.powf(spec.scale_bits.to_f64());
                 let pt = ev.encoder().encode(data, scale, spec.level as usize);
-                let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+                let ct = encrypt_symmetric(ctx, sk, &pt, rng);
                 // Fresh encryptions allocate outside the pool; adopt their
                 // limbs so live/peak accounting covers them.
                 ev.pool().adopt(2 * ct.level);
@@ -389,7 +643,7 @@ pub fn execute(
                 }
             }
         }
-        let cur = mem_snapshot(&ev, fixed_key_bytes, static_key_bytes);
+        let cur = mem_snapshot(ev, fixed_key_bytes, static_key_bytes);
         if let Some(class) = CostModel::classify(program, id) {
             let slot = OpClass::ALL
                 .iter()
@@ -421,7 +675,7 @@ pub fn execute(
                 return get(&plain_vals, o).clone();
             }
             let ct = cipher_vals[o.index()].as_ref().expect("output evaluated");
-            let mut v = ev.encoder().decode(&decrypt(&ctx, &sk, ct));
+            let mut v = ev.encoder().decode(&decrypt(ctx, sk, ct));
             v.truncate(slots);
             v
         })
@@ -440,7 +694,7 @@ pub fn execute(
         .filter(|(_, t)| t.1 > 0)
         .map(|((&c, m), _)| (c, m))
         .collect();
-    let mem = mem_snapshot(&ev, fixed_key_bytes, static_key_bytes);
+    let mem = mem_snapshot(ev, fixed_key_bytes, static_key_bytes).delta_since(&start_mem);
     Ok(ExecReport {
         outputs,
         reference,

@@ -57,6 +57,27 @@ impl MemStats {
             self.pool_hits as f64 / total as f64
         }
     }
+
+    /// The per-window view of a later snapshot against `start`: monotone
+    /// counters (`allocations`, `pool_*`, `key_hits/misses/evictions`)
+    /// become deltas, byte figures (`peak_bytes`, `live_bytes`,
+    /// `key_bytes_peak`) keep this snapshot's absolute values. This is how
+    /// a request executing against a shared pool/cache reports *its own*
+    /// traffic while the global counters stay exact — summing the deltas
+    /// of serially executed requests reconstructs the global counters.
+    pub fn delta_since(&self, start: &MemStats) -> MemStats {
+        MemStats {
+            peak_bytes: self.peak_bytes,
+            live_bytes: self.live_bytes,
+            allocations: self.allocations - start.allocations,
+            pool_hits: self.pool_hits - start.pool_hits,
+            pool_misses: self.pool_misses - start.pool_misses,
+            key_hits: self.key_hits - start.key_hits,
+            key_misses: self.key_misses - start.key_misses,
+            key_evictions: self.key_evictions - start.key_evictions,
+            key_bytes_peak: self.key_bytes_peak,
+        }
+    }
 }
 
 /// Timing breakdown of one execution.

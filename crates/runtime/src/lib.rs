@@ -34,7 +34,10 @@ pub mod noise_sim;
 pub mod par_exec;
 pub mod plain;
 
-pub use ckks_exec::{execute as execute_encrypted, ExecOptions, ExecReport, KeyPolicy};
+pub use ckks_exec::{
+    execute as execute_encrypted, execute_with_keys, rotation_steps, ExecOptions, ExecReport,
+    KeyPolicy, SessionKeys,
+};
 pub use error_est::{estimate_error, select_waterline, ErrorEstimateOptions};
 pub use estimate::{estimate, LatencyBreakdown};
 pub use executor::{
@@ -42,4 +45,4 @@ pub use executor::{
     ParCkksExec, PlainExec,
 };
 pub use noise_sim::{simulate, NoiseModel, NoisyRun};
-pub use par_exec::{execute_parallel, ParOptions, ParReport};
+pub use par_exec::{execute_parallel, execute_parallel_with_keys, ParOptions, ParReport};

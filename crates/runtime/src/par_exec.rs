@@ -40,7 +40,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -48,14 +48,17 @@ use rand::SeedableRng;
 
 use fhe_ckks::{
     decrypt, encrypt_symmetric, Ciphertext, CkksContext, CkksParams, Evaluator, GaloisKeys,
-    KeyCache, KeyGenerator, Pool,
+    KeyCache, KeyGenerator, PolyPool, Pool, SecretKey,
 };
 use fhe_ir::{
-    CostModel, DepConsumer, DepGraph, FusionPlan, Op, OpClass, ScheduleError, ScheduledProgram,
-    ValueId,
+    CostModel, DepConsumer, DepGraph, FusionPlan, Op, OpClass, ScaleMap, ScheduleError,
+    ScheduledProgram, ValueId,
 };
 
-use crate::ckks_exec::{bin, get, mem_snapshot, ExecOptions, KeyPolicy, KEY_CACHE_SEED_TWEAK};
+use crate::ckks_exec::{
+    bin, get, mem_snapshot, rotation_steps, ExecOptions, KeyPolicy, SessionKeys,
+    KEY_CACHE_SEED_TWEAK,
+};
 use crate::executor::MemStats;
 use crate::plain;
 
@@ -198,17 +201,7 @@ pub fn execute_parallel(
             );
             (GaloisKeys::default(), Some(cache))
         }
-        KeyPolicy::EagerProgram => {
-            let steps: Vec<i64> = program
-                .ops()
-                .iter()
-                .filter_map(|op| match op {
-                    Op::Rotate(_, k) => Some(*k),
-                    _ => None,
-                })
-                .collect();
-            (kg.galois_keys(steps, &mut rng), None)
-        }
+        KeyPolicy::EagerProgram => (kg.galois_keys(rotation_steps(program), &mut rng), None),
         KeyPolicy::EagerSet(steps) => (kg.galois_keys(steps.iter().copied(), &mut rng), None),
     };
     let static_key_bytes = galois.byte_size() as u64;
@@ -217,12 +210,114 @@ pub fn execute_parallel(
     if let Some(cache) = cache {
         ev = ev.with_key_cache(cache);
     }
-    let ev = &ev;
+    run_parallel(
+        scheduled,
+        &map,
+        inputs,
+        options,
+        &ev,
+        &ctx,
+        &sk,
+        &mut rng,
+        fixed_key_bytes,
+        static_key_bytes,
+        t_total,
+    )
+}
+
+/// DAG-parallel execution against pre-generated [`SessionKeys`] and an
+/// optionally shared [`PolyPool`] — the parallel request path of a serving
+/// layer. See [`crate::ckks_exec::execute_with_keys`] for the `enc_seed`
+/// determinism contract and the [`MemStats`] delta semantics, both of
+/// which hold here unchanged (the serial prologue encrypts inputs in
+/// schedule order from `enc_seed`).
+///
+/// # Errors
+///
+/// Returns the schedule's validation errors if it is illegal, or a
+/// [`ScheduleError::MissingKey`] if a rotation lacks its Galois key under
+/// an eager key policy.
+///
+/// # Panics
+///
+/// Panics on a session-context mismatch (slot count, level capacity or
+/// chain-prime size), a missing input binding, or a failed parallel-safety
+/// proof.
+pub fn execute_parallel_with_keys(
+    scheduled: &ScheduledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    options: &ParOptions,
+    keys: &SessionKeys,
+    pool: Option<Arc<PolyPool>>,
+    enc_seed: u64,
+) -> Result<ParReport, Vec<ScheduleError>> {
+    let map = scheduled.validate()?;
+    let ctx = keys.context();
+    assert_eq!(
+        scheduled.program.slots(),
+        ctx.degree() / 2,
+        "program slots must match the session context's N/2"
+    );
+    assert!(
+        map.max_level() as usize <= ctx.max_level(),
+        "schedule needs level {} but the session context provides {}",
+        map.max_level(),
+        ctx.max_level()
+    );
+    assert_eq!(
+        scheduled.params.rescale_bits,
+        ctx.params().modulus_bits,
+        "schedule rescale bits must match the session context's chain primes"
+    );
+
+    let t_total = Instant::now();
+    let mut ev = Evaluator::new_shared(ctx, Some(keys.relin_handle()), keys.galois_handle());
+    if let Some(cache) = keys.cache_handle() {
+        ev = ev.with_key_cache_handle(cache);
+    }
+    if let Some(pool) = pool {
+        ev = ev.with_pool(pool);
+    }
+    let mut rng = StdRng::seed_from_u64(enc_seed);
+    run_parallel(
+        scheduled,
+        &map,
+        inputs,
+        options,
+        &ev,
+        ctx,
+        keys.secret_key(),
+        &mut rng,
+        keys.fixed_key_bytes(),
+        keys.static_key_bytes(),
+        t_total,
+    )
+}
+
+/// The shared post-keygen body of [`execute_parallel`] and
+/// [`execute_parallel_with_keys`]: serial prologue, safety proof, then the
+/// parallel DAG walk.
+#[allow(clippy::too_many_arguments)]
+fn run_parallel(
+    scheduled: &ScheduledProgram,
+    map: &ScaleMap,
+    inputs: &HashMap<String, Vec<f64>>,
+    options: &ParOptions,
+    ev: &Evaluator<'_>,
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    rng: &mut StdRng,
+    fixed_key_bytes: u64,
+    static_key_bytes: u64,
+    t_total: Instant,
+) -> Result<ParReport, Vec<ScheduleError>> {
+    let program = &scheduled.program;
+    let start_mem = mem_snapshot(ev, fixed_key_bytes, static_key_bytes);
 
     // The DAG this executor consumes, and the proof that consuming it in
     // any topological order is race-free under the freeing discipline.
     let hoisting = options.exec.rotation_hoisting;
-    let graph = DepGraph::build(scheduled, &map, &CostModel::paper_table3(), hoisting);
+    let graph = DepGraph::build(scheduled, map, &CostModel::paper_table3(), hoisting);
     let safety = fhe_analysis::parallel::check(scheduled, &graph, hoisting);
     assert!(
         safety.race_free(),
@@ -325,7 +420,7 @@ pub fn execute_parallel(
                 .unwrap_or_else(|| panic!("missing input binding `{name}`"));
             let scale = 2f64.powf(spec.scale_bits.to_f64());
             let pt = ev.encoder().encode(data, scale, spec.level as usize);
-            let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+            let ct = encrypt_symmetric(ctx, sk, &pt, rng);
             ev.pool().adopt(2 * ct.level);
             *cipher_slots[id.index()].write().expect("slot lock") = Some(ct);
             encrypted_inputs += 1;
@@ -379,7 +474,7 @@ pub fn execute_parallel(
         let result = run_node(
             RunCx {
                 program,
-                map: &map,
+                map,
                 ev,
                 plain_vals: &plain_vals,
                 cipher_slots: &cipher_slots,
@@ -435,7 +530,7 @@ pub fn execute_parallel(
             }
             let guard = cipher_slots[o.index()].read().expect("slot lock");
             let ct = guard.as_ref().expect("output evaluated");
-            let mut v = ev.encoder().decode(&decrypt(&ctx, &sk, ct));
+            let mut v = ev.encoder().decode(&decrypt(ctx, sk, ct));
             v.truncate(slots_n);
             v
         })
@@ -448,7 +543,7 @@ pub fn execute_parallel(
         .filter(|(_, (_, n))| *n > 0)
         .map(|(&c, (d, n))| (c, d, n))
         .collect();
-    let mem = mem_snapshot(ev, fixed_key_bytes, static_key_bytes);
+    let mem = mem_snapshot(ev, fixed_key_bytes, static_key_bytes).delta_since(&start_mem);
     Ok(ParReport {
         outputs,
         reference,
@@ -832,6 +927,48 @@ mod tests {
             matches!(err[0], ScheduleError::MissingKey { steps: 3, .. }),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn session_keys_reuse_is_deterministic_across_executors() {
+        let s = fig2a();
+        let xs: Vec<f64> = (0..128).map(|i| ((i % 5) as f64 - 2.0) * 0.3).collect();
+        let ys: Vec<f64> = (0..128).map(|i| ((i % 7) as f64) * 0.1).collect();
+        let binds = inputs(&[("x", xs), ("y", ys)]);
+        let opts = exec_opts();
+        let keys = SessionKeys::for_schedule(&s, &opts).unwrap();
+        let pool = Arc::new(PolyPool::new(opts.poly_degree));
+
+        // Same enc_seed → byte-identical, across repeats and executors.
+        let a = crate::ckks_exec::execute_with_keys(&s, &binds, &opts, &keys, None, 7).unwrap();
+        let b =
+            crate::ckks_exec::execute_with_keys(&s, &binds, &opts, &keys, Some(pool.clone()), 7)
+                .unwrap();
+        assert_eq!(bits(&a.outputs), bits(&b.outputs), "shared pool is inert");
+        let par_opts = ParOptions {
+            exec: opts.clone(),
+            workers: 3,
+            fusion: true,
+        };
+        let c = execute_parallel_with_keys(&s, &binds, &par_opts, &keys, Some(pool.clone()), 7)
+            .unwrap();
+        assert_eq!(
+            bits(&a.outputs),
+            bits(&c.outputs),
+            "parallel with-keys path matches serial"
+        );
+        assert!(a.max_abs_error() < 1e-2);
+
+        // A different enc_seed changes ciphertext noise but stays correct.
+        let d = crate::ckks_exec::execute_with_keys(&s, &binds, &opts, &keys, None, 8).unwrap();
+        assert_ne!(bits(&a.outputs), bits(&d.outputs));
+        assert!(d.max_abs_error() < 1e-2);
+
+        // Counter deltas over a shared pool: the second request's hits grow
+        // because it recycles buffers the first returned.
+        let stats = pool.stats();
+        assert_eq!(stats.hits, b.mem.pool_hits + c.mem.pool_hits);
+        assert!(c.mem.pool_hits > 0, "warm pool serves from the free list");
     }
 
     #[test]

@@ -1,0 +1,647 @@
+//! The request scheduler: a bounded job queue drained by a fixed pool of
+//! service workers, each request compiled through the shared
+//! [`CompileCache`] and executed with its session's keys against the
+//! shared per-degree polynomial pools.
+//!
+//! Ordering and determinism: a request's encryption seed is derived from
+//! its session's seed and its *submission* sequence number
+//! ([`request_seed`]), and encrypted outputs are a pure function of
+//! (schedule, inputs, keys, seed). Worker interleaving therefore cannot
+//! change any response byte — the concurrency suite replays runs serially
+//! and compares exact bytes.
+//!
+//! Fault isolation: each execution runs under `catch_unwind`. A panic is
+//! returned as [`ServeError::ExecutorPanic`] and quarantines the owning
+//! session only; the compile cache and shared pools are untouched (the
+//! executor's panic sites do not hold their locks), so other sessions
+//! keep serving.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fhe_ckks::PolyPool;
+use fhe_ir::pipeline::ScaleCompiler;
+use fhe_ir::{text, CompileParams};
+use fhe_runtime::{execute_parallel_with_keys, MemStats, ParOptions};
+
+use crate::cache::CompileCache;
+use crate::error::ServeError;
+use crate::session::{request_seed, Session, SessionId, SessionStore};
+use crate::stats::{LatencyHistogram, PoolSnapshot, ServeStats};
+
+/// Resolves a compiler id from the service registry. Ids are the
+/// lower-case names clients put in [`Request::compiler`]:
+/// `"reserve"`/`"this-work"`, `"eva"`, `"hecate"`.
+pub fn compiler_for(id: &str) -> Option<Box<dyn ScaleCompiler>> {
+    match id {
+        "reserve" | "this-work" => Some(Box::new(reserve_core::ReserveCompiler::full())),
+        "eva" => Some(Box::new(fhe_baselines::EvaCompiler)),
+        "hecate" => Some(Box::new(fhe_baselines::HecateCompiler {
+            options: fhe_baselines::HecateOptions::default(),
+        })),
+        _ => None,
+    }
+}
+
+/// Server-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Service worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; [`FheServer::submit`] blocks when full
+    /// (backpressure), [`FheServer::try_submit`] fails with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that set none (`None` = no deadline).
+    /// Deadlines are measured from submission; a request whose deadline
+    /// elapses while queued fails with [`ServeError::DeadlineExceeded`]
+    /// without executing.
+    pub default_deadline: Option<Duration>,
+    /// Byte budget of the compile cache (`None` = unbounded).
+    pub cache_budget_bytes: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: None,
+            cache_budget_bytes: None,
+        }
+    }
+}
+
+/// One unit of client work: a textual program to compile (through the
+/// cache) and execute on the session's keys.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The session to execute under.
+    pub session: SessionId,
+    /// The program in the workspace's textual format — this exact text is
+    /// the compile-cache key.
+    pub program: String,
+    /// Compile parameters (part of the cache key).
+    pub params: CompileParams,
+    /// Compiler id (part of the cache key); see [`compiler_for`].
+    pub compiler: String,
+    /// Input bindings, one vector per program input.
+    pub inputs: HashMap<String, Vec<f64>>,
+    /// Per-request deadline overriding the server default.
+    pub deadline: Option<Duration>,
+}
+
+/// A successfully served request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Decrypted program outputs.
+    pub outputs: Vec<Vec<f64>>,
+    /// Plaintext reference outputs for the same inputs.
+    pub reference: Vec<Vec<f64>>,
+    /// Whether compilation was served from the cache.
+    pub cache_hit: bool,
+    /// The session-local request index (submission order) the encryption
+    /// seed was derived from.
+    pub seq: u64,
+    /// The derived encryption seed (replayable via [`request_seed`]).
+    pub enc_seed: u64,
+    /// This request's memory counters: deltas against the shared pool,
+    /// absolute byte peaks (see [`MemStats::delta_since`]).
+    pub mem: MemStats,
+    /// Wall time of the homomorphic phase.
+    pub op_time: Duration,
+    /// Executor wall time (encrypt + ops + decrypt).
+    pub exec_time: Duration,
+    /// End-to-end latency: queue wait + compile (or cache hit) + execution.
+    pub latency: Duration,
+}
+
+#[derive(Debug, Default)]
+struct TicketInner {
+    slot: Mutex<Option<Result<Response, ServeError>>>,
+    done: Condvar,
+}
+
+/// A handle to a submitted request's eventual result.
+#[derive(Debug)]
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's [`ServeError`] if it failed.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut slot = self.inner.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.inner.done.wait(slot).expect("ticket wait");
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    session: Arc<Session>,
+    seq: u64,
+    submitted: Instant,
+    deadline: Option<Duration>,
+    ticket: Arc<TicketInner>,
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    cache: CompileCache,
+    store: SessionStore,
+    pools: Mutex<HashMap<usize, Arc<PolyPool>>>,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    shutdown: AtomicBool,
+    latency: LatencyHistogram,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    started: Instant,
+}
+
+impl ServerInner {
+    /// The shared polynomial pool for limb degree `degree`, created on
+    /// first use. Every session executing at this degree recycles through
+    /// the same pool.
+    fn pool(&self, degree: usize) -> Arc<PolyPool> {
+        let mut pools = self.pools.lock().expect("pool map lock");
+        pools
+            .entry(degree)
+            .or_insert_with(|| Arc::new(PolyPool::new(degree)))
+            .clone()
+    }
+
+    fn fulfill(&self, ticket: &TicketInner, result: Result<Response, ServeError>) {
+        if result.is_err() {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        *ticket.slot.lock().expect("ticket lock") = Some(result);
+        ticket.done.notify_all();
+    }
+
+    /// Runs one job end-to-end and fulfills its ticket. Never panics: the
+    /// execution is wrapped in `catch_unwind` and every other failure mode
+    /// maps to a [`ServeError`].
+    fn process(&self, job: Job) {
+        let Job {
+            request,
+            session,
+            seq,
+            submitted,
+            deadline,
+            ticket,
+        } = job;
+
+        if let Some(deadline) = deadline {
+            let waited = submitted.elapsed();
+            if waited > deadline {
+                session.record_failure();
+                self.fulfill(&ticket, Err(ServeError::DeadlineExceeded { waited }));
+                return;
+            }
+        }
+        // A panic earlier in the queue may have quarantined the session
+        // after this job was accepted.
+        if session.is_quarantined() {
+            session.record_failure();
+            self.fulfill(&ticket, Err(ServeError::SessionQuarantined(session.id())));
+            return;
+        }
+
+        let program = match text::parse(&request.program) {
+            Ok(p) => p,
+            Err(e) => {
+                session.record_failure();
+                self.fulfill(&ticket, Err(ServeError::Parse(e.to_string())));
+                return;
+            }
+        };
+        let Some(compiler) = compiler_for(&request.compiler) else {
+            session.record_failure();
+            self.fulfill(
+                &ticket,
+                Err(ServeError::UnknownCompiler(request.compiler.clone())),
+            );
+            return;
+        };
+        let cached = match self
+            .cache
+            .get_or_compile(&program, &request.params, compiler.as_ref())
+        {
+            Ok(c) => c,
+            Err(e) => {
+                session.record_failure();
+                self.fulfill(&ticket, Err(ServeError::Compile(e)));
+                return;
+            }
+        };
+        let keys = match session.keys_for(&cached.scheduled) {
+            Ok(k) => k,
+            Err(errs) => {
+                session.record_failure();
+                self.fulfill(&ticket, Err(ServeError::Schedule(errs)));
+                return;
+            }
+        };
+
+        let pool = self.pool(keys.context().degree());
+        let enc_seed = request_seed(session.options().exec.seed, seq);
+        let options: ParOptions = session.options().clone();
+        let scheduled = cached.scheduled.clone();
+        let inputs = request.inputs;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_parallel_with_keys(&scheduled, &inputs, &options, &keys, Some(pool), enc_seed)
+        }));
+
+        match outcome {
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                session.quarantine();
+                session.record_failure();
+                self.fulfill(&ticket, Err(ServeError::ExecutorPanic(msg)));
+            }
+            Ok(Err(errs)) => {
+                session.record_failure();
+                self.fulfill(&ticket, Err(ServeError::Schedule(errs)));
+            }
+            Ok(Ok(report)) => {
+                session.record_success(&report.mem);
+                let latency = submitted.elapsed();
+                self.latency.record(latency);
+                self.fulfill(
+                    &ticket,
+                    Ok(Response {
+                        outputs: report.outputs,
+                        reference: report.reference,
+                        cache_hit: cached.hit,
+                        seq,
+                        enc_seed,
+                        mem: report.mem,
+                        op_time: report.op_time,
+                        exec_time: report.total_time,
+                        latency,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("queue lock");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        self.not_full.notify_one();
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = self.not_empty.wait(queue).expect("queue wait");
+                }
+            };
+            self.process(job);
+        }
+    }
+}
+
+/// The multi-session FHE service: compile cache + session store + bounded
+/// request queue drained by service workers.
+///
+/// Dropping the server shuts it down: queued-but-unstarted requests are
+/// fulfilled with [`ServeError::ShuttingDown`] and workers are joined.
+#[derive(Debug)]
+pub struct FheServer {
+    inner: Arc<ServerInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ServerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerInner")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FheServer {
+    /// Starts a server with `cfg.workers` service threads.
+    pub fn new(cfg: ServerConfig) -> FheServer {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(ServerInner {
+            cache: CompileCache::new(cfg.cache_budget_bytes),
+            cfg,
+            store: SessionStore::new(),
+            pools: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            latency: LatencyHistogram::new(),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("fhe-serve-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn service worker")
+            })
+            .collect();
+        FheServer {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Creates a session executing under `options` and returns its id.
+    pub fn create_session(&self, options: ParOptions) -> SessionId {
+        self.inner.store.create(options)
+    }
+
+    /// Submits a request, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Fails fast — before queuing — with [`ServeError::UnknownSession`],
+    /// [`ServeError::SessionQuarantined`], [`ServeError::UnknownCompiler`]
+    /// or [`ServeError::ShuttingDown`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        self.enqueue(request, true)
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// As [`FheServer::submit`], plus [`ServeError::Overloaded`] when the
+    /// queue is at capacity.
+    pub fn try_submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        self.enqueue(request, false)
+    }
+
+    /// Submits and waits: `submit(request)?.wait()`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] of submission or execution.
+    pub fn call(&self, request: Request) -> Result<Response, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    fn enqueue(&self, request: Request, block: bool) -> Result<Ticket, ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let session = self
+            .inner
+            .store
+            .get(request.session)
+            .ok_or(ServeError::UnknownSession(request.session))?;
+        if session.is_quarantined() {
+            return Err(ServeError::SessionQuarantined(session.id()));
+        }
+        if compiler_for(&request.compiler).is_none() {
+            return Err(ServeError::UnknownCompiler(request.compiler));
+        }
+
+        let ticket = Arc::new(TicketInner::default());
+        let deadline = request.deadline.or(self.inner.cfg.default_deadline);
+        let mut queue = self.inner.queue.lock().expect("queue lock");
+        while queue.len() >= self.inner.cfg.queue_capacity {
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            if !block {
+                return Err(ServeError::Overloaded {
+                    queued: queue.len(),
+                    capacity: self.inner.cfg.queue_capacity,
+                });
+            }
+            queue = self.inner.not_full.wait(queue).expect("queue wait");
+        }
+        // The sequence number is claimed under the queue lock so that
+        // per-session submission order and queue order agree.
+        let seq = session.next_seq();
+        queue.push_back(Job {
+            request,
+            session,
+            seq,
+            submitted: Instant::now(),
+            deadline,
+            ticket: ticket.clone(),
+        });
+        drop(queue);
+        self.inner.not_empty.notify_one();
+        Ok(Ticket { inner: ticket })
+    }
+
+    /// A point-in-time snapshot of service counters.
+    pub fn stats(&self) -> ServeStats {
+        let completed = self.inner.completed.load(Ordering::Relaxed);
+        let failed = self.inner.failed.load(Ordering::Relaxed);
+        let uptime = self.inner.started.elapsed().as_secs_f64().max(1e-9);
+        let mut pools: Vec<PoolSnapshot> = self
+            .inner
+            .pools
+            .lock()
+            .expect("pool map lock")
+            .iter()
+            .map(|(&degree, pool)| PoolSnapshot {
+                degree,
+                stats: pool.stats(),
+            })
+            .collect();
+        pools.sort_by_key(|p| p.degree);
+        ServeStats {
+            requests: completed + failed,
+            failed,
+            requests_per_sec: completed as f64 / uptime,
+            p50_latency: self.inner.latency.quantile(0.5),
+            p99_latency: self.inner.latency.quantile(0.99),
+            mean_latency: self.inner.latency.mean(),
+            cache: self.inner.cache.stats(),
+            pools,
+            sessions: self.inner.store.stats(),
+        }
+    }
+
+    /// The compile cache (exposed for the bench's cold phase and tests).
+    pub fn cache(&self) -> &CompileCache {
+        &self.inner.cache
+    }
+
+    /// The shared polynomial pool for limb degree `degree` (created on
+    /// first use).
+    pub fn shared_pool(&self, degree: usize) -> Arc<PolyPool> {
+        self.inner.pool(degree)
+    }
+
+    /// Stops accepting work, fails queued-but-unstarted requests with
+    /// [`ServeError::ShuttingDown`] and joins the workers. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let drained: Vec<Job> = {
+            let mut queue = self.inner.queue.lock().expect("queue lock");
+            queue.drain(..).collect()
+        };
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+        for job in drained {
+            job.session.record_failure();
+            self.inner
+                .fulfill(&job.ticket, Err(ServeError::ShuttingDown));
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("worker handles"));
+        for handle in handles {
+            handle.join().expect("service worker exits cleanly");
+        }
+    }
+}
+
+impl Drop for FheServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_ir::Builder;
+    use fhe_runtime::ExecOptions;
+
+    fn fig2a_text(slots: usize) -> String {
+        let b = Builder::new("fig2a", slots);
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = x.clone() * x.clone() * x * (y.clone() * y.clone() + y);
+        text::print(&b.finish(vec![q]))
+    }
+
+    fn small_session_options(seed: u64) -> ParOptions {
+        ParOptions {
+            exec: ExecOptions {
+                poly_degree: 256,
+                seed,
+                threads: 1,
+                ..ExecOptions::default()
+            },
+            workers: 1,
+            fusion: true,
+        }
+    }
+
+    fn request(session: SessionId, slots: usize) -> Request {
+        Request {
+            session,
+            program: fig2a_text(slots),
+            params: CompileParams::new(30),
+            compiler: "reserve".into(),
+            inputs: [
+                ("x".to_string(), vec![0.5; slots]),
+                ("y".to_string(), vec![0.25; slots]),
+            ]
+            .into_iter()
+            .collect(),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn serves_a_request_and_caches_the_compile() {
+        let server = FheServer::new(ServerConfig::default());
+        let session = server.create_session(small_session_options(11));
+        let a = server.call(request(session, 128)).unwrap();
+        assert!(!a.cache_hit);
+        let b = server.call(request(session, 128)).unwrap();
+        assert!(b.cache_hit);
+        // Different seq → different encryption randomness, same values.
+        assert_ne!(a.enc_seed, b.enc_seed);
+        assert!(fhe_runtime::outputs_close(&a.outputs, &a.reference, 1e-2).is_ok());
+        assert!(fhe_runtime::outputs_close(&b.outputs, &b.reference, 1e-2).is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.failed, 0);
+        assert_eq!((stats.cache.hits, stats.cache.misses), (1, 1));
+        assert!(stats.p50_latency > Duration::ZERO);
+        assert!(stats.requests_per_sec > 0.0);
+    }
+
+    #[test]
+    fn submit_time_errors_are_structured() {
+        let server = FheServer::new(ServerConfig::default());
+        let session = server.create_session(small_session_options(1));
+        assert!(matches!(
+            server.call(request(99, 128)),
+            Err(ServeError::UnknownSession(99))
+        ));
+        let mut bad = request(session, 128);
+        bad.compiler = "nope".into();
+        assert!(matches!(
+            server.call(bad),
+            Err(ServeError::UnknownCompiler(_))
+        ));
+        let mut garbled = request(session, 128);
+        garbled.program = "not a program".into();
+        assert!(matches!(server.call(garbled), Err(ServeError::Parse(_))));
+    }
+
+    #[test]
+    fn zero_deadline_expires_in_queue() {
+        let server = FheServer::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let session = server.create_session(small_session_options(2));
+        let mut r = request(session, 128);
+        r.deadline = Some(Duration::ZERO);
+        // The worker may or may not pick it up before the deadline check;
+        // with a zero deadline the check always fails.
+        match server.call(r) {
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!((stats.requests, stats.failed), (1, 1));
+    }
+
+    #[test]
+    fn shutdown_fails_queued_requests_and_rejects_new_ones() {
+        let server = FheServer::new(ServerConfig::default());
+        let session = server.create_session(small_session_options(3));
+        server.shutdown();
+        assert!(matches!(
+            server.call(request(session, 128)),
+            Err(ServeError::ShuttingDown)
+        ));
+        // Idempotent (and runs again on drop without hanging).
+        server.shutdown();
+    }
+}

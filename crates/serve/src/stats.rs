@@ -1,0 +1,171 @@
+//! Service-level telemetry: throughput, latency quantiles, cache and
+//! memory counters.
+//!
+//! Latency is recorded into a log₂-spaced histogram over microseconds
+//! (64 buckets cover sub-µs to ~584 000 years, so no request ever falls
+//! off the end). Quantiles are read as the geometric midpoint of the
+//! bucket containing the target rank — at most a 2× slack on an
+//! individual quantile, which is plenty for regression gating and avoids
+//! keeping every sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+use crate::session::SessionStats;
+use fhe_ckks::PoolStats;
+
+const BUCKETS: usize = 64;
+
+/// Lock-free log₂-spaced latency histogram (microsecond resolution).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.leading_zeros()).min(BUCKETS as u32 - 1) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us.load(Ordering::Relaxed) / n)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us.load(Ordering::Relaxed))
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`: the geometric midpoint of
+    /// the bucket holding the `⌈q·n⌉`-th sample (zero when empty).
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds samples in [2^(i-1), 2^i) µs (bucket 0 is
+                // exactly 0 µs); report the geometric midpoint.
+                if i == 0 {
+                    return Duration::ZERO;
+                }
+                let lo = 1u64 << (i - 1);
+                let mid_us = (lo as f64) * std::f64::consts::SQRT_2;
+                return Duration::from_secs_f64(mid_us / 1e6);
+            }
+        }
+        self.max()
+    }
+}
+
+/// One shared polynomial pool's counters, tagged with its limb degree.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolSnapshot {
+    /// Polynomial degree `N` of the pool's buffers.
+    pub degree: usize,
+    /// The pool's counters (exact; atomically maintained).
+    pub stats: PoolStats,
+}
+
+/// A point-in-time snapshot of the whole service.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests completed (successes and failures).
+    pub requests: u64,
+    /// Requests that returned a [`crate::ServeError`].
+    pub failed: u64,
+    /// Completed requests per second of server uptime.
+    pub requests_per_sec: f64,
+    /// Median end-to-end latency (queue wait + execution).
+    pub p50_latency: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Duration,
+    /// Mean end-to-end latency.
+    pub mean_latency: Duration,
+    /// Compile-cache counters.
+    pub cache: CacheStats,
+    /// Per-degree shared polynomial pools, ordered by degree.
+    pub pools: Vec<PoolSnapshot>,
+    /// Per-session counters, ordered by session id.
+    pub sessions: Vec<SessionStats>,
+}
+
+impl ServeStats {
+    /// Maximum single-request memory peak across all sessions.
+    pub fn peak_bytes(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| s.peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = LatencyHistogram::new();
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // p50 lands in the 1 ms bucket (within 2× geometric slack), p99 in
+        // the 100 ms bucket.
+        assert!(p50 >= Duration::from_micros(500) && p50 <= Duration::from_millis(2));
+        assert!(p99 >= Duration::from_millis(50) && p99 <= Duration::from_millis(200));
+        assert!(h.max() == Duration::from_millis(100));
+        assert!(h.mean() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+}

@@ -21,7 +21,9 @@
 //! - [`runtime`] (`fhe-runtime`) — plaintext/noise-sim/encrypted executors
 //!   and latency estimation;
 //! - [`workloads`] (`fhe-workloads`) — SF, HCD, LR, MR, PR, MLP, Lenet-5,
-//!   Lenet-C.
+//!   Lenet-C;
+//! - [`serve`] (`fhe-serve`) — the deployment front-end: compile cache,
+//!   concurrent multi-session request scheduler, service telemetry.
 //!
 //! # Quickstart
 //!
@@ -56,6 +58,7 @@ pub use fhe_baselines as baselines;
 pub use fhe_ckks as ckks;
 pub use fhe_ir as ir;
 pub use fhe_runtime as runtime;
+pub use fhe_serve as serve;
 pub use fhe_workloads as workloads;
 pub use reserve_core as compiler;
 
@@ -69,6 +72,7 @@ pub mod prelude {
     pub use fhe_runtime::{
         outputs_close, simulate, CkksExec, Execution, Executor, NoiseModel, NoiseSimExec, PlainExec,
     };
+    pub use fhe_serve::{FheServer, Request, ServeError, ServerConfig};
     pub use fhe_workloads::{suite, Size, Workload};
     pub use reserve_core::{compile, Mode, Options, ReserveCompiler};
 }

@@ -1,0 +1,139 @@
+//! Fault injection for the service layer: a panicking request (the replay
+//! corpus reproducer, submitted with its input binding missing) must come
+//! back as a structured [`ServeError::ExecutorPanic`], quarantine **only
+//! its own session**, and leave the shared compile cache and polynomial
+//! pools serving every other session — no poisoned mutexes, stable
+//! [`ServeStats`].
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use fhe_fuzz::corpus::parse_case;
+use fhe_ir::text;
+use fhe_runtime::{outputs_close, ExecOptions, ParOptions};
+use fhe_serve::{FheServer, Request, ServeError, ServerConfig};
+
+/// The replay-corpus reproducer driving the fault: `wrap_mul_const_chain`
+/// (64 slots, a cipher·const multiply chain).
+fn corpus_case() -> (String, fhe_ir::CompileParams, usize) {
+    let raw = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/corpus/wrap_mul_const_chain.fhe"),
+    )
+    .expect("corpus case exists");
+    let case = parse_case(&raw).expect("corpus case parses");
+    let slots = case.program.slots();
+    (text::print(&case.program), case.params, slots)
+}
+
+fn options(seed: u64, degree: usize) -> ParOptions {
+    ParOptions {
+        exec: ExecOptions {
+            poly_degree: degree,
+            seed,
+            threads: 1,
+            ..ExecOptions::default()
+        },
+        workers: 1,
+        fusion: true,
+    }
+}
+
+fn good_inputs(slots: usize) -> HashMap<String, Vec<f64>> {
+    // Small magnitudes: the reproducer's x*2*2 chain stays within the
+    // encoder's range, so the request is well-behaved.
+    [(
+        "x0".to_string(),
+        (0..slots).map(|k| ((k % 5) as f64 - 2.0) * 0.05).collect(),
+    )]
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn panicking_request_quarantines_only_its_session() {
+    let (program, params, slots) = corpus_case();
+    let degree = slots * 2;
+    let server = FheServer::new(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let victim = server.create_session(options(0xBAD, degree));
+    let bystander = server.create_session(options(0x600D, degree));
+
+    let request = |session, inputs| Request {
+        session,
+        program: program.clone(),
+        params,
+        compiler: "reserve".into(),
+        inputs,
+        deadline: None,
+    };
+
+    // Baseline: both sessions serve fine.
+    let before_victim = server
+        .call(request(victim, good_inputs(slots)))
+        .expect("victim serves before the fault");
+    let before = server
+        .call(request(bystander, good_inputs(slots)))
+        .expect("bystander serves");
+    outputs_close(&before.outputs, &before.reference, 1e-2).expect("accurate");
+
+    // The fault: submit the reproducer with its input binding missing.
+    // The executor panics (`missing input binding`); the service must
+    // catch it at the request boundary.
+    let fault = server.call(request(victim, HashMap::new()));
+    match fault {
+        Err(ServeError::ExecutorPanic(msg)) => {
+            assert!(
+                msg.contains("missing input binding"),
+                "panic payload surfaced verbatim, got: {msg}"
+            );
+        }
+        other => panic!("expected ExecutorPanic, got {other:?}"),
+    }
+
+    // The victim is quarantined — rejected at submission, fast.
+    match server.call(request(victim, good_inputs(slots))) {
+        Err(ServeError::SessionQuarantined(id)) => assert_eq!(id, victim),
+        other => panic!("expected SessionQuarantined, got {other:?}"),
+    }
+
+    // The bystander keeps serving through the same shared cache and pool
+    // (proving no serve-owned mutex was poisoned), with identical bytes
+    // to its pre-fault responses modulo the per-request seed.
+    for _ in 0..2 {
+        let after = server
+            .call(request(bystander, good_inputs(slots)))
+            .expect("bystander unaffected by the quarantine");
+        assert!(after.cache_hit, "compile cache survived the panic");
+        outputs_close(&after.outputs, &after.reference, 1e-2).expect("accurate");
+    }
+
+    // Stats are coherent: the panic and the quarantined retry are the
+    // only failures, both attributed to the victim.
+    // The quarantined retry was rejected at submission and never became
+    // a request; 5 reached a worker.
+    let stats = server.stats();
+    assert_eq!(stats.requests, 5);
+    assert_eq!(
+        stats.failed, 1,
+        "only the panicking request reached a worker"
+    );
+    assert_eq!(stats.cache.misses, 1);
+    assert!(stats.cache.hit_rate() > 0.5);
+    let victim_stats = stats.sessions.iter().find(|s| s.id == victim).unwrap();
+    let bystander_stats = stats.sessions.iter().find(|s| s.id == bystander).unwrap();
+    assert!(victim_stats.quarantined);
+    assert_eq!(victim_stats.failures, 1);
+    assert_eq!(victim_stats.requests, 2);
+    assert!(!bystander_stats.quarantined);
+    assert_eq!(bystander_stats.failures, 0);
+    assert_eq!(bystander_stats.requests, 3);
+    // The shared pool kept recycling across the fault.
+    assert_eq!(stats.pools.len(), 1);
+    assert!(stats.pools[0].stats.hits > 0);
+    assert!(before_victim.mem.peak_bytes > 0);
+    assert!(stats.p99_latency >= stats.p50_latency);
+    assert!(stats.p50_latency > Duration::ZERO);
+}
