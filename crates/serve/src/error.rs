@@ -1,9 +1,11 @@
 //! Structured failure modes of the service layer.
 //!
 //! Every way a request can fail maps to one [`ServeError`] variant — no
-//! panic ever crosses the request boundary (executor panics are caught and
-//! surfaced as [`ServeError::ExecutorPanic`]), and no error ever takes the
-//! server down: the worker that produced it moves on to the next job.
+//! panic ever crosses the request boundary (the whole pipeline — parse,
+//! compile, key generation, execution — runs under `catch_unwind` and
+//! panics surface as [`ServeError::ExecutorPanic`]), and no error ever
+//! takes the server down: the worker that produced it moves on to the
+//! next job.
 
 use std::fmt;
 use std::time::Duration;
@@ -32,9 +34,13 @@ pub enum ServeError {
         /// The queue's capacity.
         capacity: usize,
     },
-    /// The request's deadline elapsed before a worker picked it up.
+    /// The request's deadline elapsed before execution started — either
+    /// while queued, or during compile/keygen (the deadline is re-checked
+    /// just before the execution phase). A request that starts executing
+    /// is never aborted; see
+    /// [`ServerConfig::default_deadline`](crate::ServerConfig::default_deadline).
     DeadlineExceeded {
-        /// How long the job had been queued when it was abandoned.
+        /// Time since submission when the request was abandoned.
         waited: Duration,
     },
     /// The program text did not parse.
@@ -43,7 +49,8 @@ pub enum ServeError {
     Compile(CompileError),
     /// The schedule failed validation at execution time.
     Schedule(Vec<ScheduleError>),
-    /// The executor panicked. The offending session is quarantined; the
+    /// A stage of the request pipeline (parse, compile, key generation
+    /// or execution) panicked. The offending session is quarantined; the
     /// shared pool and caches keep serving other sessions.
     ExecutorPanic(String),
     /// The server was shut down while the request was still queued.
@@ -62,7 +69,7 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded { waited } => {
                 write!(
                     f,
-                    "deadline exceeded after {:.1} ms in queue",
+                    "deadline exceeded {:.1} ms after submission",
                     waited.as_secs_f64() * 1e3
                 )
             }

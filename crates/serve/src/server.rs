@@ -10,11 +10,15 @@
 //! change any response byte — the concurrency suite replays runs serially
 //! and compares exact bytes.
 //!
-//! Fault isolation: each execution runs under `catch_unwind`. A panic is
-//! returned as [`ServeError::ExecutorPanic`] and quarantines the owning
-//! session only; the compile cache and shared pools are untouched (the
-//! executor's panic sites do not hold their locks), so other sessions
-//! keep serving.
+//! Fault isolation: the whole request pipeline — parse, compile, key
+//! generation, execution — runs under one `catch_unwind`, so a panic in
+//! *any* stage (a compiler panic on a degenerate program, a keygen assert
+//! on out-of-range [`CompileParams`], an executor panic on a malformed
+//! binding) is returned as [`ServeError::ExecutorPanic`] and quarantines
+//! the owning session only; the compile cache and shared pools are
+//! untouched (their panic-time cleanup runs on unwind — see
+//! `FlightClaim` in `cache.rs` — and the executor's panic sites do not
+//! hold their locks), so other sessions keep serving.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -57,9 +61,14 @@ pub struct ServerConfig {
     /// [`ServeError::Overloaded`].
     pub queue_capacity: usize,
     /// Deadline applied to requests that set none (`None` = no deadline).
-    /// Deadlines are measured from submission; a request whose deadline
-    /// elapses while queued fails with [`ServeError::DeadlineExceeded`]
-    /// without executing.
+    /// Deadlines are measured from submission and checked at two points:
+    /// when a worker dequeues the job, and again after compile + keygen
+    /// just before execution — an expired request fails with
+    /// [`ServeError::DeadlineExceeded`] without executing. The deadline
+    /// is **not** a response-latency bound: a phase already under way
+    /// (compile, keygen, execution) is never aborted, so a request that
+    /// passes the last check still runs to completion even if it finishes
+    /// past its deadline.
     pub default_deadline: Option<Duration>,
     /// Byte budget of the compile cache (`None` = unbounded).
     pub cache_budget_bytes: Option<u64>,
@@ -91,7 +100,9 @@ pub struct Request {
     pub compiler: String,
     /// Input bindings, one vector per program input.
     pub inputs: HashMap<String, Vec<f64>>,
-    /// Per-request deadline overriding the server default.
+    /// Per-request deadline overriding the server default (same
+    /// semantics as [`ServerConfig::default_deadline`]: checked at
+    /// dequeue and before execution, never aborts a running phase).
     pub deadline: Option<Duration>,
 }
 
@@ -196,8 +207,10 @@ impl ServerInner {
     }
 
     /// Runs one job end-to-end and fulfills its ticket. Never panics: the
-    /// execution is wrapped in `catch_unwind` and every other failure mode
-    /// maps to a [`ServeError`].
+    /// whole pipeline ([`ServerInner::run`]: parse, compile, keygen,
+    /// execute) is wrapped in a single `catch_unwind` — any stage can
+    /// panic, not just the executor — and every other failure mode maps
+    /// to a [`ServeError`].
     fn process(&self, job: Job) {
         let Job {
             request,
@@ -224,51 +237,9 @@ impl ServerInner {
             return;
         }
 
-        let program = match text::parse(&request.program) {
-            Ok(p) => p,
-            Err(e) => {
-                session.record_failure();
-                self.fulfill(&ticket, Err(ServeError::Parse(e.to_string())));
-                return;
-            }
-        };
-        let Some(compiler) = compiler_for(&request.compiler) else {
-            session.record_failure();
-            self.fulfill(
-                &ticket,
-                Err(ServeError::UnknownCompiler(request.compiler.clone())),
-            );
-            return;
-        };
-        let cached = match self
-            .cache
-            .get_or_compile(&program, &request.params, compiler.as_ref())
-        {
-            Ok(c) => c,
-            Err(e) => {
-                session.record_failure();
-                self.fulfill(&ticket, Err(ServeError::Compile(e)));
-                return;
-            }
-        };
-        let keys = match session.keys_for(&cached.scheduled) {
-            Ok(k) => k,
-            Err(errs) => {
-                session.record_failure();
-                self.fulfill(&ticket, Err(ServeError::Schedule(errs)));
-                return;
-            }
-        };
-
-        let pool = self.pool(keys.context().degree());
-        let enc_seed = request_seed(session.options().exec.seed, seq);
-        let options: ParOptions = session.options().clone();
-        let scheduled = cached.scheduled.clone();
-        let inputs = request.inputs;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute_parallel_with_keys(&scheduled, &inputs, &options, &keys, Some(pool), enc_seed)
+            self.run(request, &session, seq, submitted, deadline)
         }));
-
         match outcome {
             Err(payload) => {
                 let msg = payload
@@ -280,30 +251,73 @@ impl ServerInner {
                 session.record_failure();
                 self.fulfill(&ticket, Err(ServeError::ExecutorPanic(msg)));
             }
-            Ok(Err(errs)) => {
+            Ok(Err(err)) => {
                 session.record_failure();
-                self.fulfill(&ticket, Err(ServeError::Schedule(errs)));
+                self.fulfill(&ticket, Err(err));
             }
-            Ok(Ok(report)) => {
-                session.record_success(&report.mem);
-                let latency = submitted.elapsed();
-                self.latency.record(latency);
-                self.fulfill(
-                    &ticket,
-                    Ok(Response {
-                        outputs: report.outputs,
-                        reference: report.reference,
-                        cache_hit: cached.hit,
-                        seq,
-                        enc_seed,
-                        mem: report.mem,
-                        op_time: report.op_time,
-                        exec_time: report.total_time,
-                        latency,
-                    }),
-                );
+            Ok(Ok(response)) => {
+                session.record_success(&response.mem);
+                self.latency.record(response.latency);
+                self.fulfill(&ticket, Ok(response));
             }
         }
+    }
+
+    /// The fallible request pipeline: parse → cached compile → session
+    /// keys → execute. Every call runs inside [`ServerInner::process`]'s
+    /// `catch_unwind`, so a panic anywhere in here surfaces as
+    /// [`ServeError::ExecutorPanic`] instead of unwinding through the
+    /// worker.
+    fn run(
+        &self,
+        request: Request,
+        session: &Session,
+        seq: u64,
+        submitted: Instant,
+        deadline: Option<Duration>,
+    ) -> Result<Response, ServeError> {
+        let program =
+            text::parse(&request.program).map_err(|e| ServeError::Parse(e.to_string()))?;
+        let compiler = compiler_for(&request.compiler)
+            .ok_or_else(|| ServeError::UnknownCompiler(request.compiler.clone()))?;
+        let cached = self
+            .cache
+            .get_or_compile(&program, &request.params, compiler.as_ref())?;
+        let keys = session.keys_for(&cached.scheduled)?;
+        // Second deadline check: a cold compile or keygen can dwarf the
+        // queue wait, and execution — the expensive phase — is still
+        // ahead, so fail the already-late request cheaply instead of
+        // running it.
+        if let Some(deadline) = deadline {
+            let waited = submitted.elapsed();
+            if waited > deadline {
+                return Err(ServeError::DeadlineExceeded { waited });
+            }
+        }
+
+        let pool = self.pool(keys.context().degree());
+        let enc_seed = request_seed(session.options().exec.seed, seq);
+        let options: ParOptions = session.options().clone();
+        let report = execute_parallel_with_keys(
+            &cached.scheduled,
+            &request.inputs,
+            &options,
+            &keys,
+            Some(pool),
+            enc_seed,
+        )?;
+        let latency = submitted.elapsed();
+        Ok(Response {
+            outputs: report.outputs,
+            reference: report.reference,
+            cache_hit: cached.hit,
+            seq,
+            enc_seed,
+            mem: report.mem,
+            op_time: report.op_time,
+            exec_time: report.total_time,
+            latency,
+        })
     }
 
     fn worker_loop(&self) {
@@ -444,6 +458,13 @@ impl FheServer {
             }
             queue = self.inner.not_full.wait(queue).expect("queue wait");
         }
+        // Re-check while holding the lock: shutdown() sets the flag under
+        // this same lock before draining, so a job pushed past this point
+        // is guaranteed to be either drained by shutdown or dequeued by a
+        // worker — never stranded on a queue nobody will drain.
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
         // The sequence number is claimed under the queue lock so that
         // per-session submission order and queue order agree.
         let seq = session.next_seq();
@@ -505,9 +526,14 @@ impl FheServer {
     /// [`ServeError::ShuttingDown`] and joins the workers. Idempotent;
     /// also runs on drop.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Release);
         let drained: Vec<Job> = {
+            // The flag is set *under the queue lock* so flag-set and drain
+            // are atomic with respect to enqueuers: every job pushed
+            // before this point is drained here, and enqueue()'s re-check
+            // under the same lock rejects everything after — no job can
+            // land on the queue once the workers are told to exit.
             let mut queue = self.inner.queue.lock().expect("queue lock");
+            self.inner.shutdown.store(true, Ordering::Release);
             queue.drain(..).collect()
         };
         self.inner.not_empty.notify_all();
@@ -630,6 +656,49 @@ mod tests {
         }
         let stats = server.stats();
         assert_eq!((stats.requests, stats.failed), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_submit_and_shutdown_strands_no_ticket() {
+        // The flag is set under the queue lock and re-checked under the
+        // same lock before push_back, so every accepted ticket resolves
+        // (executed or ShuttingDown) no matter how submit and shutdown
+        // interleave. Before that fix, a submit racing the drain could
+        // push onto a queue no worker would ever drain and its wait()
+        // would hang this test forever.
+        for round in 0..4u64 {
+            let server = Arc::new(FheServer::new(ServerConfig {
+                workers: 1,
+                queue_capacity: 4,
+                ..ServerConfig::default()
+            }));
+            let session = server.create_session(small_session_options(round));
+            let submitters: Vec<_> = (0..3)
+                .map(|_| {
+                    let server = server.clone();
+                    std::thread::spawn(move || {
+                        let mut tickets = Vec::new();
+                        for _ in 0..3 {
+                            match server.submit(request(session, 128)) {
+                                Ok(t) => tickets.push(t),
+                                Err(ServeError::ShuttingDown) => break,
+                                Err(other) => panic!("unexpected submit error: {other:?}"),
+                            }
+                        }
+                        tickets
+                    })
+                })
+                .collect();
+            server.shutdown();
+            for handle in submitters {
+                for ticket in handle.join().unwrap() {
+                    match ticket.wait() {
+                        Ok(_) | Err(ServeError::ShuttingDown) => {}
+                        Err(other) => panic!("unexpected result: {other:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

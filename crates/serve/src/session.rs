@@ -109,18 +109,30 @@ impl Session {
             rescale_bits: scheduled.params.rescale_bits,
             steps,
         };
-        let mut keys = self.keys.lock().expect("session key lock");
-        if let Some(existing) = keys.get(&shape) {
-            return Ok(existing.clone());
+        if let Some(existing) = self
+            .keys
+            .lock()
+            .expect("session key lock")
+            .get(&shape)
+            .cloned()
+        {
+            return Ok(existing);
         }
+        // Generate *outside* the lock: keygen can panic on out-of-range
+        // client-controlled parameters (the server catches the unwind at
+        // the request boundary), and a panic while holding this mutex
+        // would poison it for the session's stats. Generation is
+        // deterministic from (session seed, shape), so two racing
+        // requests of the same shape produce byte-identical material and
+        // either insert is correct.
         let generated = Arc::new(SessionKeys::generate(
             &self.options.exec,
             shape.max_level as usize,
             shape.rescale_bits,
             &shape.steps,
         ));
-        keys.insert(shape, generated.clone());
-        Ok(generated)
+        let mut keys = self.keys.lock().expect("session key lock");
+        Ok(keys.entry(shape).or_insert(generated).clone())
     }
 
     pub(crate) fn record_success(&self, mem: &MemStats) {
@@ -173,7 +185,9 @@ impl Session {
 
 /// Public per-session snapshot, summed over the session's completed
 /// requests (counter fields are sums of per-request [`MemStats`] deltas;
-/// `peak_bytes` is the maximum single-request peak).
+/// `peak_bytes` is the maximum over the session's requests of the
+/// **shared** pool's high-water mark — see its field doc for the
+/// cross-session caveat).
 #[derive(Debug, Clone, Default)]
 pub struct SessionStats {
     /// Session id.
@@ -186,7 +200,14 @@ pub struct SessionStats {
     pub quarantined: bool,
     /// Distinct key shapes the session generated material for.
     pub key_shapes: usize,
-    /// Maximum single-request memory peak (pool + keys).
+    /// Maximum, over this session's successful requests, of
+    /// [`MemStats::peak_bytes`] — the absolute high-water mark of the
+    /// **shared** per-degree pool plus this session's key bytes at the
+    /// time the request completed. Because the pool is shared, concurrent
+    /// traffic from *other* sessions raises the watermark every session
+    /// observes: under concurrency this is "peak service memory while the
+    /// session was active", not memory attributable to the session alone.
+    /// Only a serial, single-session run reads as a per-session peak.
     pub peak_bytes: u64,
     /// Summed per-request pool hits.
     pub pool_hits: u64,

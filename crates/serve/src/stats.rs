@@ -131,7 +131,11 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Maximum single-request memory peak across all sessions.
+    /// Maximum of [`SessionStats::peak_bytes`] across all sessions: the
+    /// highest shared-pool + key-bytes watermark any completed request
+    /// observed. Pool bytes are pool-global (the pool is shared across
+    /// sessions), so this is a service-wide memory peak, not a sum or
+    /// attribution of per-session footprints.
     pub fn peak_bytes(&self) -> u64 {
         self.sessions
             .iter()

@@ -137,3 +137,58 @@ fn panicking_request_quarantines_only_its_session() {
     assert!(stats.p99_latency >= stats.p50_latency);
     assert!(stats.p50_latency > Duration::ZERO);
 }
+
+#[test]
+fn keygen_panic_from_client_params_is_caught_at_the_boundary() {
+    // `Request.params` is client-controlled. `rescale_bits = 15` passes
+    // compilation (scale analysis is symbolic) but panics inside key
+    // generation: `ntt_primes` asserts prime sizes in 20..=61 bits. The
+    // panic happens *before* the execution phase, so this pins down that
+    // the whole pipeline — not just the executor call — is wrapped in
+    // `catch_unwind`: with a single worker, an uncaught unwind would kill
+    // the only service thread and every later call would hang.
+    let server = FheServer::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let victim = server.create_session(options(0x5E5, 256));
+    let bystander = server.create_session(options(0xB51, 256));
+
+    let program = {
+        use fhe_ir::Builder;
+        let b = Builder::new("square", 128);
+        let x = b.input("x");
+        let sq = x.clone() * x;
+        text::print(&b.finish(vec![sq]))
+    };
+    let request = |session, params| Request {
+        session,
+        program: program.clone(),
+        params,
+        compiler: "reserve".into(),
+        inputs: [("x".to_string(), vec![0.5; 128])].into_iter().collect(),
+        deadline: None,
+    };
+
+    let bad_params = fhe_ir::CompileParams::with_rescale_bits(10, 15);
+    match server.call(request(victim, bad_params)) {
+        Err(ServeError::ExecutorPanic(msg)) => {
+            assert!(
+                msg.contains("20..=61"),
+                "keygen assert surfaced verbatim, got: {msg}"
+            );
+        }
+        other => panic!("expected ExecutorPanic, got {other:?}"),
+    }
+    let stats = server.stats();
+    let victim_stats = stats.sessions.iter().find(|s| s.id == victim).unwrap();
+    assert!(victim_stats.quarantined, "pre-execution panic quarantines");
+
+    // The single worker survived the unwind: the bystander is served,
+    // and shutdown (run again on drop) joins a live thread.
+    let ok = server
+        .call(request(bystander, fhe_ir::CompileParams::new(30)))
+        .expect("worker survives a pre-execution panic");
+    outputs_close(&ok.outputs, &ok.reference, 1e-2).expect("accurate");
+    server.shutdown();
+}
