@@ -36,6 +36,14 @@
 //! The machine-readable face of the table above is [`registry`]; the `lint`
 //! CLI's `--explain` flag is backed by it, and a test asserts the two stay
 //! in sync.
+//!
+//! These F-codes cover the *sequential* semantics of a schedule. The
+//! *concurrent* face of the toolchain — the serve layer's queue/shutdown
+//! and single-flight protocols and the CKKS work-stealing pool — is
+//! checked by the `fhe-conc` interleaving model checker instead; its
+//! `conc_smoke --json` binary emits a `ConcReport` (per-model schedule
+//! counts and verdicts) that CI publishes next to lint findings. See the
+//! `fhe_conc` crate docs and `DESIGN.md` §13 for that side of the story.
 
 use fhe_ir::diag::{Finding, Severity};
 use fhe_ir::{analysis, Op, ScheduleError, ScheduledProgram};

@@ -17,9 +17,20 @@
 //! are bit-identical for any thread count; [`crate::CkksParams::threads`]
 //! `= 1` always takes the plain serial loop.
 
+//! The pool's park/wake and batch-drain protocols are model-checked: all
+//! sync primitives come from the [`fhe_conc::sync`] facade (plain std
+//! re-exports in ordinary builds, controlled-scheduler shims under
+//! `--cfg fhe_conc`), and `tests/conc_models.rs` re-derives the scan→park
+//! lost-wakeup race this design closes (see the `conc_model` module,
+//! compiled only in checker builds).
+
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use fhe_conc::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use fhe_conc::sync::{thread, Arc, Condvar, Mutex, OnceLock};
+
+#[cfg(debug_assertions)]
+use fhe_conc::sync::atomic::AtomicU64;
 
 /// Batches estimated to finish faster than this stay serial. Waking a
 /// parked worker costs a few microseconds of queue push + condvar signal,
@@ -57,11 +68,19 @@ struct Batch {
     panicked: AtomicBool,
     done: Mutex<bool>,
     cv: Condvar,
+    /// Debug-build liveness stamp: `u64::MAX` while the submitting `run`
+    /// frame is alive, overwritten with a retirement generation once
+    /// `run` returns. Any job that claims an in-range index after that
+    /// point would dereference a dangling `f`, so `work` asserts on it.
+    #[cfg(debug_assertions)]
+    retired_at: AtomicU64,
 }
 
 // SAFETY: `f` is only read under the liveness protocol in the field docs;
 // the remaining state is atomics and locks.
 unsafe impl Send for Batch {}
+// SAFETY: shared access is the same protocol as above — `f` is read-only
+// behind the liveness guarantee, everything else is atomics and locks.
 unsafe impl Sync for Batch {}
 
 impl Batch {
@@ -72,6 +91,16 @@ impl Batch {
             let j = self.cursor.fetch_add(1, Ordering::Relaxed);
             if j >= self.jobs {
                 return;
+            }
+            #[cfg(debug_assertions)]
+            {
+                let retired = self.retired_at.load(Ordering::Acquire);
+                assert_eq!(
+                    retired,
+                    u64::MAX,
+                    "pool batch claimed job {j} after its run() frame retired it \
+                     at generation {retired}: the borrow behind `f` is dead"
+                );
             }
             // SAFETY: `j < jobs` implies the submitter is still blocked in
             // `wait`, so the closure behind `f` is alive.
@@ -113,6 +142,10 @@ struct Shared {
     cv: Condvar,
     rr: AtomicUsize,
     shutdown: AtomicBool,
+    /// Debug-build monotone count of retired batches; stamps
+    /// [`Batch::retired_at`] when a `run` frame exits.
+    #[cfg(debug_assertions)]
+    retire_gen: AtomicU64,
 }
 
 impl Shared {
@@ -197,10 +230,12 @@ impl Pool {
             cv: Condvar::new(),
             rr: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            #[cfg(debug_assertions)]
+            retire_gen: AtomicU64::new(0),
         });
         for me in 0..workers {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name(format!("fhe-pool-{me}"))
                 .spawn(move || worker_loop(shared, me))
                 .expect("spawn pool worker");
@@ -239,7 +274,7 @@ impl Pool {
             }
             return;
         }
-        // SAFETY (lifetime erasure): the batch stores a raw borrow of `f`.
+        // SAFETY: lifetime erasure — the batch stores a raw borrow of `f`.
         // `Batch::work` dereferences it only for claimed indices, and
         // `wait` below does not return until every claimed index has
         // completed, so no dereference outlives this frame. Stale batch
@@ -256,10 +291,20 @@ impl Pool {
             panicked: AtomicBool::new(false),
             done: Mutex::new(false),
             cv: Condvar::new(),
+            #[cfg(debug_assertions)]
+            retired_at: AtomicU64::new(u64::MAX),
         });
         self.shared.push(&batch, helpers);
         batch.work();
         batch.wait();
+        // Retire the batch before `f`'s borrow ends: any straggler copy
+        // that still claims an in-range index past this point trips the
+        // assertion in `work` instead of dereferencing a dangling closure.
+        #[cfg(debug_assertions)]
+        batch.retired_at.store(
+            self.shared.retire_gen.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Release,
+        );
     }
 }
 
@@ -343,6 +388,106 @@ where
         .into_iter()
         .map(|s| s.expect("every slot filled"))
         .collect()
+}
+
+/// Miniature re-derivations of the pool's park/wake protocol for the
+/// `fhe-conc` model checker (checker builds only). These distill the
+/// worker loop in [`worker_loop`] down to its synchronization skeleton so
+/// the exhaustive scheduler can cover every interleaving in milliseconds:
+/// one worker, one submitter, one queued item.
+///
+/// The *unversioned* variant reproduces the bug the version stamp exists
+/// to close (the PR 7 scan→park race): the worker scans the queue, finds
+/// nothing, and only then parks — so a push landing in that gap signals a
+/// condvar nobody is waiting on yet, and the worker sleeps forever. The
+/// *versioned* variant is the shipped protocol: the worker snapshots the
+/// submission version before scanning and re-checks it under the lock
+/// before parking, so the late push flips the version and the park is
+/// skipped.
+#[cfg(fhe_conc)]
+#[doc(hidden)]
+pub mod conc_model {
+    use std::collections::VecDeque;
+
+    use fhe_conc::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use fhe_conc::sync::{thread, Arc, Condvar, Mutex};
+
+    struct MiniShared {
+        queue: Mutex<VecDeque<u32>>,
+        version: Mutex<u64>,
+        cv: Condvar,
+        shutdown: AtomicBool,
+        processed: AtomicUsize,
+        done: Mutex<bool>,
+        done_cv: Condvar,
+    }
+
+    fn mini_worker(s: &MiniShared, versioned: bool) {
+        loop {
+            let seen = *s.version.lock().expect("version lock");
+            if let Some(_item) = s.queue.lock().expect("queue lock").pop_front() {
+                if s.processed.fetch_add(1, Ordering::SeqCst) + 1 == 1 {
+                    *s.done.lock().expect("done lock") = true;
+                    s.done_cv.notify_all();
+                }
+                continue;
+            }
+            if s.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut v = s.version.lock().expect("version lock");
+            if versioned {
+                // Shipped protocol: park only while no submission has
+                // landed since the scan above.
+                while *v == seen && !s.shutdown.load(Ordering::SeqCst) {
+                    v = s.cv.wait(v).expect("version lock");
+                }
+            } else if !s.shutdown.load(Ordering::SeqCst) {
+                // BUG (pre-fix PR 7 variant): parks without re-checking
+                // the version, so a push between the scan and this wait
+                // already fired its notify into the void.
+                let _v = s.cv.wait(v).expect("version lock");
+            }
+        }
+    }
+
+    /// One submitter pushes one item and waits for it to be processed,
+    /// then shuts the worker down. Under the checker, `versioned = false`
+    /// must deadlock (lost wakeup) in some interleaving and
+    /// `versioned = true` must pass exhaustively.
+    pub fn park_model(versioned: bool) {
+        let s = Arc::new(MiniShared {
+            queue: Mutex::new(VecDeque::new()),
+            version: Mutex::new(0),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            processed: AtomicUsize::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let s2 = Arc::clone(&s);
+        let worker = thread::spawn(move || mini_worker(&s2, versioned));
+
+        // Submit: queue first, then version bump + wake (same order as
+        // `Shared::push`).
+        s.queue.lock().expect("queue lock").push_back(7);
+        *s.version.lock().expect("version lock") += 1;
+        s.cv.notify_all();
+
+        // Wait for the item to drain (proper wait loop — the submitter
+        // side is not the protocol under test).
+        let mut done = s.done.lock().expect("done lock");
+        while !*done {
+            done = s.done_cv.wait(done).expect("done lock");
+        }
+        drop(done);
+
+        s.shutdown.store(true, Ordering::SeqCst);
+        *s.version.lock().expect("version lock") += 1;
+        s.cv.notify_all();
+        worker.join().expect("worker joins");
+        assert_eq!(s.processed.load(Ordering::SeqCst), 1);
+    }
 }
 
 #[cfg(test)]

@@ -20,9 +20,18 @@
 //! `live_bytes`: the thread whose increment produces the high-water mark
 //! observes that exact value and publishes it with `fetch_max`.
 
+//! All counters and shard locks come from the [`fhe_conc::sync`] facade,
+//! so checker builds (`--cfg fhe_conc`) can exhaustively interleave
+//! concurrent `take_raw`/`put` traffic and prove the exactness claims
+//! above (`tests/conc_models.rs`).
+
+#[cfg(not(fhe_conc))]
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+#[cfg(not(fhe_conc))]
+use fhe_conc::sync::atomic::AtomicUsize;
+use fhe_conc::sync::atomic::{AtomicU64, Ordering};
+use fhe_conc::sync::Mutex;
 
 /// Number of free-list shards. A small power of two: enough to spread
 /// the handful of pool workers, cheap to scan when a home shard is dry.
@@ -30,6 +39,13 @@ const SHARDS: usize = 8;
 
 /// Hands each thread a home shard, round-robin across all threads that
 /// ever touch a pool.
+///
+/// Checker builds derive the shard from the deterministic model thread id
+/// instead: thread-local round-robin state would leak across executions
+/// (model OS threads are fresh each run while the static counter is not),
+/// making shard placement — and thus the explored state space —
+/// non-reproducible.
+#[cfg(not(fhe_conc))]
 fn home_shard() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
@@ -41,6 +57,11 @@ fn home_shard() -> usize {
         }
         h.get()
     })
+}
+
+#[cfg(fhe_conc)]
+fn home_shard() -> usize {
+    fhe_conc::current_thread_id() % SHARDS
 }
 
 /// Counters describing a [`PolyPool`]'s traffic. Byte figures cover only
@@ -210,6 +231,18 @@ impl PolyPool {
             .fetch_add(limbs as u64, Ordering::Relaxed);
         let live = self.stats.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.stats.peak_bytes.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Total buffers currently parked across all shards. Scans every
+    /// shard lock, so (like [`PolyPool::stats`]) the sum is only
+    /// meaningful at quiescence; exposed for the model-checker suite,
+    /// which proves `parked_buffers * limb_bytes == free_bytes` there.
+    #[doc(hidden)]
+    pub fn parked_buffers(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("pool shard lock").len())
+            .sum()
     }
 
     /// A snapshot of the pool's counters. Each counter is individually

@@ -1,0 +1,68 @@
+//! The `fhe_sync` facade: the one import surface the workspace's
+//! concurrent code uses for synchronization primitives.
+//!
+//! * Without `--cfg fhe_conc` (all production and tier-1 builds) every name
+//!   here is a **zero-cost re-export** of `std::sync` / `std::thread` —
+//!   there is no wrapper type, no indirection, no runtime cost.
+//! * With `--cfg fhe_conc` every name is a checker shim whose operations
+//!   are schedule points (see the crate docs).
+//!
+//! # Memory-ordering contract of the checker shims
+//!
+//! The checker explores **interleavings under sequential consistency**:
+//!
+//! * Every atomic operation executes with SeqCst-equivalent visibility,
+//!   *regardless* of the [`atomic::Ordering`] argument. `SeqCst` and
+//!   `AcqRel`/`Acquire`/`Release` protocols are therefore modeled
+//!   **faithfully** — on these orderings an interleaving exhibiting a bug
+//!   under the real memory model also exists under sequential consistency.
+//! * `Relaxed` is **not weakened**: bugs that require genuine weak-memory
+//!   effects (store buffering, load/store reordering of `Relaxed`
+//!   accesses) are out of the checker's scope. The workspace uses
+//!   `Relaxed` only for statistics counters whose invariants are
+//!   order-insensitive sums, where this is sound.
+//! * [`Condvar::wait`] never wakes **spuriously** under the checker
+//!   (protocols must still guard with `while` — std may wake spuriously),
+//!   and [`Condvar::notify_one`] wakes the longest-waiting thread (FIFO);
+//!   std makes no fairness promise.
+//! * Mutex **poisoning** is not modeled: shim locks always return `Ok`. A
+//!   panicking model thread fails the whole model anyway.
+
+#[cfg(not(fhe_conc))]
+pub use std::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, Weak,
+};
+
+/// Atomic types (std re-exports, or checker shims under `fhe_conc`).
+#[cfg(not(fhe_conc))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawning and yielding (std re-exports, or checker shims under
+/// `fhe_conc`).
+#[cfg(not(fhe_conc))]
+pub mod thread {
+    pub use std::thread::{current, spawn, yield_now, Builder, JoinHandle};
+}
+
+#[cfg(fhe_conc)]
+pub use crate::shim::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(fhe_conc)]
+pub use std::sync::{Arc, LockResult, OnceLock, Weak};
+
+/// Atomic types (checker shims: every operation is a schedule point).
+#[cfg(fhe_conc)]
+pub mod atomic {
+    pub use crate::shim::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+/// Thread spawning and yielding (checker shims: spawned threads are
+/// scheduled by the checker; `yield_now` is a plain schedule point).
+#[cfg(fhe_conc)]
+pub mod thread {
+    pub use crate::shim::thread::{spawn, yield_now, Builder, JoinHandle};
+    pub use std::thread::current;
+}

@@ -1,0 +1,236 @@
+//! Self-tests of the model checker: these run only under
+//! `RUSTFLAGS="--cfg fhe_conc"` (the conc-smoke CI tier) and validate the
+//! scheduler itself — exploration actually covers both orders of racing
+//! operations, planted races and deadlocks are detected and classified,
+//! and fixed protocols pass exhaustively.
+#![cfg(fhe_conc)]
+
+use std::collections::HashSet;
+use std::sync::Mutex as StdMutex;
+
+use fhe_conc::sync::atomic::{AtomicUsize, Ordering};
+use fhe_conc::sync::{thread, Arc, Condvar, Mutex};
+use fhe_conc::{check, Config, FailureKind, Mode};
+
+fn exhaustive() -> Config {
+    Config::exhaustive()
+}
+
+/// Unbounded exhaustive search (no preemption bound) for tiny models.
+fn exhaustive_unbounded() -> Config {
+    Config {
+        mode: Mode::Exhaustive {
+            max_executions: 100_000,
+            preemption_bound: None,
+        },
+        max_steps: 20_000,
+    }
+}
+
+#[test]
+fn explores_both_orders_of_a_racing_read() {
+    // Main reads an atomic a spawned thread sets to 1: an exhaustive
+    // search must produce executions observing 0 *and* executions
+    // observing 1.
+    let seen: Arc<StdMutex<HashSet<usize>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let outcome = check("both-orders", exhaustive_unbounded(), move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.store(1, Ordering::SeqCst));
+        let observed = x.load(Ordering::SeqCst);
+        seen2.lock().unwrap().insert(observed);
+        t.join().unwrap();
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(outcome.complete, "tiny model must be fully explored");
+    assert!(outcome.executions >= 2);
+    let seen = seen.lock().unwrap();
+    assert!(
+        seen.contains(&0) && seen.contains(&1),
+        "exploration must cover both orders, saw {seen:?}"
+    );
+}
+
+#[test]
+fn detects_a_lost_update() {
+    // Two unsynchronized load-then-store increments: some interleaving
+    // loses one update, so the final assertion fails in that schedule.
+    let outcome = check("lost-update", exhaustive(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let x = Arc::clone(&x);
+            thread::spawn(move || {
+                let v = x.load(Ordering::SeqCst);
+                x.store(v + 1, Ordering::SeqCst);
+            })
+        };
+        let v = x.load(Ordering::SeqCst);
+        x.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    let failure = outcome.failure.expect("the lost update must be found");
+    assert!(matches!(failure.kind, FailureKind::Panic), "{failure:?}");
+    assert!(failure.message.contains("an increment was lost"));
+    assert!(!failure.trace.is_empty(), "counterexample trace recorded");
+}
+
+#[test]
+fn mutexed_increments_pass_exhaustively() {
+    // The same counter behind a mutex: no schedule loses an update.
+    let outcome = check("mutexed-increments", exhaustive_unbounded(), || {
+        let n = Arc::new(Mutex::new(0u32));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || *n2.lock().unwrap() += 1);
+        *n.lock().unwrap() += 1;
+        t.join().unwrap();
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(outcome.complete);
+    assert!(outcome.executions >= 2, "lock orders explored both ways");
+}
+
+#[test]
+fn detects_ab_ba_deadlock() {
+    let outcome = check("ab-ba", exhaustive(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _gb = b2.lock().unwrap();
+            let _ga = a2.lock().unwrap();
+        });
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    let failure = outcome.failure.expect("AB-BA deadlock must be found");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { lost_wakeup: false }),
+        "{failure:?}"
+    );
+}
+
+#[test]
+fn classifies_a_lost_wakeup() {
+    // Broken wait protocol: the flag check and the wait are not atomic
+    // under one lock acquisition, so the notify can land in the gap and
+    // the waiter sleeps forever.
+    let outcome = check("lost-wakeup", exhaustive(), || {
+        let flag = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (flag2, cv2) = (Arc::clone(&flag), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            *flag2.lock().unwrap() = true;
+            cv2.notify_one();
+        });
+        // BUG: the lock is released between the check and the wait.
+        let ready = *flag.lock().unwrap();
+        if !ready {
+            let guard = flag.lock().unwrap();
+            let _guard = cv.wait(guard).unwrap();
+        }
+        t.join().unwrap();
+    });
+    let failure = outcome.failure.expect("lost wakeup must be found");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { lost_wakeup: true }),
+        "{failure:?}"
+    );
+}
+
+#[test]
+fn correct_wait_loop_passes_exhaustively() {
+    // The fixed protocol: check and wait under one lock acquisition, in a
+    // while loop. No schedule hangs.
+    let outcome = check("wait-loop", exhaustive_unbounded(), || {
+        let flag = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (flag2, cv2) = (Arc::clone(&flag), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            *flag2.lock().unwrap() = true;
+            cv2.notify_one();
+        });
+        let mut guard = flag.lock().unwrap();
+        while !*guard {
+            guard = cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        t.join().unwrap();
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(outcome.complete);
+}
+
+#[test]
+fn pct_finds_a_narrow_window_race() {
+    // x briefly holds 1 between two stores; the racing observer asserts
+    // it never sees it. PCT with committed seeds must land in the window.
+    let outcome = check("pct-window", Config::pct(0xFEED_F00D, 200), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            x2.store(0, Ordering::SeqCst);
+        });
+        assert_ne!(x.load(Ordering::SeqCst), 1, "observer saw the window");
+        t.join().unwrap();
+    });
+    let failure = outcome.failure.expect("PCT must land in the window");
+    assert!(matches!(failure.kind, FailureKind::Panic));
+}
+
+#[test]
+fn join_passes_values_and_thread_ids_are_deterministic() {
+    let outcome = check("join-values", exhaustive(), || {
+        assert_eq!(fhe_conc::current_thread_id(), 0, "model closure is t0");
+        let t = thread::spawn(|| {
+            assert_eq!(fhe_conc::current_thread_id(), 1, "first spawn is t1");
+            41 + 1
+        });
+        assert_eq!(t.join().unwrap(), 42);
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+}
+
+#[test]
+fn trace_renders_numbered_steps() {
+    let outcome = check("trace-render", exhaustive(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.store(1, Ordering::SeqCst));
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::SeqCst), 99, "always fails");
+    });
+    let failure = outcome.failure.expect("model always fails");
+    let rendered = failure.render();
+    assert!(rendered.contains("#0"), "numbered steps: {rendered}");
+    assert!(rendered.contains("store a"), "op names: {rendered}");
+    assert!(
+        rendered.contains("checker_self.rs"),
+        "source locations: {rendered}"
+    );
+}
+
+#[test]
+fn three_thread_counter_is_exact_under_exhaustive_bounds() {
+    let outcome = check("three-counter", exhaustive(), || {
+        let n = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || *n.lock().unwrap() += 1)
+            })
+            .collect();
+        *n.lock().unwrap() += 1;
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 3);
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(outcome.executions > 2);
+}

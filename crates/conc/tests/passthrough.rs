@@ -1,0 +1,98 @@
+//! Std-mode (passthrough) tests: these run in the ordinary tier-1
+//! `cargo test` and make sure the public entry points work without the
+//! checker cfg — `model`/`check` run the closure once with real threads,
+//! and the JSON report serializes.
+
+use fhe_conc::sync::atomic::{AtomicUsize, Ordering};
+use fhe_conc::sync::{thread, Arc, Condvar, Mutex, RwLock};
+use fhe_conc::{check, ConcReport, Config, ModelRecord};
+
+#[test]
+fn model_runs_the_closure() {
+    let outcome = check("passthrough-smoke", Config::exhaustive(), || {
+        let n = Arc::new(Mutex::new(0u32));
+        let cv = Arc::new(Condvar::new());
+        let (n2, cv2) = (Arc::clone(&n), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            *n2.lock().unwrap() += 1;
+            cv2.notify_all();
+        });
+        let mut guard = n.lock().unwrap();
+        while *guard == 0 {
+            guard = cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        t.join().unwrap();
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    #[cfg(not(fhe_conc))]
+    assert_eq!(outcome.executions, 1, "passthrough runs exactly once");
+}
+
+#[test]
+fn check_reports_a_failing_model_without_panicking() {
+    let outcome = check("passthrough-failing", Config::exhaustive(), || {
+        panic!("intentional model failure");
+    });
+    let failure = outcome.failure.expect("failure reported");
+    assert!(failure.message.contains("intentional model failure"));
+}
+
+#[test]
+fn facade_types_behave_like_std() {
+    // The facade must be usable as a drop-in: atomics, rwlock, yield.
+    let x = AtomicUsize::new(1);
+    assert_eq!(x.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(x.fetch_max(10, Ordering::SeqCst), 3);
+    assert_eq!(x.load(Ordering::SeqCst), 10);
+    assert_eq!(
+        x.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| Some(v + 1)),
+        Ok(10)
+    );
+    let rw = RwLock::new(5u32);
+    {
+        let r1 = rw.read().unwrap();
+        let r2 = rw.read().unwrap();
+        assert_eq!(*r1 + *r2, 10);
+    }
+    *rw.write().unwrap() = 7;
+    assert_eq!(*rw.read().unwrap(), 7);
+    thread::yield_now();
+    assert!(fhe_conc::current_thread_id() < usize::MAX);
+}
+
+#[test]
+fn conc_report_serializes_to_json() {
+    let report = ConcReport {
+        checker_enabled: cfg!(fhe_conc),
+        models: vec![
+            ModelRecord {
+                name: "pool-park".into(),
+                mode: "exhaustive".into(),
+                executions: 1234,
+                pruned: 56,
+                complete: true,
+                passed: true,
+                wall_ms: 7,
+            },
+            ModelRecord {
+                name: "cache \"single\"-flight".into(),
+                mode: "pct".into(),
+                executions: 200,
+                pruned: 0,
+                complete: false,
+                passed: false,
+                wall_ms: 99,
+            },
+        ],
+    };
+    let json = report.to_json();
+    assert!(json.contains("\"models_total\": 2"));
+    assert!(json.contains("\"models_passed\": 1"));
+    assert!(json.contains("\"interleavings_total\": 1434"));
+    assert!(
+        json.contains("\\\"single\\\"-flight"),
+        "quotes escaped: {json}"
+    );
+    assert!(report.total_executions() == 1434 && !report.all_passed());
+}

@@ -15,8 +15,8 @@
 //! (see [`fhe_ir::Program::structural_hash`] — the cache-correctness tests
 //! pin this down).
 
+use fhe_conc::sync::{Arc, Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Condvar, Mutex};
 
 use fhe_ir::pipeline::{CompileError, CompileReport, ScaleCompiler};
 use fhe_ir::{text, CompileParams, ConstValue, Op, Program, ScheduledProgram};

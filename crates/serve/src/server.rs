@@ -20,11 +20,11 @@
 //! `FlightClaim` in `cache.rs` — and the executor's panic sites do not
 //! hold their locks), so other sessions keep serving.
 
+use fhe_conc::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use fhe_conc::sync::thread::JoinHandle;
+use fhe_conc::sync::{thread, Arc, Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fhe_ckks::PolyPool;
@@ -380,7 +380,7 @@ impl FheServer {
         let handles = (0..workers)
             .map(|i| {
                 let inner = inner.clone();
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("fhe-serve-{i}"))
                     .spawn(move || inner.worker_loop())
                     .expect("spawn service worker")
@@ -557,6 +557,224 @@ impl Drop for FheServer {
     }
 }
 
+/// Miniature re-derivations of the server's enqueue/shutdown and
+/// quarantine-admission protocols for the `fhe-conc` model checker
+/// (checker builds only).
+///
+/// `submit_shutdown_model(false)` reproduces the PR 9 race the
+/// under-the-lock re-check closes: a submitter that only checks the
+/// shutdown flag *before* taking the queue lock can push its job after
+/// shutdown has drained the queue and told the workers to exit, stranding
+/// a ticket nobody will ever fulfill — the submitter's `wait` then sleeps
+/// forever. `submit_shutdown_model(true)` is the shipped protocol (flag
+/// set under the queue lock by shutdown, re-checked under the same lock
+/// before `push_back`) and must pass exhaustively.
+#[cfg(fhe_conc)]
+#[doc(hidden)]
+pub mod conc_model {
+    use std::collections::VecDeque;
+
+    use fhe_conc::sync::atomic::{AtomicBool, Ordering};
+    use fhe_conc::sync::{thread, Arc, Condvar, Mutex};
+
+    /// A one-shot result slot standing in for [`super::Ticket`]: `true`
+    /// means executed, `false` means failed with shutting-down.
+    type MiniTicket = Arc<(Mutex<Option<bool>>, Condvar)>;
+
+    struct MiniServer {
+        queue: Mutex<VecDeque<MiniTicket>>,
+        not_empty: Condvar,
+        shutdown: AtomicBool,
+    }
+
+    fn fulfill(ticket: &MiniTicket, ok: bool) {
+        *ticket.0.lock().expect("ticket lock") = Some(ok);
+        ticket.1.notify_all();
+    }
+
+    fn mini_worker(s: &MiniServer) {
+        loop {
+            let ticket = {
+                let mut queue = s.queue.lock().expect("queue lock");
+                loop {
+                    if let Some(t) = queue.pop_front() {
+                        break t;
+                    }
+                    if s.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    queue = s.not_empty.wait(queue).expect("queue wait");
+                }
+            };
+            fulfill(&ticket, true);
+        }
+    }
+
+    fn mini_submit(s: &MiniServer, recheck_under_lock: bool) -> Option<MiniTicket> {
+        if s.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        let ticket: MiniTicket = Arc::new((Mutex::new(None), Condvar::new()));
+        let mut queue = s.queue.lock().expect("queue lock");
+        if recheck_under_lock && s.shutdown.load(Ordering::SeqCst) {
+            // Shipped protocol: shutdown sets the flag under this lock
+            // before draining, so seeing it here means the drain already
+            // ran (or atomically will, before any worker could exit).
+            return None;
+        }
+        // BUG when `recheck_under_lock` is false (pre-fix PR 9 variant):
+        // the drain may have happened between the fast-path check above
+        // and this push — the job lands on a queue no worker will drain.
+        queue.push_back(Arc::clone(&ticket));
+        drop(queue);
+        s.not_empty.notify_one();
+        Some(ticket)
+    }
+
+    fn mini_shutdown(s: &MiniServer) {
+        let drained: Vec<MiniTicket> = {
+            let mut queue = s.queue.lock().expect("queue lock");
+            s.shutdown.store(true, Ordering::SeqCst);
+            queue.drain(..).collect()
+        };
+        s.not_empty.notify_all();
+        for ticket in drained {
+            fulfill(&ticket, false);
+        }
+    }
+
+    /// One worker, one racing submitter, shutdown from the model's main
+    /// thread. Every accepted ticket must resolve; under the checker the
+    /// `recheck_under_lock = false` variant deadlocks (the stranded
+    /// submitter waits forever) in some interleaving.
+    pub fn submit_shutdown_model(recheck_under_lock: bool) {
+        let s = Arc::new(MiniServer {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || mini_worker(&s))
+        };
+        let submitter = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || {
+                if let Some(ticket) = mini_submit(&s, recheck_under_lock) {
+                    let mut slot = ticket.0.lock().expect("ticket lock");
+                    while slot.is_none() {
+                        slot = ticket.1.wait(slot).expect("ticket wait");
+                    }
+                }
+            })
+        };
+        mini_shutdown(&s);
+        worker.join().expect("worker exits");
+        submitter.join().expect("submitter resolves");
+    }
+
+    /// How the mini quarantine worker disposed of one job.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Disposal {
+        /// The job ran normally.
+        Executed,
+        /// The job panicked and quarantined its session.
+        Panicked,
+        /// The job was rejected by the dequeue-time quarantine re-check.
+        Rejected,
+    }
+
+    /// Quarantine admission: a poison job quarantines the session when
+    /// processed; a concurrently submitted normal job may legally execute
+    /// only if the worker dequeued it *before* the poison one. The
+    /// dequeue-time re-check (mirroring [`super::ServerInner::process`])
+    /// makes any post-quarantine execution impossible; the final assert
+    /// re-derives exactly that event ordering from the disposal log.
+    pub fn quarantine_admission_model() {
+        const POISON: u32 = 0;
+        const NORMAL: u32 = 1;
+        struct State {
+            queue: Mutex<VecDeque<u32>>,
+            not_empty: Condvar,
+            quarantined: AtomicBool,
+            log: Mutex<Vec<(u32, Disposal)>>,
+        }
+        let s = Arc::new(State {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            quarantined: AtomicBool::new(false),
+            log: Mutex::new(Vec::new()),
+        });
+        let submit = |s: &State, job: u32| {
+            s.queue.lock().expect("queue lock").push_back(job);
+            s.not_empty.notify_one();
+        };
+        let submitters: Vec<_> = [POISON, NORMAL]
+            .into_iter()
+            .map(|job| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || submit(&s, job))
+            })
+            .collect();
+        let worker = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || {
+                // Both submissions always land, so processing exactly two
+                // jobs terminates in every interleaving.
+                for _ in 0..2 {
+                    let job = {
+                        let mut queue = s.queue.lock().expect("queue lock");
+                        loop {
+                            if let Some(job) = queue.pop_front() {
+                                break job;
+                            }
+                            queue = s.not_empty.wait(queue).expect("queue wait");
+                        }
+                    };
+                    // Dequeue-time re-check: a panic earlier in the queue
+                    // may have quarantined the session after this job was
+                    // accepted.
+                    let disposal = if s.quarantined.load(Ordering::SeqCst) {
+                        Disposal::Rejected
+                    } else if job == POISON {
+                        s.quarantined.store(true, Ordering::SeqCst);
+                        Disposal::Panicked
+                    } else {
+                        Disposal::Executed
+                    };
+                    s.log.lock().expect("log lock").push((job, disposal));
+                }
+            })
+        };
+        for handle in submitters {
+            handle.join().expect("submitter exits");
+        }
+        worker.join().expect("worker exits");
+        let log = s.log.lock().expect("log lock");
+        assert_eq!(log.len(), 2, "both jobs disposed exactly once");
+        let poison_at = log
+            .iter()
+            .position(|&(job, _)| job == POISON)
+            .expect("poison job processed");
+        assert_eq!(log[poison_at].1, Disposal::Panicked);
+        for (i, &(job, disposal)) in log.iter().enumerate() {
+            if job == NORMAL {
+                let expect = if i < poison_at {
+                    Disposal::Executed
+                } else {
+                    Disposal::Rejected
+                };
+                assert_eq!(
+                    disposal,
+                    expect,
+                    "a job dequeued {} the quarantine event",
+                    if i < poison_at { "before" } else { "after" },
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,7 +894,7 @@ mod tests {
             let submitters: Vec<_> = (0..3)
                 .map(|_| {
                     let server = server.clone();
-                    std::thread::spawn(move || {
+                    thread::spawn(move || {
                         let mut tickets = Vec::new();
                         for _ in 0..3 {
                             match server.submit(request(session, 128)) {

@@ -11,9 +11,9 @@
 //! bits, and — under eager provisioning — the program's rotation steps),
 //! so a session running many programs of the same shape pays keygen once.
 
+use fhe_conc::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use fhe_conc::sync::{Arc, Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
 
 use fhe_ckks::KeyCacheStats;
 use fhe_ir::{ScheduleError, ScheduledProgram};

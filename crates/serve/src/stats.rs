@@ -8,7 +8,7 @@
 //! individual quantile, which is plenty for regression gating and avoids
 //! keeping every sample.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use fhe_conc::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::cache::CacheStats;

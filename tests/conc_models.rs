@@ -1,0 +1,319 @@
+//! Model-checked protocol suite (checker builds only): the `fhe-conc`
+//! deterministic scheduler driving the workspace's real concurrent
+//! protocols and their distilled skeletons.
+//!
+//! Two planted regressions anchor the suite — the checker must *find*
+//! them, not merely pass the fixed code:
+//!
+//! - the PR 7 scan→park race in the work-stealing pool (a worker that
+//!   parks without re-checking the submission version sleeps through a
+//!   concurrent push: lost wakeup);
+//! - the PR 9 submit/shutdown race in the serve layer (a submitter that
+//!   only checks the shutdown flag before taking the queue lock strands
+//!   its ticket on a drained queue).
+//!
+//! The fixed protocols then pass exhaustively (small models) or across
+//! committed PCT seeds (the real `Pool`/`CompileCache`/`PolyPool` types,
+//! whose per-execution step counts are too large for full enumeration).
+//!
+//! Run with: `RUSTFLAGS="--cfg fhe_conc" cargo test --test conc_models`
+//! (the `conc-smoke` CI job; in ordinary builds this file is empty).
+#![cfg(fhe_conc)]
+
+use std::collections::HashMap;
+use std::sync::Mutex as StdMutex;
+
+use fhe_ckks::par::conc_model::park_model;
+use fhe_ckks::{PolyPool, Pool};
+use fhe_conc::sync::atomic::{AtomicUsize, Ordering};
+use fhe_conc::sync::{thread, Arc};
+use fhe_conc::{check, Config, FailureKind, Mode};
+use fhe_ir::{text, CompileParams};
+use fhe_serve::server::conc_model::{quarantine_admission_model, submit_shutdown_model};
+use fhe_serve::CompileCache;
+use reserve_core::ReserveCompiler;
+
+/// Fixed PCT seed for the large-model tier; committed so CI failures
+/// replay bit-identically (`Config::pct` derives per-execution seeds from
+/// it deterministically).
+const PCT_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+/// Schedules per PCT model (the issue's acceptance floor).
+const PCT_EXECUTIONS: u64 = 200;
+
+fn exhaustive() -> Config {
+    Config::exhaustive()
+}
+
+/// Unbounded exhaustive search for the small skeletons: no preemption
+/// bound, so `complete` means every interleaving (modulo sleep-set
+/// equivalence) was visited.
+fn exhaustive_unbounded() -> Config {
+    Config {
+        mode: Mode::Exhaustive {
+            max_executions: 200_000,
+            preemption_bound: None,
+        },
+        max_steps: 50_000,
+    }
+}
+
+fn pct() -> Config {
+    Config::pct(PCT_SEED, PCT_EXECUTIONS)
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing pool: scan→park protocol (PR 7 race)
+// ---------------------------------------------------------------------
+
+#[test]
+fn park_without_version_check_loses_the_wakeup() {
+    let outcome = check("park-unversioned", exhaustive(), || park_model(false));
+    let failure = outcome
+        .failure
+        .expect("the checker must rediscover the scan→park race");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { lost_wakeup: true }),
+        "the race manifests as a lost wakeup, got {failure:?}"
+    );
+    assert!(
+        !failure.trace.is_empty(),
+        "a replayable counterexample schedule is recorded"
+    );
+}
+
+#[test]
+fn versioned_park_protocol_passes_exhaustively() {
+    let outcome = check("park-versioned", exhaustive_unbounded(), || {
+        park_model(true)
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(outcome.complete, "small model fully explored");
+    assert!(outcome.executions >= 2);
+}
+
+#[test]
+fn real_pool_run_and_drop_pass_under_pct() {
+    // The shipped Pool end-to-end: spawn one worker, run a two-job batch
+    // (submitter participates in its own batch), then drop — the drop
+    // must wake and retire the parked worker in every sampled schedule.
+    let outcome = check("pool-run-drop", pct(), || {
+        let pool = Pool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.run(2, 2, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "every job ran exactly once");
+        drop(pool);
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert_eq!(outcome.executions, PCT_EXECUTIONS);
+}
+
+// ---------------------------------------------------------------------
+// Serve layer: enqueue/shutdown (PR 9 race) and quarantine admission
+// ---------------------------------------------------------------------
+
+#[test]
+fn submit_without_under_lock_recheck_strands_a_ticket() {
+    let outcome = check("submit-shutdown-unchecked", exhaustive(), || {
+        submit_shutdown_model(false)
+    });
+    let failure = outcome
+        .failure
+        .expect("the checker must rediscover the submit/shutdown race");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "the stranded ticket leaves its submitter blocked forever, got {failure:?}"
+    );
+}
+
+#[test]
+fn submit_shutdown_with_recheck_passes_exhaustively() {
+    let outcome = check("submit-shutdown-fixed", exhaustive(), || {
+        submit_shutdown_model(true)
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(outcome.executions >= 2);
+}
+
+#[test]
+fn quarantine_admission_is_ordered_exhaustively() {
+    let outcome = check("quarantine-admission", exhaustive(), || {
+        quarantine_admission_model()
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(outcome.executions >= 2);
+}
+
+// ---------------------------------------------------------------------
+// Compile cache: single-flight and LRU admission on the real type
+// ---------------------------------------------------------------------
+
+fn tiny_program(name: &str) -> fhe_ir::Program {
+    let b = fhe_ir::Builder::new(name, 4);
+    let x = b.input("x");
+    let y = b.input("y");
+    text::parse(&text::print(&b.finish(vec![x * y]))).expect("round-trips")
+}
+
+#[test]
+fn cold_key_compiles_exactly_once_in_every_interleaving() {
+    // Two threads race get_or_compile on the same cold key. The
+    // single-flight claim must serialize them into exactly one compile
+    // and one hit, and both must share the same scheduled program.
+    let outcome = check("cache-single-flight", exhaustive(), || {
+        let cache = Arc::new(CompileCache::new(None));
+        let program = Arc::new(tiny_program("sf"));
+        let params = CompileParams::new(30);
+        let t = {
+            let (cache, program, params) = (cache.clone(), program.clone(), params.clone());
+            thread::spawn(move || {
+                let compiler = ReserveCompiler::full();
+                cache
+                    .get_or_compile(&program, &params, &compiler)
+                    .expect("compiles")
+                    .scheduled
+            })
+        };
+        let compiler = ReserveCompiler::full();
+        let mine = cache
+            .get_or_compile(&program, &params, &compiler)
+            .expect("compiles")
+            .scheduled;
+        let theirs = t.join().expect("peer compiles");
+        assert!(
+            Arc::ptr_eq(&mine, &theirs),
+            "both callers share one cached schedule"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one compile");
+        assert_eq!(stats.hits, 1, "the loser of the flight race hits");
+        assert_eq!(stats.entries, 1);
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(
+        outcome.executions >= 2,
+        "the flight race has more than one schedule"
+    );
+}
+
+#[test]
+fn lru_never_evicts_the_just_inserted_entry_under_contention() {
+    // A budget far below one entry forces an eviction decision on every
+    // insert; the `e.tick != tick` filter must keep the entry that was
+    // inserted by the *current* lookup, in every interleaving of two
+    // threads inserting distinct keys.
+    let outcome = check("cache-lru-admission", pct(), || {
+        let cache = Arc::new(CompileCache::new(Some(1)));
+        let t = {
+            let cache = cache.clone();
+            thread::spawn(move || {
+                let compiler = ReserveCompiler::full();
+                let program = tiny_program("lru-a");
+                cache
+                    .get_or_compile(&program, &CompileParams::new(30), &compiler)
+                    .expect("compiles despite the tiny budget")
+            })
+        };
+        let compiler = ReserveCompiler::full();
+        let program = tiny_program("lru-b");
+        cache
+            .get_or_compile(&program, &CompileParams::new(30), &compiler)
+            .expect("compiles despite the tiny budget");
+        t.join().expect("peer compiles");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert!(
+            stats.entries >= 1,
+            "the most recent insert always survives its own eviction pass"
+        );
+        assert_eq!(
+            stats.evictions as usize + stats.entries,
+            2,
+            "every inserted entry is either cached or counted evicted"
+        );
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert_eq!(outcome.executions, PCT_EXECUTIONS);
+}
+
+// ---------------------------------------------------------------------
+// Poly pool: counter exactness at quiescence
+// ---------------------------------------------------------------------
+
+#[test]
+fn pool_counters_are_exact_in_every_interleaving() {
+    const DEGREE: usize = 8;
+    const LIMB_BYTES: u64 = (DEGREE * 8) as u64;
+    let outcome = check("polypool-counters", exhaustive(), || {
+        let pool = Arc::new(PolyPool::new(DEGREE));
+        let worker = {
+            let pool = pool.clone();
+            thread::spawn(move || {
+                let bufs = pool.take_raw(1);
+                pool.put(bufs);
+            })
+        };
+        let bufs = pool.take_raw(2);
+        pool.put(bufs);
+        worker.join().expect("worker balances its traffic");
+        // Quiescence: both threads joined, so the exactness claims in the
+        // module docs must hold as cross-field invariants.
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 3, "every checkout counted once");
+        assert_eq!(s.returns, 3, "every buffer returned exactly once");
+        assert_eq!(s.live_bytes, 0, "balanced take/put leaves nothing live");
+        assert!(
+            s.peak_bytes >= 2 * LIMB_BYTES && s.peak_bytes <= 3 * LIMB_BYTES,
+            "peak brackets the true high-water mark, got {}",
+            s.peak_bytes
+        );
+        assert_eq!(
+            s.free_bytes,
+            (s.returns - s.hits) * LIMB_BYTES,
+            "parked bytes equal net returns"
+        );
+        assert_eq!(
+            pool.parked_buffers() as u64 * LIMB_BYTES,
+            s.free_bytes,
+            "shard contents sum to the global free-byte counter"
+        );
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    assert!(
+        outcome.executions >= 2,
+        "shard traffic interleaves in more than one order"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Exploration sanity on this suite's own scale
+// ---------------------------------------------------------------------
+
+#[test]
+fn exhaustive_models_here_really_explore_multiple_schedules() {
+    // Meta-check: the park skeleton visits both the race window and the
+    // benign orders; recording distinct first-parked-thread observations
+    // guards against a scheduler regression that silently serializes.
+    let observed: Arc<StdMutex<HashMap<&'static str, u64>>> =
+        Arc::new(StdMutex::new(HashMap::new()));
+    let observed2 = observed.clone();
+    let outcome = check("exploration-sanity", exhaustive_unbounded(), move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.store(1, Ordering::SeqCst));
+        let label = if x.load(Ordering::SeqCst) == 0 {
+            "load-first"
+        } else {
+            "store-first"
+        };
+        *observed2.lock().unwrap().entry(label).or_insert(0) += 1;
+        t.join().expect("joins");
+    });
+    assert!(outcome.passed(), "{:?}", outcome.failure);
+    let observed = observed.lock().unwrap();
+    assert!(
+        observed.contains_key("load-first") && observed.contains_key("store-first"),
+        "both orders visited: {observed:?}"
+    );
+}
